@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the numerical kernels underlying the
+//! merge phase: GEMM, secular-equation roots, deflation, the QR-iteration
+//! leaf solver, and the prescribed-spectrum generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcst_matrix::gemm;
+use dcst_secular::{deflate, solve_secular_root, DeflationInput};
+use dcst_tridiag::gen::MatrixType;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[64usize, 128, 256] {
+        let a = vec![0.5f64; n * n];
+        let b = vec![0.25f64; n * n];
+        let mut out = vec![0.0f64; n * n];
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| gemm(n, n, n, 1.0, &a, n, &b, n, 0.0, &mut out, n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_secular(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secular_roots");
+    for &k in &[64usize, 256, 1024] {
+        let d: Vec<f64> = (0..k).map(|i| i as f64).collect();
+        let z = vec![(1.0 / k as f64).sqrt(); k];
+        let mut delta = vec![0.0; k];
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, &k| {
+            bench.iter(|| {
+                // Solve a representative middle root.
+                solve_secular_root(k / 2, &d, &z, 1.0, &mut delta).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_deflation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deflation");
+    for &n in &[256usize, 1024] {
+        let d: Vec<f64> = (0..n).map(|i| (i / 2) as f64).collect(); // pairs of ties
+        let z = vec![(1.0 / n as f64).sqrt(); n];
+        let idxq: Vec<usize> = {
+            let mut v: Vec<usize> = (0..n / 2).collect();
+            v.extend(n / 2..n);
+            v
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| deflate(&DeflationInput { d: &d, z: &z, beta: 1.0, n1: n / 2, idxq: &idxq }));
+        });
+    }
+    group.finish();
+}
+
+fn bench_leaf_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steqr_leaf");
+    group.sample_size(20);
+    for &n in &[32usize, 64, 128] {
+        let t = MatrixType::Type6.generate(n, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| dcst_qriter::steqr(&t).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rkpw_generator");
+    group.sample_size(20);
+    for &n in &[256usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| MatrixType::Type3.generate(n, 9));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_secular, bench_deflation, bench_leaf_solver, bench_generator);
+criterion_main!(benches);

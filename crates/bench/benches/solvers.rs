@@ -1,0 +1,42 @@
+//! Criterion end-to-end benchmarks: the four D&C variants and MRRR on one
+//! representative matrix per deflation regime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcst_core::{
+    DcOptions, ForkJoinDc, LevelParallelDc, SequentialDc, TaskFlowDc, TridiagEigensolver,
+};
+use dcst_mrrr::{MrrrOptions, MrrrSolver};
+use dcst_tridiag::gen::MatrixType;
+
+fn opts(threads: usize) -> DcOptions {
+    DcOptions { threads, ..DcOptions::default() }
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let n = 512;
+    for ty in [MatrixType::Type2, MatrixType::Type4] {
+        let t = ty.generate(n, 21);
+        let mut group = c.benchmark_group(format!("solve_type{}_n{n}", ty.index()));
+        group.sample_size(10);
+        let solvers: Vec<Box<dyn TridiagEigensolver>> = vec![
+            Box::new(SequentialDc::new(opts(1))),
+            Box::new(ForkJoinDc::new(opts(threads))),
+            Box::new(LevelParallelDc::new(opts(threads))),
+            Box::new(TaskFlowDc::new(opts(threads))),
+        ];
+        for solver in &solvers {
+            group.bench_with_input(BenchmarkId::from_parameter(solver.name()), &t, |bench, t| {
+                bench.iter(|| solver.solve(t).unwrap());
+            });
+        }
+        let mrrr = MrrrSolver::new(MrrrOptions { threads, ..Default::default() });
+        group.bench_with_input(BenchmarkId::from_parameter("mrrr"), &t, |bench, t| {
+            bench.iter(|| mrrr.solve(t).unwrap());
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

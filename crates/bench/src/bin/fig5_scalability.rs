@@ -1,0 +1,42 @@
+//! Figure 5: scalability of the task-flow D&C solver.
+//!
+//! Speedup over the 1-thread run for matrices of types 2 (~100 %
+//! deflation), 3 (~50 %) and 4 (~20 %), sweeping the thread count from 1
+//! to the hardware limit. On the paper's 16-core machine type 4 reaches
+//! ~12×; on this host the ceiling is the available core count.
+//!
+//! ```text
+//! cargo run --release -p dcst-bench --bin fig5_scalability -- --sizes 1024,2048
+//! ```
+
+use dcst_bench::{fmt_s, time_taskflow, Args, Table};
+use dcst_tridiag::gen::MatrixType;
+
+fn main() {
+    let args = Args::parse();
+    let sizes = args.sizes_or(&[1024, 2048]);
+    let maxt = args.usize_or("--threads", dcst_bench::max_threads());
+
+    for &n in &sizes {
+        println!("n = {n}:");
+        let mut table = Table::new(&["type", "deflation", "t(1)", "threads", "time", "speedup"]);
+        for ty in [MatrixType::Type2, MatrixType::Type3, MatrixType::Type4] {
+            let t = ty.generate(n, 33);
+            let _ = time_taskflow(1, &t); // warm-up (page faults, allocator)
+            let (t1, _, stats) = time_taskflow(1, &t);
+            for threads in 1..=maxt {
+                let (tp, _, _) = time_taskflow(threads, &t);
+                table.row(vec![
+                    format!("type{}", ty.index()),
+                    format!("{:.0}%", 100.0 * stats.overall_deflation()),
+                    fmt_s(t1),
+                    threads.to_string(),
+                    fmt_s(tp),
+                    format!("{:.2}x", t1 / tp),
+                ]);
+            }
+        }
+        table.print();
+        println!();
+    }
+}

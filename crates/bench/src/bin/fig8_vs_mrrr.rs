@@ -1,0 +1,39 @@
+//! Figure 8: time(MR³) / time(D&C) over all fifteen Table III types.
+//!
+//! Ratios > 1 mean the task-flow D&C wins. The paper finds D&C ahead on
+//! most types (up to 25×, driven by deflation) and MRRR ahead on a few
+//! well-separated spectra (at most ~2×) — the matrix-dependence is the
+//! reproduced property.
+//!
+//! ```text
+//! cargo run --release -p dcst-bench --bin fig8_vs_mrrr -- --sizes 512,1024
+//! ```
+
+use dcst_bench::{fmt_s, time_mrrr, time_taskflow, Args, Table};
+use dcst_tridiag::gen::MatrixType;
+
+fn main() {
+    let args = Args::parse();
+    let sizes = args.sizes_or(&[512, 1024]);
+    let threads = args.usize_or("--threads", dcst_bench::max_threads());
+
+    let mut table = Table::new(&["type", "n", "deflation", "t_mrrr", "t_dc", "t_mrrr/t_dc", "winner"]);
+    for ty in MatrixType::ALL {
+        for &n in &sizes {
+            let t = ty.generate(n, 303);
+            let (t_mr, _, _) = time_mrrr(threads, &t);
+            let (t_dc, _, stats) = time_taskflow(threads, &t);
+            let ratio = t_mr / t_dc;
+            table.row(vec![
+                format!("type{}", ty.index()),
+                n.to_string(),
+                format!("{:.0}%", 100.0 * stats.overall_deflation()),
+                fmt_s(t_mr),
+                fmt_s(t_dc),
+                format!("{ratio:.2}"),
+                if ratio >= 1.0 { "D&C" } else { "MRRR" }.to_string(),
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,49 @@
+//! Figure 9: numerical accuracy of D&C vs MRRR.
+//!
+//! (a) eigenvector orthogonality `max|I − VᵀV| / n` and (b) decomposition
+//! residual `max_i ‖T vᵢ − λᵢ vᵢ‖ / (‖T‖·n)` over the full type suite.
+//! The paper's finding: D&C is one to two digits more accurate than MRRR
+//! on both metrics (O(√n·ε) vs O(n·ε)).
+//!
+//! ```text
+//! cargo run --release -p dcst-bench --bin fig9_accuracy -- --sizes 512,1024
+//! ```
+
+use dcst_bench::{accuracy, time_mrrr, time_taskflow, Args, Table};
+use dcst_tridiag::gen::MatrixType;
+
+fn main() {
+    let args = Args::parse();
+    let sizes = args.sizes_or(&[512, 1024]);
+    let threads = args.usize_or("--threads", dcst_bench::max_threads());
+
+    let mut table = Table::new(&["type", "n", "orth D&C", "orth MRRR", "resid D&C", "resid MRRR"]);
+    let mut dc_worse_orth = 0usize;
+    let mut cases = 0usize;
+    for ty in MatrixType::ALL {
+        for &n in &sizes {
+            let t = ty.generate(n, 404);
+            let (_, eig, _) = time_taskflow(threads, &t);
+            let (o_dc, r_dc) = accuracy(&t, &eig.values, &eig.vectors);
+            let (_, lam, v) = time_mrrr(threads, &t);
+            let (o_mr, r_mr) = accuracy(&t, &lam, &v);
+            if o_dc > o_mr {
+                dc_worse_orth += 1;
+            }
+            cases += 1;
+            table.row(vec![
+                format!("type{}", ty.index()),
+                n.to_string(),
+                format!("{o_dc:.2e}"),
+                format!("{o_mr:.2e}"),
+                format!("{r_dc:.2e}"),
+                format!("{r_mr:.2e}"),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nD&C orthogonality worse than MRRR in {dc_worse_orth}/{cases} cases \
+         (paper: D&C consistently 1-2 digits better)."
+    );
+}

@@ -1,0 +1,207 @@
+//! `dcst` — command-line front end for the workspace.
+//!
+//! ```text
+//! dcst generate --type 4 --n 1000 --seed 7 --out t.txt
+//! dcst info     --in t.txt
+//! dcst solve    --in t.txt [--solver taskflow|seq|forkjoin|levelpar|mrrr|qr]
+//!               [--subset il:iu] [--threads k] [--check]
+//! dcst trace    --type 4 --n 1000 --svg trace.svg [--json trace.json]
+//! ```
+
+use dcst_core::{
+    DcOptions, ForkJoinDc, LevelParallelDc, SequentialDc, TaskFlowDc, TridiagEigensolver,
+};
+use dcst_mrrr::{MrrrOptions, MrrrSolver};
+use dcst_tridiag::gen::MatrixType;
+use dcst_tridiag::io::{read_tridiag, write_tridiag};
+use dcst_tridiag::SymTridiag;
+use std::io::BufReader;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.raw.iter().position(|a| a == name).and_then(|i| self.raw.get(i + 1)).map(|s| s.as_str())
+    }
+    fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+    fn usize_or(&self, name: &str, default: usize) -> usize {
+        self.value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  dcst generate --type K --n N [--seed S] [--out FILE]\n  \
+         dcst info --in FILE\n  \
+         dcst solve --in FILE [--solver taskflow|seq|forkjoin|levelpar|mrrr|qr] \
+         [--subset il:iu] [--threads K] [--check]\n  \
+         dcst trace [--type K] [--n N] [--svg FILE] [--json FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(args: &Args) -> Result<SymTridiag, String> {
+    let path = args.value("--in").ok_or("missing --in FILE")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_tridiag(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return usage();
+    }
+    let cmd = argv.remove(0);
+    let args = Args { raw: argv };
+    let threads = args.usize_or("--threads", std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+
+    match cmd.as_str() {
+        "generate" => {
+            let ty = match MatrixType::from_index(args.usize_or("--type", 4)) {
+                Some(t) => t,
+                None => {
+                    eprintln!("--type must be 1..=15");
+                    return ExitCode::from(2);
+                }
+            };
+            let n = args.usize_or("--n", 1000);
+            let seed = args.usize_or("--seed", 1) as u64;
+            let t = ty.generate(n, seed);
+            match args.value("--out") {
+                Some(path) => {
+                    let f = match std::fs::File::create(path) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            eprintln!("cannot create {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    write_tridiag(std::io::BufWriter::new(f), &t).expect("write failed");
+                    eprintln!("wrote type-{} matrix (n = {n}) to {path}", ty.index());
+                }
+                None => {
+                    write_tridiag(std::io::stdout().lock(), &t).expect("write failed");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "info" => {
+            let t = match load(&args) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let (gl, gu) = t.gershgorin_bounds();
+            let splits = (0..t.n().saturating_sub(1))
+                .filter(|&i| {
+                    t.e[i].abs()
+                        <= f64::EPSILON * (t.d[i].abs() * t.d[i + 1].abs()).sqrt() + f64::MIN_POSITIVE
+                })
+                .count();
+            println!("n               = {}", t.n());
+            println!("max-norm        = {:.6e}", t.max_norm());
+            println!("gershgorin      = [{gl:.6e}, {gu:.6e}]");
+            println!("irreducible blocks = {}", splits + 1);
+            println!("eigenvalues < 0 = {}", dcst_tridiag::sturm_count(&t, 0.0));
+            ExitCode::SUCCESS
+        }
+        "solve" => {
+            let t = match load(&args) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let solver_name = args.value("--solver").unwrap_or("taskflow");
+            let opts = DcOptions { threads, ..DcOptions::default() };
+            let start = Instant::now();
+            let (values, vectors) = match solver_name {
+                "mrrr" => {
+                    let solver = MrrrSolver::new(MrrrOptions { threads, ..Default::default() });
+                    if let Some(spec) = args.value("--subset") {
+                        let (il, iu) = match spec.split_once(':') {
+                            Some((a, b)) => (a.parse().unwrap_or(0), b.parse().unwrap_or(0)),
+                            None => {
+                                eprintln!("--subset wants il:iu");
+                                return ExitCode::from(2);
+                            }
+                        };
+                        solver.solve_range(&t, il, iu).expect("mrrr subset failed")
+                    } else {
+                        solver.solve(&t).expect("mrrr failed")
+                    }
+                }
+                "qr" => dcst_qriter::steqr(&t).expect("qr failed"),
+                name => {
+                    let solver: Box<dyn TridiagEigensolver> = match name {
+                        "taskflow" => Box::new(TaskFlowDc::new(opts)),
+                        "seq" => Box::new(SequentialDc::new(DcOptions { threads: 1, ..opts })),
+                        "forkjoin" => Box::new(ForkJoinDc::new(opts)),
+                        "levelpar" => Box::new(LevelParallelDc::new(opts)),
+                        other => {
+                            eprintln!("unknown solver '{other}'");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    let eig = solver.solve(&t).expect("solve failed");
+                    (eig.values, eig.vectors)
+                }
+            };
+            let secs = start.elapsed().as_secs_f64();
+            eprintln!("{solver_name}: {} eigenpairs in {:.3}s ({threads} threads)", values.len(), secs);
+            if args.flag("--check") && vectors.cols() == values.len() && vectors.cols() == t.n() {
+                let orth = dcst_matrix::orthogonality_error(&vectors);
+                let res = dcst_matrix::residual_error(
+                    t.n(),
+                    |x, y| t.matvec(x, y),
+                    &values,
+                    &vectors,
+                    t.max_norm(),
+                );
+                eprintln!("orthogonality = {orth:.3e}   residual = {res:.3e}");
+            }
+            let mut out = String::with_capacity(values.len() * 24);
+            for v in &values {
+                out.push_str(&format!("{v:.17e}\n"));
+            }
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        "trace" => {
+            let ty = MatrixType::from_index(args.usize_or("--type", 4)).unwrap_or(MatrixType::Type4);
+            let n = args.usize_or("--n", 1000);
+            let t = ty.generate(n, 1);
+            let solver = TaskFlowDc::new(DcOptions { threads, ..DcOptions::default() });
+            let (_, stats, trace) = solver.solve_traced(&t).expect("solve failed");
+            eprintln!(
+                "n = {n}, type {}: makespan {:.1} ms, idle {:.1}%, deflation {:.0}%",
+                ty.index(),
+                trace.makespan_us() as f64 / 1e3,
+                100.0 * trace.idle_fraction(),
+                100.0 * stats.overall_deflation()
+            );
+            if let Some(path) = args.value("--svg") {
+                std::fs::write(path, trace.to_svg(1200, 24)).expect("write svg");
+                eprintln!("svg timeline -> {path}");
+            }
+            if let Some(path) = args.value("--json") {
+                std::fs::write(path, trace.to_json()).expect("write json");
+                eprintln!("json trace   -> {path}");
+            }
+            if args.value("--svg").is_none() && args.value("--json").is_none() {
+                println!("{}", trace.ascii_timeline(100));
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

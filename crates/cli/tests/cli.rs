@@ -1,0 +1,118 @@
+//! End-to-end tests of the `dcst` binary.
+
+use std::process::Command;
+
+fn dcst() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dcst"))
+}
+
+fn tempfile(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dcst-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_info_solve_pipeline() {
+    let path = tempfile("pipeline.txt");
+    let out = dcst()
+        .args(["generate", "--type", "10", "--n", "64", "--out", path.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = dcst().args(["info", "--in", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("n               = 64"), "{text}");
+    assert!(text.contains("max-norm        = 2.0"), "{text}");
+
+    let out = dcst()
+        .args(["solve", "--in", path.to_str().unwrap(), "--check", "--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let values: Vec<f64> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.parse().unwrap())
+        .collect();
+    assert_eq!(values.len(), 64);
+    // (1,2,1) Toeplitz spectrum.
+    for (k, &v) in values.iter().enumerate() {
+        let want = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / 65.0).cos();
+        assert!((v - want).abs() < 1e-12, "{v} vs {want}");
+    }
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("orthogonality"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn solvers_agree_through_the_cli() {
+    let path = tempfile("agree.txt");
+    dcst()
+        .args(["generate", "--type", "6", "--n", "48", "--seed", "3", "--out", path.to_str().unwrap()])
+        .status()
+        .unwrap();
+    let mut all: Vec<Vec<f64>> = Vec::new();
+    for solver in ["taskflow", "seq", "forkjoin", "levelpar", "mrrr", "qr"] {
+        let out = dcst()
+            .args(["solve", "--in", path.to_str().unwrap(), "--solver", solver])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{solver}: {}", String::from_utf8_lossy(&out.stderr));
+        all.push(
+            String::from_utf8_lossy(&out.stdout).lines().map(|l| l.parse().unwrap()).collect(),
+        );
+    }
+    for other in &all[1..] {
+        assert_eq!(other.len(), all[0].len());
+        for (a, b) in all[0].iter().zip(other) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mrrr_subset_through_the_cli() {
+    let path = tempfile("subset.txt");
+    dcst()
+        .args(["generate", "--type", "4", "--n", "60", "--out", path.to_str().unwrap()])
+        .status()
+        .unwrap();
+    let out = dcst()
+        .args(["solve", "--in", path.to_str().unwrap(), "--solver", "mrrr", "--subset", "5:9"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let count = String::from_utf8_lossy(&out.stdout).lines().count();
+    assert!(count >= 5, "at least the requested 5 eigenvalues, got {count}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn trace_writes_svg() {
+    let svg = tempfile("trace.svg");
+    let out = dcst()
+        .args(["trace", "--type", "2", "--n", "128", "--svg", svg.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let body = std::fs::read_to_string(&svg).unwrap();
+    assert!(body.starts_with("<svg"));
+    assert!(body.contains("STEDC"));
+    let _ = std::fs::remove_file(&svg);
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = dcst().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = dcst().args(["solve", "--in", "/nonexistent/file"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let out = dcst().args(["generate", "--type", "99"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = dcst().args(["solve", "--in", "/dev/null"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "empty input rejected");
+}

@@ -1,0 +1,160 @@
+//! Task-flow Divide & Conquer symmetric tridiagonal eigensolver.
+//!
+//! This crate is the paper's contribution: Cuppen's divide & conquer
+//! algorithm expressed as a *sequential task flow* over panel-granular
+//! tasks — `ComputeDeflation → {PermuteV | LAED4 | ComputeLocalW}ₚ →
+//! ReduceW → {CopyBackDeflated | ComputeVect | UpdateVect}ₚ` per merge —
+//! scheduled out of order by the [`dcst_runtime`] QUARK-analogue, so
+//! independent merges of the tree overlap and the quadratic kernels
+//! (secular equation, stabilization) parallelize alongside the cubic ones
+//! (eigenvector update GEMMs).
+//!
+//! Four solver variants share the same numerical kernels:
+//!
+//! * [`TaskFlowDc`] — the paper's solver;
+//! * [`SequentialDc`] — LAPACK `dstedc` shape (one thread, everything
+//!   sequential);
+//! * [`ForkJoinDc`] — "LAPACK + multithreaded BLAS" shape (the Intel MKL
+//!   comparator): sequential control flow, only the update GEMMs threaded;
+//! * [`LevelParallelDc`] — ScaLAPACK `pdstedc` shape: subproblems of one
+//!   tree level in parallel with a barrier between levels.
+//!
+//! ```
+//! use dcst_core::{DcOptions, TaskFlowDc, TridiagEigensolver};
+//! use dcst_tridiag::SymTridiag;
+//!
+//! let t = SymTridiag::toeplitz121(64);
+//! let eig = TaskFlowDc::new(DcOptions::default()).solve(&t).unwrap();
+//! assert_eq!(eig.values.len(), 64);
+//! ```
+
+mod merge;
+mod opcount;
+mod seq;
+mod taskflow;
+mod tree;
+
+pub use merge::MergeStat;
+pub use opcount::{merge_cost_model, solve_cost_model, MergeCosts};
+pub use seq::{ForkJoinDc, LevelParallelDc, SequentialDc};
+pub use taskflow::TaskFlowDc;
+pub use tree::{PartitionTree, TreeNode};
+
+use dcst_matrix::Matrix;
+use dcst_qriter::QrError;
+use dcst_runtime::RuntimeError;
+use dcst_secular::SecularError;
+use dcst_tridiag::SymTridiag;
+
+/// Eigen-decomposition `T = V Λ Vᵀ`: `values` ascending, `vectors` columns
+/// in matching order.
+#[derive(Clone, Debug)]
+pub struct Eigen {
+    pub values: Vec<f64>,
+    pub vectors: Matrix,
+}
+
+/// Tuning options shared by every D&C variant.
+#[derive(Clone, Copy, Debug)]
+pub struct DcOptions {
+    /// Maximum leaf size before the recursion stops (the paper's minimal
+    /// partition size; LAPACK's `smlsiz` is 25, the paper demos 300).
+    pub min_part: usize,
+    /// Panel width `nb`: tasks operate on `nb`-column panels.
+    pub nb: usize,
+    /// Worker threads (task-flow, fork-join GEMMs, level-parallel).
+    pub threads: usize,
+    /// Allocate extra workspace so the second task phase can stage into a
+    /// buffer distinct from the first phase's (the paper's §IV user
+    /// option, exposed for the ablation bench).
+    pub extra_workspace: bool,
+    /// Use the paper's GATHERV qualifier for panel tasks (default). When
+    /// false, panel tasks declare INOUT on the merge's node key instead,
+    /// which serializes them — the fork/join behaviour the paper's runtime
+    /// extension removes. Exposed for the ablation bench.
+    pub use_gatherv: bool,
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        DcOptions {
+            min_part: 32,
+            nb: 64,
+            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            extra_workspace: false,
+            use_gatherv: true,
+        }
+    }
+}
+
+/// Errors from the D&C drivers.
+#[derive(Debug)]
+pub enum DcError {
+    /// Input contained NaN/Inf.
+    NonFinite,
+    /// The QR-iteration leaf solver failed.
+    Leaf(QrError),
+    /// The secular-equation solver failed.
+    Secular(SecularError),
+    /// A task panicked inside the runtime.
+    Task(RuntimeError),
+}
+
+impl std::fmt::Display for DcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DcError::NonFinite => write!(f, "matrix contains NaN or infinite entries"),
+            DcError::Leaf(e) => write!(f, "leaf solver failed: {e}"),
+            DcError::Secular(e) => write!(f, "secular solver failed: {e}"),
+            DcError::Task(e) => write!(f, "task failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DcError {}
+
+impl From<QrError> for DcError {
+    fn from(e: QrError) -> Self {
+        DcError::Leaf(e)
+    }
+}
+
+impl From<SecularError> for DcError {
+    fn from(e: SecularError) -> Self {
+        DcError::Secular(e)
+    }
+}
+
+impl From<RuntimeError> for DcError {
+    fn from(e: RuntimeError) -> Self {
+        DcError::Task(e)
+    }
+}
+
+/// Common interface over every tridiagonal eigensolver in the workspace.
+pub trait TridiagEigensolver {
+    /// Compute the full eigen-decomposition.
+    fn solve(&self, t: &SymTridiag) -> Result<Eigen, DcError>;
+
+    /// Human-readable solver name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Per-solve statistics: one entry per merge node, bottom-up.
+#[derive(Clone, Debug, Default)]
+pub struct DcStats {
+    pub merges: Vec<MergeStat>,
+}
+
+impl DcStats {
+    /// Weighted average deflation ratio across merges (weights = merge
+    /// sizes), the paper's matrix-dependence headline number.
+    pub fn overall_deflation(&self) -> f64 {
+        let tot: usize = self.merges.iter().map(|m| m.n).sum();
+        if tot == 0 {
+            return 0.0;
+        }
+        let defl: usize = self.merges.iter().map(|m| m.n - m.k).sum();
+        defl as f64 / tot as f64
+    }
+}

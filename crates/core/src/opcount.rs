@@ -1,0 +1,99 @@
+//! Operation-count model of the merge phase (the paper's Table I).
+
+use crate::MergeStat;
+
+/// Estimated operation counts for the seven merge steps, in the units of
+/// the paper's Table I (element reads/writes for copies, flops for
+/// compute).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MergeCosts {
+    /// Compute the number of deflated eigenvalues — Θ(n).
+    pub compute_deflation: u64,
+    /// Permute eigenvectors (copy) — Θ(n²).
+    pub permute: u64,
+    /// Solve the secular equation — Θ(k²).
+    pub secular: u64,
+    /// Compute stabilization values — Θ(k²).
+    pub stabilize: u64,
+    /// Permute eigenvectors (copy-back) — Θ(n(n−k)).
+    pub copy_back: u64,
+    /// Compute eigenvectors X of R — Θ(k²).
+    pub compute_vect: u64,
+    /// Compute eigenvectors V = Ṽ·X — Θ(nk²).
+    pub update_vect: u64,
+}
+
+impl MergeCosts {
+    pub fn total(&self) -> u64 {
+        self.compute_deflation
+            + self.permute
+            + self.secular
+            + self.stabilize
+            + self.copy_back
+            + self.compute_vect
+            + self.update_vect
+    }
+}
+
+/// Instantiate Table I for one merge: `n`, `n1` and the measured `k`.
+pub fn merge_cost_model(stat: &MergeStat) -> MergeCosts {
+    let n = stat.n as u64;
+    let k = stat.k as u64;
+    MergeCosts {
+        compute_deflation: n,
+        permute: k * n + (n - k) * n, // every column copied once, ≈ n²
+        secular: k * k,               // ~iterations · k poles per root, Θ(k²)
+        stabilize: k * k,
+        copy_back: n * (n - k),
+        compute_vect: k * k,
+        update_vect: 2 * n * k * k, // two structured GEMMs, ≈ 2nk² flops
+    }
+}
+
+/// Sum the model over a whole solve and report the no-deflation worst case
+/// alongside (the paper's `4n³/3` bound).
+pub fn solve_cost_model(stats: &[MergeStat]) -> (u64, u64) {
+    let measured: u64 = stats.iter().map(|s| merge_cost_model(s).total()).sum();
+    let worst: u64 = stats
+        .iter()
+        .map(|s| merge_cost_model(&MergeStat { n: s.n, n1: s.n1, k: s.n }).total())
+        .sum();
+    (measured, worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_deflation_is_quadratic() {
+        let c = merge_cost_model(&MergeStat { n: 1000, n1: 500, k: 0 });
+        assert_eq!(c.update_vect, 0);
+        assert_eq!(c.secular, 0);
+        assert!(c.total() < 3_000_000, "quadratic when everything deflates: {}", c.total());
+    }
+
+    #[test]
+    fn no_deflation_is_cubic_dominated() {
+        let c = merge_cost_model(&MergeStat { n: 1000, n1: 500, k: 1000 });
+        assert!(c.update_vect as f64 / c.total() as f64 > 0.9, "GEMM dominates");
+        assert_eq!(c.copy_back, 0);
+    }
+
+    #[test]
+    fn model_monotone_in_k() {
+        let lo = merge_cost_model(&MergeStat { n: 512, n1: 256, k: 100 }).total();
+        let hi = merge_cost_model(&MergeStat { n: 512, n1: 256, k: 400 }).total();
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn worst_case_bound() {
+        let stats = vec![
+            MergeStat { n: 256, n1: 128, k: 50 },
+            MergeStat { n: 512, n1: 256, k: 80 },
+        ];
+        let (measured, worst) = solve_cost_model(&stats);
+        assert!(measured <= worst);
+    }
+}

@@ -1,0 +1,394 @@
+//! The three non-task-flow D&C drivers used as comparators:
+//! [`SequentialDc`] (LAPACK `dstedc` shape), [`ForkJoinDc`] (MKL shape:
+//! threaded BLAS under a sequential driver), and [`LevelParallelDc`]
+//! (ScaLAPACK shape: parallel subproblems with level barriers).
+
+use crate::merge::{apply_final_sort, merge_sequential, MergeStat};
+use crate::tree::PartitionTree;
+use crate::{DcError, DcOptions, DcStats, Eigen, TridiagEigensolver};
+use dcst_matrix::Matrix;
+use dcst_qriter::{steqr_mut, ZBlock};
+use dcst_tridiag::SymTridiag;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Everything on the calling thread.
+    Sequential,
+    /// Sequential control flow; only the update GEMMs use threads
+    /// (what LAPACK linked against a threaded BLAS does).
+    ForkJoin,
+    /// Leaves and the merges of each tree level run in parallel, with a
+    /// full barrier between levels; GEMMs also threaded within a merge
+    /// when a level has fewer nodes than threads.
+    LevelParallel,
+}
+
+/// Split `d`, `v`, `ws` into per-node disjoint pieces for the nodes of one
+/// level (sorted by offset): `(off, nm, d_block, v_panel, ws_panel)`.
+#[allow(clippy::type_complexity)]
+fn split_level<'a>(
+    mut d: &'a mut [f64],
+    mut v: &'a mut [f64],
+    mut ws: &'a mut [f64],
+    ld: usize,
+    nodes: &[(usize, usize)],
+) -> Vec<(usize, usize, &'a mut [f64], &'a mut [f64], &'a mut [f64])> {
+    let mut out = Vec::with_capacity(nodes.len());
+    let mut cur = 0usize;
+    for &(off, nm) in nodes {
+        debug_assert!(off >= cur);
+        let skip = off - cur;
+        d = &mut std::mem::take(&mut d)[skip..];
+        v = &mut std::mem::take(&mut v)[skip * ld..];
+        ws = &mut std::mem::take(&mut ws)[skip * ld..];
+        let (dh, dt) = std::mem::take(&mut d).split_at_mut(nm);
+        let (vh, vt) = std::mem::take(&mut v).split_at_mut(nm * ld);
+        let (wh, wt) = std::mem::take(&mut ws).split_at_mut(nm * ld);
+        d = dt;
+        v = vt;
+        ws = wt;
+        out.push((off, nm, dh, vh, wh));
+        cur = off + nm;
+    }
+    out
+}
+
+fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, DcStats), DcError> {
+    let n = t.n();
+    if t.has_non_finite() {
+        return Err(DcError::NonFinite);
+    }
+    if n == 0 {
+        return Ok((Eigen { values: vec![], vectors: Matrix::zeros(0, 0) }, DcStats::default()));
+    }
+
+    // Scale to unit max-norm (the paper's `Scale T` / `Scale back` tasks).
+    let orgnrm = t.max_norm();
+    let scale = if orgnrm > 0.0 { 1.0 / orgnrm } else { 1.0 };
+    let mut d: Vec<f64> = t.d.iter().map(|x| x * scale).collect();
+    let e: Vec<f64> = t.e.iter().map(|x| x * scale).collect();
+
+    let tree = PartitionTree::build(n, opts.min_part);
+
+    // Rank-one tears: subtract |β| from the two diagonal entries at every
+    // cut (dlaed0 style), remembering the signed β per internal node.
+    let mut betas = vec![0.0f64; tree.nodes.len()];
+    for &m in &tree.merges_postorder() {
+        let node = &tree.nodes[m];
+        let c = node.off + node.n1;
+        let beta = e[c - 1];
+        betas[m] = beta;
+        d[c - 1] -= beta.abs();
+        d[c] -= beta.abs();
+    }
+
+    let mut v = vec![0.0f64; n * n];
+    let mut ws = vec![0.0f64; n * n];
+    let mut idxqs: Vec<Option<Vec<usize>>> = vec![None; tree.nodes.len()];
+    let mut stats = DcStats::default();
+
+    // --- leaves.
+    let leaves = tree.leaves();
+    let leaf_geom: Vec<(usize, usize)> = leaves.iter().map(|&l| (tree.nodes[l].off, tree.nodes[l].n)).collect();
+    if mode == Mode::LevelParallel && leaves.len() > 1 {
+        // Round-robin the leaves over `threads` workers.
+        let nt = opts.threads.max(1);
+        let pieces = split_level(&mut d, &mut v, &mut ws, n, &leaf_geom);
+        let mut buckets: Vec<Vec<_>> = (0..nt).map(|_| Vec::new()).collect();
+        for (i, piece) in pieces.into_iter().enumerate() {
+            buckets[i % nt].push(piece);
+        }
+        let errs = std::sync::Mutex::new(Vec::new());
+        let eref = &e;
+        std::thread::scope(|s| {
+            for bucket in buckets {
+                let errs = &errs;
+                s.spawn(move || {
+                    for (off, nm, dh, vh, _wh) in bucket {
+                        let eslice: Vec<f64> = eref[off..off + nm - 1].to_vec();
+                        if let Err(err) = solve_leaf(dh, eslice, vh, n, off, nm) {
+                            errs.lock().unwrap().push(err);
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(err) = errs.into_inner().unwrap().pop() {
+            return Err(err);
+        }
+    } else {
+        for &(off, nm) in &leaf_geom {
+            let eslice: Vec<f64> = e[off..off + nm - 1].to_vec();
+            let (dh, vh) = (&mut d[off..off + nm], &mut v[off * n..(off + nm) * n]);
+            solve_leaf(dh, eslice, vh, n, off, nm)?;
+        }
+    }
+    for &l in &leaves {
+        idxqs[l] = Some((0..tree.nodes[l].n).collect());
+    }
+
+    // --- merges.
+    let gemm_threads = match mode {
+        Mode::Sequential => 1,
+        Mode::ForkJoin | Mode::LevelParallel => opts.threads.max(1),
+    };
+    match mode {
+        Mode::Sequential | Mode::ForkJoin => {
+            for &m in &tree.merges_postorder() {
+                let node = &tree.nodes[m];
+                let (off, nm, n1) = (node.off, node.n, node.n1);
+                let (l, r) = node.children.unwrap();
+                let idxq_l = idxqs[l].take().unwrap();
+                let idxq_r = idxqs[r].take().unwrap();
+                let (idxq, stat) = merge_sequential(
+                    &mut d[off..off + nm],
+                    &mut v[off * n..(off + nm) * n],
+                    &mut ws[off * n..(off + nm) * n],
+                    n,
+                    off,
+                    nm,
+                    n1,
+                    betas[m],
+                    &idxq_l,
+                    &idxq_r,
+                    gemm_threads,
+                )?;
+                idxqs[m] = Some(idxq);
+                stats.merges.push(stat);
+            }
+        }
+        Mode::LevelParallel => {
+            for level in tree.merge_levels() {
+                let geom: Vec<(usize, usize)> =
+                    level.iter().map(|&m| (tree.nodes[m].off, tree.nodes[m].n)).collect();
+                let per_merge_threads = (opts.threads.max(1) / level.len().max(1)).max(1);
+                let results: std::sync::Mutex<Vec<(usize, Vec<usize>, MergeStat)>> =
+                    std::sync::Mutex::new(Vec::new());
+                let errs = std::sync::Mutex::new(Vec::new());
+                {
+                    let pieces = split_level(&mut d, &mut v, &mut ws, n, &geom);
+                    std::thread::scope(|s| {
+                        for ((off, nm, dh, vh, wh), &m) in pieces.into_iter().zip(&level) {
+                            let node = &tree.nodes[m];
+                            let n1 = node.n1;
+                            let (lc, rc) = node.children.unwrap();
+                            let idxq_l = idxqs[lc].take().unwrap();
+                            let idxq_r = idxqs[rc].take().unwrap();
+                            let beta = betas[m];
+                            let results = &results;
+                            let errs = &errs;
+                            s.spawn(move || {
+                                match merge_sequential(
+                                    dh, vh, wh, n, off, nm, n1, beta, &idxq_l, &idxq_r,
+                                    per_merge_threads,
+                                ) {
+                                    Ok((idxq, stat)) => results.lock().unwrap().push((m, idxq, stat)),
+                                    Err(err) => errs.lock().unwrap().push(err),
+                                }
+                            });
+                        }
+                    });
+                }
+                if let Some(err) = errs.into_inner().unwrap().pop() {
+                    return Err(err);
+                }
+                for (m, idxq, stat) in results.into_inner().unwrap() {
+                    idxqs[m] = Some(idxq);
+                    stats.merges.push(stat);
+                }
+            }
+        }
+    }
+
+    // --- final sort + scale back.
+    let idxq_root = idxqs[tree.root].take().unwrap();
+    apply_final_sort(&mut d, &mut v, &mut ws, n, &idxq_root);
+    if scale != 1.0 {
+        for x in &mut d {
+            *x *= orgnrm;
+        }
+    }
+    Ok((Eigen { values: d, vectors: Matrix::from_vec(n, n, v) }, stats))
+}
+
+fn solve_leaf(
+    d: &mut [f64],
+    mut e: Vec<f64>,
+    v_panel: &mut [f64],
+    ld: usize,
+    off: usize,
+    nm: usize,
+) -> Result<(), DcError> {
+    // Identity block, then accumulate rotations into it.
+    for j in 0..nm {
+        v_panel[j * ld + off + j] = 1.0;
+    }
+    let z = ZBlock { buf: &mut v_panel[off..], ld, nrows: nm };
+    steqr_mut(d, &mut e, Some(z))?;
+    Ok(())
+}
+
+macro_rules! driver {
+    ($name:ident, $mode:expr, $label:literal, $doc:literal) => {
+        #[doc = $doc]
+        pub struct $name {
+            opts: DcOptions,
+        }
+
+        impl $name {
+            pub fn new(opts: DcOptions) -> Self {
+                Self { opts }
+            }
+
+            /// Solve and also return per-merge statistics.
+            pub fn solve_with_stats(&self, t: &SymTridiag) -> Result<(Eigen, DcStats), DcError> {
+                solve_common(t, &self.opts, $mode)
+            }
+        }
+
+        impl TridiagEigensolver for $name {
+            fn solve(&self, t: &SymTridiag) -> Result<Eigen, DcError> {
+                solve_common(t, &self.opts, $mode).map(|(e, _)| e)
+            }
+
+            fn name(&self) -> &'static str {
+                $label
+            }
+        }
+    };
+}
+
+driver!(
+    SequentialDc,
+    Mode::Sequential,
+    "dc-sequential",
+    "Pure sequential D&C — the LAPACK `dstedc` shape."
+);
+driver!(
+    ForkJoinDc,
+    Mode::ForkJoin,
+    "dc-forkjoin",
+    "Sequential D&C with multithreaded update GEMMs — the \"LAPACK + threaded MKL BLAS\" comparator of the paper's Figure 6."
+);
+driver!(
+    LevelParallelDc,
+    Mode::LevelParallel,
+    "dc-levelparallel",
+    "Level-parallel D&C with barriers between tree levels — the ScaLAPACK `pdstedc` comparator of the paper's Figure 7."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcst_matrix::{orthogonality_error, residual_error};
+
+    fn check(t: &SymTridiag, eig: &Eigen, tol: f64) {
+        let n = t.n();
+        assert!(eig.values.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        let orth = orthogonality_error(&eig.vectors);
+        assert!(orth < tol, "orthogonality {orth}");
+        let res = residual_error(n, |x, y| t.matvec(x, y), &eig.values, &eig.vectors, t.max_norm());
+        assert!(res < tol, "residual {res}");
+    }
+
+    fn opts(min_part: usize, threads: usize) -> DcOptions {
+        DcOptions { min_part, nb: 16, threads, extra_workspace: false, use_gatherv: true }
+    }
+
+    #[test]
+    fn sequential_solves_toeplitz() {
+        let n = 120;
+        let t = SymTridiag::toeplitz121(n);
+        let eig = SequentialDc::new(opts(16, 1)).solve(&t).unwrap();
+        check(&t, &eig, 1e-13);
+        for (k, &l) in eig.values.iter().enumerate() {
+            let want = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert!((l - want).abs() < 1e-12, "eig {k}: {l} vs {want}");
+        }
+    }
+
+    #[test]
+    fn matches_qr_iteration() {
+        let t = dcst_tridiag::gen::MatrixType::Type6.generate(90, 17);
+        let eig = SequentialDc::new(opts(20, 1)).solve(&t).unwrap();
+        let lam_ref = dcst_qriter::eigenvalues(&t).unwrap();
+        for (a, b) in eig.values.iter().zip(&lam_ref) {
+            assert!((a - b).abs() < 1e-12 * t.max_norm(), "{a} vs {b}");
+        }
+        check(&t, &eig, 1e-13);
+    }
+
+    #[test]
+    fn all_matrix_types_small() {
+        for ty in dcst_tridiag::gen::MatrixType::ALL {
+            let t = ty.generate(70, 5);
+            let eig = SequentialDc::new(opts(12, 1)).solve(&t).unwrap();
+            check(&t, &eig, 1e-12);
+        }
+    }
+
+    #[test]
+    fn forkjoin_matches_sequential() {
+        let t = dcst_tridiag::gen::MatrixType::Type4.generate(100, 9);
+        let a = SequentialDc::new(opts(16, 1)).solve(&t).unwrap();
+        let b = ForkJoinDc::new(opts(16, 2)).solve(&t).unwrap();
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert!((x - y).abs() < 1e-13);
+        }
+        check(&t, &b, 1e-13);
+    }
+
+    #[test]
+    fn levelparallel_matches_sequential() {
+        let t = dcst_tridiag::gen::MatrixType::Type3.generate(100, 9);
+        let a = SequentialDc::new(opts(16, 1)).solve(&t).unwrap();
+        let b = LevelParallelDc::new(opts(16, 2)).solve(&t).unwrap();
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert!((x - y).abs() < 1e-13);
+        }
+        check(&t, &b, 1e-13);
+    }
+
+    #[test]
+    fn deflation_statistics_match_matrix_character() {
+        // Type 2 (massive clustering) must deflate far more than type 4.
+        let t2 = dcst_tridiag::gen::MatrixType::Type2.generate(128, 3);
+        let t4 = dcst_tridiag::gen::MatrixType::Type4.generate(128, 3);
+        let (_, s2) = SequentialDc::new(opts(16, 1)).solve_with_stats(&t2).unwrap();
+        let (_, s4) = SequentialDc::new(opts(16, 1)).solve_with_stats(&t4).unwrap();
+        assert!(
+            s2.overall_deflation() > s4.overall_deflation() + 0.2,
+            "type2 {} vs type4 {}",
+            s2.overall_deflation(),
+            s4.overall_deflation()
+        );
+    }
+
+    #[test]
+    fn single_leaf_problem() {
+        let t = SymTridiag::toeplitz121(10);
+        let eig = SequentialDc::new(opts(32, 1)).solve(&t).unwrap();
+        check(&t, &eig, 1e-13);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let t = SymTridiag::new(vec![1.0, f64::NAN, 0.0], vec![0.1, 0.1]);
+        assert!(matches!(SequentialDc::new(opts(4, 1)).solve(&t), Err(DcError::NonFinite)));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let t = SymTridiag::new(vec![], vec![]);
+        let eig = SequentialDc::new(DcOptions::default()).solve(&t).unwrap();
+        assert!(eig.values.is_empty());
+    }
+
+    #[test]
+    fn scaling_extreme_norm() {
+        let t = SymTridiag::new(vec![1e200, 2e200, -1e200, 5e199], vec![1e199, -2e199, 3e198]);
+        let eig = SequentialDc::new(opts(2, 1)).solve(&t).unwrap();
+        check(&t, &eig, 1e-12);
+    }
+}

@@ -1,0 +1,593 @@
+//! The paper's solver: D&C as a sequential task flow.
+//!
+//! The master thread submits the complete task graph up front — one
+//! `STEDC` task per leaf and, per merge node, the pipeline
+//!
+//! ```text
+//! ComputeDeflation → {PermuteV, LAED4, ComputeLocalW}ₚ → ReduceW
+//!                  → {CopyBackDeflated, ComputeVect, UpdateVect}ₚ
+//! ```
+//!
+//! with `p` ranging over `⌈n_m / nb⌉` panels. Panel tasks carry a GATHERV
+//! access on the merge's node key (commuting writers), the join tasks an
+//! INOUT access, and a parent's `ComputeDeflation` reads both child node
+//! keys — every task has a *constant* number of declared dependencies,
+//! the property the paper added GATHERV to QUARK for. Since the deflation
+//! count `k` is only known at run time, every panel task is submitted
+//! regardless and computes its actual (possibly empty) work range from the
+//! shared deflation state — the paper's "matrix-independent DAG".
+//!
+//! Data is shared through [`SharedData`] buffers; each closure borrows
+//! only the disjoint range its declared access covers (see
+//! `dcst_runtime::share` for the aliasing contract).
+
+use crate::merge::{
+    apply_givens, build_z, compute_vect_panel, copy_back_panel, finalize_d, local_w_panel,
+    permute_slots, solve_roots_panel, update_vect_panel, MergeStat,
+};
+use crate::tree::PartitionTree;
+use crate::{DcError, DcOptions, DcStats, Eigen, TridiagEigensolver};
+use dcst_matrix::Matrix;
+use dcst_qriter::{steqr_mut, ZBlock};
+use dcst_runtime::{DagRecorder, DataKey, Runtime, SharedData, TaskBuilder, Trace};
+use dcst_secular::Deflation;
+use dcst_tridiag::SymTridiag;
+use std::sync::{Arc, Mutex};
+
+const OBJ_NODE: u64 = 1;
+const OBJ_X: u64 = 2;
+const OBJ_SCALE: u64 = 3;
+
+/// Start a panel task: GATHERV on the node key (the paper's commuting
+/// qualifier) normally, or a serializing INOUT in the ablation mode
+/// without the runtime extension.
+fn panel_task<'rt>(
+    rt: &'rt Runtime,
+    name: &'static str,
+    node: DataKey,
+    use_gatherv: bool,
+) -> TaskBuilder<'rt> {
+    if use_gatherv {
+        rt.task(name).gatherv(node)
+    } else {
+        rt.task(name).read_write(node)
+    }
+}
+
+/// Per-node state shared between the node's tasks. Interior mutability is
+/// safe because the runtime orders writers before readers (node-key
+/// epochs).
+#[derive(Default)]
+struct NodeCell {
+    defl: Mutex<Option<Arc<Deflation>>>,
+    zhat: Mutex<Option<Arc<Vec<f64>>>>,
+    idxq: Mutex<Option<Arc<Vec<usize>>>>,
+    partials: Mutex<Vec<Option<Vec<f64>>>>,
+    stat: Mutex<Option<MergeStat>>,
+}
+
+impl NodeCell {
+    fn defl(&self) -> Arc<Deflation> {
+        self.defl.lock().unwrap().clone().expect("deflation state not yet computed")
+    }
+    fn zhat(&self) -> Arc<Vec<f64>> {
+        self.zhat.lock().unwrap().clone().expect("zhat not yet computed")
+    }
+    fn idxq(&self) -> Arc<Vec<usize>> {
+        self.idxq.lock().unwrap().clone().expect("idxq not yet computed")
+    }
+}
+
+/// The task-flow Divide & Conquer eigensolver (the paper's contribution).
+pub struct TaskFlowDc {
+    opts: DcOptions,
+}
+
+impl TaskFlowDc {
+    pub fn new(opts: DcOptions) -> Self {
+        TaskFlowDc { opts }
+    }
+
+    /// Solve and return per-merge statistics.
+    pub fn solve_with_stats(&self, t: &SymTridiag) -> Result<(Eigen, DcStats), DcError> {
+        let rt = Runtime::new(self.opts.threads);
+        self.solve_inner(t, &rt)
+    }
+
+    /// Solve while recording an execution trace (Figures 3 and 4).
+    pub fn solve_traced(&self, t: &SymTridiag) -> Result<(Eigen, DcStats, Trace), DcError> {
+        let rt = Runtime::new(self.opts.threads);
+        rt.enable_tracing();
+        let (eig, stats) = self.solve_inner(t, &rt)?;
+        Ok((eig, stats, rt.take_trace()))
+    }
+
+    /// Solve while recording the task DAG (Figure 2).
+    pub fn solve_with_dag(&self, t: &SymTridiag) -> Result<(Eigen, DagRecorder), DcError> {
+        let rt = Runtime::new(self.opts.threads);
+        rt.enable_dag_recording();
+        let (eig, _) = self.solve_inner(t, &rt)?;
+        Ok((eig, rt.take_dag().expect("dag recording was enabled")))
+    }
+
+    fn solve_inner(&self, t: &SymTridiag, rt: &Runtime) -> Result<(Eigen, DcStats), DcError> {
+        let n = t.n();
+        if t.has_non_finite() {
+            return Err(DcError::NonFinite);
+        }
+        if n == 0 {
+            return Ok((Eigen { values: vec![], vectors: Matrix::zeros(0, 0) }, DcStats::default()));
+        }
+        let nb = self.opts.nb.max(1);
+        let orgnrm = t.max_norm();
+        let scale = if orgnrm > 0.0 { 1.0 / orgnrm } else { 1.0 };
+
+        let tree = Arc::new(PartitionTree::build(n, self.opts.min_part));
+        // Signed β per internal node, computed from the unscaled input.
+        let mut betas = vec![0.0f64; tree.nodes.len()];
+        for &m in &tree.merges_postorder() {
+            let node = &tree.nodes[m];
+            betas[m] = t.e[node.off + node.n1 - 1] * scale;
+        }
+        let cuts: Vec<usize> = tree.cuts();
+
+        let d = SharedData::new(t.d.clone());
+        let e = SharedData::new(t.e.clone());
+        let v = SharedData::new(vec![0.0f64; n * n]);
+        let ws = SharedData::new(vec![0.0f64; n * n]);
+        let x = SharedData::new(vec![0.0f64; n * n]);
+        let lam = SharedData::new(vec![0.0f64; n]);
+        let cells: Arc<Vec<NodeCell>> =
+            Arc::new((0..tree.nodes.len()).map(|_| NodeCell::default()).collect());
+
+        let key_node = |id: usize| DataKey::new(OBJ_NODE, id as u64);
+        let use_gatherv = self.opts.use_gatherv;
+        let key_x = |col: usize| DataKey::new(OBJ_X, col as u64);
+        let key_scale = DataKey::new(OBJ_SCALE, 0);
+
+        // ---- Scale T: bring the matrix to unit max-norm and apply the
+        // rank-one tears at every cut.
+        {
+            let (d, e) = (d.clone(), e.clone());
+            let cuts = cuts.clone();
+            rt.task("Scale").write(key_scale).spawn(move || {
+                // SAFETY: first task to touch d/e; leaves wait on the key.
+                let ds = unsafe { d.slice_mut() };
+                let es = unsafe { e.slice_mut() };
+                if scale != 1.0 {
+                    ds.iter_mut().for_each(|v| *v *= scale);
+                    es.iter_mut().for_each(|v| *v *= scale);
+                }
+                for &c in &cuts {
+                    let b = es[c - 1].abs();
+                    ds[c - 1] -= b;
+                    ds[c] -= b;
+                }
+            });
+        }
+
+        // ---- leaves: STEDC (QR iteration) into the diagonal block of V.
+        for &l in &tree.leaves() {
+            let node = &tree.nodes[l];
+            let (off, nm) = (node.off, node.n);
+            let (d, e, v) = (d.clone(), e.clone(), v.clone());
+            let cells = cells.clone();
+            rt.task("STEDC").read(key_scale).write(key_node(l)).spawn(move || {
+                // SAFETY: exclusive block ranges per leaf; ordered after
+                // Scale by the key and before the parent merge by N(l).
+                let db = unsafe { d.range_mut(off..off + nm) };
+                let eb = unsafe { e.range_mut(off..off + nm - 1) };
+                let ld = d.len();
+                let vcols = unsafe { v.range_mut(off * ld..(off + nm) * ld) };
+                for j in 0..nm {
+                    vcols[j * ld + off + j] = 1.0;
+                }
+                let z = ZBlock { buf: &mut vcols[off..], ld, nrows: nm };
+                steqr_mut(db, eb, Some(z)).unwrap_or_else(|err| panic!("leaf solver failed: {err}"));
+                *cells[l].idxq.lock().unwrap() = Some(Arc::new((0..nm).collect()));
+            });
+        }
+
+        // ---- merges, bottom-up.
+        for &m in &tree.merges_postorder() {
+            let node = &tree.nodes[m];
+            let (off, nm, n1) = (node.off, node.n, node.n1);
+            let (lc, rc) = node.children.unwrap();
+            let beta = betas[m];
+            let npanels = nm.div_ceil(nb);
+            let block_end = move |cols: usize| (off + cols - 1) * n + off + nm;
+
+            // ComputeDeflation: the only task reading the children's state.
+            {
+                let (d, v) = (d.clone(), v.clone());
+                let cells = cells.clone();
+                rt.task("ComputeDeflation")
+                    .read(key_node(lc))
+                    .read(key_node(rc))
+                    .read_write(key_node(m))
+                    .spawn(move || {
+                        // SAFETY: epoch-exclusive access to the block.
+                        let db = unsafe { d.range_mut(off..off + nm) };
+                        let vb = unsafe { v.range_mut(off * n + off..block_end(nm)) };
+                        let z = build_z(vb, n, nm, n1);
+                        let idxq_l = cells[lc].idxq();
+                        let idxq_r = cells[rc].idxq();
+                        let mut idxq: Vec<usize> = idxq_l.to_vec();
+                        idxq.extend(idxq_r.iter().map(|&r| r + n1));
+                        let defl = dcst_secular::deflate(&dcst_secular::DeflationInput {
+                            d: db,
+                            z: &z,
+                            beta,
+                            n1,
+                            idxq: &idxq,
+                        });
+                        apply_givens(vb, n, nm, &defl.givens);
+                        *cells[m].partials.lock().unwrap() = vec![None; npanels];
+                        *cells[m].defl.lock().unwrap() = Some(Arc::new(defl));
+                    });
+            }
+
+            // Phase 1 panels.
+            for p in 0..npanels {
+                let s0 = p * nb;
+                let s1 = ((p + 1) * nb).min(nm);
+                // PermuteV
+                {
+                    let (v, ws) = (v.clone(), ws.clone());
+                    let cells = cells.clone();
+                    let mut task = panel_task(rt, "PermuteV", key_node(m), use_gatherv);
+                    if !self.opts.extra_workspace {
+                        // Without extra workspace the paper serializes the
+                        // permute with the panel's LAED4 (shared staging).
+                        task = task.write(key_x(off + s0));
+                    }
+                    task.spawn(move || {
+                        let defl = cells[m].defl();
+                        // SAFETY: reads the whole block (shared, no writer
+                        // in this phase), writes only columns s0..s1 of ws.
+                        let vb = unsafe { v.range(off * n + off..block_end(nm)) };
+                        let wcols =
+                            unsafe { ws.range_mut((off + s0) * n + off..(off + s1 - 1) * n + off + nm) };
+                        permute_slots(vb, wcols, n, nm, n1, &defl, s0..s1);
+                    });
+                }
+                // LAED4
+                {
+                    let (x, lam) = (x.clone(), lam.clone());
+                    let cells = cells.clone();
+                    panel_task(rt, "LAED4", key_node(m), use_gatherv).write(key_x(off + s0)).spawn(move || {
+                        let defl = cells[m].defl();
+                        let k = defl.k;
+                        let j0 = s0.min(k);
+                        let j1 = s1.min(k);
+                        if j0 >= j1 {
+                            return;
+                        }
+                        // SAFETY: exclusive column range of X and of lam.
+                        let xc =
+                            unsafe { x.range_mut((off + j0) * n + off..(off + j1 - 1) * n + off + k) };
+                        let lo = unsafe { lam.range_mut(off + j0..off + j1) };
+                        solve_roots_panel(&defl, xc, n, j0..j1, lo)
+                            .unwrap_or_else(|err| panic!("secular solver failed: {err}"));
+                    });
+                }
+                // ComputeLocalW
+                {
+                    let x = x.clone();
+                    let cells = cells.clone();
+                    panel_task(rt, "ComputeLocalW", key_node(m), use_gatherv).read(key_x(off + s0)).spawn(
+                        move || {
+                            let defl = cells[m].defl();
+                            let k = defl.k;
+                            let j0 = s0.min(k);
+                            let j1 = s1.min(k);
+                            if j0 >= j1 {
+                                return;
+                            }
+                            // SAFETY: shared read of this panel's X columns.
+                            let xc =
+                                unsafe { x.range((off + j0) * n + off..(off + j1 - 1) * n + off + k) };
+                            let part = local_w_panel(&defl, xc, n, j0..j1);
+                            cells[m].partials.lock().unwrap()[p] = Some(part);
+                        },
+                    );
+                }
+            }
+
+            // ReduceW: join, build ẑ, finalize the block diagonal.
+            {
+                let (d, lam) = (d.clone(), lam.clone());
+                let cells = cells.clone();
+                rt.task("ReduceW").read_write(key_node(m)).spawn(move || {
+                    let defl = cells[m].defl();
+                    let k = defl.k;
+                    if k > 0 {
+                        let parts: Vec<Vec<f64>> = cells[m]
+                            .partials
+                            .lock()
+                            .unwrap()
+                            .iter_mut()
+                            .filter_map(|p| p.take())
+                            .collect();
+                        let zhat = dcst_secular::reduce_w(&defl.w, &parts);
+                        *cells[m].zhat.lock().unwrap() = Some(Arc::new(zhat));
+                    }
+                    // SAFETY: epoch-exclusive d block; lam is read-only now.
+                    let db = unsafe { d.range_mut(off..off + nm) };
+                    let ls = unsafe { lam.range(off..off + k) };
+                    let idxq = finalize_d(&defl, ls, db);
+                    *cells[m].idxq.lock().unwrap() = Some(Arc::new(idxq));
+                    *cells[m].stat.lock().unwrap() = Some(MergeStat { n: nm, n1, k });
+                });
+            }
+
+            // Phase 2 panels.
+            for p in 0..npanels {
+                let s0 = p * nb;
+                let s1 = ((p + 1) * nb).min(nm);
+                // CopyBackDeflated
+                {
+                    let (v, ws) = (v.clone(), ws.clone());
+                    let cells = cells.clone();
+                    let mut task = panel_task(rt, "CopyBackDeflated", key_node(m), use_gatherv);
+                    if !self.opts.extra_workspace {
+                        task = task.write(key_x(off + s0));
+                    }
+                    task.spawn(move || {
+                        let defl = cells[m].defl();
+                        let k = defl.k;
+                        let c0 = s0.max(k);
+                        let c1 = s1.max(k);
+                        if c0 >= c1 {
+                            return;
+                        }
+                        // SAFETY: disjoint deflated column ranges.
+                        let wc = unsafe { ws.range((off + c0) * n + off..(off + c1 - 1) * n + off + nm) };
+                        let vc =
+                            unsafe { v.range_mut((off + c0) * n + off..(off + c1 - 1) * n + off + nm) };
+                        copy_back_panel(wc, vc, n, nm, c1 - c0);
+                    });
+                }
+                // ComputeVect
+                {
+                    let x = x.clone();
+                    let cells = cells.clone();
+                    panel_task(rt, "ComputeVect", key_node(m), use_gatherv).read_write(key_x(off + s0)).spawn(
+                        move || {
+                            let defl = cells[m].defl();
+                            let k = defl.k;
+                            let j0 = s0.min(k);
+                            let j1 = s1.min(k);
+                            if j0 >= j1 {
+                                return;
+                            }
+                            let zhat = cells[m].zhat();
+                            // SAFETY: exclusive column range of X.
+                            let xc = unsafe {
+                                x.range_mut((off + j0) * n + off..(off + j1 - 1) * n + off + k)
+                            };
+                            compute_vect_panel(&defl, &zhat, xc, n, j0..j1);
+                        },
+                    );
+                }
+                // UpdateVect (both structured GEMMs for this panel).
+                {
+                    let (v, ws, x) = (v.clone(), ws.clone(), x.clone());
+                    let cells = cells.clone();
+                    panel_task(rt, "UpdateVect", key_node(m), use_gatherv).read(key_x(off + s0)).spawn(move || {
+                        let defl = cells[m].defl();
+                        let k = defl.k;
+                        let j0 = s0.min(k);
+                        let j1 = s1.min(k);
+                        if j0 >= j1 {
+                            return;
+                        }
+                        // SAFETY: ws block is read-shared in this phase; V
+                        // columns j0..j1 (full height) are exclusive.
+                        let wb = unsafe { ws.range(off * n + off..block_end(k)) };
+                        let xc = unsafe { x.range((off + j0) * n + off..(off + j1 - 1) * n + off + k) };
+                        let vc = unsafe { v.range_mut((off + j0) * n..(off + j1) * n) };
+                        update_vect_panel(wb, xc, n, vc, n, off, nm, n1, &defl, j0..j1, 1);
+                    });
+                }
+            }
+        }
+
+        // ---- final sort + scale back on the root.
+        let root = tree.root;
+        let nroot_panels = n.div_ceil(nb);
+        if !tree.nodes[root].is_leaf() {
+            {
+                let d = d.clone();
+                let cells = cells.clone();
+                rt.task("SortEigenvalues").read_write(key_node(root)).spawn(move || {
+                    let idxq = cells[root].idxq();
+                    // SAFETY: epoch-exclusive d.
+                    let ds = unsafe { d.slice_mut() };
+                    let tmp: Vec<f64> = idxq.iter().map(|&s| ds[s]).collect();
+                    ds.copy_from_slice(&tmp);
+                });
+            }
+            for p in 0..nroot_panels {
+                let r0 = p * nb;
+                let r1 = ((p + 1) * nb).min(n);
+                let (v, ws) = (v.clone(), ws.clone());
+                let cells = cells.clone();
+                panel_task(rt, "SortCopy", key_node(root), use_gatherv).spawn(move || {
+                    let idxq = cells[root].idxq();
+                    // SAFETY: v fully read-shared; ws target columns
+                    // exclusive per panel.
+                    let vs = unsafe { v.slice() };
+                    let wt = unsafe { ws.range_mut(r0 * n..r1 * n) };
+                    for (t, &src) in idxq[r0..r1].iter().enumerate() {
+                        wt[t * n..(t + 1) * n].copy_from_slice(&vs[src * n..(src + 1) * n]);
+                    }
+                });
+            }
+            rt.task("SortBarrier").read_write(key_node(root)).spawn(|| {});
+            for p in 0..nroot_panels {
+                let r0 = p * nb;
+                let r1 = ((p + 1) * nb).min(n);
+                let (v, ws) = (v.clone(), ws.clone());
+                panel_task(rt, "SortCopyBack", key_node(root), use_gatherv).spawn(move || {
+                    // SAFETY: ws read-shared, v target columns exclusive.
+                    let wsrc = unsafe { ws.range(r0 * n..r1 * n) };
+                    let vt = unsafe { v.range_mut(r0 * n..r1 * n) };
+                    vt.copy_from_slice(wsrc);
+                });
+            }
+        }
+        {
+            let d = d.clone();
+            rt.task("ScaleBack").read_write(key_node(root)).spawn(move || {
+                if scale != 1.0 {
+                    // SAFETY: epoch-exclusive d.
+                    let ds = unsafe { d.slice_mut() };
+                    ds.iter_mut().for_each(|x| *x *= orgnrm);
+                }
+            });
+        }
+
+        rt.wait()?;
+
+        // Collect results.
+        let values = d.try_unwrap().unwrap_or_else(|_| panic!("d buffer still shared after wait"));
+        drop(ws);
+        drop(x);
+        let vectors = v.try_unwrap().unwrap_or_else(|_| panic!("v buffer still shared after wait"));
+        let mut stats = DcStats::default();
+        for &m in &tree.merges_postorder() {
+            if let Some(stat) = cells[m].stat.lock().unwrap().take() {
+                stats.merges.push(stat);
+            }
+        }
+        Ok((Eigen { values, vectors: Matrix::from_vec(n, n, vectors) }, stats))
+    }
+}
+
+impl TridiagEigensolver for TaskFlowDc {
+    fn solve(&self, t: &SymTridiag) -> Result<Eigen, DcError> {
+        self.solve_with_stats(t).map(|(e, _)| e)
+    }
+
+    fn name(&self) -> &'static str {
+        "dc-taskflow"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcst_matrix::{orthogonality_error, residual_error};
+    use dcst_tridiag::gen::MatrixType;
+
+    fn opts(min_part: usize, nb: usize, threads: usize) -> DcOptions {
+        DcOptions { min_part, nb, threads, extra_workspace: true, use_gatherv: true }
+    }
+
+    fn check(t: &SymTridiag, eig: &Eigen, tol: f64) {
+        assert!(eig.values.windows(2).all(|w| w[0] <= w[1]), "values sorted");
+        let orth = orthogonality_error(&eig.vectors);
+        assert!(orth < tol, "orthogonality {orth}");
+        let res =
+            residual_error(t.n(), |x, y| t.matvec(x, y), &eig.values, &eig.vectors, t.max_norm());
+        assert!(res < tol, "residual {res}");
+    }
+
+    #[test]
+    fn matches_sequential_driver() {
+        let t = MatrixType::Type6.generate(100, 21);
+        let seq = crate::SequentialDc::new(opts(16, 8, 1)).solve(&t).unwrap();
+        let tf = TaskFlowDc::new(opts(16, 8, 2)).solve(&t).unwrap();
+        for (a, b) in seq.values.iter().zip(&tf.values) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        check(&t, &tf, 1e-13);
+    }
+
+    #[test]
+    fn all_types_through_taskflow() {
+        for ty in MatrixType::ALL {
+            let t = ty.generate(72, 7);
+            let eig = TaskFlowDc::new(opts(12, 10, 2)).solve(&t).unwrap();
+            check(&t, &eig, 1e-12);
+        }
+    }
+
+    #[test]
+    fn panel_width_does_not_change_results() {
+        let t = MatrixType::Type4.generate(80, 3);
+        let a = TaskFlowDc::new(opts(16, 4, 2)).solve(&t).unwrap();
+        let b = TaskFlowDc::new(opts(16, 80, 2)).solve(&t).unwrap();
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_leaf_matrix() {
+        let t = SymTridiag::toeplitz121(20);
+        let eig = TaskFlowDc::new(opts(32, 8, 2)).solve(&t).unwrap();
+        check(&t, &eig, 1e-13);
+    }
+
+    #[test]
+    fn trace_contains_expected_kernels() {
+        let t = MatrixType::Type4.generate(96, 5);
+        let (eig, _stats, trace) = TaskFlowDc::new(opts(16, 8, 2)).solve_traced(&t).unwrap();
+        check(&t, &eig, 1e-12);
+        let names: std::collections::HashSet<&str> =
+            trace.records.iter().map(|r| r.name).collect();
+        for expect in
+            ["Scale", "STEDC", "ComputeDeflation", "PermuteV", "LAED4", "ComputeLocalW", "ReduceW", "CopyBackDeflated", "ComputeVect", "UpdateVect", "ScaleBack"]
+        {
+            assert!(names.contains(expect), "missing kernel {expect}");
+        }
+    }
+
+    #[test]
+    fn dag_is_matrix_independent() {
+        // Same size, very different deflation behaviour → identical DAG.
+        let t2 = MatrixType::Type2.generate(64, 3);
+        let t4 = MatrixType::Type4.generate(64, 3);
+        let solver = TaskFlowDc::new(opts(16, 8, 2));
+        let (_, dag2) = solver.solve_with_dag(&t2).unwrap();
+        let (_, dag4) = solver.solve_with_dag(&t4).unwrap();
+        assert_eq!(dag2.num_nodes(), dag4.num_nodes());
+        assert_eq!(dag2.num_edges(), dag4.num_edges());
+    }
+
+    #[test]
+    fn gatherv_off_matches_gatherv_on() {
+        // The ablation mode (serializing panel tasks) must be numerically
+        // identical — only slower.
+        let t = MatrixType::Type3.generate(80, 13);
+        let mut o = opts(16, 8, 2);
+        let a = TaskFlowDc::new(o).solve(&t).unwrap();
+        o.use_gatherv = false;
+        let b = TaskFlowDc::new(o).solve(&t).unwrap();
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        check(&t, &b, 1e-12);
+    }
+
+    #[test]
+    fn stats_report_deflation() {
+        let t = MatrixType::Type2.generate(128, 3);
+        let (_, stats) = TaskFlowDc::new(opts(16, 16, 2)).solve_with_stats(&t).unwrap();
+        assert!(stats.overall_deflation() > 0.8, "type 2 deflates heavily: {}", stats.overall_deflation());
+    }
+
+    #[test]
+    fn extra_workspace_toggle_is_equivalent() {
+        let t = MatrixType::Type3.generate(90, 11);
+        let mut o = opts(16, 8, 2);
+        let a = TaskFlowDc::new(o).solve(&t).unwrap();
+        o.extra_workspace = false;
+        let b = TaskFlowDc::new(o).solve(&t).unwrap();
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

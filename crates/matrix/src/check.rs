@@ -1,0 +1,103 @@
+//! Accuracy metrics used by the paper's Figure 9: eigenvector orthogonality
+//! and eigen-decomposition residual.
+
+use crate::blas::{axpy, dot, nrm2};
+use crate::matrix::Matrix;
+
+/// Orthogonality error `max |(VᵀV − I)_{ij}| / n` (Figure 9a's metric).
+///
+/// Computed column-pair-wise with dot products, which is cache-friendly in
+/// column-major storage. O(n²·m) — intended for verification, not hot paths.
+pub fn orthogonality_error(v: &Matrix) -> f64 {
+    let n = v.cols();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut worst = 0.0f64;
+    for j in 0..n {
+        let cj = v.col(j);
+        for i in 0..=j {
+            let g = dot(v.col(i), cj) - if i == j { 1.0 } else { 0.0 };
+            worst = worst.max(g.abs());
+        }
+    }
+    worst / n as f64
+}
+
+/// Residual error `max_i ||A v_i − λ_i v_i||₂ / (||A|| · n)` for a linear
+/// operator given as a matvec closure (Figure 9b's metric).
+///
+/// `matvec(x, y)` must compute `y = A x`; `norm_a` is any consistent norm of
+/// A (the callers use the max-norm of the tridiagonal).
+pub fn residual_error(
+    n: usize,
+    matvec: impl Fn(&[f64], &mut [f64]),
+    lam: &[f64],
+    v: &Matrix,
+    norm_a: f64,
+) -> f64 {
+    assert_eq!(v.rows(), n);
+    assert_eq!(v.cols(), lam.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let denom = norm_a.max(f64::MIN_POSITIVE) * n as f64;
+    let mut y = vec![0.0; n];
+    let mut worst = 0.0f64;
+    for (j, &l) in lam.iter().enumerate() {
+        let vj = v.col(j);
+        matvec(vj, &mut y);
+        axpy(-l, vj, &mut y);
+        worst = worst.max(nrm2(&y));
+    }
+    worst / denom
+}
+
+/// Residual error for a dense symmetric matrix `A`: the same metric as
+/// [`residual_error`] with `matvec = A·x` and `norm_a = max|A_ij|`.
+pub fn symmetric_residual_error(a: &Matrix, lam: &[f64], v: &Matrix) -> f64 {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    residual_error(
+        n,
+        |x, y| crate::blas::gemv(n, n, 1.0, a.as_slice(), n, x, 0.0, y),
+        lam,
+        v,
+        a.max_abs(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_perfectly_orthogonal() {
+        assert_eq!(orthogonality_error(&Matrix::identity(5)), 0.0);
+    }
+
+    #[test]
+    fn skewed_basis_reports_error() {
+        let mut v = Matrix::identity(3);
+        v[(0, 1)] = 0.3; // column 1 no longer orthogonal to column 0
+        let e = orthogonality_error(&v);
+        assert!(e > 0.09 / 3.0, "{e}");
+    }
+
+    #[test]
+    fn exact_eigenpairs_have_zero_residual() {
+        // A = diag(1, 2, 3), V = I.
+        let a = Matrix::from_fn(3, 3, |i, j| if i == j { (i + 1) as f64 } else { 0.0 });
+        let v = Matrix::identity(3);
+        let r = symmetric_residual_error(&a, &[1.0, 2.0, 3.0], &v);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn wrong_eigenvalue_has_nonzero_residual() {
+        let a = Matrix::from_fn(2, 2, |i, j| if i == j { 1.0 } else { 0.0 });
+        let v = Matrix::identity(2);
+        let r = symmetric_residual_error(&a, &[1.0, 1.5], &v);
+        assert!(r > 0.1, "{r}");
+    }
+}

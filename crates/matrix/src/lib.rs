@@ -1,0 +1,18 @@
+//! Dense column-major linear-algebra kernels built from scratch.
+//!
+//! This crate is the BLAS-like substrate of the workspace: a column-major
+//! [`Matrix`] container plus free functions operating on `(slice, leading
+//! dimension)` pairs in the LAPACK style, so sub-matrices can be addressed
+//! without a dedicated view type. Everything is pure safe Rust; the parallel
+//! GEMM uses scoped threads over disjoint column panels.
+
+mod blas;
+mod check;
+mod matrix;
+mod merge;
+pub mod util;
+
+pub use blas::{axpy, dot, gemm, gemm_par, gemv, nrm2, scal};
+pub use check::{orthogonality_error, residual_error, symmetric_residual_error};
+pub use matrix::Matrix;
+pub use merge::merge_perm;

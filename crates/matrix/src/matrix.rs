@@ -1,0 +1,201 @@
+//! Column-major dense matrix container.
+
+use std::fmt;
+
+/// A dense, column-major, `f64` matrix.
+///
+/// Storage is a single contiguous buffer of length `rows * cols`; element
+/// `(i, j)` lives at `data[i + j * rows]`, matching LAPACK layout so panels
+/// of columns are contiguous slices.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// An `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Adopt a column-major buffer. Panics if the length is not `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Matrix { data, rows, cols }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension of the storage (equal to `rows`).
+    pub fn ld(&self) -> usize {
+        self.rows
+    }
+
+    /// Column `j` as a contiguous slice.
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Column `j` as a mutable contiguous slice.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// The raw column-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The raw column-major buffer, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the raw buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Columns `j0..j1` as one contiguous slice (a column panel).
+    pub fn panel(&self, j0: usize, j1: usize) -> &[f64] {
+        &self.data[j0 * self.rows..j1 * self.rows]
+    }
+
+    /// Columns `j0..j1` as one contiguous mutable slice.
+    pub fn panel_mut(&mut self, j0: usize, j1: usize) -> &mut [f64] {
+        &mut self.data[j0 * self.rows..j1 * self.rows]
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        crate::blas::nrm2(&self.data)
+    }
+
+    /// True if any entry is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let rmax = self.rows.min(8);
+        let cmax = self.cols.min(8);
+        for i in 0..rmax {
+            write!(f, "  ")?;
+            for j in 0..cmax {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if cmax < self.cols { "..." } else { "" })?;
+        }
+        if rmax < self.rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_unit_diagonal() {
+        let m = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn column_major_layout() {
+        let m = Matrix::from_fn(3, 2, |i, j| (i + 10 * j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m.col(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn panel_spans_columns() {
+        let m = Matrix::from_fn(2, 4, |i, j| (i + 10 * j) as f64);
+        assert_eq!(m.panel(1, 3), &[10.0, 11.0, 20.0, 21.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 7 + j) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn max_abs_and_fro() {
+        let m = Matrix::from_vec(2, 2, vec![3.0, -4.0, 0.0, 0.0]);
+        assert_eq!(m.max_abs(), 4.0);
+        assert!((m.fro_norm() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(!m.has_non_finite());
+        m[(1, 0)] = f64::NAN;
+        assert!(m.has_non_finite());
+    }
+}

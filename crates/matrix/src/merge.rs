@@ -1,0 +1,66 @@
+//! Merge permutation for two sorted runs (LAPACK `dlamrg` analogue).
+
+/// Given `d` whose first `n1` entries are ascending and whose remaining
+/// entries are ascending, return the permutation `perm` such that
+/// `d[perm[0]] <= d[perm[1]] <= ...` — i.e. `perm[i]` is the index in `d`
+/// of the `i`-th smallest value. The merge is stable: on ties the entry
+/// from the first run comes first.
+pub fn merge_perm(d: &[f64], n1: usize) -> Vec<usize> {
+    let n = d.len();
+    assert!(n1 <= n, "first run longer than the array");
+    let mut perm = Vec::with_capacity(n);
+    let (mut i, mut j) = (0, n1);
+    while i < n1 && j < n {
+        if d[i] <= d[j] {
+            perm.push(i);
+            i += 1;
+        } else {
+            perm.push(j);
+            j += 1;
+        }
+    }
+    perm.extend(i..n1);
+    perm.extend(j..n);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_sorted_by_perm(d: &[f64], perm: &[usize]) -> bool {
+        perm.windows(2).all(|w| d[w[0]] <= d[w[1]])
+    }
+
+    #[test]
+    fn merges_two_runs() {
+        let d = [1.0, 3.0, 5.0, 2.0, 4.0, 6.0];
+        let p = merge_perm(&d, 3);
+        assert_eq!(p, vec![0, 3, 1, 4, 2, 5]);
+        assert!(is_sorted_by_perm(&d, &p));
+    }
+
+    #[test]
+    fn handles_empty_runs() {
+        let d = [1.0, 2.0];
+        assert_eq!(merge_perm(&d, 0), vec![0, 1]);
+        assert_eq!(merge_perm(&d, 2), vec![0, 1]);
+        assert_eq!(merge_perm(&[], 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn stable_on_ties() {
+        let d = [1.0, 2.0, 1.0, 2.0];
+        let p = merge_perm(&d, 2);
+        assert_eq!(p, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn is_a_bijection() {
+        let d = [5.0, 7.0, 0.5, 0.6, 0.7];
+        let mut p = merge_perm(&d, 2);
+        assert!(is_sorted_by_perm(&d, &p));
+        p.sort_unstable();
+        assert_eq!(p, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Small numerical utilities shared across the workspace.
+
+/// `sqrt(x^2 + y^2)` without spurious overflow/underflow (`dlapy2`).
+#[inline]
+pub fn lapy2(x: f64, y: f64) -> f64 {
+    let (a, b) = (x.abs(), y.abs());
+    let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+    if hi == 0.0 {
+        0.0
+    } else {
+        let r = lo / hi;
+        hi * (1.0 + r * r).sqrt()
+    }
+}
+
+/// Unit roundoff used in LAPACK-style tolerances: `dlamch('E')`,
+/// i.e. half the distance from 1.0 to the next float.
+pub const EPS: f64 = f64::EPSILON / 2.0;
+
+/// Smallest safe positive number whose reciprocal does not overflow
+/// (`dlamch('S')` in spirit).
+pub const SAFE_MIN: f64 = f64::MIN_POSITIVE;
+
+/// Sign transfer: |a| with the sign of b (Fortran `SIGN`).
+#[inline]
+pub fn sign(a: f64, b: f64) -> f64 {
+    if b >= 0.0 {
+        a.abs()
+    } else {
+        -a.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lapy2_matches_hypot() {
+        for &(x, y) in &[(3.0, 4.0), (-3.0, 4.0), (0.0, 0.0), (1e300, 1e300), (1e-320, 1e-320)] {
+            let got = lapy2(x, y);
+            let want = f64::hypot(x, y);
+            assert!((got - want).abs() <= 1e-10 * want.max(1e-300), "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn sign_transfer() {
+        assert_eq!(sign(3.0, -2.0), -3.0);
+        assert_eq!(sign(-3.0, 2.0), 3.0);
+        assert_eq!(sign(3.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn eps_is_half_ulp() {
+        assert_eq!(EPS * 2.0, f64::EPSILON);
+        assert!(1.0 + EPS > 1.0 || 1.0 + f64::EPSILON > 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Additional kernel coverage: accumulation semantics, degenerate shapes,
+//! sub-matrix addressing, and metric edge cases.
+
+use dcst_matrix::*;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn rand_vec(rng: &mut impl Rng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+#[test]
+fn gemm_beta_one_accumulates() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let (m, n, k) = (6, 5, 4);
+    let a = rand_vec(&mut rng, m * k);
+    let b = rand_vec(&mut rng, k * n);
+    let mut once = vec![0.0; m * n];
+    gemm(m, n, k, 1.0, &a, m, &b, k, 0.0, &mut once, m);
+    let mut twice = vec![0.0; m * n];
+    gemm(m, n, k, 0.5, &a, m, &b, k, 0.0, &mut twice, m);
+    gemm(m, n, k, 0.5, &a, m, &b, k, 1.0, &mut twice, m);
+    for (x, y) in once.iter().zip(&twice) {
+        assert!((x - y).abs() < 1e-14);
+    }
+}
+
+#[test]
+fn gemm_k_zero_applies_beta_only() {
+    let mut c = vec![2.0; 6];
+    gemm(2, 3, 0, 1.0, &[], 2, &[], 1, 0.5, &mut c, 2);
+    assert!(c.iter().all(|&x| x == 1.0));
+    gemm(2, 3, 0, 1.0, &[], 2, &[], 1, 0.0, &mut c, 2);
+    assert!(c.iter().all(|&x| x == 0.0));
+}
+
+#[test]
+fn gemm_alpha_zero_is_beta_scale() {
+    let a = vec![f64::NAN; 4]; // must never be read
+    let b = vec![f64::NAN; 4];
+    let mut c = vec![3.0; 4];
+    gemm(2, 2, 2, 0.0, &a, 2, &b, 2, 2.0, &mut c, 2);
+    assert!(c.iter().all(|&x| x == 6.0));
+}
+
+#[test]
+fn gemm_single_column_and_row() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    // m x 1 and 1 x n products against gemv.
+    let (m, k) = (9, 7);
+    let a = rand_vec(&mut rng, m * k);
+    let x = rand_vec(&mut rng, k);
+    let mut c = vec![0.0; m];
+    gemm(m, 1, k, 1.0, &a, m, &x, k, 0.0, &mut c, m);
+    let mut y = vec![0.0; m];
+    gemv(m, k, 1.0, &a, m, &x, 0.0, &mut y);
+    for (u, v) in c.iter().zip(&y) {
+        assert!((u - v).abs() < 1e-14);
+    }
+}
+
+#[test]
+fn gemm_tall_skinny_and_short_fat() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    for &(m, n, k) in &[(200usize, 3usize, 2usize), (2, 200, 3), (3, 2, 200)] {
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, k * n);
+        let mut c = vec![0.0; m * n];
+        gemm(m, n, k, 1.0, &a, m, &b, k, 0.0, &mut c, m);
+        // Spot check one entry against a scalar dot product.
+        let (i, j) = (m - 1, n - 1);
+        let want: f64 = (0..k).map(|l| a[i + l * m] * b[l + j * k]).sum();
+        assert!((c[i + j * m] - want).abs() < 1e-12, "({m},{n},{k})");
+    }
+}
+
+#[test]
+fn gemm_par_threads_exceeding_columns() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let (m, n, k) = (5, 2, 3);
+    let a = rand_vec(&mut rng, m * k);
+    let b = rand_vec(&mut rng, k * n);
+    let mut c1 = vec![0.0; m * n];
+    let mut c2 = vec![0.0; m * n];
+    gemm(m, n, k, 1.0, &a, m, &b, k, 0.0, &mut c1, m);
+    gemm_par(16, m, n, k, 1.0, &a, m, &b, k, 0.0, &mut c2, m);
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn gemv_beta_one_accumulates() {
+    let a = vec![1.0, 0.0, 0.0, 1.0]; // identity
+    let mut y = vec![5.0, 7.0];
+    gemv(2, 2, 1.0, &a, 2, &[1.0, 2.0], 1.0, &mut y);
+    assert_eq!(y, vec![6.0, 9.0]);
+}
+
+#[test]
+fn merge_perm_descending_interleave() {
+    // First run much larger values than second.
+    let d = [10.0, 11.0, 12.0, 1.0, 2.0];
+    let p = merge_perm(&d, 3);
+    assert_eq!(p, vec![3, 4, 0, 1, 2]);
+}
+
+#[test]
+fn orthogonality_error_detects_scaling() {
+    let mut v = dcst_matrix::Matrix::identity(4);
+    v[(0, 0)] = 0.5; // not unit norm
+    assert!(orthogonality_error(&v) > 0.7 / 4.0);
+}
+
+#[test]
+fn residual_error_uses_operator_norm_scaling() {
+    // Same eigen-defect, bigger norm ⇒ smaller relative residual.
+    let t = |x: &[f64], y: &mut [f64]| {
+        y[0] = x[0];
+        y[1] = 2.0 * x[1];
+    };
+    let v = dcst_matrix::Matrix::identity(2);
+    let small = residual_error(2, t, &[1.0, 2.1], &v, 2.0);
+    let large = residual_error(2, t, &[1.0, 2.1], &v, 200.0);
+    assert!((small / large - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn matrix_panel_mut_is_contiguous_columns() {
+    let mut m = dcst_matrix::Matrix::zeros(3, 4);
+    m.panel_mut(1, 3).fill(7.0);
+    for i in 0..3 {
+        assert_eq!(m[(i, 0)], 0.0);
+        assert_eq!(m[(i, 1)], 7.0);
+        assert_eq!(m[(i, 2)], 7.0);
+        assert_eq!(m[(i, 3)], 0.0);
+    }
+}
+
+#[test]
+fn lapy2_extreme_exponents() {
+    use dcst_matrix::util::lapy2;
+    assert!(lapy2(1e308, 1e308).is_finite());
+    assert!(lapy2(1e-308, 1e-308) > 0.0);
+    assert_eq!(lapy2(0.0, -7.0), 7.0);
+}

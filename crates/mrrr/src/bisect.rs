@@ -1,0 +1,136 @@
+//! Eigenvalue bisection: on the tridiagonal (Sturm counts) and on an
+//! `LDLᵀ` representation (stationary qds counts, for relative accuracy).
+
+use crate::rrr::{sturm_count_ldl, Rrr};
+use dcst_tridiag::{sturm_count, SymTridiag};
+
+/// All eigenvalues of `t`, ascending, to absolute accuracy ~`ε‖T‖`, with
+/// index chunks distributed over `threads` scoped threads.
+pub fn bisect_all(t: &SymTridiag, threads: usize) -> Vec<f64> {
+    bisect_range(t, 0..t.n(), threads)
+}
+
+/// The eigenvalues with (0-based, ascending) indices in `range` —
+/// Θ(n·|range|) work, the subset property the paper credits MRRR with.
+pub fn bisect_range(t: &SymTridiag, range: std::ops::Range<usize>, threads: usize) -> Vec<f64> {
+    let n = t.n();
+    assert!(range.end <= n, "eigenvalue index out of range");
+    let k = range.len();
+    if k == 0 {
+        return vec![];
+    }
+    let (gl, gu) = t.gershgorin_bounds();
+    let pad = 1e-3 * (gu - gl).abs().max(1.0) * f64::EPSILON + f64::MIN_POSITIVE;
+    let (gl, gu) = (gl - pad - 1e-6, gu + pad + 1e-6);
+    let mut lam = vec![0.0f64; k];
+    let nt = threads.max(1).min(k);
+    let chunk = k.div_ceil(nt);
+    let k0base = range.start;
+    std::thread::scope(|s| {
+        for (c, piece) in lam.chunks_mut(chunk).enumerate() {
+            let k0 = k0base + c * chunk;
+            s.spawn(move || {
+                for (i, slot) in piece.iter_mut().enumerate() {
+                    *slot = bisect_one(t, k0 + i, gl, gu);
+                }
+            });
+        }
+    });
+    lam
+}
+
+/// The `k`-th (0-based, ascending) eigenvalue of `t` by bisection.
+fn bisect_one(t: &SymTridiag, k: usize, mut lo: f64, mut hi: f64) -> f64 {
+    // Invariant: count(lo) <= k < count(hi).
+    for _ in 0..128 {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break;
+        }
+        if sturm_count(t, mid) > k {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Refine the `k`-th eigenvalue of the representation `rep` (already known
+/// to be ≈ `approx` in the representation's local coordinates) to high
+/// *relative* accuracy using qds Sturm counts.
+pub fn bisect_refine_ldl(rep: &Rrr, k: usize, approx: f64, norm: f64) -> f64 {
+    // Establish a bracket around the approximate value.
+    let mut radius = (approx.abs() * 1e-10).max(8.0 * f64::EPSILON * norm);
+    let (mut lo, mut hi);
+    loop {
+        lo = approx - radius;
+        hi = approx + radius;
+        let clo = sturm_count_ldl(rep, lo);
+        let chi = sturm_count_ldl(rep, hi);
+        if clo <= k && k < chi {
+            break;
+        }
+        radius *= 8.0;
+        if radius > 4.0 * norm + approx.abs() {
+            // Degenerate bracket (should not happen); keep the input.
+            return approx;
+        }
+    }
+    for _ in 0..128 {
+        if hi - lo <= 2.0 * f64::EPSILON * lo.abs().max(hi.abs()) {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break;
+        }
+        if sturm_count_ldl(rep, mid) > k {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rrr::ldl_factor;
+
+    #[test]
+    fn bisect_matches_closed_form() {
+        let n = 16;
+        let t = SymTridiag::toeplitz121(n);
+        let lam = bisect_all(&t, 2);
+        for (k, &l) in lam.iter().enumerate() {
+            let want = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert!((l - want).abs() < 1e-12, "{l} vs {want}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let t = dcst_tridiag::gen::MatrixType::Type6.generate(33, 4);
+        let a = bisect_all(&t, 1);
+        let b = bisect_all(&t, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ldl_refinement_improves_relative_accuracy() {
+        let t = SymTridiag::toeplitz121(12);
+        let (gl, _) = t.gershgorin_bounds();
+        let sigma = gl - 0.1;
+        let rep = ldl_factor(&t, sigma);
+        // Smallest eigenvalue in representation coordinates.
+        let lam0 = 2.0 - 2.0 * (std::f64::consts::PI / 13.0).cos() - sigma;
+        let rough = lam0 * (1.0 + 1e-7);
+        let refined = bisect_refine_ldl(&rep, 0, rough, t.max_norm());
+        assert!(
+            (refined - lam0).abs() < 1e-12 * lam0.abs(),
+            "refined {refined} vs {lam0}"
+        );
+    }
+}

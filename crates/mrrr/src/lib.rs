@@ -1,0 +1,813 @@
+//! MRRR (Multiple Relatively Robust Representations) tridiagonal
+//! eigensolver — the MR³-SMP-shaped comparator of the paper's Figure 8.
+//!
+//! Algorithm (after Dhillon; simplified but structurally faithful):
+//!
+//! 1. all eigenvalues by Sturm-count **bisection** (parallel over index
+//!    chunks);
+//! 2. a **root representation** `T − σI = L D Lᵀ` with σ outside the
+//!    spectrum, so the factorization is positive definite and
+//!    componentwise robust;
+//! 3. a **representation tree**: eigenvalue groups with small relative
+//!    gaps are re-shifted (`L'D'L'ᵀ = LDLᵀ − τI` via the differential
+//!    stationary qds transform) until each eigenvalue is relatively well
+//!    separated within its representation;
+//! 4. each eigenvector from a **twisted factorization** at the position of
+//!    the smallest γ (parallel over eigenvectors);
+//! 5. stubborn clusters (depth limit, or numerically identical
+//!    eigenvalues) fall back to Gram–Schmidt within the cluster — the
+//!    pragmatic safety net MR³ implementations also carry.
+//!
+//! Accuracy is O(n·ε) on orthogonality/residual — one to two digits worse
+//! than D&C's O(√n·ε), exactly the contrast the paper's Figure 9 shows.
+
+mod bisect;
+mod dqds;
+mod rrr;
+mod tstein;
+
+pub use bisect::{bisect_all, bisect_range, bisect_refine_ldl};
+pub use dqds::dqds_eigenvalues;
+pub use rrr::{ldl_factor, solve_shifted, solve_twisted, stqds_shift, sturm_count_ldl, twisted_vector, twisted_vector_ranked, Rrr};
+pub use tstein::{lu_factor, solve_u, TridiagLu};
+
+use dcst_matrix::Matrix;
+use dcst_tridiag::SymTridiag;
+use std::ops::Range;
+use std::sync::Arc;
+
+
+/// Errors from the MRRR driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrrrError {
+    NonFinite,
+    /// The representation tree failed to separate a cluster and the
+    /// fallback also failed (should not happen in practice).
+    ClusterFailure { first: usize, last: usize },
+}
+
+impl std::fmt::Display for MrrrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrrrError::NonFinite => write!(f, "matrix contains NaN or infinite entries"),
+            MrrrError::ClusterFailure { first, last } => {
+                write!(f, "failed to resolve eigenvalue cluster {first}..={last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MrrrError {}
+
+/// Options for [`MrrrSolver`].
+#[derive(Clone, Copy, Debug)]
+pub struct MrrrOptions {
+    /// Worker threads for the bisection and eigenvector phases.
+    pub threads: usize,
+    /// Relative gap below which neighbouring eigenvalues form a cluster.
+    pub reltol: f64,
+    /// Maximum representation-tree depth before the Gram–Schmidt fallback.
+    pub max_depth: usize,
+    /// Compute initial eigenvalues with dqds (MR³-SMP's engine), falling
+    /// back to bisection when it fails to converge. `false` forces plain
+    /// bisection.
+    pub use_dqds: bool,
+}
+
+impl Default for MrrrOptions {
+    fn default() -> Self {
+        MrrrOptions {
+            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            reltol: 1e-3,
+            max_depth: 8,
+            use_dqds: true,
+        }
+    }
+}
+
+/// The MRRR solver.
+pub struct MrrrSolver {
+    opts: MrrrOptions,
+}
+
+/// One leaf work item: compute eigenvector `idx` from `rep` at the
+/// representation-local eigenvalue `lam_local`.
+struct VecJob {
+    rep: Arc<Rrr>,
+    idx: usize,
+    lam_local: f64,
+    /// Shift of `rep` relative to the original T.
+    total_shift: f64,
+    /// Gram–Schmidt group id (`usize::MAX` = none).
+    gs_group: usize,
+    /// Twist rank: members of a fallback group use distinct twists so the
+    /// vectors span the cluster's eigenspace.
+    twist_rank: usize,
+}
+
+impl MrrrSolver {
+    pub fn new(opts: MrrrOptions) -> Self {
+        MrrrSolver { opts }
+    }
+
+    pub fn name(&self) -> &'static str {
+        "mrrr"
+    }
+
+    /// Eigenvalues only, ascending (dqds with bisection fallback).
+    pub fn eigenvalues(&self, t: &SymTridiag) -> Result<Vec<f64>, MrrrError> {
+        if t.has_non_finite() {
+            return Err(MrrrError::NonFinite);
+        }
+        if self.opts.use_dqds {
+            if let Some(vals) = dqds::dqds_eigenvalues(t) {
+                return Ok(vals);
+            }
+        }
+        Ok(bisect_all(t, self.opts.threads))
+    }
+
+    /// Full eigen-decomposition: values ascending, orthonormal vectors.
+    ///
+    /// The matrix is first split into irreducible blocks at negligible
+    /// off-diagonals (`dlarra` analogue) — numerically identical
+    /// eigenvalues then live in different blocks, whose eigenvectors are
+    /// orthogonal by disjoint support.
+    pub fn solve(&self, t: &SymTridiag) -> Result<(Vec<f64>, Matrix), MrrrError> {
+        let n = t.n();
+        if t.has_non_finite() {
+            return Err(MrrrError::NonFinite);
+        }
+        if n == 0 {
+            return Ok((vec![], Matrix::zeros(0, 0)));
+        }
+
+        // Split at negligible couplings.
+        let mut starts = vec![0usize];
+        for i in 0..n.saturating_sub(1) {
+            let tol = f64::EPSILON * (t.d[i].abs() * t.d[i + 1].abs()).sqrt() + f64::MIN_POSITIVE;
+            if t.e[i].abs() <= tol {
+                starts.push(i + 1);
+            }
+        }
+        starts.push(n);
+
+        if starts.len() == 2 {
+            return self.solve_block(t);
+        }
+
+        // Solve each block; merge eigenvalues ascending; scatter columns.
+        let mut per_block: Vec<(usize, Vec<f64>, Matrix)> = Vec::new();
+        for w in starts.windows(2) {
+            let (b0, b1) = (w[0], w[1]);
+            let sub = SymTridiag::new(
+                t.d[b0..b1].to_vec(),
+                t.e[b0..b1.saturating_sub(1).max(b0)].to_vec(),
+            );
+            let (lam, vloc) = self.solve_block(&sub)?;
+            per_block.push((b0, lam, vloc));
+        }
+        let mut order: Vec<(usize, usize)> = Vec::with_capacity(n); // (block, local col)
+        for (bi, (_, lam, _)) in per_block.iter().enumerate() {
+            order.extend((0..lam.len()).map(|c| (bi, c)));
+        }
+        order.sort_by(|&(ba, ca), &(bb, cb)| {
+            per_block[ba].1[ca].partial_cmp(&per_block[bb].1[cb]).unwrap()
+        });
+        let mut values = Vec::with_capacity(n);
+        let mut v = vec![0.0f64; n * n];
+        for (slot, &(bi, c)) in order.iter().enumerate() {
+            let (b0, lam, vloc) = &per_block[bi];
+            values.push(lam[c]);
+            let nb = lam.len();
+            v[slot * n + b0..slot * n + b0 + nb].copy_from_slice(vloc.col(c));
+        }
+        Ok((values, Matrix::from_vec(n, n, v)))
+    }
+
+    /// Eigenpairs whose eigenvalues lie in the half-open window
+    /// `[lo, hi)`: values ascending plus an `n × k` vector matrix. This is
+    /// the subset computation the paper names as MRRR's main asset —
+    /// Θ(n·k) instead of Θ(n²) work.
+    pub fn solve_window(&self, t: &SymTridiag, lo: f64, hi: f64) -> Result<(Vec<f64>, Matrix), MrrrError> {
+        let n = t.n();
+        if t.has_non_finite() {
+            return Err(MrrrError::NonFinite);
+        }
+        if n == 0 || hi <= lo {
+            return Ok((vec![], Matrix::zeros(n, 0)));
+        }
+        // Per irreducible block, the window selects a contiguous local
+        // index range found by Sturm counts.
+        let mut starts = vec![0usize];
+        for i in 0..n.saturating_sub(1) {
+            let tol = f64::EPSILON * (t.d[i].abs() * t.d[i + 1].abs()).sqrt() + f64::MIN_POSITIVE;
+            if t.e[i].abs() <= tol {
+                starts.push(i + 1);
+            }
+        }
+        starts.push(n);
+        let mut parts: Vec<(usize, Vec<f64>, Matrix)> = Vec::new();
+        for w in starts.windows(2) {
+            let (b0, b1) = (w[0], w[1]);
+            let sub = SymTridiag::new(
+                t.d[b0..b1].to_vec(),
+                t.e[b0..b1.saturating_sub(1).max(b0)].to_vec(),
+            );
+            let klo = dcst_tridiag::sturm_count(&sub, lo);
+            let khi = dcst_tridiag::sturm_count(&sub, hi);
+            if khi > klo {
+                let (vals, vecs) = self.solve_block_range(&sub, klo..khi)?;
+                parts.push((b0, vals, vecs));
+            }
+        }
+        // Merge ascending across blocks.
+        let total: usize = parts.iter().map(|(_, vals, _)| vals.len()).sum();
+        let mut order: Vec<(usize, usize)> = Vec::with_capacity(total);
+        for (pi, (_, vals, _)) in parts.iter().enumerate() {
+            order.extend((0..vals.len()).map(|c| (pi, c)));
+        }
+        order.sort_by(|&(pa, ca), &(pb, cb)| {
+            parts[pa].1[ca].partial_cmp(&parts[pb].1[cb]).unwrap()
+        });
+        let mut values = Vec::with_capacity(total);
+        let mut v = vec![0.0f64; n * total];
+        for (slot, &(pi, c)) in order.iter().enumerate() {
+            let (b0, vals, vecs) = &parts[pi];
+            values.push(vals[c]);
+            let nb = vecs.rows();
+            v[slot * n + b0..slot * n + b0 + nb].copy_from_slice(vecs.col(c));
+        }
+        Ok((values, Matrix::from_vec(n, total, v)))
+    }
+
+    /// Eigenpairs with (0-based, ascending) indices `il..=iu`. Built on
+    /// [`solve_window`](Self::solve_window) with cuts at the midpoints to
+    /// the neighbouring eigenvalues; when the boundary eigenvalue is part
+    /// of a numerically degenerate multiplet, the whole multiplet is
+    /// included (the count may then exceed `iu − il + 1`).
+    pub fn solve_range(&self, t: &SymTridiag, il: usize, iu: usize) -> Result<(Vec<f64>, Matrix), MrrrError> {
+        let n = t.n();
+        assert!(il <= iu && iu < n, "index range out of bounds");
+        if t.has_non_finite() {
+            return Err(MrrrError::NonFinite);
+        }
+        let (gl, gu) = t.gershgorin_bounds();
+        let span = (gu - gl).max(1.0);
+        let lo = if il == 0 {
+            gl - 1e-3 * span
+        } else {
+            let below = bisect_range(t, il - 1..il + 1, 1);
+            0.5 * (below[0] + below[1])
+        };
+        let hi = if iu + 1 == n {
+            gu + 1e-3 * span
+        } else {
+            let above = bisect_range(t, iu..iu + 2, 1);
+            let mid = 0.5 * (above[0] + above[1]);
+            // A half-open window needs hi strictly above λ_iu.
+            if mid > above[0] { mid } else { above[0] + f64::MIN_POSITIVE }
+        };
+        self.solve_window(t, lo, hi)
+    }
+
+    /// Solve one irreducible block.
+    fn solve_block(&self, t: &SymTridiag) -> Result<(Vec<f64>, Matrix), MrrrError> {
+        self.solve_block_range(t, 0..t.n())
+    }
+
+    /// Eigenpairs of one irreducible block for the (block-local) index
+    /// `range` only — Θ(n·k) work for k selected pairs, the subset
+    /// property the paper credits MRRR with. Returns `k` ascending values
+    /// and an `n x k` vector matrix.
+    fn solve_block_range(
+        &self,
+        t: &SymTridiag,
+        range: Range<usize>,
+    ) -> Result<(Vec<f64>, Matrix), MrrrError> {
+        let n = t.n();
+        let k = range.len();
+        if n == 0 || k == 0 {
+            return Ok((vec![], Matrix::zeros(n, 0)));
+        }
+        if n == 1 {
+            return Ok((vec![t.d[0]], Matrix::identity(1)));
+        }
+        let col0 = range.start;
+
+        // 1. the selected eigenvalues of T: dqds for the full spectrum
+        // (with bisection fallback), bisection for proper subsets where
+        // its Θ(n·k) cost wins.
+        let mut lam = vec![0.0f64; n];
+        let mut have = false;
+        if k == n && self.opts.use_dqds {
+            if let Some(vals) = dqds::dqds_eigenvalues(t) {
+                lam.copy_from_slice(&vals);
+                have = true;
+            }
+        }
+        if !have {
+            let lam_sel = bisect_range(t, range.clone(), self.opts.threads);
+            lam[range.clone()].copy_from_slice(&lam_sel);
+        }
+
+        // 2. root representation: shift below the spectrum.
+        let (gl, gu) = t.gershgorin_bounds();
+        let span = (gu - gl).max(f64::MIN_POSITIVE);
+        let sigma = gl - 1e-3 * span;
+        let root = Arc::new(ldl_factor(t, sigma));
+
+        // 3. representation tree (sequential — cheap relative to phase 4),
+        // producing one VecJob per eigenvector.
+        let norm = t.max_norm().max(f64::MIN_POSITIVE);
+        let mut jobs: Vec<VecJob> = Vec::with_capacity(n);
+        let mut gs_groups = 0usize;
+        let lam_local: Vec<f64> = lam.iter().map(|l| l - sigma).collect();
+        self.descend(root, sigma, range.clone(), &lam_local, norm, 0, &mut jobs, &mut gs_groups)?;
+
+        // 4. eigenvectors in parallel over jobs (disjoint V columns).
+        let mut v = vec![0.0f64; n * k];
+        let mut values = vec![0.0f64; k];
+        {
+            let mut by_col: Vec<Option<&VecJob>> = vec![None; k];
+            for job in &jobs {
+                by_col[job.idx - col0] = Some(job);
+            }
+            let nt = self.opts.threads.max(1);
+            let mut buckets: Vec<Vec<(usize, &mut [f64], &mut f64)>> =
+                (0..nt).map(|_| Vec::new()).collect();
+            {
+                let mut vrest: &mut [f64] = &mut v;
+                let mut lrest: &mut [f64] = &mut values;
+                for j in 0..k {
+                    let (col, vtail) = std::mem::take(&mut vrest).split_at_mut(n);
+                    let (lv, ltail) = std::mem::take(&mut lrest).split_at_mut(1);
+                    vrest = vtail;
+                    lrest = ltail;
+                    buckets[j % nt].push((j, col, &mut lv[0]));
+                }
+            }
+            let by_col = &by_col;
+            std::thread::scope(|s| {
+                for bucket in buckets {
+                    s.spawn(move || {
+                        for (j, col, lv) in bucket {
+                            let job = by_col[j].expect("every selected eigenvalue has a job");
+                            twisted_vector_ranked(&job.rep, job.lam_local, job.twist_rank, col);
+                            *lv = job.lam_local + job.total_shift;
+                        }
+                    });
+                }
+            });
+        }
+
+
+        // 5. Resolve fallback groups (numerically multiple eigenvalues):
+        // keep the twisted vector for the first member, then build the
+        // rest of the eigenspace basis by inverse iteration orthogonalized
+        // against the earlier members (DSTEIN-style).
+        if gs_groups > 0 {
+            // Groups hold v COLUMN indices (idx - col0).
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); gs_groups];
+            let mut job_of: Vec<usize> = vec![usize::MAX; k];
+            for (ji, job) in jobs.iter().enumerate() {
+                job_of[job.idx - col0] = ji;
+                if job.gs_group != usize::MAX {
+                    groups[job.gs_group].push(job.idx - col0);
+                }
+            }
+            for group in groups {
+                for (c, &idx) in group.iter().enumerate() {
+                    if c == 0 {
+                        continue; // twisted vector already in place
+                    }
+                    let job = &jobs[job_of[idx]];
+                    // Inverse iteration on T itself with a partially
+                    // pivoted LU — robust through the multiplet's several
+                    // near-singular pivots (dstein's approach).
+                    // Perturb each member's shift by a few ulps (dstein's
+                    // PERTOL): every member then sits at a comparable
+                    // distance from the whole multiplet, so the solve
+                    // amplifies the full eigenspace instead of letting one
+                    // direction dominate and the orthogonalized remainder
+                    // collapse.
+                    let base = job.lam_local + job.total_shift;
+                    let pertol = 16.0 * f64::EPSILON * base.abs().max(1e-3 * norm);
+                    let lam_t = base + c as f64 * pertol;
+                    let lu = tstein::lu_factor(t, lam_t);
+                    // Deterministic pseudo-random start.
+                    let mut b: Vec<f64> = (0..n)
+                        .map(|i| ((i * 2654435761 + idx * 40503) % 1000) as f64 / 1000.0 - 0.5)
+                        .collect();
+                    for _ in 0..4 {
+                        tstein::solve_u(&lu, &mut b);
+                        // Orthogonalize AFTER the solve: the solve
+                        // re-amplifies any residual component along the
+                        // earlier members, so projecting beforehand is not
+                        // enough (this is what DSTEIN does too).
+                        for &jb in &group[..c] {
+                            let dot = dcst_matrix::dot(&b, &v[jb * n..jb * n + n]);
+                            for (x, y) in b.iter_mut().zip(&v[jb * n..jb * n + n]) {
+                                *x -= dot * y;
+                            }
+                        }
+                        let nrm = dcst_matrix::nrm2(&b);
+                        let inv = 1.0 / nrm.max(f64::MIN_POSITIVE);
+                        b.iter_mut().for_each(|x| *x *= inv);
+                    }
+                    v[idx * n..idx * n + n].copy_from_slice(&b);
+                }
+                // Final polish: modified Gram-Schmidt over the group.
+                gram_schmidt_columns(&mut v, n, &group);
+            }
+        }
+
+        // 6. Safety net: a cluster can straddle the singleton/cluster
+        // boundary, leaving vectors of nearly-identical eigenvalues
+        // computed by *different* tree paths correlated. Those vectors
+        // all lie in the multiplet's invariant subspace, so Gram–Schmidt
+        // over each near-degenerate run restores orthogonality without
+        // hurting residuals.
+        {
+            let scale = norm;
+            let mut run = vec![0usize];
+            for j in 1..=k {
+                let close = j < k
+                    && (values[j] - values[j - 1]).abs()
+                        <= 1e4 * f64::EPSILON * values[j].abs().max(1e-3 * scale);
+                if close {
+                    run.push(j);
+                } else {
+                    if run.len() > 1 {
+                        gram_schmidt_columns(&mut v, n, &run);
+                    }
+                    run.clear();
+                    if j < k {
+                        run.push(j);
+                    }
+                }
+            }
+        }
+
+        // Refinement against per-cluster representations can reorder
+        // near-degenerate values by an ulp; restore ascending order.
+        if values.windows(2).any(|w| w[0] > w[1]) {
+            let mut order: Vec<usize> = (0..k).collect();
+            order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+            let mut sv = Vec::with_capacity(k);
+            let mut swv = vec![0.0f64; n * k];
+            for (slot, &src) in order.iter().enumerate() {
+                sv.push(values[src]);
+                swv[slot * n..(slot + 1) * n].copy_from_slice(&v[src * n..(src + 1) * n]);
+            }
+            values = sv;
+            v = swv;
+        }
+
+        Ok((values, Matrix::from_vec(n, k, v)))
+    }
+
+    /// Recursive representation-tree descent over the eigenvalue index
+    /// range `range` of representation `rep` (eigenvalues `lam_local`,
+    /// relative to `rep`'s origin; `total_shift` maps back to T).
+    #[allow(clippy::too_many_arguments)]
+    fn descend(
+        &self,
+        rep: Arc<Rrr>,
+        total_shift: f64,
+        range: Range<usize>,
+        lam_local: &[f64],
+        norm: f64,
+        depth: usize,
+        jobs: &mut Vec<VecJob>,
+        gs_groups: &mut usize,
+    ) -> Result<(), MrrrError> {
+        // Partition `range` into singletons and clusters by relative gap.
+        let mut i = range.start;
+        while i < range.end {
+            let mut j = i;
+            while j + 1 < range.end {
+                let gap = lam_local[j + 1] - lam_local[j];
+                let scale = lam_local[j + 1].abs().max(lam_local[j].abs()).max(64.0 * f64::EPSILON * norm);
+                if gap > self.opts.reltol * scale {
+                    break;
+                }
+                j += 1;
+            }
+            if j == i {
+                // Singleton: refine to high relative accuracy against this
+                // representation, then emit a job.
+                let lam = bisect_refine_ldl(&rep, i, lam_local[i], norm);
+                jobs.push(VecJob {
+                    rep: rep.clone(),
+                    idx: i,
+                    lam_local: lam,
+                    total_shift,
+                    gs_group: usize::MAX,
+                    twist_rank: 0,
+                });
+            } else {
+                // Cluster i..=j.
+                let width = lam_local[j] - lam_local[i];
+                let tiny_cluster = width <= 4.0 * f64::EPSILON * lam_local[j].abs().max(f64::EPSILON * norm);
+                if depth >= self.opts.max_depth || tiny_cluster {
+                    // Fallback: twisted vectors at slightly spread
+                    // eigenvalues + Gram–Schmidt.
+                    let group = *gs_groups;
+                    *gs_groups += 1;
+                    for (c, idx) in (i..=j).enumerate() {
+                        // Refine against THIS representation with the
+                        // count-based bracket: each index lands on its own
+                        // side even when T-bisection returned identical
+                        // values for the pair.
+                        let refined = bisect_refine_ldl(&rep, idx, lam_local[idx], norm);
+                        jobs.push(VecJob {
+                            rep: rep.clone(),
+                            idx,
+                            lam_local: refined,
+                            total_shift,
+                            gs_group: group,
+                            twist_rank: c,
+                        });
+                    }
+                } else {
+                    // Shift to just below (or, failing that, just above)
+                    // the cluster, keeping the candidate with the least
+                    // element growth (`dlarrf`-style shift selection).
+                    let margin = width.max(1e-6 * lam_local[i].abs()).max(f64::MIN_POSITIVE);
+                    let candidates = [
+                        lam_local[i] - margin,
+                        lam_local[i] - 4.0 * margin,
+                        lam_local[j] + margin,
+                        lam_local[i] - 16.0 * margin,
+                    ];
+                    let mut best: Option<(Rrr, f64, f64)> = None;
+                    for &tau in &candidates {
+                        let (child, growth) = crate::rrr::stqds_shift_checked(&rep, tau);
+                        if best.as_ref().map(|(_, _, g)| growth < *g).unwrap_or(true) {
+                            let acceptable = growth < 64.0 * (j - i + 1) as f64;
+                            best = Some((child, tau, growth));
+                            if acceptable {
+                                break;
+                            }
+                        }
+                    }
+                    let (child, tau, growth) = best.expect("candidate list is non-empty");
+                    if !growth.is_finite() || growth > 1e8 {
+                        // No relatively robust child exists: treat the
+                        // cluster as a numerical multiplet (fallback path).
+                        let group = *gs_groups;
+                        *gs_groups += 1;
+                        for (c, idx) in (i..=j).enumerate() {
+                            let refined = bisect_refine_ldl(&rep, idx, lam_local[idx], norm);
+                            jobs.push(VecJob {
+                                rep: rep.clone(),
+                                idx,
+                                lam_local: refined,
+                                total_shift,
+                                gs_group: group,
+                                twist_rank: c,
+                            });
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    let child = Arc::new(child);
+                    let mut refined: Vec<f64> = lam_local.iter().map(|l| l - tau).collect();
+                    for idx in i..=j {
+                        refined[idx] = bisect_refine_ldl(&child, idx, refined[idx], norm);
+                    }
+                    self.descend(
+                        child,
+                        total_shift + tau,
+                        i..j + 1,
+                        &refined,
+                        norm,
+                        depth + 1,
+                        jobs,
+                        gs_groups,
+                    )?;
+                }
+            }
+            i = j + 1;
+        }
+        Ok(())
+    }
+}
+
+/// Modified Gram–Schmidt over the given (ascending) columns of `v` (ld = n).
+fn gram_schmidt_columns(v: &mut [f64], n: usize, cols: &[usize]) {
+    for (a, &ja) in cols.iter().enumerate() {
+        for &jb in &cols[..a] {
+            debug_assert!(jb < ja);
+            let dot = {
+                let cb = &v[jb * n..jb * n + n];
+                let ca = &v[ja * n..ja * n + n];
+                dcst_matrix::dot(ca, cb)
+            };
+            let (head, tail) = v.split_at_mut(ja * n);
+            let ca = &mut tail[..n];
+            let cb = &head[jb * n..jb * n + n];
+            for (x, y) in ca.iter_mut().zip(cb) {
+                *x -= dot * y;
+            }
+        }
+        let nrm = dcst_matrix::nrm2(&v[ja * n..ja * n + n]);
+        if nrm > 1e-6 {
+            let inv = 1.0 / nrm;
+            v[ja * n..ja * n + n].iter_mut().for_each(|x| *x *= inv);
+        } else {
+            // The column collapsed (numerically identical eigenvectors):
+            // re-seed with a deterministic vector orthogonalized against
+            // the group so the basis stays complete.
+            for (i, x) in v[ja * n..ja * n + n].iter_mut().enumerate() {
+                *x = ((i * 2654435761 + a * 40503) % 1000) as f64 / 1000.0 - 0.5;
+            }
+            for &jb in &cols[..a] {
+                let dot = {
+                    let cb = &v[jb * n..jb * n + n];
+                    let ca = &v[ja * n..ja * n + n];
+                    dcst_matrix::dot(ca, cb)
+                };
+                let (head, tail) = v.split_at_mut(ja * n);
+                for (x, y) in tail[..n].iter_mut().zip(&head[jb * n..jb * n + n]) {
+                    *x -= dot * y;
+                }
+            }
+            let nrm = dcst_matrix::nrm2(&v[ja * n..ja * n + n]);
+            let inv = 1.0 / nrm.max(f64::MIN_POSITIVE);
+            v[ja * n..ja * n + n].iter_mut().for_each(|x| *x *= inv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcst_matrix::{orthogonality_error, residual_error};
+    use dcst_tridiag::gen::MatrixType;
+    use dcst_tridiag::sturm_count;
+
+    fn check(t: &SymTridiag, lam: &[f64], v: &Matrix, tol: f64) {
+        assert!(lam.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        let orth = orthogonality_error(v);
+        assert!(orth < tol, "orthogonality {orth}");
+        let res = residual_error(t.n(), |x, y| t.matvec(x, y), lam, v, t.max_norm());
+        assert!(res < tol, "residual {res}");
+    }
+
+    fn solver() -> MrrrSolver {
+        MrrrSolver::new(MrrrOptions { threads: 2, ..Default::default() })
+    }
+
+    fn bisect_reference(t: &SymTridiag) -> Vec<f64> {
+        let n = t.n();
+        let (gl, gu) = t.gershgorin_bounds();
+        (0..n)
+            .map(|k| {
+                let (mut lo, mut hi) = (gl - 1.0, gu + 1.0);
+                for _ in 0..200 {
+                    let m = 0.5 * (lo + hi);
+                    if sturm_count(t, m) > k {
+                        hi = m;
+                    } else {
+                        lo = m;
+                    }
+                }
+                0.5 * (lo + hi)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solves_toeplitz() {
+        let n = 60;
+        let t = SymTridiag::toeplitz121(n);
+        let (lam, v) = solver().solve(&t).unwrap();
+        check(&t, &lam, &v, 1e-11);
+        for (k, &l) in lam.iter().enumerate() {
+            let want = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert!((l - want).abs() < 1e-11, "eig {k}: {l} vs {want}");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_match_independent_bisection() {
+        let t = MatrixType::Type6.generate(80, 13);
+        let lam = solver().eigenvalues(&t).unwrap();
+        let lam_ref = bisect_reference(&t);
+        for (a, b) in lam.iter().zip(&lam_ref) {
+            assert!((a - b).abs() < 1e-10 * t.max_norm(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn well_separated_types() {
+        for ty in [MatrixType::Type4, MatrixType::Type6, MatrixType::Type13, MatrixType::Type14] {
+            let t = ty.generate(64, 5);
+            let (lam, v) = solver().solve(&t).unwrap();
+            check(&t, &lam, &v, 1e-10);
+        }
+    }
+
+    #[test]
+    fn clustered_types() {
+        for ty in [MatrixType::Type1, MatrixType::Type2, MatrixType::Type7] {
+            let t = ty.generate(48, 5);
+            let (lam, v) = solver().solve(&t).unwrap();
+            check(&t, &lam, &v, 1e-8);
+        }
+    }
+
+    #[test]
+    fn wilkinson_close_pairs() {
+        let t = dcst_tridiag::gen::wilkinson(31);
+        let (lam, v) = solver().solve(&t).unwrap();
+        check(&t, &lam, &v, 1e-10);
+    }
+
+    #[test]
+    fn glued_wilkinson_fallback_path() {
+        let t = dcst_tridiag::gen::glued_wilkinson(9, 3, 1e-9);
+        let (lam, v) = solver().solve(&t).unwrap();
+        check(&t, &lam, &v, 1e-8);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let (lam, v) = solver().solve(&SymTridiag::new(vec![3.0], vec![])).unwrap();
+        assert_eq!(lam, vec![3.0]);
+        assert_eq!(v.as_slice(), &[1.0]);
+        let (lam, _) = solver().solve(&SymTridiag::new(vec![], vec![])).unwrap();
+        assert!(lam.is_empty());
+    }
+
+    #[test]
+    fn subset_window_matches_full_solve() {
+        let t = MatrixType::Type6.generate(90, 31);
+        let (full, vfull) = solver().solve(&t).unwrap();
+        let (lo, hi) = (full[20] - 1e-9, full[49] + 1e-9);
+        let (vals, vecs) = solver().solve_window(&t, lo, hi).unwrap();
+        assert_eq!(vals.len(), 30);
+        assert_eq!(vecs.cols(), 30);
+        for (i, &l) in vals.iter().enumerate() {
+            assert!((l - full[20 + i]).abs() < 1e-10 * t.max_norm(), "{l}");
+            // Same vector up to sign.
+            let dot: f64 = (0..t.n()).map(|r| vecs[(r, i)] * vfull[(r, 20 + i)]).sum();
+            assert!(dot.abs() > 1.0 - 1e-8, "column {i} alignment {dot}");
+        }
+    }
+
+    #[test]
+    fn subset_range_by_index() {
+        let n = 80;
+        let t = SymTridiag::toeplitz121(n);
+        let (vals, vecs) = solver().solve_range(&t, 10, 19).unwrap();
+        assert_eq!(vals.len(), 10);
+        let h = std::f64::consts::PI / (n as f64 + 1.0);
+        for (i, &l) in vals.iter().enumerate() {
+            let want = 2.0 - 2.0 * ((11 + i) as f64 * h).cos();
+            assert!((l - want).abs() < 1e-11, "{l} vs {want}");
+        }
+        // Orthonormal subset with small residuals.
+        for a in 0..10 {
+            for b in 0..=a {
+                let g: f64 = (0..n).map(|r| vecs[(r, a)] * vecs[(r, b)]).sum();
+                let want = if a == b { 1.0 } else { 0.0 };
+                assert!((g - want).abs() < 1e-11);
+            }
+            let mut y = vec![0.0; n];
+            let col: Vec<f64> = (0..n).map(|r| vecs[(r, a)]).collect();
+            t.matvec(&col, &mut y);
+            for r in 0..n {
+                assert!((y[r] - vals[a] * col[r]).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn subset_spanning_blocks() {
+        // A reducible matrix: the window must collect pairs across blocks.
+        let t = MatrixType::Type2.generate(60, 9);
+        let (full, _) = solver().solve(&t).unwrap();
+        let (vals, vecs) = solver().solve_window(&t, 0.5, 1.5).unwrap();
+        let expect = full.iter().filter(|&&l| (0.5..1.5).contains(&l)).count();
+        assert_eq!(vals.len(), expect);
+        assert_eq!(vecs.cols(), expect);
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_window() {
+        let t = SymTridiag::toeplitz121(12);
+        let (vals, vecs) = solver().solve_window(&t, 100.0, 200.0).unwrap();
+        assert!(vals.is_empty());
+        assert_eq!(vecs.cols(), 0);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let t = SymTridiag::new(vec![f64::NAN, 1.0], vec![0.5]);
+        assert_eq!(solver().solve(&t).unwrap_err(), MrrrError::NonFinite);
+    }
+}

@@ -1,0 +1,180 @@
+//! MRRR behavior coverage: subset semantics, dqds/bisection agreement,
+//! representation tools, hard spectra.
+
+use dcst_mrrr::*;
+use dcst_tridiag::gen::MatrixType;
+use dcst_tridiag::SymTridiag;
+
+fn solver() -> MrrrSolver {
+    MrrrSolver::new(MrrrOptions { threads: 2, ..Default::default() })
+}
+
+#[test]
+fn dqds_and_bisection_agree_through_options() {
+    let t = MatrixType::Type5.generate(120, 9);
+    let with = MrrrSolver::new(MrrrOptions { threads: 2, use_dqds: true, ..Default::default() });
+    let without = MrrrSolver::new(MrrrOptions { threads: 2, use_dqds: false, ..Default::default() });
+    let a = with.eigenvalues(&t).unwrap();
+    let b = without.eigenvalues(&t).unwrap();
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-10 * t.max_norm().max(1.0), "{x} vs {y}");
+    }
+}
+
+#[test]
+fn subset_sizes_add_up() {
+    let n = 60;
+    let t = MatrixType::Type6.generate(n, 11);
+    let s = solver();
+    let (full, _) = s.solve(&t).unwrap();
+    let mut pieces = Vec::new();
+    for w in [(0usize, 19usize), (20, 39), (40, 59)] {
+        let (vals, vecs) = s.solve_range(&t, w.0, w.1).unwrap();
+        assert_eq!(vecs.cols(), vals.len());
+        pieces.extend(vals);
+    }
+    pieces.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(pieces.len(), n);
+    for (a, b) in pieces.iter().zip(&full) {
+        assert!((a - b).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn window_selects_by_value() {
+    let t = SymTridiag::new(vec![1.0, 2.0, 3.0], vec![0.0, 0.0]);
+    let s = solver();
+    let (vals, _) = s.solve_window(&t, 0.5, 2.5).unwrap();
+    assert_eq!(vals.len(), 2);
+    assert!((vals[0] - 1.0).abs() < 1e-14 && (vals[1] - 2.0).abs() < 1e-14);
+    // An exactly-boundary eigenvalue is counted on the strict-below side
+    // (Sturm convention): [2.0, 3.5) keeps 3 but the guarded pivot puts
+    // the boundary value 2.0 below the cut.
+    let (vals, _) = s.solve_window(&t, 2.0 + 1e-12, 3.5).unwrap();
+    assert_eq!(vals.len(), 1);
+    assert!((vals[0] - 3.0).abs() < 1e-14);
+}
+
+#[test]
+fn single_eigenpair_extraction() {
+    let n = 100;
+    let t = SymTridiag::toeplitz121(n);
+    let s = solver();
+    let (vals, vecs) = s.solve_range(&t, 50, 50).unwrap();
+    assert_eq!(vals.len(), 1);
+    let want = 2.0 - 2.0 * (51.0 * std::f64::consts::PI / 101.0).cos();
+    assert!((vals[0] - want).abs() < 1e-11);
+    // Residual of the single vector.
+    let mut y = vec![0.0; n];
+    let col: Vec<f64> = (0..n).map(|r| vecs[(r, 0)]).collect();
+    t.matvec(&col, &mut y);
+    for r in 0..n {
+        assert!((y[r] - vals[0] * col[r]).abs() < 1e-11);
+    }
+}
+
+#[test]
+fn extreme_scaling_invariance() {
+    // Eigenvalues scale linearly with the matrix.
+    let t = MatrixType::Type6.generate(40, 17);
+    let scaled = SymTridiag::new(
+        t.d.iter().map(|x| x * 1e150).collect(),
+        t.e.iter().map(|x| x * 1e150).collect(),
+    );
+    let s = solver();
+    let a = s.eigenvalues(&t).unwrap();
+    let b = s.eigenvalues(&scaled).unwrap();
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x * 1e150 - y).abs() < 1e140, "{x} vs {y}");
+    }
+}
+
+#[test]
+fn representation_tools_compose() {
+    // LDL factor → stqds shift → sturm counts stay consistent.
+    let t = SymTridiag::toeplitz121(30);
+    let rep = ldl_factor(&t, -1.0); // T + I
+    let shifted = stqds_shift(&rep, 0.7);
+    for x in [0.1, 0.5, 1.3, 2.9, 4.4] {
+        // count(LDL - 0.7 < x) == count(T + 1 < x + 0.7)
+        assert_eq!(
+            sturm_count_ldl(&shifted, x),
+            dcst_tridiag::sturm_count(&t, x + 0.7 - 1.0),
+            "x = {x}"
+        );
+    }
+}
+
+#[test]
+fn twisted_vectors_match_qr_reference() {
+    let t = MatrixType::Type14.generate(50, 3);
+    let (lam_qr, v_qr) = dcst_qriter_reference(&t);
+    let (gl, gu) = t.gershgorin_bounds();
+    let sigma = gl - 1e-3 * (gu - gl);
+    let rep = ldl_factor(&t, sigma);
+    // Check a few well-separated interior eigenpairs.
+    for &k in &[5usize, 25, 45] {
+        let lam = bisect_refine_ldl(&rep, k, lam_qr[k] - sigma, t.max_norm());
+        let mut z = vec![0.0; 50];
+        twisted_vector(&rep, lam, &mut z);
+        let dot: f64 = (0..50).map(|i| z[i] * v_qr[(i, k)]).sum();
+        assert!(dot.abs() > 1.0 - 1e-9, "eigenvector {k}: alignment {dot}");
+    }
+}
+
+fn dcst_qriter_reference(t: &SymTridiag) -> (Vec<f64>, dcst_matrix::Matrix) {
+    // An independent reference (no dependency on the workspace's other
+    // eigensolvers): cyclic Jacobi on the dense matrix — slow but simple
+    // and fully self-contained at 50×50.
+    let n = t.n();
+    let mut a = t.to_dense();
+    let mut v = dcst_matrix::Matrix::identity(n);
+    for _sweep in 0..60 {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in p + 1..n {
+                off += a[(p, q)] * a[(p, q)];
+            }
+        }
+        if off.sqrt() < 1e-14 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = a[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let tau = (a[(q, q)] - a[(p, p)]) / (2.0 * apq);
+                let tn = dcst_matrix::util::sign(1.0, tau) / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + tn * tn).sqrt();
+                let s = tn * c;
+                for i in 0..n {
+                    let (aip, aiq) = (a[(i, p)], a[(i, q)]);
+                    a[(i, p)] = c * aip - s * aiq;
+                    a[(i, q)] = s * aip + c * aiq;
+                }
+                for j in 0..n {
+                    let (apj, aqj) = (a[(p, j)], a[(q, j)]);
+                    a[(p, j)] = c * apj - s * aqj;
+                    a[(q, j)] = s * apj + c * aqj;
+                }
+                for i in 0..n {
+                    let (vip, viq) = (v[(i, p)], v[(i, q)]);
+                    v[(i, p)] = c * vip - s * viq;
+                    v[(i, q)] = s * vip + c * viq;
+                }
+            }
+        }
+    }
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a[(i, i)], i)).collect();
+    pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    let lam: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let mut vs = dcst_matrix::Matrix::zeros(n, n);
+    for (col, &(_, src)) in pairs.iter().enumerate() {
+        for i in 0..n {
+            vs[(i, col)] = v[(i, src)];
+        }
+    }
+    (lam, vs)
+}

@@ -1,0 +1,40 @@
+//! Implicit-shift QR iteration for the symmetric tridiagonal eigenproblem.
+//!
+//! This is the workspace's `dsteqr`/`dsterf` analogue: the leaf solver of
+//! the divide & conquer tree and the reference solver in tests. One
+//! Wilkinson-shifted implicit QR sweep per outer iteration, bulge chased
+//! top-to-bottom, rotations optionally accumulated into an eigenvector
+//! block.
+
+mod steqr;
+
+pub use steqr::{eigenvalues, steqr, steqr_mut, QrError, ZBlock};
+
+use dcst_matrix::Matrix;
+use dcst_tridiag::SymTridiag;
+
+/// Facade: the QR-iteration tridiagonal eigensolver.
+///
+/// ```
+/// use dcst_qriter::QrIteration;
+/// use dcst_tridiag::SymTridiag;
+///
+/// let t = SymTridiag::toeplitz121(16);
+/// let (values, vectors) = QrIteration.solve(&t).unwrap();
+/// assert_eq!(values.len(), 16);
+/// assert_eq!(vectors.cols(), 16);
+/// ```
+pub struct QrIteration;
+
+impl QrIteration {
+    /// Full eigen-decomposition `T = V Λ Vᵀ`; values ascending, vectors in
+    /// matching column order.
+    pub fn solve(&self, t: &SymTridiag) -> Result<(Vec<f64>, Matrix), QrError> {
+        steqr(t)
+    }
+
+    /// Eigenvalues only (root-free), ascending.
+    pub fn solve_values(&self, t: &SymTridiag) -> Result<Vec<f64>, QrError> {
+        eigenvalues(t)
+    }
+}

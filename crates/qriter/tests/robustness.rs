@@ -1,0 +1,100 @@
+//! QR-iteration robustness: gradings, clusters, sign conventions, and
+//! agreement between the value-only and full paths.
+
+use dcst_qriter::{eigenvalues, steqr, QrIteration};
+use dcst_tridiag::gen::MatrixType;
+use dcst_tridiag::{sturm_count, SymTridiag};
+
+#[test]
+fn strongly_graded_matrix() {
+    // Diagonal spanning 12 orders of magnitude with couplings at the
+    // geometric means — normwise-stable QR must still deliver small
+    // residuals relative to ‖T‖.
+    let n = 24;
+    let d: Vec<f64> = (0..n).map(|i| 10f64.powi(-(i as i32) / 2)).collect();
+    let e: Vec<f64> = (0..n - 1).map(|i| 0.1 * (d[i] * d[i + 1]).sqrt()).collect();
+    let t = SymTridiag::new(d, e);
+    let (lam, v) = steqr(&t).unwrap();
+    let r = dcst_matrix::residual_error(n, |x, y| t.matvec(x, y), &lam, &v, t.max_norm());
+    assert!(r < 1e-14, "residual {r}");
+    assert!(dcst_matrix::orthogonality_error(&v) < 1e-14);
+}
+
+#[test]
+fn eigenvalue_counts_match_sturm() {
+    let t = MatrixType::Type6.generate(60, 44);
+    let lam = eigenvalues(&t).unwrap();
+    for &probe in &[-0.9, -0.5, 0.0, 0.3, 0.8] {
+        let direct = lam.iter().filter(|&&l| l < probe).count();
+        assert_eq!(sturm_count(&t, probe), direct, "probe {probe}");
+    }
+}
+
+#[test]
+fn sign_flip_of_offdiagonals_preserves_spectrum() {
+    // T and DTD with D = diag(±1) are similar: flipping the sign of any
+    // off-diagonal entry leaves the spectrum unchanged.
+    let t = MatrixType::Type6.generate(40, 8);
+    let mut e = t.e.clone();
+    for (i, x) in e.iter_mut().enumerate() {
+        if i % 3 == 0 {
+            *x = -*x;
+        }
+    }
+    let flipped = SymTridiag::new(t.d.clone(), e);
+    let a = eigenvalues(&t).unwrap();
+    let b = eigenvalues(&flipped).unwrap();
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-12 * t.max_norm().max(1.0));
+    }
+}
+
+#[test]
+fn zero_matrix_and_constant_diagonal() {
+    let z = SymTridiag::new(vec![0.0; 10], vec![0.0; 9]);
+    let (lam, v) = steqr(&z).unwrap();
+    assert!(lam.iter().all(|&l| l == 0.0));
+    assert!(dcst_matrix::orthogonality_error(&v) < 1e-15);
+
+    let c = SymTridiag::new(vec![3.5; 10], vec![0.0; 9]);
+    let (lam, _) = steqr(&c).unwrap();
+    assert!(lam.iter().all(|&l| l == 3.5));
+}
+
+#[test]
+fn two_by_two_exact_rotation() {
+    // Known analytic eigenpair: [[3, 4], [4, -3]] has λ = ±5.
+    let t = SymTridiag::new(vec![3.0, -3.0], vec![4.0]);
+    let (lam, v) = steqr(&t).unwrap();
+    assert!((lam[0] + 5.0).abs() < 1e-14);
+    assert!((lam[1] - 5.0).abs() < 1e-14);
+    // Eigenvector of λ = 5: (2, 1)/√5.
+    let ratio = v[(0, 1)] / v[(1, 1)];
+    assert!((ratio - 2.0).abs() < 1e-13, "ratio {ratio}");
+}
+
+#[test]
+fn values_only_path_is_consistent_across_types() {
+    for ty in [MatrixType::Type8, MatrixType::Type11, MatrixType::Type12, MatrixType::Type15] {
+        let t = ty.generate(48, 12);
+        let only = QrIteration.solve_values(&t).unwrap();
+        let (full, _) = QrIteration.solve(&t).unwrap();
+        for (a, b) in only.iter().zip(&full) {
+            assert!((a - b).abs() < 1e-11 * t.max_norm().max(1.0), "type {}", ty.index());
+        }
+    }
+}
+
+#[test]
+fn near_reducible_chain() {
+    // Alternating strong/negligible couplings: effectively 2x2 blocks.
+    let n = 12;
+    let d = vec![1.0; n];
+    let e: Vec<f64> = (0..n - 1).map(|i| if i % 2 == 0 { 0.5 } else { 1e-300 }).collect();
+    let t = SymTridiag::new(d, e);
+    let (lam, v) = steqr(&t).unwrap();
+    // Spectrum: 0.5 and 1.5, each with multiplicity n/2.
+    assert_eq!(lam.iter().filter(|&&l| (l - 0.5).abs() < 1e-12).count(), n / 2);
+    assert_eq!(lam.iter().filter(|&&l| (l - 1.5).abs() < 1e-12).count(), n / 2);
+    assert!(dcst_matrix::orthogonality_error(&v) < 1e-14);
+}

@@ -1,0 +1,127 @@
+//! DAG recording and DOT export (the paper's Figure 2).
+
+/// Records task names and dependency edges at submission time.
+#[derive(Default, Clone, Debug)]
+pub struct DagRecorder {
+    nodes: Vec<(usize, &'static str)>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl DagRecorder {
+    pub(crate) fn record(&mut self, id: usize, name: &'static str, deps: &[usize]) {
+        self.nodes.push((id, name));
+        self.edges.extend(deps.iter().map(|&d| (d, id)));
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edges as `(from, to)` task-id pairs.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Node `(id, name)` pairs in submission order.
+    pub fn nodes(&self) -> &[(usize, &'static str)] {
+        &self.nodes
+    }
+
+    /// Depth of the DAG (longest path, in tasks). Submission order is a
+    /// topological order, so one forward sweep suffices.
+    pub fn critical_path_len(&self) -> usize {
+        if self.nodes.is_empty() {
+            return 0;
+        }
+        let maxid = self.nodes.iter().map(|&(id, _)| id).max().unwrap();
+        let mut depth = vec![0usize; maxid + 1];
+        for &(id, _) in &self.nodes {
+            depth[id] = 1;
+        }
+        for &(from, to) in &self.edges {
+            if depth[to] < depth[from] + 1 {
+                depth[to] = depth[from] + 1;
+            }
+        }
+        // Edges are recorded grouped by destination in submission order, so
+        // a single pass is not sufficient in general; iterate to fixpoint.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(from, to) in &self.edges {
+                if depth[to] < depth[from] + 1 {
+                    depth[to] = depth[from] + 1;
+                    changed = true;
+                }
+            }
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+
+    /// Render the DAG in Graphviz DOT, colored per kernel name.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let palette = [
+            "lightblue", "salmon", "palegreen", "gold", "plum", "khaki", "lightcyan", "orange",
+            "lightpink", "lightgray",
+        ];
+        let mut colors: std::collections::HashMap<&'static str, &'static str> = Default::default();
+        let mut next = 0usize;
+        let mut s = String::from("digraph dcst {\n  rankdir=TB;\n  node [style=filled, shape=box];\n");
+        for &(id, name) in &self.nodes {
+            let color = *colors.entry(name).or_insert_with(|| {
+                let c = palette[next % palette.len()];
+                next += 1;
+                c
+            });
+            writeln!(s, "  t{id} [label=\"{name}\", fillcolor={color}];").unwrap();
+        }
+        for &(from, to) in &self.edges {
+            writeln!(s, "  t{from} -> t{to};").unwrap();
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_nodes_and_edges() {
+        let mut d = DagRecorder::default();
+        d.record(0, "a", &[]);
+        d.record(1, "b", &[0]);
+        d.record(2, "c", &[0, 1]);
+        assert_eq!(d.num_nodes(), 3);
+        assert_eq!(d.num_edges(), 3);
+        assert_eq!(d.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn dot_output_has_all_nodes() {
+        let mut d = DagRecorder::default();
+        d.record(0, "Scale", &[]);
+        d.record(1, "STEDC", &[0]);
+        let dot = d.to_dot();
+        assert!(dot.contains("t0 [label=\"Scale\""));
+        assert!(dot.contains("t0 -> t1;"));
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn parallel_tasks_do_not_extend_critical_path() {
+        let mut d = DagRecorder::default();
+        d.record(0, "root", &[]);
+        for i in 1..=10 {
+            d.record(i, "leaf", &[0]);
+        }
+        d.record(11, "join", &(1..=10).collect::<Vec<_>>());
+        assert_eq!(d.critical_path_len(), 3);
+    }
+}

@@ -1,0 +1,51 @@
+//! A QUARK-like sequential-task-flow (STF) runtime.
+//!
+//! The IPDPS'15 divide-and-conquer eigensolver is expressed as a *sequential
+//! flow of tasks*: a master thread submits tasks in program order, each task
+//! declaring how it accesses named data regions ([`DataKey`]s) — `INPUT`,
+//! `OUTPUT`, `INOUT`, or the paper's `GATHERV` extension. The runtime infers
+//! inter-task dependencies from those declarations (sequential-consistency
+//! semantics) and executes tasks out of order on a work-stealing worker pool
+//! as soon as their dependencies are satisfied.
+//!
+//! `GATHERV` is the qualifier the paper added to QUARK: several concurrent
+//! writers to the *same* key that the programmer guarantees touch disjoint
+//! parts of it. GatherV accesses commute with each other (no mutual
+//! dependencies) but act as writers against everything before and after the
+//! group, so a panel fan-out followed by a join needs only a constant number
+//! of declared dependencies per task.
+//!
+//! ```
+//! use dcst_runtime::{DataKey, Runtime};
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let rt = Runtime::new(2);
+//! let k = DataKey::new(0, 0);
+//! let hits = Arc::new(AtomicUsize::new(0));
+//! for _ in 0..4 {
+//!     let hits = hits.clone();
+//!     // Four commuting partial writers...
+//!     rt.task("partial").gatherv(k).spawn(move || {
+//!         hits.fetch_add(1, Ordering::SeqCst);
+//!     });
+//! }
+//! let hits2 = hits.clone();
+//! // ...joined by one reader that sees all of them.
+//! rt.task("join").read(k).spawn(move || {
+//!     assert_eq!(hits2.load(Ordering::SeqCst), 4);
+//! });
+//! rt.wait().unwrap();
+//! ```
+
+mod dag;
+mod deps;
+mod pool;
+mod share;
+mod trace;
+
+pub use dag::DagRecorder;
+pub use deps::{Access, AccessMode, DataKey};
+pub use pool::{Runtime, RuntimeError, TaskBuilder};
+pub use share::SharedData;
+pub use trace::{TaskRecord, Trace};

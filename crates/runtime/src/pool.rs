@@ -1,0 +1,510 @@
+//! Out-of-order task execution on a work-stealing worker pool.
+//!
+//! The master thread submits tasks ([`Runtime::task`]); dependencies are
+//! inferred by [`DepTracker`](crate::deps) and encoded as edges between
+//! nodes. A node becomes *ready* when its last unfinished predecessor
+//! completes, at which point it is pushed to a crossbeam injector that the
+//! worker threads drain (local deque first, then injector, then stealing).
+
+use crate::dag::DagRecorder;
+use crate::deps::{Access, AccessMode, DataKey, DepTracker};
+use crate::trace::{TaskRecord, Trace};
+use crossbeam_deque::{Injector, Steal, Stealer, Worker as WorkerDeque};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+type TaskFn = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error returned by [`Runtime::wait`] when a task panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError {
+    /// Name of the first task that panicked.
+    pub task: String,
+    /// Panic payload rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task '{}' panicked: {}", self.task, self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+struct NodeBody {
+    /// Taken by the executing worker.
+    closure: Option<TaskFn>,
+    /// Tasks waiting on this one; edges registered at submission time.
+    successors: Vec<Arc<Node>>,
+    finished: bool,
+}
+
+struct Node {
+    id: usize,
+    name: &'static str,
+    pending: AtomicUsize,
+    body: Mutex<NodeBody>,
+}
+
+struct Shared {
+    injector: Injector<Arc<Node>>,
+    stealers: Vec<Stealer<Arc<Node>>>,
+    /// Tasks submitted but not yet finished.
+    outstanding: AtomicUsize,
+    /// Signals workers to exit.
+    stop: AtomicBool,
+    /// True while a trace buffer is installed (cheap pre-check).
+    tracing: AtomicBool,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+    panic: Mutex<Option<RuntimeError>>,
+    trace: Mutex<Vec<TaskRecord>>,
+    epoch: Instant,
+}
+
+impl Shared {
+    fn push_ready(&self, node: Arc<Node>) {
+        self.injector.push(node);
+        self.idle_cv.notify_one();
+    }
+
+    fn execute(&self, node: Arc<Node>, worker_id: usize) {
+        let closure = node.body.lock().closure.take();
+        let start = self.epoch.elapsed();
+        if let Some(f) = closure {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                let mut slot = self.panic.lock();
+                if slot.is_none() {
+                    *slot = Some(RuntimeError { task: node.name.to_string(), message });
+                }
+            }
+        }
+        if self.tracing.load(Ordering::Relaxed) {
+            let end = self.epoch.elapsed();
+            self.trace.lock().push(TaskRecord {
+                name: node.name,
+                worker: worker_id,
+                start_us: start.as_micros() as u64,
+                end_us: end.as_micros() as u64,
+            });
+        }
+        // Release successors.
+        let successors = {
+            let mut body = node.body.lock();
+            body.finished = true;
+            std::mem::take(&mut body.successors)
+        };
+        for s in successors {
+            if s.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.push_ready(s);
+            }
+        }
+        if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.done_lock.lock();
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+fn find_task(shared: &Shared, local: &WorkerDeque<Arc<Node>>) -> Option<Arc<Node>> {
+    local.pop().or_else(|| {
+        loop {
+            let steal = shared
+                .injector
+                .steal_batch_and_pop(local)
+                .or_else(|| shared.stealers.iter().map(|s| s.steal()).collect());
+            match steal {
+                Steal::Success(node) => return Some(node),
+                Steal::Empty => return None,
+                Steal::Retry => continue,
+            }
+        }
+    })
+}
+
+fn worker_loop(shared: Arc<Shared>, local: WorkerDeque<Arc<Node>>, worker_id: usize) {
+    loop {
+        match find_task(&shared, &local) {
+            Some(node) => shared.execute(node, worker_id),
+            None => {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                let mut guard = shared.idle_lock.lock();
+                // Re-check under the lock so a push between the failed pop
+                // and this park cannot be missed (pushers notify under it).
+                if shared.injector.is_empty() && !shared.stop.load(Ordering::Acquire) {
+                    shared.idle_cv.wait_for(&mut guard, std::time::Duration::from_millis(50));
+                }
+            }
+        }
+    }
+}
+
+struct SubmitState {
+    tracker: DepTracker,
+    next_id: usize,
+    /// Unfinished (or not yet GC'd) nodes by id, for edge wiring.
+    nodes: HashMap<usize, Arc<Node>>,
+    dag: Option<DagRecorder>,
+}
+
+/// The sequential-task-flow runtime. See the crate docs for the model.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    submit: Mutex<SubmitState>,
+    num_threads: usize,
+}
+
+impl Runtime {
+    /// Spawn a pool of `num_threads` workers (at least 1).
+    pub fn new(num_threads: usize) -> Self {
+        let num_threads = num_threads.max(1);
+        let deques: Vec<_> = (0..num_threads).map(|_| WorkerDeque::new_fifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            outstanding: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            tracing: AtomicBool::new(false),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+            trace: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+        });
+        let threads = deques
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let sh = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("dcst-worker-{i}"))
+                    .spawn(move || worker_loop(sh, d, i))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Runtime {
+            shared,
+            threads,
+            submit: Mutex::new(SubmitState {
+                tracker: DepTracker::default(),
+                next_id: 0,
+                nodes: HashMap::new(),
+                dag: None,
+            }),
+            num_threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Begin building a task named `name` (names label traces and DAG dumps).
+    pub fn task(&self, name: &'static str) -> TaskBuilder<'_> {
+        TaskBuilder { rt: self, name, accesses: Vec::new() }
+    }
+
+    /// Start recording per-task timing. Any previous trace is discarded.
+    pub fn enable_tracing(&self) {
+        *self.shared.trace.lock() = Vec::new();
+        self.shared.tracing.store(true, Ordering::Relaxed);
+    }
+
+    /// Stop tracing and return the records collected so far.
+    pub fn take_trace(&self) -> Trace {
+        self.shared.tracing.store(false, Ordering::Relaxed);
+        Trace {
+            records: std::mem::take(&mut *self.shared.trace.lock()),
+            num_workers: self.num_threads,
+        }
+    }
+
+    /// Start recording the task DAG (names + dependency edges).
+    pub fn enable_dag_recording(&self) {
+        self.submit.lock().dag = Some(DagRecorder::default());
+    }
+
+    /// Stop DAG recording and return the recorder (None if never enabled).
+    pub fn take_dag(&self) -> Option<DagRecorder> {
+        self.submit.lock().dag.take()
+    }
+
+    fn submit_task(&self, name: &'static str, accesses: Vec<Access>, f: TaskFn) {
+        let mut st = self.submit.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        let deps = st.tracker.submit(id, &accesses);
+        if let Some(dag) = st.dag.as_mut() {
+            dag.record(id, name, &deps);
+        }
+        // The +1 sentinel keeps the task from firing while edges are wired.
+        let node = Arc::new(Node {
+            id,
+            name,
+            pending: AtomicUsize::new(1),
+            body: Mutex::new(NodeBody { closure: Some(f), successors: Vec::new(), finished: false }),
+        });
+        self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+        for &d in &deps {
+            if let Some(pred) = st.nodes.get(&d) {
+                let mut body = pred.body.lock();
+                if !body.finished {
+                    node.pending.fetch_add(1, Ordering::AcqRel);
+                    body.successors.push(node.clone());
+                }
+            }
+        }
+        st.nodes.insert(node.id, node.clone());
+        drop(st);
+        if node.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.shared.push_ready(node);
+        }
+    }
+
+    /// Block until every submitted task has finished. Returns the first
+    /// task panic, if any (the panic slot is then cleared for reuse).
+    pub fn wait(&self) -> Result<(), RuntimeError> {
+        let mut guard = self.shared.done_lock.lock();
+        while self.shared.outstanding.load(Ordering::Acquire) != 0 {
+            self.shared
+                .done_cv
+                .wait_for(&mut guard, std::time::Duration::from_millis(50));
+        }
+        drop(guard);
+        // Completed nodes are no longer needed for edge wiring.
+        self.submit.lock().nodes.retain(|_, n| !n.body.lock().finished);
+        match self.shared.panic.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        let _ = self.wait();
+        self.shared.stop.store(true, Ordering::Release);
+        {
+            let _g = self.shared.idle_lock.lock();
+            self.shared.idle_cv.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Builder for one task: declare accesses, then [`spawn`](Self::spawn).
+pub struct TaskBuilder<'rt> {
+    rt: &'rt Runtime,
+    name: &'static str,
+    accesses: Vec<Access>,
+}
+
+impl TaskBuilder<'_> {
+    /// Declare an `INPUT` access.
+    pub fn read(mut self, key: DataKey) -> Self {
+        self.accesses.push(Access { key, mode: AccessMode::Read });
+        self
+    }
+
+    /// Declare an `OUTPUT` access.
+    pub fn write(mut self, key: DataKey) -> Self {
+        self.accesses.push(Access { key, mode: AccessMode::Write });
+        self
+    }
+
+    /// Declare an `INOUT` access.
+    pub fn read_write(mut self, key: DataKey) -> Self {
+        self.accesses.push(Access { key, mode: AccessMode::ReadWrite });
+        self
+    }
+
+    /// Declare a `GATHERV` access (commuting disjoint writer).
+    pub fn gatherv(mut self, key: DataKey) -> Self {
+        self.accesses.push(Access { key, mode: AccessMode::GatherV });
+        self
+    }
+
+    /// Submit the task. It runs as soon as its dependencies are satisfied.
+    pub fn spawn(self, f: impl FnOnce() + Send + 'static) {
+        self.rt.submit_task(self.name, self.accesses, Box::new(f));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_a_single_task() {
+        let rt = Runtime::new(2);
+        let hit = Arc::new(AtomicBool::new(false));
+        let h = hit.clone();
+        rt.task("t").spawn(move || h.store(true, Ordering::SeqCst));
+        rt.wait().unwrap();
+        assert!(hit.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn respects_write_read_ordering() {
+        // A long chain through one key must execute in submission order.
+        let rt = Runtime::new(4);
+        let k = DataKey::new(0, 0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..64usize {
+            let log = log.clone();
+            rt.task("chain").read_write(k).spawn(move || log.lock().push(i));
+        }
+        rt.wait().unwrap();
+        let got = log.lock().clone();
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn independent_tasks_can_overlap() {
+        // Two tasks on different keys, each waiting for the other to start:
+        // deadlocks unless they run concurrently.
+        let rt = Runtime::new(2);
+        let a = Arc::new(AtomicBool::new(false));
+        let b = Arc::new(AtomicBool::new(false));
+        let (a1, b1) = (a.clone(), b.clone());
+        rt.task("x").write(DataKey::new(0, 1)).spawn(move || {
+            a1.store(true, Ordering::SeqCst);
+            while !b1.load(Ordering::SeqCst) {
+                std::hint::spin_loop();
+            }
+        });
+        let (a2, b2) = (a, b);
+        rt.task("y").write(DataKey::new(0, 2)).spawn(move || {
+            b2.store(true, Ordering::SeqCst);
+            while !a2.load(Ordering::SeqCst) {
+                std::hint::spin_loop();
+            }
+        });
+        rt.wait().unwrap();
+    }
+
+    #[test]
+    fn gatherv_fanout_joins_correctly() {
+        let rt = Runtime::new(3);
+        let k = DataKey::new(1, 0);
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 1..=10u64 {
+            let sum = sum.clone();
+            rt.task("part").gatherv(k).spawn(move || {
+                sum.fetch_add(i, Ordering::SeqCst);
+            });
+        }
+        let observed = Arc::new(AtomicU64::new(0));
+        let (s, o) = (sum.clone(), observed.clone());
+        rt.task("join").read_write(k).spawn(move || {
+            o.store(s.load(Ordering::SeqCst), Ordering::SeqCst);
+        });
+        rt.wait().unwrap();
+        assert_eq!(observed.load(Ordering::SeqCst), 55);
+    }
+
+    #[test]
+    fn panic_is_reported_not_propagated() {
+        let rt = Runtime::new(2);
+        rt.task("boom").spawn(|| panic!("injected failure"));
+        let err = rt.wait().unwrap_err();
+        assert_eq!(err.task, "boom");
+        assert!(err.message.contains("injected failure"));
+        // The runtime is reusable afterwards.
+        rt.task("ok").spawn(|| {});
+        rt.wait().unwrap();
+    }
+
+    #[test]
+    fn wait_is_reusable_across_phases() {
+        let rt = Runtime::new(2);
+        let count = Arc::new(AtomicUsize::new(0));
+        for phase in 0..3 {
+            for _ in 0..10 {
+                let c = count.clone();
+                rt.task("p").spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            rt.wait().unwrap();
+            assert_eq!(count.load(Ordering::SeqCst), (phase + 1) * 10);
+        }
+    }
+
+    #[test]
+    fn trace_records_every_task() {
+        let rt = Runtime::new(2);
+        rt.enable_tracing();
+        for _ in 0..5 {
+            rt.task("traced").spawn(|| {});
+        }
+        rt.wait().unwrap();
+        let trace = rt.take_trace();
+        assert_eq!(trace.records.len(), 5);
+        assert!(trace.records.iter().all(|r| r.name == "traced" && r.end_us >= r.start_us));
+    }
+
+    #[test]
+    fn logical_clock_never_violates_dependencies() {
+        // Random DAG via random key accesses; a logical clock per key checks
+        // that any reader observes the value the last writer published.
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let rt = Runtime::new(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(2024);
+        let nkeys = 6usize;
+        let cells: Vec<Arc<AtomicU64>> = (0..nkeys).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let mut expected = vec![0u64; nkeys];
+        let violations = Arc::new(AtomicUsize::new(0));
+        for t in 0..300u64 {
+            let ki = rng.gen_range(0..nkeys);
+            let key = DataKey::new(9, ki as u64);
+            let cell = cells[ki].clone();
+            if rng.gen_bool(0.5) {
+                // Writer: bump the clock to a known value.
+                let newv = t + 1;
+                let oldv = expected[ki];
+                let viol = violations.clone();
+                rt.task("w").read_write(key).spawn(move || {
+                    if cell.load(Ordering::SeqCst) != oldv {
+                        viol.fetch_add(1, Ordering::SeqCst);
+                    }
+                    cell.store(newv, Ordering::SeqCst);
+                });
+                expected[ki] = newv;
+            } else {
+                let want = expected[ki];
+                let viol = violations.clone();
+                rt.task("r").read(key).spawn(move || {
+                    if cell.load(Ordering::SeqCst) != want {
+                        viol.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        }
+        rt.wait().unwrap();
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Execution traces: one record per executed task (Figures 3 and 4).
+
+use serde::Serialize;
+
+/// Timing record for one executed task.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct TaskRecord {
+    /// Kernel name as given at submission (`LAED4`, `UpdateVect`, ...).
+    pub name: &'static str,
+    /// Worker thread that executed the task.
+    pub worker: usize,
+    /// Start time in microseconds since the runtime epoch.
+    pub start_us: u64,
+    /// End time in microseconds since the runtime epoch.
+    pub end_us: u64,
+}
+
+/// A collected execution trace.
+#[derive(Clone, Debug, Serialize)]
+pub struct Trace {
+    pub records: Vec<TaskRecord>,
+    pub num_workers: usize,
+}
+
+/// Per-kernel aggregate used in textual trace summaries.
+#[derive(Clone, Debug, Serialize)]
+pub struct KernelStat {
+    pub name: &'static str,
+    pub count: usize,
+    pub total_us: u64,
+}
+
+impl Trace {
+    /// Wall-clock span covered by the trace, in microseconds.
+    pub fn makespan_us(&self) -> u64 {
+        let start = self.records.iter().map(|r| r.start_us).min().unwrap_or(0);
+        let end = self.records.iter().map(|r| r.end_us).max().unwrap_or(0);
+        end.saturating_sub(start)
+    }
+
+    /// Total busy time across all workers, in microseconds.
+    pub fn busy_us(&self) -> u64 {
+        self.records.iter().map(|r| r.end_us - r.start_us).sum()
+    }
+
+    /// Fraction of worker time spent idle inside the traced span, in [0, 1].
+    pub fn idle_fraction(&self) -> f64 {
+        let span = self.makespan_us() * self.num_workers as u64;
+        if span == 0 {
+            return 0.0;
+        }
+        1.0 - self.busy_us() as f64 / span as f64
+    }
+
+    /// Per-kernel totals, sorted by descending total time.
+    pub fn kernel_stats(&self) -> Vec<KernelStat> {
+        let mut map: std::collections::HashMap<&'static str, (usize, u64)> = Default::default();
+        for r in &self.records {
+            let e = map.entry(r.name).or_default();
+            e.0 += 1;
+            e.1 += r.end_us - r.start_us;
+        }
+        let mut out: Vec<KernelStat> =
+            map.into_iter().map(|(name, (count, total_us))| KernelStat { name, count, total_us }).collect();
+        out.sort_by(|a, b| b.total_us.cmp(&a.total_us));
+        out
+    }
+
+    /// Serialize the full trace to JSON (one object; `records` array inside).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+    }
+
+    /// Render the trace as an SVG timeline — one lane per worker, one
+    /// colored rectangle per task, kernel colors assigned in order of
+    /// first appearance (the paper's Figures 3 and 4 are exactly this
+    /// visualization). Returns a standalone SVG document.
+    pub fn to_svg(&self, width: u32, lane_height: u32) -> String {
+        use std::fmt::Write;
+        const PALETTE: [&str; 12] = [
+            "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
+            "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#1b9e77", "#d95f02",
+        ];
+        let t0 = self.records.iter().map(|r| r.start_us).min().unwrap_or(0);
+        let t1 = self.records.iter().map(|r| r.end_us).max().unwrap_or(1).max(t0 + 1);
+        let scale = width as f64 / (t1 - t0) as f64;
+        let legend_h = 18;
+        let height = self.num_workers as u32 * (lane_height + 4) + legend_h + 8;
+        let mut colors: Vec<(&'static str, &'static str)> = Vec::new();
+        let mut svg = String::new();
+        write!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+             font-family=\"monospace\" font-size=\"10\">\n\
+             <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+        )
+        .unwrap();
+        for r in &self.records {
+            let color = match colors.iter().find(|(n, _)| *n == r.name) {
+                Some((_, c)) => *c,
+                None => {
+                    let c = PALETTE[colors.len() % PALETTE.len()];
+                    colors.push((r.name, c));
+                    c
+                }
+            };
+            let x = (r.start_us - t0) as f64 * scale;
+            let w = (((r.end_us - r.start_us) as f64) * scale).max(0.5);
+            let y = legend_h as f64 + r.worker as f64 * (lane_height + 4) as f64;
+            write!(
+                svg,
+                "<rect x=\"{x:.2}\" y=\"{y:.1}\" width=\"{w:.2}\" height=\"{lane_height}\" \
+                 fill=\"{color}\"><title>{} [w{}] {}us</title></rect>\n",
+                r.name,
+                r.worker,
+                r.end_us - r.start_us
+            )
+            .unwrap();
+        }
+        // Legend.
+        let mut x = 2.0f64;
+        for (name, color) in &colors {
+            write!(
+                svg,
+                "<rect x=\"{x:.1}\" y=\"2\" width=\"10\" height=\"10\" fill=\"{color}\"/>\
+                 <text x=\"{:.1}\" y=\"11\">{name}</text>\n",
+                x + 13.0
+            )
+            .unwrap();
+            x += 13.0 + 7.0 * (name.len() as f64 + 2.0);
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Render an ASCII timeline: one row per worker, time binned into
+    /// `width` columns, each cell showing the initial of the kernel that
+    /// was running (or '.' for idle). A compact stand-in for the paper's
+    /// colored trace figures.
+    pub fn ascii_timeline(&self, width: usize) -> String {
+        if self.records.is_empty() {
+            return String::new();
+        }
+        let t0 = self.records.iter().map(|r| r.start_us).min().unwrap();
+        let t1 = self.records.iter().map(|r| r.end_us).max().unwrap().max(t0 + 1);
+        let scale = width as f64 / (t1 - t0) as f64;
+        let mut rows = vec![vec!['.'; width]; self.num_workers];
+        for r in &self.records {
+            let c = r.name.chars().next().unwrap_or('?');
+            let a = ((r.start_us - t0) as f64 * scale) as usize;
+            let b = (((r.end_us - t0) as f64 * scale) as usize).min(width - 1);
+            if r.worker < rows.len() {
+                for cell in &mut rows[r.worker][a..=b.max(a)] {
+                    *cell = c;
+                }
+            }
+        }
+        rows.iter()
+            .enumerate()
+            .map(|(w, row)| format!("w{w:02} |{}|", row.iter().collect::<String>()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            records: vec![
+                TaskRecord { name: "LAED4", worker: 0, start_us: 0, end_us: 10 },
+                TaskRecord { name: "LAED4", worker: 1, start_us: 0, end_us: 10 },
+                TaskRecord { name: "UpdateVect", worker: 0, start_us: 10, end_us: 35 },
+            ],
+            num_workers: 2,
+        }
+    }
+
+    #[test]
+    fn makespan_and_busy() {
+        let t = sample();
+        assert_eq!(t.makespan_us(), 35);
+        assert_eq!(t.busy_us(), 45);
+        let idle = t.idle_fraction();
+        assert!((idle - (1.0 - 45.0 / 70.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_stats_sorted_by_time() {
+        let t = sample();
+        let stats = t.kernel_stats();
+        assert_eq!(stats[0].name, "UpdateVect");
+        assert_eq!(stats[0].count, 1);
+        assert_eq!(stats[1].name, "LAED4");
+        assert_eq!(stats[1].count, 2);
+        assert_eq!(stats[1].total_us, 20);
+        assert_eq!(stats[0].total_us, 25);
+    }
+
+    #[test]
+    fn json_roundtrips_names() {
+        let t = sample();
+        let json = t.to_json();
+        assert!(json.contains("UpdateVect"));
+        assert!(json.contains("\"num_workers\": 2"));
+    }
+
+    #[test]
+    fn ascii_timeline_shapes() {
+        let t = sample();
+        let art = t.ascii_timeline(30);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('L'));
+        assert!(lines[0].contains('U'));
+        assert!(lines[1].contains('L'));
+    }
+
+    #[test]
+    fn svg_contains_lanes_and_legend() {
+        let t = sample();
+        let svg = t.to_svg(400, 14);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // One rect per record plus background plus 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 1 + 3 + 2);
+        assert!(svg.contains(">LAED4</text>"));
+        assert!(svg.contains(">UpdateVect</text>"));
+    }
+
+    #[test]
+    fn svg_of_empty_trace_is_valid() {
+        let t = Trace { records: vec![], num_workers: 2 };
+        let svg = t.to_svg(100, 10);
+        assert!(svg.starts_with("<svg") && svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let t = Trace { records: vec![], num_workers: 4 };
+        assert_eq!(t.makespan_us(), 0);
+        assert_eq!(t.idle_fraction(), 0.0);
+        assert!(t.ascii_timeline(10).is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Runtime semantics under stress: ordering guarantees, panic containment,
+//! GATHERV group interleavings, DAG recording, trace integrity.
+
+use dcst_runtime::{DataKey, Runtime, SharedData};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[test]
+fn deep_chain_runs_in_order_under_many_workers() {
+    let rt = Runtime::new(4);
+    let k = DataKey::new(1, 0);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..500usize {
+        let log = log.clone();
+        rt.task("chain").read_write(k).spawn(move || log.lock().unwrap().push(i));
+    }
+    rt.wait().unwrap();
+    assert_eq!(*log.lock().unwrap(), (0..500).collect::<Vec<_>>());
+}
+
+#[test]
+fn wide_fanout_then_join_counts_everything() {
+    let rt = Runtime::new(3);
+    let root = DataKey::new(2, 0);
+    let sum = Arc::new(AtomicUsize::new(0));
+    rt.task("init").write(root).spawn(|| {});
+    for i in 1..=200usize {
+        let sum = sum.clone();
+        rt.task("leaf").gatherv(root).spawn(move || {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+    }
+    let observed = Arc::new(AtomicUsize::new(0));
+    let (s, o) = (sum.clone(), observed.clone());
+    rt.task("join").read_write(root).spawn(move || {
+        o.store(s.load(Ordering::Relaxed), Ordering::Relaxed);
+    });
+    rt.wait().unwrap();
+    assert_eq!(observed.load(Ordering::Relaxed), 100 * 201);
+}
+
+#[test]
+fn alternating_gatherv_epochs_are_separated() {
+    // G G | R | G G | W : each phase must see the previous complete.
+    let rt = Runtime::new(4);
+    let k = DataKey::new(3, 0);
+    let counter = Arc::new(AtomicUsize::new(0));
+    for _ in 0..2 {
+        let c = counter.clone();
+        rt.task("g1").gatherv(k).spawn(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    let c = counter.clone();
+    rt.task("r").read(k).spawn(move || assert_eq!(c.load(Ordering::SeqCst), 2));
+    for _ in 0..2 {
+        let c = counter.clone();
+        rt.task("g2").gatherv(k).spawn(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    let c = counter.clone();
+    rt.task("w").write(k).spawn(move || assert_eq!(c.load(Ordering::SeqCst), 4));
+    rt.wait().unwrap();
+}
+
+#[test]
+fn panicking_task_does_not_deadlock_successors() {
+    // A successor of a panicked task still runs (the runtime treats a
+    // panic as completion and reports it from wait()).
+    let rt = Runtime::new(2);
+    let k = DataKey::new(4, 0);
+    let ran = Arc::new(AtomicUsize::new(0));
+    rt.task("boom").write(k).spawn(|| panic!("first"));
+    let r = ran.clone();
+    rt.task("after").read(k).spawn(move || {
+        r.fetch_add(1, Ordering::SeqCst);
+    });
+    let err = rt.wait().unwrap_err();
+    assert_eq!(err.task, "boom");
+    assert_eq!(ran.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn only_first_panic_is_reported() {
+    let rt = Runtime::new(2);
+    let k = DataKey::new(5, 0);
+    rt.task("a").read_write(k).spawn(|| panic!("one"));
+    rt.task("b").read_write(k).spawn(|| panic!("two"));
+    let err = rt.wait().unwrap_err();
+    assert!(err.message == "one" || err.message == "two");
+    // Slot cleared afterwards.
+    rt.task("ok").spawn(|| {});
+    rt.wait().unwrap();
+}
+
+#[test]
+fn independent_key_spaces_fully_overlap() {
+    // 4 independent chains must finish even with 1 worker (no deadlock
+    // potential), and with 4 workers the logical clocks stay consistent.
+    for threads in [1, 4] {
+        let rt = Runtime::new(threads);
+        let cells: Vec<Arc<AtomicUsize>> = (0..4).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+        for chain in 0..4usize {
+            let k = DataKey::new(6, chain as u64);
+            for step in 0..50usize {
+                let cell = cells[chain].clone();
+                rt.task("step").read_write(k).spawn(move || {
+                    let prev = cell.swap(step + 1, Ordering::SeqCst);
+                    assert_eq!(prev, step, "chain {chain}");
+                });
+            }
+        }
+        rt.wait().unwrap();
+    }
+}
+
+#[test]
+fn trace_covers_all_phases() {
+    let rt = Runtime::new(2);
+    rt.enable_tracing();
+    for _ in 0..3 {
+        rt.task("p1").spawn(|| {});
+    }
+    rt.wait().unwrap();
+    for _ in 0..2 {
+        rt.task("p2").spawn(|| {});
+    }
+    rt.wait().unwrap();
+    let trace = rt.take_trace();
+    assert_eq!(trace.records.len(), 5);
+    let stats = trace.kernel_stats();
+    assert_eq!(stats.iter().map(|s| s.count).sum::<usize>(), 5);
+}
+
+#[test]
+fn dag_recorder_chain_and_diamond() {
+    let rt = Runtime::new(2);
+    rt.enable_dag_recording();
+    let a = DataKey::new(7, 1);
+    let b = DataKey::new(7, 2);
+    rt.task("src").write(a).write(b).spawn(|| {});
+    rt.task("left").read_write(a).spawn(|| {});
+    rt.task("right").read_write(b).spawn(|| {});
+    rt.task("sink").read(a).read(b).spawn(|| {});
+    rt.wait().unwrap();
+    let dag = rt.take_dag().unwrap();
+    assert_eq!(dag.num_nodes(), 4);
+    assert_eq!(dag.num_edges(), 4); // src→left, src→right, left→sink, right→sink
+    assert_eq!(dag.critical_path_len(), 3);
+    let dot = dag.to_dot();
+    assert!(dot.contains("t0 -> t1;") && dot.contains("t0 -> t2;"));
+}
+
+#[test]
+fn shared_data_ranges_partition_under_runtime() {
+    let rt = Runtime::new(4);
+    let buf = SharedData::new(vec![0u64; 64 * 16]);
+    let k = DataKey::new(8, 0);
+    for c in 0..64usize {
+        let buf = buf.clone();
+        rt.task("w").gatherv(k).spawn(move || {
+            // SAFETY: disjoint 16-element ranges per task inside one
+            // GatherV group.
+            let s = unsafe { buf.range_mut(c * 16..(c + 1) * 16) };
+            for (i, x) in s.iter_mut().enumerate() {
+                *x = (c * 16 + i) as u64;
+            }
+        });
+    }
+    rt.wait().unwrap();
+    let v = buf.try_unwrap().unwrap_or_else(|_| panic!("unique after wait"));
+    assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
+}
+
+#[test]
+fn thousands_of_tiny_tasks_complete() {
+    let rt = Runtime::new(4);
+    let done = Arc::new(AtomicUsize::new(0));
+    for i in 0..5000usize {
+        let d = done.clone();
+        let key = DataKey::new(9, (i % 37) as u64);
+        rt.task("tiny").read_write(key).spawn(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    rt.wait().unwrap();
+    assert_eq!(done.load(Ordering::Relaxed), 5000);
+}

@@ -1,0 +1,378 @@
+//! Deflation detection and bookkeeping (`dlaed2` analogue).
+//!
+//! Given the merged diagonal `d` (two sorted-by-permutation runs), the
+//! rank-one vector `z` and the coupling `ρ`, this pass decides which
+//! eigenpairs of `D + ρzzᵀ` are already known ("deflated"):
+//!
+//! * `ρ|zᵢ|` negligible → `(dᵢ, vᵢ)` is an eigenpair as is;
+//! * two surviving entries with nearly-equal `dᵢ` → a Givens rotation on
+//!   the pair zeroes one `z` component, deflating one of them.
+//!
+//! The output indexes everything the merge's panel tasks need: which
+//! source columns feed the compressed workspace in which order (grouped by
+//! row support — the paper's four groups), the Givens rotations to apply,
+//! and the reduced secular problem `(dlamda, w, ρ)`.
+
+use dcst_matrix::util::{lapy2, EPS};
+
+/// Row-support class of a column in the compressed workspace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SlotType {
+    /// Non-zero only in rows `0..n1` (came from the first subproblem).
+    Top = 1,
+    /// Dense (a Givens rotation mixed columns across the cut).
+    Full = 2,
+    /// Non-zero only in rows `n1..n`.
+    Bottom = 3,
+    /// Deflated (stored full height at the tail).
+    Deflated = 4,
+}
+
+/// A Givens rotation to apply to two physical columns of the child
+/// eigenvector matrix before permutation, in BLAS `drot` convention:
+/// `[a, b] ← [c·a + s·b, −s·a + c·b]` (column `col_a` deflates).
+#[derive(Clone, Copy, Debug)]
+pub struct GivensRot {
+    pub col_a: usize,
+    pub col_b: usize,
+    pub c: f64,
+    pub s: f64,
+}
+
+/// Input of the deflation pass.
+pub struct DeflationInput<'a> {
+    /// Merged diagonal in *physical* order: entries `0..n1` belong to the
+    /// first child, `n1..n` to the second; each child range is sorted
+    /// ascending when permuted by its `idxq` range.
+    pub d: &'a [f64],
+    /// Rank-one vector in physical order, unit 2-norm.
+    pub z: &'a [f64],
+    /// Signed coupling `β` (`ρ = 2|β|` after normalization).
+    pub beta: f64,
+    /// Size of the first child.
+    pub n1: usize,
+    /// Permutation sorting each child run ascending:
+    /// `idxq[0..n1]` indexes into `0..n1`, `idxq[n1..]` into `n1..n`.
+    pub idxq: &'a [usize],
+}
+
+/// Output of the deflation pass. Slot indices refer to the *storage*
+/// order of the compressed workspace: first all [`SlotType::Top`] columns,
+/// then [`SlotType::Full`], then [`SlotType::Bottom`], then deflated.
+pub struct Deflation {
+    /// Number of non-deflated eigenvalues (the size of the secular problem).
+    pub k: usize,
+    /// Problem size `n`.
+    pub n: usize,
+    /// `n1` copied through for the update GEMM split.
+    pub n1: usize,
+    /// Normalized coupling for the secular solver (`2|β|`), > 0.
+    pub rho: f64,
+    /// Poles of the secular equation, strictly ascending, length `k`.
+    pub dlamda: Vec<f64>,
+    /// z-components matching `dlamda`, length `k`.
+    pub w: Vec<f64>,
+    /// Deflated eigenvalues ascending, length `n − k`.
+    pub d_deflated: Vec<f64>,
+    /// For storage slot `s` (0-based over all `n` slots: `0..k` are the
+    /// non-deflated grouped Top/Full/Bottom, `k..n` the deflated ascending):
+    /// the physical source column in the child eigenvector matrix.
+    pub perm: Vec<usize>,
+    /// Storage-slot types, length `n` (`k..n` are all `Deflated`).
+    pub slot_type: Vec<SlotType>,
+    /// Maps secular index (ascending `dlamda` order, `0..k`) to storage
+    /// slot (`0..k`). Row `sec_to_slot[i]` of the secular eigenvector
+    /// matrix X corresponds to workspace column `sec_to_slot[i]`.
+    pub sec_to_slot: Vec<usize>,
+    /// Givens rotations to apply (in order) to physical columns before the
+    /// permutation/copy.
+    pub givens: Vec<GivensRot>,
+    /// Counts per group: `[Top, Full, Bottom, Deflated]`.
+    pub ctot: [usize; 4],
+}
+
+impl Deflation {
+    /// Fraction of the merge deflated, in `[0, 1]` (the paper's headline
+    /// matrix-dependence metric).
+    pub fn deflation_ratio(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        (self.n - self.k) as f64 / self.n as f64
+    }
+}
+
+/// Run deflation. See the module docs; mirrors `dlaed2`.
+pub fn deflate(input: &DeflationInput<'_>) -> Deflation {
+    let n = input.d.len();
+    let n1 = input.n1;
+    assert!(n1 <= n && input.z.len() == n && input.idxq.len() == n);
+
+    // Effective z (second block negated when β < 0) and ρ = 2|β|.
+    let mut z: Vec<f64> = input.z.to_vec();
+    if input.beta < 0.0 {
+        for zi in &mut z[n1..] {
+            *zi = -*zi;
+        }
+    }
+    let rho = 2.0 * input.beta.abs();
+    let mut d: Vec<f64> = input.d.to_vec();
+
+    // Sorted logical view: merge the two (idxq-sorted) runs.
+    let dl: Vec<f64> = input.idxq.iter().map(|&p| d[p]).collect();
+    let merged = dcst_matrix::merge_perm(&dl, n1);
+    // sorted[t] = physical index of the t-th smallest diagonal entry.
+    let sorted: Vec<usize> = merged.iter().map(|&r| input.idxq[r]).collect();
+
+    let zmax = z.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+    let dmax = d.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+    let tol = 8.0 * EPS * zmax.max(dmax);
+
+    let block_of = |p: usize| if p < n1 { SlotType::Top } else { SlotType::Bottom };
+
+    let mut givens = Vec::new();
+    // Physical indices of surviving (non-deflated) entries, ascending d.
+    let mut survivors: Vec<usize> = Vec::with_capacity(n);
+    let mut survivor_type: Vec<SlotType> = Vec::with_capacity(n);
+    // Physical indices of deflated entries (eigenvalue = d[p] after
+    // rotations).
+    let mut deflated: Vec<usize> = Vec::with_capacity(n);
+
+    if rho * zmax <= tol {
+        // Everything deflates: the rank-one update is numerically zero.
+        deflated.extend(sorted.iter().copied());
+    } else {
+        let mut prev: Option<(usize, SlotType)> = None;
+        for &p in &sorted {
+            if rho * z[p].abs() <= tol {
+                deflated.push(p);
+                continue;
+            }
+            match prev {
+                None => prev = Some((p, block_of(p))),
+                Some((q, qtype)) => {
+                    // Try to deflate q against p (d[q] <= d[p]).
+                    let s_ = z[q];
+                    let c_ = z[p];
+                    let tau = lapy2(c_, s_);
+                    let tdiff = d[p] - d[q];
+                    let c = c_ / tau;
+                    let s = -s_ / tau;
+                    if (tdiff * c * s).abs() <= tol {
+                        // Rotate (q, p): z[q] → 0, z[p] → τ.
+                        z[p] = tau;
+                        z[q] = 0.0;
+                        givens.push(GivensRot { col_a: q, col_b: p, c, s });
+                        let dq = d[q];
+                        let dp = d[p];
+                        d[q] = dq * c * c + dp * s * s;
+                        d[p] = dq * s * s + dp * c * c;
+                        deflated.push(q);
+                        // The survivor is dense if the pair crossed blocks
+                        // or either column was already dense.
+                        let ptype = if qtype != block_of(p) || qtype == SlotType::Full {
+                            SlotType::Full
+                        } else {
+                            block_of(p)
+                        };
+                        prev = Some((p, ptype));
+                    } else {
+                        survivors.push(q);
+                        survivor_type.push(qtype);
+                        prev = Some((p, block_of(p)));
+                    }
+                }
+            }
+        }
+        if let Some((q, qtype)) = prev {
+            survivors.push(q);
+            survivor_type.push(qtype);
+        }
+    }
+
+    let k = survivors.len();
+
+    // Deflated eigenvalues must come out ascending (rotations may have
+    // perturbed the order).
+    deflated.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap());
+
+    // Storage order: stable partition of survivors by type.
+    let mut perm = Vec::with_capacity(n);
+    let mut slot_type = Vec::with_capacity(n);
+    let mut sec_to_slot = vec![0usize; k];
+    let mut ctot = [0usize; 4];
+    for &t in &survivor_type {
+        ctot[t as usize - 1] += 1;
+    }
+    ctot[3] = n - k;
+    let mut next_of = [0usize, ctot[0], ctot[0] + ctot[1], 0];
+    // First lay out the k non-deflated slots grouped Top|Full|Bottom …
+    let mut slots = vec![(0usize, SlotType::Deflated); k];
+    for (i, (&p, &t)) in survivors.iter().zip(&survivor_type).enumerate() {
+        let g = t as usize - 1;
+        let slot = next_of[g];
+        next_of[g] += 1;
+        slots[slot] = (p, t);
+        sec_to_slot[i] = slot;
+    }
+    for &(p, t) in &slots {
+        perm.push(p);
+        slot_type.push(t);
+    }
+    // … then the deflated tail ascending.
+    for &p in &deflated {
+        perm.push(p);
+        slot_type.push(SlotType::Deflated);
+    }
+
+    let dlamda: Vec<f64> = survivors.iter().map(|&p| d[p]).collect();
+    let w: Vec<f64> = survivors.iter().map(|&p| z[p]).collect();
+    let d_deflated: Vec<f64> = deflated.iter().map(|&p| d[p]).collect();
+
+    Deflation {
+        k,
+        n,
+        n1,
+        rho,
+        dlamda,
+        w,
+        d_deflated,
+        perm,
+        slot_type,
+        sec_to_slot,
+        givens,
+        ctot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident_input<'a>(d: &'a [f64], z: &'a [f64], beta: f64, n1: usize, idxq: &'a [usize]) -> DeflationInput<'a> {
+        DeflationInput { d, z, beta, n1, idxq }
+    }
+
+    #[test]
+    fn no_deflation_when_everything_is_generic() {
+        let d = [0.0, 2.0, 1.0, 3.0];
+        let z = [0.5, 0.5, 0.5, 0.5];
+        let idxq = [0, 1, 2, 3];
+        let out = deflate(&ident_input(&d, &z, 0.5, 2, &idxq));
+        assert_eq!(out.k, 4);
+        assert_eq!(out.d_deflated.len(), 0);
+        assert!(out.dlamda.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(out.rho, 1.0);
+        // Survivors grouped: two Top (phys 0, 1) then two Bottom.
+        assert_eq!(out.ctot, [2, 0, 2, 0]);
+        assert!(out.givens.is_empty());
+    }
+
+    #[test]
+    fn tiny_z_components_deflate() {
+        let d = [0.0, 1.0, 2.0, 3.0];
+        let z = [0.7, 1e-20, 0.7, 1e-20];
+        let idxq = [0, 1, 2, 3];
+        let out = deflate(&ident_input(&d, &z, 0.5, 2, &idxq));
+        assert_eq!(out.k, 2);
+        assert_eq!(out.d_deflated, vec![1.0, 3.0]);
+        assert_eq!(out.dlamda, vec![0.0, 2.0]);
+        assert_eq!(out.deflation_ratio(), 0.5);
+    }
+
+    #[test]
+    fn equal_diagonals_deflate_via_givens() {
+        // d has an exact tie across blocks: one of the pair must deflate
+        // through a rotation, and the survivor becomes Full.
+        let d = [0.0, 1.0, 1.0, 3.0];
+        let z = [0.5, 0.5, 0.5, 0.5];
+        let idxq = [0, 1, 2, 3];
+        let out = deflate(&ident_input(&d, &z, 0.5, 2, &idxq));
+        assert_eq!(out.k, 3);
+        assert_eq!(out.givens.len(), 1);
+        let g = out.givens[0];
+        // Rotation is a perfect 45° mix: c = s magnitude 1/√2.
+        assert!((g.c.abs() - 0.5f64.sqrt()).abs() < 1e-15);
+        assert_eq!(out.d_deflated.len(), 1);
+        assert!((out.d_deflated[0] - 1.0).abs() < 1e-14);
+        // Combined z magnitude √(0.25+0.25).
+        let full_idx = out.slot_type.iter().position(|&t| t == SlotType::Full).unwrap();
+        let sec_i = out.sec_to_slot.iter().position(|&s| s == full_idx).unwrap();
+        assert!((out.w[sec_i] - 0.5f64.sqrt()).abs() < 1e-15);
+        assert_eq!(out.ctot, [1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn zero_rho_deflates_everything() {
+        let d = [0.0, 1.0, 2.0, 3.0];
+        let z = [0.5; 4];
+        let idxq = [0, 1, 2, 3];
+        let out = deflate(&ident_input(&d, &z, 0.0, 2, &idxq));
+        assert_eq!(out.k, 0);
+        assert_eq!(out.d_deflated, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(out.perm, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn negative_beta_flips_second_block_z() {
+        let d = [0.0, 2.0, 1.0, 3.0];
+        let z = [0.5, 0.5, 0.5, 0.5];
+        let idxq = [0, 1, 2, 3];
+        let out = deflate(&ident_input(&d, &z, -0.5, 2, &idxq));
+        assert_eq!(out.rho, 1.0);
+        // The secular w entries belonging to the bottom block are negated.
+        // Physical 2 and 3 are the bottom block.
+        for (i, &p) in out.perm[..out.k].iter().enumerate() {
+            let sec_i = out.sec_to_slot.iter().position(|&s| s == i).unwrap();
+            let expect = if p >= 2 { -0.5 } else { 0.5 };
+            assert_eq!(out.w[sec_i], expect, "slot {i} phys {p}");
+        }
+    }
+
+    #[test]
+    fn unsorted_runs_are_handled_through_idxq() {
+        // Physical order is not ascending within runs; idxq fixes it.
+        let d = [2.0, 0.0, 3.0, 1.0];
+        let z = [0.5, 0.5, 0.5, 0.5];
+        let idxq = [1, 0, 3, 2];
+        let out = deflate(&ident_input(&d, &z, 0.5, 2, &idxq));
+        assert_eq!(out.k, 4);
+        assert_eq!(out.dlamda, vec![0.0, 1.0, 2.0, 3.0]);
+        // dlamda order must interleave blocks: phys 1 (Top), 3 (Bottom), 0, 2.
+        assert_eq!(out.ctot, [2, 0, 2, 0]);
+        // Top group slots hold phys {1, 0} in ascending-d order.
+        assert_eq!(&out.perm[..2], &[1, 0]);
+        assert_eq!(&out.perm[2..4], &[3, 2]);
+    }
+
+    #[test]
+    fn perm_is_a_bijection() {
+        let d = [0.0, 1.0, 1.0 + 1e-18, 2.0, 0.5, 3.0];
+        let z = [0.4, 1e-19, 0.4, 0.4, 0.4, 0.4];
+        let idxq = [0, 1, 2, 3, 4, 5];
+        let out = deflate(&ident_input(&d, &z, 0.7, 3, &idxq));
+        let mut p = out.perm.clone();
+        p.sort_unstable();
+        assert_eq!(p, (0..6).collect::<Vec<_>>());
+        assert_eq!(out.k + out.d_deflated.len(), 6);
+        assert_eq!(out.slot_type.len(), 6);
+    }
+
+    #[test]
+    fn dlamda_strictly_ascending_after_deflation() {
+        // Nearly-equal surviving values must have been paired off so the
+        // secular poles are strictly separated.
+        let n = 20;
+        let d: Vec<f64> = (0..n).map(|i| (i / 2) as f64).collect(); // pairs of ties
+        let z = vec![(1.0 / (n as f64)).sqrt(); n];
+        let idxq: Vec<usize> = {
+            // runs: first half 0,2,4.. values already ascending per run
+            let mut v: Vec<usize> = (0..n / 2).collect();
+            v.extend(n / 2..n);
+            v
+        };
+        let out = deflate(&DeflationInput { d: &d, z: &z, beta: 1.0, n1: n / 2, idxq: &idxq });
+        assert!(out.dlamda.windows(2).all(|w| w[0] < w[1]), "{:?}", out.dlamda);
+        assert!(out.k < n, "ties must deflate");
+    }
+}

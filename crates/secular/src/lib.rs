@@ -1,0 +1,26 @@
+//! Rank-one-update kernels for the divide & conquer merge phase.
+//!
+//! A merge combines two solved subproblems `T₁ = V₁D₁V₁ᵀ`, `T₂ = V₂D₂V₂ᵀ`
+//! into the eigenproblem of `D + ρ z zᵀ` (the paper's Eq. (6)). This crate
+//! provides the scalar/vector kernels of that reduction, mirroring LAPACK:
+//!
+//! * [`deflate`] — deflation detection, Givens pairing and 4-group
+//!   permutation (`dlaed2` analogue);
+//! * [`solve_secular_root`] — one root of the secular equation with
+//!   accurately-computed pole distances (`dlaed4` analogue);
+//! * [`local_w_products`] / [`reduce_w`] — the Gu–Eisenstat ẑ
+//!   recomputation, split the way the paper's `ComputeLocalW`/`ReduceW`
+//!   tasks split it (`dlaed3` analogue);
+//! * [`assemble_vectors`] — stable eigenvector assembly for a panel of
+//!   secular roots.
+//!
+//! Everything here is sequential by design: the *parallelism* lives in
+//! `dcst-core`, which calls these kernels from panel tasks.
+
+mod deflate;
+mod roots;
+mod vectors;
+
+pub use deflate::{deflate, Deflation, DeflationInput, GivensRot, SlotType};
+pub use roots::{secular_function, solve_secular_root, SecularError};
+pub use vectors::{assemble_vectors, local_w_products, reduce_w};

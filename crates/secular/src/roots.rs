@@ -1,0 +1,393 @@
+//! The secular equation solver (`dlaed4` analogue).
+//!
+//! For the rank-one update `D + ρ z zᵀ` (D = diag(d), d strictly
+//! ascending, ρ > 0, z fully non-deflated) the eigenvalues are the roots of
+//!
+//! ```text
+//! f(λ) = 1 + ρ Σᵢ zᵢ² / (dᵢ − λ)          (the paper's Eq. (7))
+//! ```
+//!
+//! Root `j` lies in `(d_j, d_{j+1})` (and the last in
+//! `(d_{k−1}, d_{k−1} + ρ‖z‖²)`). All arithmetic happens in coordinates
+//! shifted to the closest pole, so the returned pole distances
+//! `delta[i] = d_i − λ` are computed as `(d_i − d_K) − μ` without
+//! cancellation — the property eigenvector orthogonality rests on.
+
+use dcst_matrix::util::EPS;
+
+/// Failure of the root finder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SecularError {
+    /// Iteration did not reach the convergence criterion (returns the best
+    /// bracket midpoint anyway in practice; this signals a numerical bug).
+    NoConvergence { root: usize },
+    /// Invalid input (non-positive rho, unsorted d, zero z entry).
+    InvalidInput(&'static str),
+}
+
+impl std::fmt::Display for SecularError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SecularError::NoConvergence { root } => write!(f, "secular root {root} did not converge"),
+            SecularError::InvalidInput(msg) => write!(f, "invalid secular input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SecularError {}
+
+/// Evaluate `f(λ)` directly (for tests and diagnostics; the solver itself
+/// works in shifted coordinates).
+pub fn secular_function(d: &[f64], z: &[f64], rho: f64, lambda: f64) -> f64 {
+    1.0 + rho * d.iter().zip(z).map(|(&di, &zi)| zi * zi / (di - lambda)).sum::<f64>()
+}
+
+/// `f` and bookkeeping evaluated in shifted coordinates: `delta[i]`
+/// already holds `(d_i − d_K) − μ`. Returns `(f, Σ|terms|)`.
+fn eval_shifted(z: &[f64], rho: f64, delta: &[f64]) -> (f64, f64) {
+    let mut val = 0.0;
+    let mut abs = 0.0;
+    for (&zi, &de) in z.iter().zip(delta) {
+        let t = zi * zi / de;
+        val += t;
+        abs += t.abs();
+    }
+    (1.0 + rho * val, 1.0 + rho * abs)
+}
+
+/// Solve for root `j` (0-based) of the secular equation.
+///
+/// On success returns `λ_j`; `delta` (length k) is filled with the
+/// accurately-computed distances `d_i − λ_j`.
+pub fn solve_secular_root(
+    j: usize,
+    d: &[f64],
+    z: &[f64],
+    rho: f64,
+    delta: &mut [f64],
+) -> Result<f64, SecularError> {
+    let k = d.len();
+    assert!(j < k && z.len() == k && delta.len() == k);
+    if !(rho > 0.0) {
+        return Err(SecularError::InvalidInput("rho must be positive"));
+    }
+    if d.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(SecularError::InvalidInput("poles must be strictly ascending"));
+    }
+
+    if k == 1 {
+        // 1 + ρ z₀²/(d₀ − λ) = 0  ⇒  λ = d₀ + ρ z₀².
+        let mu = rho * z[0] * z[0];
+        delta[0] = -mu;
+        return Ok(d[0] + mu);
+    }
+
+    let znorm2: f64 = z.iter().map(|x| x * x).sum();
+    let last = j == k - 1;
+
+    // ---- choose the origin pole K and the initial bracket for μ = λ − d_K.
+    // For interior roots the root lies in (d_j, d_{j+1}); pick the closer
+    // endpoint by the sign of f at the midpoint. For the last root the
+    // origin is d_{k−1} and μ ∈ (0, ρ‖z‖²].
+    let (origin, mut lo, mut hi);
+    if last {
+        origin = k - 1;
+        lo = 0.0;
+        hi = rho * znorm2;
+    } else {
+        let gap = d[j + 1] - d[j];
+        // f at the midpoint, evaluated in shifted coords around d_j.
+        let mid = 0.5 * gap;
+        for (i, de) in delta.iter_mut().enumerate() {
+            *de = (d[i] - d[j]) - mid;
+        }
+        let (fmid, _) = eval_shifted(z, rho, delta);
+        if fmid >= 0.0 {
+            // Root in the lower half: origin d_j, μ ∈ (0, gap/2].
+            origin = j;
+            lo = 0.0;
+            hi = mid;
+        } else {
+            // Root in the upper half: origin d_{j+1}, μ ∈ [−gap/2, 0).
+            origin = j + 1;
+            lo = -mid;
+            hi = 0.0;
+        }
+    }
+
+    // Pole distances from the origin (exact in the d-grid).
+    let dk: Vec<f64> = d.iter().map(|&di| di - d[origin]).collect();
+    // The two model poles: the interval endpoints (for the last root, the
+    // last two poles).
+    let (p1, p2) = if last { (k - 1, k - 2) } else { (j, j + 1) };
+
+    // Initial guess: bracket midpoint.
+    let mut mu = 0.5 * (lo + hi);
+    if mu == 0.0 {
+        // Degenerate when lo == -hi == 0 can't happen (hi > lo), but μ may
+        // round to an endpoint; nudge inside.
+        mu = lo + 0.25 * (hi - lo);
+    }
+
+    let mut converged = false;
+    for _ in 0..100 {
+        for (de, &dki) in delta.iter_mut().zip(&dk) {
+            *de = dki - mu;
+        }
+        let (f, fabs) = eval_shifted(z, rho, delta);
+        let tol = 8.0 * EPS * (k as f64) * fabs;
+        if f.abs() <= tol {
+            converged = true;
+            break;
+        }
+        if f > 0.0 {
+            hi = mu;
+        } else {
+            lo = mu;
+        }
+        // --- rational model step: f̃(μ̂) = C + A/(δ₁ − μ̂) + B/(δ₂ − μ̂)
+        // with the ψ/φ split across the two model poles, matching f and
+        // the side-wise derivatives ψ′/φ′.
+        let s1 = dk[p1] - mu;
+        let s2 = dk[p2] - mu;
+        let (mut psi_p, mut phi_p) = (0.0, 0.0);
+        let split = if last { k - 1 } else { j + 1 };
+        for i in 0..k {
+            let t = z[i] * z[i] / delta[i];
+            let tp = t / delta[i];
+            if i < split {
+                psi_p += tp;
+            } else {
+                phi_p += tp;
+            }
+        }
+        // Guard the split so each model pole owns its own side.
+        let (a_side, b_side) = if p1 < split { (s1, s2) } else { (s2, s1) };
+        let a_coef = rho * psi_p * a_side * a_side;
+        let b_coef = rho * phi_p * b_side * b_side;
+        let c_coef = f - rho * psi_p * a_side - rho * phi_p * b_side;
+        // Solve C + A/(a_side − η) + B/(b_side − η) = 0 for the step η
+        // (shift μ̂ = μ + η): quadratic
+        //   C(a−η)(b−η) + A(b−η) + B(a−η) = 0.
+        let (a, b) = (a_side, b_side);
+        let qa = c_coef;
+        let qb = -(c_coef * (a + b) + a_coef + b_coef);
+        let qc = c_coef * a * b + a_coef * b + b_coef * a;
+        let eta = solve_quadratic_closest_to_zero(qa, qb, qc);
+        let mut next = match eta {
+            Some(eta) if (lo < mu + eta) && (mu + eta < hi) => mu + eta,
+            _ => 0.5 * (lo + hi),
+        };
+        if next == mu {
+            next = 0.5 * (lo + hi);
+        }
+        mu = next;
+        // Bracket exhausted to rounding: accept.
+        if hi - lo <= 2.0 * EPS * (lo.abs().max(hi.abs())) {
+            converged = true;
+            break;
+        }
+    }
+    // Final delta refresh at the accepted μ.
+    for (de, &dki) in delta.iter_mut().zip(&dk) {
+        *de = dki - mu;
+    }
+    if !converged {
+        let (f, fabs) = eval_shifted(z, rho, delta);
+        // Accept if the bracket is as tight as representable.
+        if f.abs() > 1e3 * EPS * (k as f64) * fabs && hi - lo > 4.0 * EPS * (lo.abs().max(hi.abs()) + EPS) {
+            return Err(SecularError::NoConvergence { root: j });
+        }
+    }
+    Ok(d[origin] + mu)
+}
+
+/// Smaller-magnitude real root of `qa η² + qb η + qc = 0`, computed with
+/// the stable formula; `None` when no real root exists.
+fn solve_quadratic_closest_to_zero(qa: f64, qb: f64, qc: f64) -> Option<f64> {
+    if qa == 0.0 {
+        if qb == 0.0 {
+            return None;
+        }
+        return Some(-qc / qb);
+    }
+    let disc = qb * qb - 4.0 * qa * qc;
+    if disc < 0.0 {
+        return None;
+    }
+    let sq = disc.sqrt();
+    let q = -0.5 * (qb + if qb >= 0.0 { sq } else { -sq });
+    let r1 = q / qa;
+    let r2 = if q != 0.0 { qc / q } else { f64::INFINITY };
+    Some(if r1.abs() < r2.abs() { r1 } else { r2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference root by bisection on f (monotone per interval).
+    fn reference_root(j: usize, d: &[f64], z: &[f64], rho: f64) -> f64 {
+        let k = d.len();
+        let znorm2: f64 = z.iter().map(|x| x * x).sum();
+        let (mut lo, mut hi) = if j + 1 < k {
+            (d[j], d[j + 1])
+        } else {
+            (d[k - 1], d[k - 1] + rho * znorm2 + 1.0)
+        };
+        for _ in 0..200 {
+            let m = 0.5 * (lo + hi);
+            if m <= lo || m >= hi {
+                break;
+            }
+            if secular_function(d, z, rho, m) > 0.0 {
+                hi = m;
+            } else {
+                lo = m;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    fn check_all_roots(d: &[f64], z: &[f64], rho: f64, tol: f64) -> Vec<f64> {
+        let k = d.len();
+        let mut delta = vec![0.0; k];
+        let mut roots = Vec::with_capacity(k);
+        for j in 0..k {
+            let lam = solve_secular_root(j, d, z, rho, &mut delta).unwrap();
+            let rref = reference_root(j, d, z, rho);
+            let scale = d[k - 1] - d[0] + rho;
+            assert!(
+                (lam - rref).abs() <= tol * scale.max(1.0),
+                "root {j}: {lam} vs reference {rref}"
+            );
+            // Interlacing.
+            assert!(lam > d[j], "root {j} below its pole");
+            if j + 1 < k {
+                assert!(lam < d[j + 1], "root {j} above next pole");
+            }
+            // delta consistency: d_i − λ.
+            for i in 0..k {
+                let direct = d[i] - lam;
+                assert!(
+                    (delta[i] - direct).abs() <= 1e-8 * direct.abs().max(1e-300) + 1e-18,
+                    "delta[{i}] inconsistent at root {j}: {} vs {direct}",
+                    delta[i]
+                );
+            }
+            roots.push(lam);
+        }
+        roots
+    }
+
+    #[test]
+    fn single_pole_closed_form() {
+        let mut delta = [0.0];
+        let lam = solve_secular_root(0, &[2.0], &[0.5], 4.0, &mut delta).unwrap();
+        assert!((lam - 3.0).abs() < 1e-15);
+        assert!((delta[0] + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn two_poles_match_2x2_eigenvalues() {
+        // D + ρzzᵀ with D = diag(0, 1), z = (1,1)/√2, ρ = 1:
+        // matrix [[0.5, 0.5], [0.5, 1.5]], eigenvalues 1 ± √2/2.
+        let d = [0.0, 1.0];
+        let s = 0.5f64.sqrt();
+        let z = [s, s];
+        let roots = check_all_roots(&d, &z, 1.0, 1e-12);
+        assert!((roots[0] - (1.0 - s)).abs() < 1e-13, "{}", roots[0]);
+        assert!((roots[1] - (1.0 + s)).abs() < 1e-13, "{}", roots[1]);
+    }
+
+    #[test]
+    fn random_problems_match_bisection() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for trial in 0..20 {
+            let k = rng.gen_range(2..30);
+            let mut d: Vec<f64> = (0..k).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // Enforce separation.
+            for i in 1..k {
+                if d[i] - d[i - 1] < 1e-3 {
+                    d[i] = d[i - 1] + 1e-3;
+                }
+            }
+            let mut z: Vec<f64> = (0..k).map(|_| rng.gen_range(0.1..1.0)).collect();
+            let zn: f64 = z.iter().map(|x| x * x).sum::<f64>().sqrt();
+            z.iter_mut().for_each(|x| *x /= zn);
+            let rho = rng.gen_range(0.1..4.0);
+            check_all_roots(&d, &z, rho, 1e-10);
+            let _ = trial;
+        }
+    }
+
+    #[test]
+    fn close_poles_stress() {
+        // Poles clustered to within 1e-12: the shifted representation must
+        // still produce interlacing roots and consistent deltas.
+        let d = [1.0, 1.0 + 1e-12, 1.0 + 2e-12, 2.0];
+        let z = [0.5, 0.5, 0.5, 0.5];
+        let mut delta = vec![0.0; 4];
+        for j in 0..4 {
+            let lam = solve_secular_root(j, &d, &z, 1.0, &mut delta).unwrap();
+            assert!(lam > d[j]);
+            if j + 1 < 4 {
+                assert!(lam < d[j + 1]);
+            }
+            // The nearby pole distance keeps full relative precision.
+            assert!(delta[j] < 0.0, "delta at own pole must be negative");
+        }
+    }
+
+    #[test]
+    fn tiny_z_component_gives_root_near_pole() {
+        let d = [0.0, 1.0, 2.0];
+        let z = [1e-9, 1.0, 1e-9];
+        let mut delta = vec![0.0; 3];
+        let lam0 = solve_secular_root(0, &d, &z, 1.0, &mut delta).unwrap();
+        assert!(lam0 - d[0] < 1e-14, "root glued to pole: {}", lam0 - d[0]);
+        let lam2 = solve_secular_root(2, &d, &z, 1.0, &mut delta).unwrap();
+        assert!(lam2 - d[2] > 0.0 && lam2 - d[2] < 1e-6);
+    }
+
+    #[test]
+    fn sum_rule_trace() {
+        // Σ λ_j = Σ d_i + ρ‖z‖² (trace of D + ρzzᵀ).
+        let d = [-1.0, 0.0, 0.5, 3.0];
+        let z = [0.6, 0.2, 0.4, 0.3];
+        let rho = 2.0;
+        let zn2: f64 = z.iter().map(|x| x * x).sum();
+        let mut delta = vec![0.0; 4];
+        let sum: f64 = (0..4)
+            .map(|j| solve_secular_root(j, &d, &z, rho, &mut delta).unwrap())
+            .sum();
+        let want = d.iter().sum::<f64>() + rho * zn2;
+        assert!((sum - want).abs() < 1e-10, "{sum} vs {want}");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut delta = vec![0.0; 2];
+        assert!(matches!(
+            solve_secular_root(0, &[0.0, 1.0], &[0.5, 0.5], -1.0, &mut delta),
+            Err(SecularError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            solve_secular_root(0, &[1.0, 0.0], &[0.5, 0.5], 1.0, &mut delta),
+            Err(SecularError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn quadratic_helper() {
+        // η² − 3η + 2 = 0 → roots 1, 2 → closest to zero is 1.
+        assert_eq!(solve_quadratic_closest_to_zero(1.0, -3.0, 2.0), Some(1.0));
+        // Linear.
+        assert_eq!(solve_quadratic_closest_to_zero(0.0, 2.0, -4.0), Some(2.0));
+        // No real root.
+        assert_eq!(solve_quadratic_closest_to_zero(1.0, 0.0, 1.0), None);
+    }
+}

@@ -1,0 +1,128 @@
+//! Secular-kernel edge coverage: extreme ρ, near-coincident poles,
+//! deflation group bookkeeping, Givens algebra.
+
+use dcst_secular::*;
+
+#[test]
+fn huge_rho_pushes_last_root_far() {
+    let d = [0.0, 1.0];
+    let z = [std::f64::consts::FRAC_1_SQRT_2; 2];
+    let rho = 1e8;
+    let mut delta = [0.0; 2];
+    let last = solve_secular_root(1, &d, &z, rho, &mut delta).unwrap();
+    // λ_max ≈ trace correction: d̄ + ρ‖z‖² dominates.
+    assert!(last > 0.9 * rho * 1.0 && last < 1.1 * (rho + 1.0), "{last}");
+    let first = solve_secular_root(0, &d, &z, rho, &mut delta).unwrap();
+    assert!(first > 0.0 && first < 1.0);
+    // Trace identity.
+    assert!((first + last - (1.0 + rho)).abs() < 1e-8 * rho);
+}
+
+#[test]
+fn tiny_rho_keeps_roots_near_poles() {
+    let d = [0.0, 1.0, 2.0];
+    let z = [0.6, 0.5, 0.6244997998398398];
+    let rho = 1e-13;
+    let mut delta = [0.0; 3];
+    for j in 0..3 {
+        let lam = solve_secular_root(j, &d, &z, rho, &mut delta).unwrap();
+        assert!(lam - d[j] < 1e-12, "root {j} stays glued: {}", lam - d[j]);
+        assert!(lam > d[j], "but strictly above its pole");
+    }
+}
+
+#[test]
+fn secular_function_sign_structure() {
+    let d = [0.0, 1.0, 2.0];
+    let z = [0.5, 0.5, 0.5];
+    let rho = 2.0;
+    // f is negative just above each pole, positive just below the next.
+    for j in 0..2 {
+        assert!(secular_function(&d, &z, rho, d[j] + 1e-9) < 0.0);
+        assert!(secular_function(&d, &z, rho, d[j + 1] - 1e-9) > 0.0);
+    }
+    assert!(secular_function(&d, &z, rho, d[2] + 1e-9) < 0.0);
+    assert!(secular_function(&d, &z, rho, d[2] + 100.0) > 0.0);
+}
+
+#[test]
+fn deflation_all_z_aligned_one_survivor_per_value() {
+    // Many exact ties: after pairwise Givens deflation at most one
+    // survivor per distinct value remains.
+    let n = 12;
+    let d: Vec<f64> = (0..n).map(|i| (i / 4) as f64).collect(); // values 0,1,2 ×4
+    let z = vec![(1.0 / n as f64).sqrt(); n];
+    let idxq: Vec<usize> = {
+        let mut v: Vec<usize> = (0..n / 2).collect();
+        v.extend(n / 2..n);
+        v
+    };
+    let out = deflate(&DeflationInput { d: &d, z: &z, beta: 1.0, n1: n / 2, idxq: &idxq });
+    assert_eq!(out.k, 3, "one survivor per distinct diagonal value");
+    assert_eq!(out.givens.len(), n - 3);
+    // The survivors collect the whole weight: Σw² = ‖z‖² = 1.
+    let wsum: f64 = out.w.iter().map(|x| x * x).sum();
+    assert!((wsum - 1.0).abs() < 1e-12, "{wsum}");
+}
+
+#[test]
+fn givens_rotations_preserve_z_norm() {
+    let n = 8;
+    let d: Vec<f64> = (0..n).map(|i| (i / 2) as f64).collect();
+    let mut z = vec![0.0f64; n];
+    for (i, x) in z.iter_mut().enumerate() {
+        *x = 0.1 + 0.05 * i as f64;
+    }
+    let nrm: f64 = z.iter().map(|x| x * x).sum::<f64>().sqrt();
+    z.iter_mut().for_each(|x| *x /= nrm);
+    let idxq: Vec<usize> = {
+        let mut v: Vec<usize> = (0..n / 2).collect();
+        v.extend(n / 2..n);
+        v
+    };
+    let out = deflate(&DeflationInput { d: &d, z: &z, beta: 0.5, n1: n / 2, idxq: &idxq });
+    let surviving: f64 = out.w.iter().map(|x| x * x).sum();
+    assert!((surviving - 1.0).abs() < 1e-12, "deflated components carry no weight");
+}
+
+#[test]
+fn slot_groups_are_contiguous_in_storage() {
+    let d = [0.0, 2.0, 1.0, 3.0, 0.5, 2.5];
+    let z = [0.4, 0.4, 0.4, 0.4, 0.4, 0.42];
+    let idxq = [0usize, 1, 2, 3, 4, 5];
+    let out = deflate(&DeflationInput { d: &d, z: &z, beta: 0.5, n1: 2, idxq: &idxq });
+    // slot_type must be sorted as Top* Full* Bottom* Deflated*.
+    let order = |t: SlotType| t as usize;
+    let kinds: Vec<usize> = out.slot_type.iter().map(|&t| order(t)).collect();
+    assert!(kinds.windows(2).all(|w| w[0] <= w[1]), "{kinds:?}");
+}
+
+#[test]
+fn reduce_w_with_no_partials_is_signless_zero() {
+    // k = 0 merge: reduce over an empty set behaves.
+    let zhat = reduce_w(&[], &[]);
+    assert!(zhat.is_empty());
+}
+
+#[test]
+fn assemble_unit_vector_for_k1() {
+    let zhat = [0.7];
+    let mut deltas = vec![-0.3];
+    assemble_vectors(&zhat, &mut deltas, 1, 0, 0..1, &[0]);
+    assert!((deltas[0].abs() - 1.0).abs() < 1e-15, "normalized 1-vector");
+}
+
+#[test]
+fn delta_columns_reusable_for_rayleigh_check() {
+    // The delta output of the root solver supports computing f(λ) ≈ 0
+    // directly: 1 + ρ Σ z²/δ must be ~0 at the root.
+    let d = [0.1, 0.4, 0.9, 1.6];
+    let z = [0.5, 0.5, 0.5, 0.5];
+    let rho = 1.3;
+    let mut delta = [0.0; 4];
+    for j in 0..4 {
+        solve_secular_root(j, &d, &z, rho, &mut delta).unwrap();
+        let f: f64 = 1.0 + rho * z.iter().zip(&delta).map(|(zi, de)| zi * zi / de).sum::<f64>();
+        assert!(f.abs() < 1e-10, "root {j}: f = {f}");
+    }
+}

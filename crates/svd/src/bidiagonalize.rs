@@ -1,0 +1,264 @@
+//! Householder bidiagonalization of dense square matrices (`dgebrd`
+//! analogue) and the dense SVD driver built on top of it.
+
+use crate::{svd_bidiagonal, Bidiagonal, Svd};
+use dcst_core::{DcError, DcOptions};
+use dcst_matrix::{dot, nrm2, Matrix};
+
+/// The stored reflectors of a bidiagonalization `A = Q_L · B · Q_Rᵀ`:
+/// left reflectors below the diagonal of `vs`, right reflectors to the
+/// right of the superdiagonal.
+pub struct BidiagFactors {
+    vs: Matrix,
+    tau_l: Vec<f64>,
+    tau_r: Vec<f64>,
+}
+
+/// Generate a reflector `H = I − τ v vᵀ` with `v[0] = 1` sending
+/// `[alpha; x]` to `[beta; 0]`; overwrites `x` with the essential part.
+fn larfg(alpha: f64, x: &mut [f64]) -> (f64, f64) {
+    let xnorm = nrm2(x);
+    if xnorm == 0.0 {
+        return (alpha, 0.0);
+    }
+    let beta = -dcst_matrix::util::sign(dcst_matrix::util::lapy2(alpha, xnorm), alpha);
+    let tau = (beta - alpha) / beta;
+    let scale = 1.0 / (alpha - beta);
+    for xi in x {
+        *xi *= scale;
+    }
+    (beta, tau)
+}
+
+/// Reduce a dense square matrix to upper bidiagonal form:
+/// `B = Q_Lᵀ · A · Q_R`. Returns the bidiagonal and the factored
+/// transformations.
+pub fn bidiagonalize(a: &Matrix) -> (Bidiagonal, BidiagFactors) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "square matrices only");
+    let mut w = a.clone();
+    let mut tau_l = vec![0.0; n];
+    let mut tau_r = vec![0.0; n.saturating_sub(1)];
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n.saturating_sub(1)];
+
+    for i in 0..n {
+        // --- left reflector annihilating column i below the diagonal.
+        let alpha = w[(i, i)];
+        let (beta, tl) = {
+            let col = w.col_mut(i);
+            larfg(alpha, &mut col[i + 1..])
+        };
+        tau_l[i] = tl;
+        d[i] = beta;
+        if tl != 0.0 {
+            // Apply H_L to the trailing columns i+1..n: for each column c,
+            // c ← c − τ v (vᵀ c) with v = [1; w[i+1.., i]].
+            let m = n - i;
+            let vcol: Vec<f64> = {
+                let col = w.col(i);
+                let mut v = Vec::with_capacity(m);
+                v.push(1.0);
+                v.extend_from_slice(&col[i + 1..]);
+                v
+            };
+            for j in i + 1..n {
+                let c = &mut w.col_mut(j)[i..];
+                let s = tl * dot(&vcol, c);
+                for (ci, vi) in c.iter_mut().zip(&vcol) {
+                    *ci -= s * vi;
+                }
+            }
+        }
+        // --- right reflector annihilating row i right of the superdiagonal.
+        if i + 2 <= n - 1 || (i + 1 < n && n - i - 1 >= 1) {
+            if i + 1 < n {
+                let alpha = w[(i, i + 1)];
+                // Gather the row segment, reflect, scatter back.
+                let mut row: Vec<f64> = (i + 2..n).map(|j| w[(i, j)]).collect();
+                let (beta, tr) = larfg(alpha, &mut row);
+                tau_r[i] = tr;
+                e[i] = beta;
+                for (jj, j) in (i + 2..n).enumerate() {
+                    w[(i, j)] = row[jj];
+                }
+                if tr != 0.0 {
+                    // Apply H_R from the right to rows i+1..n:
+                    // row_r ← row_r − τ (row_r · v) vᵀ, v = [1; row].
+                    let mut v = Vec::with_capacity(n - i - 1);
+                    v.push(1.0);
+                    v.extend_from_slice(&row);
+                    for r in i + 1..n {
+                        let mut s = 0.0;
+                        for (jj, j) in (i + 1..n).enumerate() {
+                            s += w[(r, j)] * v[jj];
+                        }
+                        s *= tr;
+                        for (jj, j) in (i + 1..n).enumerate() {
+                            w[(r, j)] -= s * v[jj];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (Bidiagonal::new(d, e), BidiagFactors { vs: w, tau_l, tau_r })
+}
+
+impl BidiagFactors {
+    /// Overwrite `m` with `Q_L · m` (left reflectors, reverse order).
+    pub fn apply_ql(&self, m: &mut Matrix) {
+        let n = self.vs.rows();
+        assert_eq!(m.rows(), n);
+        let ncols = m.cols();
+        for i in (0..n).rev() {
+            let t = self.tau_l[i];
+            if t == 0.0 {
+                continue;
+            }
+            let len = n - i;
+            let mut v = Vec::with_capacity(len);
+            v.push(1.0);
+            v.extend_from_slice(&self.vs.col(i)[i + 1..]);
+            for j in 0..ncols {
+                let c = &mut m.col_mut(j)[i..];
+                let s = t * dot(&v, c);
+                for (ci, vi) in c.iter_mut().zip(&v) {
+                    *ci -= s * vi;
+                }
+            }
+        }
+    }
+
+    /// Overwrite `m` with `Q_R · m` (right reflectors, reverse order).
+    /// `Q_R` acts on the row space: reflector `i` lives in rows `i+1..n`.
+    pub fn apply_qr(&self, m: &mut Matrix) {
+        let n = self.vs.rows();
+        assert_eq!(m.rows(), n);
+        let ncols = m.cols();
+        for i in (0..n.saturating_sub(1)).rev() {
+            let t = self.tau_r[i];
+            if t == 0.0 {
+                continue;
+            }
+            let len = n - i - 1;
+            let mut v = Vec::with_capacity(len);
+            v.push(1.0);
+            for j in i + 2..n {
+                v.push(self.vs[(i, j)]);
+            }
+            for j in 0..ncols {
+                let c = &mut m.col_mut(j)[i + 1..];
+                let s = t * dot(&v, c);
+                for (ci, vi) in c.iter_mut().zip(&v) {
+                    *ci -= s * vi;
+                }
+            }
+        }
+    }
+}
+
+/// Full dense SVD `A = U Σ Vᵀ` of a square matrix: bidiagonalize, solve
+/// the bidiagonal SVD through the Golub–Kahan embedding and the task-flow
+/// D&C eigensolver, back-transform both singular-vector sets.
+pub fn svd_dense(a: &Matrix, opts: DcOptions) -> Result<Svd, DcError> {
+    let (b, factors) = bidiagonalize(a);
+    let inner = svd_bidiagonal(&b, opts)?;
+    let mut u = inner.u;
+    factors.apply_ql(&mut u);
+    let mut v = inner.vt.transpose();
+    factors.apply_qr(&mut v);
+    Ok(Svd { u, s: inner.s, vt: v.transpose() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcst_matrix::{gemm, orthogonality_error};
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rand_matrix(n: usize, seed: u64) -> Matrix {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    fn reconstruct(svd: &Svd) -> Matrix {
+        let n = svd.s.len();
+        // U · diag(s) · Vt
+        let mut us = svd.u.clone();
+        for (j, &s) in svd.s.iter().enumerate() {
+            us.col_mut(j).iter_mut().for_each(|x| *x *= s);
+        }
+        let mut out = Matrix::zeros(n, n);
+        gemm(n, n, n, 1.0, us.as_slice(), n, svd.vt.as_slice(), n, 0.0, out.as_mut_slice(), n);
+        out
+    }
+
+    #[test]
+    fn bidiagonalization_preserves_singular_values() {
+        // Frobenius norm is invariant under orthogonal transforms.
+        let a = rand_matrix(12, 3);
+        let (b, _) = bidiagonalize(&a);
+        let fro_a: f64 = a.as_slice().iter().map(|x| x * x).sum();
+        let fro_b: f64 = b.d.iter().chain(&b.e).map(|x| x * x).sum();
+        assert!((fro_a - fro_b).abs() < 1e-10 * fro_a, "{fro_a} vs {fro_b}");
+    }
+
+    #[test]
+    fn dense_svd_reconstructs_the_matrix() {
+        for n in [3usize, 8, 25, 60] {
+            let a = rand_matrix(n, n as u64);
+            let svd = svd_dense(&a, DcOptions::default()).unwrap();
+            assert!(orthogonality_error(&svd.u) < 1e-12, "U orthogonal n={n}");
+            assert!(orthogonality_error(&svd.vt.transpose()) < 1e-12, "V orthogonal n={n}");
+            let back = reconstruct(&svd);
+            for j in 0..n {
+                for i in 0..n {
+                    assert!(
+                        (back[(i, j)] - a[(i, j)]).abs() < 1e-10,
+                        "n={n} ({i},{j}): {} vs {}",
+                        back[(i, j)],
+                        a[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_has_unit_singular_values() {
+        let svd = svd_dense(&Matrix::identity(10), DcOptions::default()).unwrap();
+        for &s in &svd.s {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_values_of_known_matrix() {
+        // A = diag(5, 3, 1) rotated is still σ = {5, 3, 1}.
+        let a = Matrix::from_vec(2, 2, vec![0.0, -2.0, 3.0, 0.0]);
+        // [[0, 3], [-2, 0]] has singular values {3, 2}.
+        let svd = svd_dense(&a, DcOptions::default()).unwrap();
+        assert!((svd.s[0] - 3.0).abs() < 1e-13, "{:?}", svd.s);
+        assert!((svd.s[1] - 2.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Outer product: rank one.
+        let n = 6;
+        let a = Matrix::from_fn(n, n, |i, j| ((i + 1) * (j + 1)) as f64);
+        let svd = svd_dense(&a, DcOptions::default()).unwrap();
+        assert!(svd.s[0] > 1.0);
+        for &s in &svd.s[1..] {
+            assert!(s < 1e-10 * svd.s[0], "trailing singular values ~ 0: {s}");
+        }
+        let back = reconstruct(&svd);
+        for j in 0..n {
+            for i in 0..n {
+                assert!((back[(i, j)] - a[(i, j)]).abs() < 1e-9 * svd.s[0]);
+            }
+        }
+    }
+}

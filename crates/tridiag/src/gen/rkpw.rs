@@ -1,0 +1,146 @@
+//! Jacobi-matrix reconstruction from spectral data.
+//!
+//! Given nodes `λ` and positive weights `w`, the RKPW algorithm
+//! (Rutishauser–Kahan–Pal–Walker, as stabilized by Gragg & Harrod 1984 and
+//! popularized by Gautschi's OPQ `lanczos.m`) reconstructs in O(n²) the
+//! unique symmetric tridiagonal (Jacobi) matrix whose eigenvalues are `λ`
+//! and whose eigenvector first components squared are `w / Σw`.
+//!
+//! This is how the prescribed-spectrum test matrices of the paper's
+//! Table III (types 1–9) are built: the spectrum is exact by construction
+//! and the random weights randomize the eigenvector structure, at O(n²)
+//! cost instead of the O(n³) dense `dlatms` route (which exists in
+//! [`crate::dense_with_spectrum`] and is used to cross-validate this one).
+
+use crate::SymTridiag;
+
+/// Reconstruct the Jacobi matrix with eigenvalues `nodes` and first-row
+/// eigenvector weights proportional to `weights`.
+///
+/// Panics if lengths differ, if fewer than one node is given, or if any
+/// weight is non-positive.
+pub fn jacobi_from_spectrum(nodes: &[f64], weights: &[f64]) -> SymTridiag {
+    let n = nodes.len();
+    assert_eq!(n, weights.len(), "nodes/weights length mismatch");
+    assert!(n >= 1, "need at least one node");
+    assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+
+    // p0 holds the evolving diagonal (initialized with the nodes);
+    // p1 holds [total weight, β₁, β₂, …] with β the *squared*
+    // off-diagonals. One node/weight pair is absorbed per outer step.
+    let mut p0: Vec<f64> = nodes.to_vec();
+    let mut p1: Vec<f64> = vec![0.0; n];
+    p1[0] = weights[0];
+
+    for k in 0..n - 1 {
+        let mut pn = weights[k + 1];
+        let xlam = nodes[k + 1];
+        let mut gam = 1.0f64;
+        let mut sig = 0.0f64;
+        let mut t = 0.0f64;
+        for j in 0..=k + 1 {
+            let rho = p1[j] + pn;
+            let tmp = gam * rho;
+            let tsig = sig;
+            if rho <= 0.0 {
+                gam = 1.0;
+                sig = 0.0;
+            } else {
+                gam = p1[j] / rho;
+                sig = pn / rho;
+            }
+            let tk = sig * (p0[j] - xlam) - gam * t;
+            p0[j] -= tk - t;
+            t = tk;
+            pn = if sig <= 0.0 { tsig * p1[j] } else { (t * t) / sig };
+            p1[j] = tmp;
+        }
+    }
+
+    let d = p0;
+    // p1[0] is the total weight; β_i = p1[i] for i ≥ 1 are squared
+    // off-diagonals (non-negative up to rounding).
+    let e: Vec<f64> = p1[1..].iter().map(|&b| b.max(0.0).sqrt()).collect();
+    SymTridiag::new(d, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Eigen-decomposition of the (1,2,1) Toeplitz matrix in closed form:
+    /// λ_k = 2 − 2cos(kπ/(n+1)), v_k(0) ∝ sin(kπ/(n+1)).
+    fn toeplitz_spectral_data(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let h = std::f64::consts::PI / (n as f64 + 1.0);
+        let nodes = (1..=n).map(|k| 2.0 - 2.0 * (k as f64 * h).cos()).collect();
+        // First eigenvector components: sqrt(2/(n+1)) sin(k h); weights are
+        // their squares.
+        let weights = (1..=n).map(|k| 2.0 / (n as f64 + 1.0) * (k as f64 * h).sin().powi(2)).collect();
+        (nodes, weights)
+    }
+
+    #[test]
+    fn recovers_the_toeplitz_matrix() {
+        for n in [1usize, 2, 3, 8, 25] {
+            let (nodes, weights) = toeplitz_spectral_data(n);
+            let t = jacobi_from_spectrum(&nodes, &weights);
+            for i in 0..n {
+                assert!((t.d[i] - 2.0).abs() < 1e-10, "n={n} d[{i}]={}", t.d[i]);
+            }
+            for i in 0..n - 1 {
+                assert!((t.e[i].abs() - 1.0).abs() < 1e-10, "n={n} e[{i}]={}", t.e[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_matches_node_sum() {
+        let nodes = vec![0.1, 0.5, 2.0, 7.0];
+        let weights = vec![0.2, 0.3, 0.4, 0.1];
+        let t = jacobi_from_spectrum(&nodes, &weights);
+        let trace: f64 = t.d.iter().sum();
+        assert!((trace - 9.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frobenius_matches_node_square_sum() {
+        let nodes = vec![-1.0, 0.25, 1.5];
+        let weights = vec![1.0, 2.0, 3.0];
+        let t = jacobi_from_spectrum(&nodes, &weights);
+        let fro2: f64 = t.d.iter().map(|x| x * x).sum::<f64>()
+            + 2.0 * t.e.iter().map(|x| x * x).sum::<f64>();
+        let want: f64 = nodes.iter().map(|x| x * x).sum();
+        assert!((fro2 - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sturm_counts_confirm_spectrum() {
+        let nodes = vec![-2.0, -0.5, 0.0, 1.0, 3.5];
+        let weights = vec![0.1, 0.3, 0.2, 0.25, 0.15];
+        let t = jacobi_from_spectrum(&nodes, &weights);
+        for (k, &lam) in nodes.iter().enumerate() {
+            assert_eq!(crate::sturm_count(&t, lam - 1e-8), k);
+            assert_eq!(crate::sturm_count(&t, lam + 1e-8), k + 1);
+        }
+    }
+
+    #[test]
+    fn repeated_nodes_yield_near_reducible_matrix() {
+        // Repeated eigenvalues cannot belong to an unreduced tridiagonal;
+        // the reconstruction must push some off-diagonal to ~0.
+        let nodes = vec![1.0, 1.0, 1.0, 2.0];
+        let weights = vec![0.25, 0.25, 0.25, 0.25];
+        let t = jacobi_from_spectrum(&nodes, &weights);
+        let min_e = t.e.iter().fold(f64::INFINITY, |m, &x| m.min(x.abs()));
+        assert!(min_e < 1e-7, "min off-diagonal {min_e}");
+        let trace: f64 = t.d.iter().sum();
+        assert!((trace - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton() {
+        let t = jacobi_from_spectrum(&[42.0], &[1.0]);
+        assert_eq!(t.d, vec![42.0]);
+        assert!(t.e.is_empty());
+    }
+}

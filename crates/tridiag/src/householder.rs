@@ -1,0 +1,233 @@
+//! Householder reduction of a dense symmetric matrix to tridiagonal form
+//! (`dsytd2` analogue) and the corresponding back-transformation, giving the
+//! full symmetric-eigensolver pipeline `A = Q T Qᵀ = (QV) Λ (QV)ᵀ` of the
+//! paper's equations (1)–(3).
+
+use crate::SymTridiag;
+use dcst_matrix::{dot, gemv, nrm2, Matrix};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Householder reflectors produced by [`tridiagonalize`]: the essential
+/// parts of the vectors live below the first subdiagonal of `vs`, with
+/// scaling factors `tau` (reflector `i` reduces column `i`).
+pub struct HouseholderFactors {
+    vs: Matrix,
+    tau: Vec<f64>,
+}
+
+/// Generate an elementary reflector `H = I − τ v vᵀ`, `v[0] = 1`, such that
+/// `H [alpha; x] = [beta; 0]` (LAPACK `dlarfg`). Overwrites `x` with the
+/// essential part of `v`; returns `(beta, tau)`.
+fn larfg(alpha: f64, x: &mut [f64]) -> (f64, f64) {
+    let xnorm = nrm2(x);
+    if xnorm == 0.0 {
+        return (alpha, 0.0);
+    }
+    let beta = -dcst_matrix::util::sign(dcst_matrix::util::lapy2(alpha, xnorm), alpha);
+    let tau = (beta - alpha) / beta;
+    let scale = 1.0 / (alpha - beta);
+    for xi in x {
+        *xi *= scale;
+    }
+    (beta, tau)
+}
+
+/// Reduce dense symmetric `a` (full storage; the strictly upper triangle is
+/// ignored) to tridiagonal `T = Qᵀ A Q`, returning `T` and the factored `Q`.
+pub fn tridiagonalize(a: &Matrix) -> (SymTridiag, HouseholderFactors) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "matrix must be square");
+    let mut w = a.clone();
+    let mut tau = vec![0.0; n.saturating_sub(1)];
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n.saturating_sub(1)];
+    for i in 0..n.saturating_sub(1) {
+        // Reduce column i: zero out rows i+2..n.
+        let alpha = w[(i + 1, i)];
+        let (beta, t) = {
+            let col = w.col_mut(i);
+            larfg(alpha, &mut col[i + 2..])
+        };
+        tau[i] = t;
+        e[i] = beta;
+        d[i] = w[(i, i)];
+        if t != 0.0 {
+            // v = [1; w[i+2.., i]] acting on the trailing block
+            // A2 = w[i+1.., i+1..] (symmetric, stored fully).
+            let m = n - i - 1;
+            let mut v = vec![0.0; m];
+            v[0] = 1.0;
+            v[1..].copy_from_slice(&w.col(i)[i + 2..]);
+            // p = τ · A2 · v
+            let mut p = vec![0.0; m];
+            {
+                let a2 = &w.as_slice()[(i + 1) + (i + 1) * n..];
+                gemv(m, m, t, a2, n, &v, 0.0, &mut p);
+            }
+            // p ← p − (τ/2 · pᵀv) v
+            let c = 0.5 * t * dot(&p, &v);
+            for (pi, vi) in p.iter_mut().zip(&v) {
+                *pi -= c * vi;
+            }
+            // A2 ← A2 − v pᵀ − p vᵀ (full storage update keeps symmetry).
+            for jj in 0..m {
+                let col = &mut w.col_mut(i + 1 + jj)[i + 1..];
+                let (pj, vj) = (p[jj], v[jj]);
+                for ii in 0..m {
+                    col[ii] -= v[ii] * pj + p[ii] * vj;
+                }
+            }
+        }
+    }
+    if n > 0 {
+        d[n - 1] = w[(n - 1, n - 1)];
+        if n > 1 {
+            d[n - 2] = w[(n - 2, n - 2)];
+        }
+    }
+    (SymTridiag::new(d, e), HouseholderFactors { vs: w, tau })
+}
+
+/// Overwrite `v` with `Q · v`, where `Q` comes from [`tridiagonalize`]
+/// (`dormtr('L','L','N')` analogue). Used to back-transform tridiagonal
+/// eigenvectors to eigenvectors of the original dense matrix.
+pub fn apply_q(q: &HouseholderFactors, v: &mut Matrix) {
+    let n = q.vs.rows();
+    assert_eq!(v.rows(), n, "dimension mismatch");
+    let ncols = v.cols();
+    // Q = H_0 H_1 … H_{n-2}; multiply from the left applying in reverse.
+    let mut u = vec![0.0; n];
+    for i in (0..n.saturating_sub(1)).rev() {
+        let t = q.tau[i];
+        if t == 0.0 {
+            continue;
+        }
+        let m = n - i - 1;
+        u[0] = 1.0;
+        u[1..m].copy_from_slice(&q.vs.col(i)[i + 2..]);
+        for j in 0..ncols {
+            let col = &mut v.col_mut(j)[i + 1..];
+            let s = t * dot(&u[..m], col);
+            for (ci, ui) in col.iter_mut().zip(&u[..m]) {
+                *ci -= s * ui;
+            }
+        }
+    }
+}
+
+/// A random dense symmetric matrix with the prescribed spectrum:
+/// `A = H_k … H_1 · diag(λ) · H_1 … H_k` for random reflectors `H_j`
+/// (LAPACK `dlatms`-style). O(n³) — meant for verification-scale inputs.
+pub fn dense_with_spectrum(lambda: &[f64], seed: u64) -> Matrix {
+    let n = lambda.len();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut a = Matrix::from_fn(n, n, |i, j| if i == j { lambda[i] } else { 0.0 });
+    let mut w = vec![0.0; n];
+    for _ in 0..n.min(32) {
+        // Random unit vector u; apply (I − 2uuᵀ) A (I − 2uuᵀ).
+        let mut u: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let norm = nrm2(&u);
+        if norm == 0.0 {
+            continue;
+        }
+        for ui in &mut u {
+            *ui /= norm;
+        }
+        gemv(n, n, 1.0, a.as_slice(), n, &u, 0.0, &mut w); // w = A u
+        let uw = dot(&u, &w);
+        // A ← A − 2uwᵀ − 2wuᵀ + 4(uᵀw)uuᵀ
+        for j in 0..n {
+            let (uj, wj) = (u[j], w[j]);
+            let col = a.col_mut(j);
+            for i in 0..n {
+                col[i] += -2.0 * u[i] * wj - 2.0 * w[i] * uj + 4.0 * uw * u[i] * uj;
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcst_matrix::orthogonality_error;
+
+    #[test]
+    fn larfg_annihilates() {
+        let mut x = vec![3.0, 4.0];
+        let (beta, tau) = larfg(0.0, &mut x);
+        // H [0;3;4] should be [beta;0;0] with |beta| = 5.
+        assert!((beta.abs() - 5.0).abs() < 1e-12);
+        assert!(tau != 0.0);
+        let v = [1.0, x[0], x[1]];
+        let orig = [0.0, 3.0, 4.0];
+        let s = tau * dot(&v, &orig);
+        let h0 = orig[0] - s * v[0];
+        let h1 = orig[1] - s * v[1];
+        let h2 = orig[2] - s * v[2];
+        assert!((h0 - beta).abs() < 1e-12 && h1.abs() < 1e-12 && h2.abs() < 1e-12);
+    }
+
+    #[test]
+    fn larfg_zero_tail_is_identity() {
+        let mut x: [f64; 0] = [];
+        let (beta, tau) = larfg(5.0, &mut x);
+        assert_eq!((beta, tau), (5.0, 0.0));
+    }
+
+    #[test]
+    fn tridiagonalization_preserves_similarity() {
+        // A = Q T Qᵀ means applying Q to the identity and checking
+        // Qᵀ A Q is tridiagonal — verified via matvec residuals on T.
+        let lam = [1.0, 2.5, -0.5, 4.0, 0.0, 3.0];
+        let a = dense_with_spectrum(&lam, 7);
+        let (t, q) = tridiagonalize(&a);
+        // Q as dense: apply to identity.
+        let n = lam.len();
+        let mut qd = Matrix::identity(n);
+        apply_q(&q, &mut qd);
+        assert!(orthogonality_error(&qd) < 1e-14, "Q orthogonal");
+        // Check A·q_j ≈ (Q T)·e_j column by column: A Q = Q T.
+        let td = t.to_dense();
+        let mut aq = vec![0.0; n];
+        let mut qt = vec![0.0; n];
+        for j in 0..n {
+            gemv(n, n, 1.0, a.as_slice(), n, qd.col(j), 0.0, &mut aq);
+            gemv(n, n, 1.0, qd.as_slice(), n, td.col(j), 0.0, &mut qt);
+            for i in 0..n {
+                assert!((aq[i] - qt[i]).abs() < 1e-12, "col {j} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn tridiagonalization_of_tridiagonal_is_noop_shape() {
+        let t0 = SymTridiag::new(vec![1.0, 2.0, 3.0], vec![0.5, 0.25]);
+        let (t1, _) = tridiagonalize(&t0.to_dense());
+        for i in 0..3 {
+            assert!((t1.d[i] - t0.d[i]).abs() < 1e-14);
+        }
+        for i in 0..2 {
+            assert!((t1.e[i].abs() - t0.e[i].abs()).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn spectrum_is_preserved_by_generator() {
+        // Trace and Frobenius norm are spectral invariants.
+        let lam = [3.0, -1.0, 2.0, 2.0, 5.0];
+        let a = dense_with_spectrum(&lam, 11);
+        let trace: f64 = (0..5).map(|i| a[(i, i)]).sum();
+        assert!((trace - 11.0).abs() < 1e-10);
+        let fro2: f64 = a.as_slice().iter().map(|x| x * x).sum();
+        let want: f64 = lam.iter().map(|l| l * l).sum();
+        assert!((fro2 - want).abs() < 1e-9);
+        // Symmetry.
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((a[(i, j)] - a[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Plain-text serialization of symmetric tridiagonal matrices.
+//!
+//! Format (whitespace/line tolerant):
+//!
+//! ```text
+//! n
+//! d_0 d_1 … d_{n−1}
+//! e_0 e_1 … e_{n−2}
+//! ```
+//!
+//! Lines starting with `#` are comments. Used by the `dcst` CLI and handy
+//! for getting real matrices in and out of the solvers.
+
+use crate::SymTridiag;
+use std::io::{BufRead, Write};
+
+/// Errors from [`read_tridiag`].
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    Parse(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Write `t` in the text format.
+pub fn write_tridiag<W: Write>(mut w: W, t: &SymTridiag) -> std::io::Result<()> {
+    writeln!(w, "# symmetric tridiagonal: n, diagonal, off-diagonal")?;
+    writeln!(w, "{}", t.n())?;
+    for chunk in t.d.chunks(8) {
+        let line: Vec<String> = chunk.iter().map(|x| format!("{x:.17e}")).collect();
+        writeln!(w, "{}", line.join(" "))?;
+    }
+    writeln!(w, "# off-diagonal")?;
+    for chunk in t.e.chunks(8) {
+        let line: Vec<String> = chunk.iter().map(|x| format!("{x:.17e}")).collect();
+        writeln!(w, "{}", line.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Read a matrix in the text format.
+pub fn read_tridiag<R: BufRead>(r: R) -> Result<SymTridiag, IoError> {
+    let mut tokens: Vec<f64> = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("");
+        for tok in body.split_whitespace() {
+            tokens.push(
+                tok.parse::<f64>()
+                    .map_err(|e| IoError::Parse(format!("bad number '{tok}': {e}")))?,
+            );
+        }
+    }
+    if tokens.is_empty() {
+        return Err(IoError::Parse("empty input".into()));
+    }
+    let n = tokens[0] as usize;
+    if tokens[0].fract() != 0.0 || tokens[0] < 0.0 {
+        return Err(IoError::Parse(format!("bad dimension {}", tokens[0])));
+    }
+    let want = 1 + n + n.saturating_sub(1);
+    if tokens.len() != want {
+        return Err(IoError::Parse(format!(
+            "expected {want} numbers for n = {n}, found {}",
+            tokens.len()
+        )));
+    }
+    let d = tokens[1..1 + n].to_vec();
+    let e = tokens[1 + n..].to_vec();
+    Ok(SymTridiag::new(d, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = SymTridiag::new(vec![1.0, -2.5, 3e-15, 4e200], vec![0.1, -0.2, 0.3]);
+        let mut buf = Vec::new();
+        write_tridiag(&mut buf, &t).unwrap();
+        let back = read_tridiag(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn tolerates_comments_and_layout() {
+        let text = "# hello\n3\n1 2\n3\n# e\n0.5 0.25\n";
+        let t = read_tridiag(text.as_bytes()).unwrap();
+        assert_eq!(t.d, vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.e, vec![0.5, 0.25]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_tridiag("".as_bytes()).is_err());
+        assert!(read_tridiag("2\n1.0\n".as_bytes()).is_err()); // missing numbers
+        assert!(read_tridiag("2\n1.0 2.0\nxyz\n".as_bytes()).is_err());
+        assert!(read_tridiag("-3\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn singleton_matrix() {
+        let t = SymTridiag::new(vec![42.0], vec![]);
+        let mut buf = Vec::new();
+        write_tridiag(&mut buf, &t).unwrap();
+        assert_eq!(read_tridiag(&buf[..]).unwrap(), t);
+    }
+}

@@ -1,0 +1,17 @@
+//! Symmetric tridiagonal matrices and the paper's test-matrix suite.
+//!
+//! Provides the [`SymTridiag`] type consumed by every eigensolver in the
+//! workspace, Sturm-sequence eigenvalue counting, Householder reduction of
+//! dense symmetric matrices to tridiagonal form (plus the back-transform,
+//! so the full `A = QTQᵀ` pipeline of the paper's Eq. (1)–(3) exists), and
+//! generators for all fifteen matrix types of the paper's Table III plus
+//! the "application-like" set used for Figure 10.
+
+pub mod gen;
+mod householder;
+pub mod io;
+mod tridiag;
+
+pub use gen::MatrixType;
+pub use householder::{apply_q, dense_with_spectrum, tridiagonalize, HouseholderFactors};
+pub use tridiag::{sturm_count, SymTridiag};

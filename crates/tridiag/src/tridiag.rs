@@ -1,0 +1,195 @@
+//! The symmetric tridiagonal matrix type and basic spectral tools.
+
+use dcst_matrix::util::SAFE_MIN;
+
+/// A symmetric tridiagonal matrix stored as its diagonal `d` (length n) and
+/// off-diagonal `e` (length n−1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymTridiag {
+    pub d: Vec<f64>,
+    pub e: Vec<f64>,
+}
+
+impl SymTridiag {
+    /// Build from diagonal and off-diagonal. Panics on length mismatch.
+    pub fn new(d: Vec<f64>, e: Vec<f64>) -> Self {
+        assert!(
+            d.is_empty() && e.is_empty() || e.len() + 1 == d.len(),
+            "off-diagonal must be one shorter than diagonal ({} vs {})",
+            e.len(),
+            d.len()
+        );
+        SymTridiag { d, e }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.d.len()
+    }
+
+    /// The (1,2,1) Toeplitz matrix (Table III type 10). Eigenvalues are
+    /// known in closed form: `2 − 2 cos(kπ/(n+1))`.
+    pub fn toeplitz121(n: usize) -> Self {
+        SymTridiag { d: vec![2.0; n], e: vec![1.0; n.saturating_sub(1)] }
+    }
+
+    /// `y = T x`.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.n();
+        assert!(x.len() == n && y.len() == n);
+        for i in 0..n {
+            let mut acc = self.d[i] * x[i];
+            if i > 0 {
+                acc += self.e[i - 1] * x[i - 1];
+            }
+            if i + 1 < n {
+                acc += self.e[i] * x[i + 1];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Max-norm `max(|d_i|, |e_i|)` (LAPACK `dlanst('M')`).
+    pub fn max_norm(&self) -> f64 {
+        let dm = self.d.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let em = self.e.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        dm.max(em)
+    }
+
+    /// Gershgorin interval certainly containing the whole spectrum.
+    pub fn gershgorin_bounds(&self) -> (f64, f64) {
+        let n = self.n();
+        if n == 0 {
+            return (0.0, 0.0);
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..n {
+            let mut r = 0.0;
+            if i > 0 {
+                r += self.e[i - 1].abs();
+            }
+            if i + 1 < n {
+                r += self.e[i].abs();
+            }
+            lo = lo.min(self.d[i] - r);
+            hi = hi.max(self.d[i] + r);
+        }
+        (lo, hi)
+    }
+
+    /// True if any entry is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.d.iter().chain(&self.e).any(|x| !x.is_finite())
+    }
+
+    /// The dense representation (for small-scale verification only).
+    pub fn to_dense(&self) -> dcst_matrix::Matrix {
+        let n = self.n();
+        dcst_matrix::Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                self.d[i]
+            } else if i.abs_diff(j) == 1 {
+                self.e[i.min(j)]
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+/// Number of eigenvalues of `t` strictly less than `x`, by the classic
+/// Sturm / LDLᵀ inertia recurrence with underflow safeguarding.
+pub fn sturm_count(t: &SymTridiag, x: f64) -> usize {
+    let n = t.n();
+    let mut count = 0usize;
+    let mut q = 1.0f64; // previous pivot, q_0 sentinel
+    for i in 0..n {
+        let e2 = if i > 0 { t.e[i - 1] * t.e[i - 1] } else { 0.0 };
+        q = (t.d[i] - x) - if i > 0 { e2 / q } else { 0.0 };
+        if q.abs() < SAFE_MIN {
+            // Perturb an exactly-zero pivot, as in dstebz.
+            q = -SAFE_MIN;
+        }
+        if q < 0.0 {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toeplitz_eigs(n: usize) -> Vec<f64> {
+        (1..=n)
+            .map(|k| 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect()
+    }
+
+    #[test]
+    fn matvec_small() {
+        let t = SymTridiag::new(vec![1.0, 2.0, 3.0], vec![4.0, 5.0]);
+        let mut y = vec![0.0; 3];
+        t.matvec(&[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![5.0, 11.0, 8.0]);
+    }
+
+    #[test]
+    fn max_norm_and_gershgorin() {
+        let t = SymTridiag::toeplitz121(5);
+        assert_eq!(t.max_norm(), 2.0);
+        let (lo, hi) = t.gershgorin_bounds();
+        assert!(lo <= 0.0 && hi >= 4.0);
+    }
+
+    #[test]
+    fn sturm_counts_match_known_spectrum() {
+        let n = 12;
+        let t = SymTridiag::toeplitz121(n);
+        let eigs = toeplitz_eigs(n);
+        for (k, &lam) in eigs.iter().enumerate() {
+            assert_eq!(sturm_count(&t, lam - 1e-9), k, "below eigenvalue {k}");
+            assert_eq!(sturm_count(&t, lam + 1e-9), k + 1, "above eigenvalue {k}");
+        }
+        assert_eq!(sturm_count(&t, -1.0), 0);
+        assert_eq!(sturm_count(&t, 5.0), n);
+    }
+
+    #[test]
+    fn sturm_handles_exact_pivot_breakdown() {
+        // x equal to a diagonal entry of a diagonal matrix hits q == 0.
+        let t = SymTridiag::new(vec![1.0, 2.0, 3.0], vec![0.0, 0.0]);
+        assert_eq!(sturm_count(&t, 2.0), 2); // 1.0 < 2.0 and the perturbed zero pivot
+    }
+
+    #[test]
+    fn dense_agrees_with_matvec() {
+        let t = SymTridiag::new(vec![1.0, -2.0, 0.5, 3.0], vec![0.25, -1.0, 2.0]);
+        let a = t.to_dense();
+        let x = [1.0, 2.0, -1.0, 0.5];
+        let mut y1 = vec![0.0; 4];
+        t.matvec(&x, &mut y1);
+        let mut y2 = vec![0.0; 4];
+        dcst_matrix::gemv(4, 4, 1.0, a.as_slice(), 4, &x, 0.0, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let t = SymTridiag::new(vec![], vec![]);
+        assert_eq!(t.n(), 0);
+        let t1 = SymTridiag::new(vec![7.0], vec![]);
+        assert_eq!(sturm_count(&t1, 8.0), 1);
+        assert_eq!(sturm_count(&t1, 6.0), 0);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let t = SymTridiag::new(vec![1.0, f64::INFINITY], vec![0.0]);
+        assert!(t.has_non_finite());
+    }
+}

@@ -1,0 +1,166 @@
+//! Generator-suite coverage: spectral contracts of every Table III type,
+//! Householder pipeline robustness, I/O edge cases.
+
+use dcst_tridiag::gen::{jacobi_from_spectrum, MatrixType, K_PARAM, ULP};
+use dcst_tridiag::{sturm_count, SymTridiag};
+
+/// Count eigenvalues in [lo, hi) via Sturm sequences.
+fn count_in(t: &SymTridiag, lo: f64, hi: f64) -> usize {
+    sturm_count(t, hi) - sturm_count(t, lo)
+}
+
+#[test]
+fn type1_one_big_rest_small() {
+    let n = 64;
+    let t = MatrixType::Type1.generate(n, 2);
+    assert_eq!(count_in(&t, 0.5, 1.5), 1, "exactly one eigenvalue at 1");
+    assert_eq!(count_in(&t, 0.5 / K_PARAM, 2.0 / K_PARAM), n - 1, "rest at 1/k");
+}
+
+#[test]
+fn type2_one_small_rest_big() {
+    let n = 64;
+    let t = MatrixType::Type2.generate(n, 2);
+    assert_eq!(count_in(&t, 0.5, 1.5), n - 1);
+    assert_eq!(count_in(&t, 0.5 / K_PARAM, 2.0 / K_PARAM), 1);
+}
+
+#[test]
+fn type3_geometric_spread() {
+    let n = 40;
+    let t = MatrixType::Type3.generate(n, 2);
+    // Largest 1, smallest 1/k, log-spaced: the midpoint in log space
+    // splits the spectrum in half.
+    let mid = (1.0f64 / K_PARAM).sqrt();
+    let below = sturm_count(&t, mid);
+    assert!((below as i64 - (n / 2) as i64).abs() <= 1, "{below}");
+}
+
+#[test]
+fn type4_arithmetic_spread() {
+    let n = 40;
+    let t = MatrixType::Type4.generate(n, 2);
+    // Arithmetic from 1/k to 1: midpoint 0.5 splits in half.
+    let below = sturm_count(&t, 0.5);
+    assert!((below as i64 - (n / 2) as i64).abs() <= 1, "{below}");
+}
+
+#[test]
+fn type7_graded_tiny_plus_one() {
+    let n = 32;
+    let t = MatrixType::Type7.generate(n, 2);
+    assert_eq!(count_in(&t, 0.5, 1.5), 1);
+    assert_eq!(sturm_count(&t, ULP * n as f64), n - 1);
+}
+
+#[test]
+fn type8_endpoint_structure() {
+    let n = 32;
+    let t = MatrixType::Type8.generate(n, 2);
+    assert_eq!(sturm_count(&t, 0.5), 1, "one eigenvalue at ulp");
+    assert_eq!(count_in(&t, 1.5, 2.5), 1, "one eigenvalue at 2");
+    assert_eq!(count_in(&t, 0.5, 1.5), n - 2, "cluster at 1");
+}
+
+#[test]
+fn type9_hundred_ulp_ladder() {
+    let n = 16;
+    let t = MatrixType::Type9.generate(n, 2);
+    // Whole spectrum inside [1, 1 + 100*ulp*n].
+    assert_eq!(count_in(&t, 0.999, 1.0 + 100.0 * ULP * n as f64), n);
+}
+
+#[test]
+fn hermite_symmetry() {
+    let t = dcst_tridiag::gen::hermite(21);
+    // Gauss–Hermite nodes are symmetric about 0; odd n has a node at 0.
+    let below = sturm_count(&t, -1e-12);
+    let above = 21 - sturm_count(&t, 1e-12);
+    assert_eq!(below, above);
+    assert_eq!(count_in(&t, -1e-12, 1e-12), 1);
+}
+
+#[test]
+fn clement_even_size_excludes_zero() {
+    let t = dcst_tridiag::gen::clement(8);
+    // Spectrum ±1, ±3, ±5, ±7 — no zero eigenvalue.
+    assert_eq!(count_in(&t, -0.5, 0.5), 0);
+    assert_eq!(count_in(&t, 0.5, 1.5), 1);
+}
+
+#[test]
+fn rkpw_handles_wide_dynamic_range() {
+    let lam: Vec<f64> = (0..20).map(|i| 10f64.powi(i - 10)).collect();
+    let w = vec![1.0; 20];
+    let t = jacobi_from_spectrum(&lam, &w);
+    assert!(!t.has_non_finite());
+    // The reconstruction is absolute-accuracy limited (≈ ε·λ_max·n), so
+    // only eigenvalues above that floor keep their identity.
+    let floor = f64::EPSILON * lam[19] * 20.0;
+    for (k, &l) in lam.iter().enumerate() {
+        if l < 10.0 * floor {
+            continue;
+        }
+        assert!(
+            sturm_count(&t, l * (1.0 + 1e-6) + floor) >= k + 1
+                && sturm_count(&t, l * (1.0 - 1e-6) - floor) <= k,
+            "eigenvalue {k} = {l}"
+        );
+    }
+}
+
+#[test]
+fn householder_pipeline_on_rank_deficient_matrix() {
+    use dcst_tridiag::{apply_q, dense_with_spectrum, tridiagonalize};
+    // Half the spectrum is exactly zero.
+    let lam: Vec<f64> = (0..12).map(|i| if i < 6 { 0.0 } else { (i - 5) as f64 }).collect();
+    let a = dense_with_spectrum(&lam, 4);
+    let (t, q) = tridiagonalize(&a);
+    assert_eq!(sturm_count(&t, 1e-10) - sturm_count(&t, -1e-10), 6, "6 zero eigenvalues");
+    let mut ident = dcst_matrix::Matrix::identity(12);
+    apply_q(&q, &mut ident);
+    assert!(dcst_matrix::orthogonality_error(&ident) < 1e-13);
+}
+
+#[test]
+fn application_names_are_unique() {
+    let suite = dcst_tridiag::gen::application_suite(&[30, 40]);
+    let mut names: Vec<&str> = suite.iter().map(|a| a.name.as_str()).collect();
+    names.sort_unstable();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(names.len(), before);
+}
+
+#[test]
+fn io_roundtrip_of_generated_matrices() {
+    use dcst_tridiag::io::{read_tridiag, write_tridiag};
+    for ty in [MatrixType::Type5, MatrixType::Type11, MatrixType::Type12] {
+        let t = ty.generate(33, 8);
+        let mut buf = Vec::new();
+        write_tridiag(&mut buf, &t).unwrap();
+        let back = read_tridiag(&buf[..]).unwrap();
+        assert_eq!(back, t, "type {}", ty.index());
+    }
+}
+
+#[test]
+fn matvec_against_dense_on_random_shapes() {
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+    let mut rng = ChaCha8Rng::seed_from_u64(10);
+    for n in [1usize, 2, 3, 17] {
+        let d: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let e: Vec<f64> = (0..n.saturating_sub(1)).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let t = SymTridiag::new(d, e);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut y = vec![0.0; n];
+        t.matvec(&x, &mut y);
+        let dense = t.to_dense();
+        let mut y2 = vec![0.0; n];
+        dcst_matrix::gemv(n, n, 1.0, dense.as_slice(), n, &x, 0.0, &mut y2);
+        for (a, b) in y.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-13);
+        }
+    }
+}

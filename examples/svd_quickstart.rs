@@ -1,0 +1,38 @@
+//! SVD through the task-flow D&C eigensolver — the paper's future-work
+//! direction, realized via the Golub–Kahan embedding.
+//!
+//! ```text
+//! cargo run --release --example svd_quickstart
+//! ```
+
+use dcst::matrix::{gemm, Matrix};
+use dcst::prelude::*;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let n = 150;
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let a = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+
+    let svd = svd_dense(&a, DcOptions::default()).expect("svd failed");
+    println!("largest singular values:  {:.4?}", &svd.s[..4]);
+    println!("smallest singular values: {:.4?}", &svd.s[n - 4..]);
+
+    // Verify A = U Σ Vᵀ.
+    let mut us = svd.u.clone();
+    for (j, &s) in svd.s.iter().enumerate() {
+        us.col_mut(j).iter_mut().for_each(|x| *x *= s);
+    }
+    let mut back = Matrix::zeros(n, n);
+    gemm(n, n, n, 1.0, us.as_slice(), n, svd.vt.as_slice(), n, 0.0, back.as_mut_slice(), n);
+    let mut max_err = 0.0f64;
+    for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
+        max_err = max_err.max((x - y).abs());
+    }
+    println!("max |A - U S Vt|        = {max_err:.3e}");
+    println!("orthogonality of U       = {:.3e}", orthogonality_error(&svd.u));
+    println!("orthogonality of V       = {:.3e}", orthogonality_error(&svd.vt.transpose()));
+    assert!(max_err < 1e-11);
+    println!("svd verified");
+}

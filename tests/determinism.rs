@@ -1,0 +1,71 @@
+//! Determinism and concurrency guarantees of the public API.
+
+use dcst::prelude::*;
+
+fn opts() -> DcOptions {
+    DcOptions { min_part: 16, nb: 16, threads: 2, ..DcOptions::default() }
+}
+
+#[test]
+fn taskflow_is_bitwise_deterministic_across_runs() {
+    // Panel partials are combined in a fixed order, so the result must be
+    // bitwise identical no matter how the scheduler interleaved the tasks.
+    let t = MatrixType::Type3.generate(100, 77);
+    let solver = TaskFlowDc::new(opts());
+    let a = solver.solve(&t).unwrap();
+    for _ in 0..3 {
+        let b = solver.solve(&t).unwrap();
+        assert_eq!(a.values, b.values, "eigenvalues bitwise equal");
+        assert_eq!(a.vectors.as_slice(), b.vectors.as_slice(), "vectors bitwise equal");
+    }
+}
+
+#[test]
+fn taskflow_matches_sequential_bitwise() {
+    // Same kernels, same order ⇒ the parallel schedule cannot change a
+    // single bit relative to the one-thread run.
+    let t = MatrixType::Type6.generate(90, 13);
+    let par = TaskFlowDc::new(opts()).solve(&t).unwrap();
+    let one = TaskFlowDc::new(DcOptions { threads: 1, ..opts() }).solve(&t).unwrap();
+    assert_eq!(par.values, one.values);
+    assert_eq!(par.vectors.as_slice(), one.vectors.as_slice());
+}
+
+#[test]
+fn solvers_are_shareable_across_threads() {
+    // &TaskFlowDc is Sync: several user threads may solve concurrently.
+    let solver = std::sync::Arc::new(TaskFlowDc::new(opts()));
+    let results: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let solver = solver.clone();
+                s.spawn(move || {
+                    let t = MatrixType::Type4.generate(60, i);
+                    solver.solve(&t).unwrap().values
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Each seed gives a different matrix but the same count.
+    assert!(results.iter().all(|v| v.len() == 60));
+    assert_ne!(results[0], results[1]);
+}
+
+#[test]
+fn generators_and_solver_roundtrip_is_reproducible() {
+    // Full reproducibility chain: seed → matrix → spectrum.
+    let a = TaskFlowDc::new(opts()).solve(&MatrixType::Type5.generate(80, 5)).unwrap();
+    let b = TaskFlowDc::new(opts()).solve(&MatrixType::Type5.generate(80, 5)).unwrap();
+    assert_eq!(a.values, b.values);
+}
+
+#[test]
+fn mrrr_deterministic_given_thread_count() {
+    let t = MatrixType::Type4.generate(70, 31);
+    let s = MrrrSolver::new(dcst::mrrr::MrrrOptions { threads: 2, ..Default::default() });
+    let (v1, m1) = s.solve(&t).unwrap();
+    let (v2, m2) = s.solve(&t).unwrap();
+    assert_eq!(v1, v2);
+    assert_eq!(m1.as_slice(), m2.as_slice());
+}
