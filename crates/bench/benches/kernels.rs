@@ -3,19 +3,28 @@
 //! leaf solver, and the prescribed-spectrum generator.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dcst_matrix::gemm;
+use dcst_matrix::{gemm, gemm_axpy_ref, gemm_par};
 use dcst_secular::{deflate, solve_secular_root, DeflationInput};
 use dcst_tridiag::gen::MatrixType;
 
+/// Packed micro-kernel GEMM (1 and 2 threads) against the seed
+/// register-blocked AXPY kernel kept as `gemm_axpy_ref`.
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
-    for &n in &[64usize, 128, 256] {
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256, 512] {
         let a = vec![0.5f64; n * n];
         let b = vec![0.25f64; n * n];
         let mut out = vec![0.0f64; n * n];
         group.throughput(Throughput::Elements((2 * n * n * n) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+        group.bench_with_input(BenchmarkId::new("packed", n), &n, |bench, &n| {
             bench.iter(|| gemm(n, n, n, 1.0, &a, n, &b, n, 0.0, &mut out, n));
+        });
+        group.bench_with_input(BenchmarkId::new("packed_2t", n), &n, |bench, &n| {
+            bench.iter(|| gemm_par(2, n, n, n, 1.0, &a, n, &b, n, 0.0, &mut out, n));
+        });
+        group.bench_with_input(BenchmarkId::new("axpy_ref", n), &n, |bench, &n| {
+            bench.iter(|| gemm_axpy_ref(n, n, n, 1.0, &a, n, &b, n, 0.0, &mut out, n));
         });
     }
     group.finish();
@@ -49,7 +58,15 @@ fn bench_deflation(c: &mut Criterion) {
             v
         };
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| deflate(&DeflationInput { d: &d, z: &z, beta: 1.0, n1: n / 2, idxq: &idxq }));
+            bench.iter(|| {
+                deflate(&DeflationInput {
+                    d: &d,
+                    z: &z,
+                    beta: 1.0,
+                    n1: n / 2,
+                    idxq: &idxq,
+                })
+            });
         });
     }
     group.finish();
@@ -78,5 +95,12 @@ fn bench_generator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_secular, bench_deflation, bench_leaf_solver, bench_generator);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_secular,
+    bench_deflation,
+    bench_leaf_solver,
+    bench_generator
+);
 criterion_main!(benches);

@@ -9,11 +9,16 @@ use dcst_mrrr::{MrrrOptions, MrrrSolver};
 use dcst_tridiag::gen::MatrixType;
 
 fn opts(threads: usize) -> DcOptions {
-    DcOptions { threads, ..DcOptions::default() }
+    DcOptions {
+        threads,
+        ..DcOptions::default()
+    }
 }
 
 fn bench_solvers(c: &mut Criterion) {
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let n = 512;
     for ty in [MatrixType::Type2, MatrixType::Type4] {
         let t = ty.generate(n, 21);
@@ -26,11 +31,18 @@ fn bench_solvers(c: &mut Criterion) {
             Box::new(TaskFlowDc::new(opts(threads))),
         ];
         for solver in &solvers {
-            group.bench_with_input(BenchmarkId::from_parameter(solver.name()), &t, |bench, t| {
-                bench.iter(|| solver.solve(t).unwrap());
-            });
+            group.bench_with_input(
+                BenchmarkId::from_parameter(solver.name()),
+                &t,
+                |bench, t| {
+                    bench.iter(|| solver.solve(t).unwrap());
+                },
+            );
         }
-        let mrrr = MrrrSolver::new(MrrrOptions { threads, ..Default::default() });
+        let mrrr = MrrrSolver::new(MrrrOptions {
+            threads,
+            ..Default::default()
+        });
         group.bench_with_input(BenchmarkId::from_parameter("mrrr"), &t, |bench, t| {
             bench.iter(|| mrrr.solve(t).unwrap());
         });

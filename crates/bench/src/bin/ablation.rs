@@ -32,7 +32,16 @@ fn main() {
     println!("Panel width nb (min_part = 64, extra workspace on):");
     let mut tb = Table::new(&["nb", "time"]);
     for nb in [16, 32, 64, 128, 256, n] {
-        let time = run(&t, DcOptions { min_part: 64, nb, threads, extra_workspace: true, use_gatherv: true });
+        let time = run(
+            &t,
+            DcOptions {
+                min_part: 64,
+                nb,
+                threads,
+                extra_workspace: true,
+                use_gatherv: true,
+            },
+        );
         tb.row(vec![nb.to_string(), fmt_s(time)]);
     }
     tb.print();
@@ -41,7 +50,16 @@ fn main() {
     let mut tb = Table::new(&["min_part", "leaves", "time"]);
     for mp in [16, 32, 64, 128, 300] {
         let leaves = dcst_core::PartitionTree::build(n, mp).leaves().len();
-        let time = run(&t, DcOptions { min_part: mp, nb: 64, threads, extra_workspace: true, use_gatherv: true });
+        let time = run(
+            &t,
+            DcOptions {
+                min_part: mp,
+                nb: 64,
+                threads,
+                extra_workspace: true,
+                use_gatherv: true,
+            },
+        );
         tb.row(vec![mp.to_string(), leaves.to_string(), fmt_s(time)]);
     }
     tb.print();
@@ -49,7 +67,16 @@ fn main() {
     println!("\nExtra workspace (overlap PermuteV/LAED4 and CopyBack/ComputeVect):");
     let mut tb = Table::new(&["extra workspace", "time"]);
     for extra in [false, true] {
-        let time = run(&t, DcOptions { min_part: 64, nb: 64, threads, extra_workspace: extra, use_gatherv: true });
+        let time = run(
+            &t,
+            DcOptions {
+                min_part: 64,
+                nb: 64,
+                threads,
+                extra_workspace: extra,
+                use_gatherv: true,
+            },
+        );
         tb.row(vec![extra.to_string(), fmt_s(time)]);
     }
     tb.print();
@@ -57,18 +84,39 @@ fn main() {
     println!("\nGATHERV qualifier (the paper's QUARK extension) vs serialized panels:");
     let mut tb = Table::new(&["panel dependency mode", "time"]);
     for (label, gatherv) in [("INOUT (serialized)", false), ("GATHERV (paper)", true)] {
-        let time = run(&t, DcOptions { min_part: 64, nb: 64, threads, extra_workspace: true, use_gatherv: gatherv });
+        let time = run(
+            &t,
+            DcOptions {
+                min_part: 64,
+                nb: 64,
+                threads,
+                extra_workspace: true,
+                use_gatherv: gatherv,
+            },
+        );
         tb.row(vec![label.to_string(), fmt_s(time)]);
     }
     tb.print();
 
     // Sanity: every configuration yields the same spectrum.
-    let base = TaskFlowDc::new(DcOptions { min_part: 64, nb: 64, threads, extra_workspace: true, use_gatherv: true })
-        .solve(&t)
-        .unwrap();
-    let alt = TaskFlowDc::new(DcOptions { min_part: 300, nb: 16, threads, extra_workspace: false, use_gatherv: true })
-        .solve(&t)
-        .unwrap();
+    let base = TaskFlowDc::new(DcOptions {
+        min_part: 64,
+        nb: 64,
+        threads,
+        extra_workspace: true,
+        use_gatherv: true,
+    })
+    .solve(&t)
+    .unwrap();
+    let alt = TaskFlowDc::new(DcOptions {
+        min_part: 300,
+        nb: 16,
+        threads,
+        extra_workspace: false,
+        use_gatherv: true,
+    })
+    .solve(&t)
+    .unwrap();
     let max_diff = base
         .values
         .iter()

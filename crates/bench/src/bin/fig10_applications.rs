@@ -20,8 +20,15 @@ fn main() {
     let sizes = args.sizes_or(&[500, 1000]);
     let threads = args.usize_or("--threads", dcst_bench::max_threads());
 
-    let mut table =
-        Table::new(&["matrix", "n", "t_dc", "t_mrrr", "winner", "orth D&C", "orth MRRR"]);
+    let mut table = Table::new(&[
+        "matrix",
+        "n",
+        "t_dc",
+        "t_mrrr",
+        "winner",
+        "orth D&C",
+        "orth MRRR",
+    ]);
     let mut dc_wins = 0usize;
     let mut cases = 0usize;
     for app in application_suite(&sizes) {

@@ -21,7 +21,13 @@ fn main() {
     let nb = args.usize_or("--nb", 500);
 
     let t = MatrixType::Type4.generate(n, 7);
-    let solver = TaskFlowDc::new(DcOptions { min_part, nb, threads: 2, extra_workspace: true, use_gatherv: true });
+    let solver = TaskFlowDc::new(DcOptions {
+        min_part,
+        nb,
+        threads: 2,
+        extra_workspace: true,
+        use_gatherv: true,
+    });
     let (_, dag) = solver.solve_with_dag(&t).expect("solve failed");
 
     eprintln!(

@@ -36,15 +36,33 @@ fn main() {
     let stages: [(&str, DcOptions); 3] = [
         (
             "(a) multithreaded update only (nb = n)",
-            DcOptions { min_part: 64, nb: n, threads, extra_workspace: true, use_gatherv: true },
+            DcOptions {
+                min_part: 64,
+                nb: n,
+                threads,
+                extra_workspace: true,
+                use_gatherv: true,
+            },
         ),
         (
             "(b) + parallel merge kernels (single branch)",
-            DcOptions { min_part: n / 2, nb: 64, threads, extra_workspace: true, use_gatherv: true },
+            DcOptions {
+                min_part: n / 2,
+                nb: 64,
+                threads,
+                extra_workspace: true,
+                use_gatherv: true,
+            },
         ),
         (
             "(c) full task flow (panels + tree overlap)",
-            DcOptions { min_part: 64, nb: 64, threads, extra_workspace: true, use_gatherv: true },
+            DcOptions {
+                min_part: 64,
+                nb: 64,
+                threads,
+                extra_workspace: true,
+                use_gatherv: true,
+            },
         ),
     ];
 
@@ -55,8 +73,9 @@ fn main() {
     );
     for (label, opts) in stages {
         let solver = TaskFlowDc::new(opts);
-        let (_, stats, trace) =
-            solver.solve_traced(&t).unwrap_or_else(|e| panic!("stage '{label}' failed: {e}"));
+        let (_, stats, trace) = solver
+            .solve_traced(&t)
+            .unwrap_or_else(|e| panic!("stage '{label}' failed: {e}"));
         println!("--- {label}");
         println!(
             "    makespan {}   busy {}   idle {:.1}%   overall deflation {:.0}%",
@@ -70,7 +89,13 @@ fn main() {
         let breakdown: Vec<String> = kstats
             .iter()
             .take(5)
-            .map(|k| format!("{} {:.0}%", k.name, 100.0 * k.total_us as f64 / total.max(1) as f64))
+            .map(|k| {
+                format!(
+                    "{} {:.0}%",
+                    k.name,
+                    100.0 * k.total_us as f64 / total.max(1) as f64
+                )
+            })
             .collect();
         println!("    top kernels: {}", breakdown.join(", "));
         println!("{}\n", trace.ascii_timeline(100));

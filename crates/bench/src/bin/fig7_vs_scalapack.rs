@@ -20,8 +20,14 @@ fn main() {
     let sizes = args.sizes_or(&[512, 1024, 2048]);
     let threads = args.usize_or("--threads", dcst_bench::max_threads());
 
-    let mut table =
-        Table::new(&["type", "n", "deflation", "t_levelpar(ScaLAPACK model)", "t_taskflow", "speedup"]);
+    let mut table = Table::new(&[
+        "type",
+        "n",
+        "deflation",
+        "t_levelpar(ScaLAPACK model)",
+        "t_taskflow",
+        "speedup",
+    ]);
     for ty in [MatrixType::Type2, MatrixType::Type3, MatrixType::Type4] {
         for &n in &sizes {
             let t = ty.generate(n, 202);

@@ -17,7 +17,15 @@ fn main() {
     let sizes = args.sizes_or(&[512, 1024]);
     let threads = args.usize_or("--threads", dcst_bench::max_threads());
 
-    let mut table = Table::new(&["type", "n", "deflation", "t_mrrr", "t_dc", "t_mrrr/t_dc", "winner"]);
+    let mut table = Table::new(&[
+        "type",
+        "n",
+        "deflation",
+        "t_mrrr",
+        "t_dc",
+        "t_mrrr/t_dc",
+        "winner",
+    ]);
     for ty in MatrixType::ALL {
         for &n in &sizes {
             let t = ty.generate(n, 303);

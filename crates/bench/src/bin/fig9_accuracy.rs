@@ -17,7 +17,14 @@ fn main() {
     let sizes = args.sizes_or(&[512, 1024]);
     let threads = args.usize_or("--threads", dcst_bench::max_threads());
 
-    let mut table = Table::new(&["type", "n", "orth D&C", "orth MRRR", "resid D&C", "resid MRRR"]);
+    let mut table = Table::new(&[
+        "type",
+        "n",
+        "orth D&C",
+        "orth MRRR",
+        "resid D&C",
+        "resid MRRR",
+    ]);
     let mut dc_worse_orth = 0usize;
     let mut cases = 0usize;
     for ty in MatrixType::ALL {

@@ -1,0 +1,83 @@
+//! GEMM throughput sweep: GFLOP/s of the packed micro-kernel GEMM at
+//! n ∈ {256, 512, 1024, 2048} with 1 and 2 threads, against the seed
+//! register-blocked AXPY kernel (`gemm_axpy_ref`) as the baseline.
+//! Writes `BENCH_gemm.json` (override with `--out`).
+//!
+//! ```text
+//! cargo run --release -p dcst-bench --bin gemm_flops -- --sizes 256,512,1024,2048
+//! ```
+
+use dcst_bench::{Args, Table};
+use dcst_matrix::{gemm, gemm_axpy_ref, gemm_par};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock GFLOP/s for one kernel invocation.
+fn gflops(flops: f64, reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: grows packing buffers, faults pages, spins up the pool
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    flops / best / 1e9
+}
+
+fn main() {
+    let args = Args::parse();
+    let sizes = args.sizes_or(&[256, 512, 1024, 2048]);
+    let out_path = args.value("--out").unwrap_or("BENCH_gemm.json");
+
+    let mut table = Table::new(&[
+        "n",
+        "packed 1t (GF/s)",
+        "packed 2t (GF/s)",
+        "axpy ref (GF/s)",
+        "speedup",
+    ]);
+    let mut json = String::from(
+        "{\n  \"bench\": \"gemm_flops\",\n  \"flops_formula\": \"2*n^3\",\n  \"results\": [",
+    );
+    for (idx, &n) in sizes.iter().enumerate() {
+        let a: Vec<f64> = (0..n * n)
+            .map(|i| ((i * 13 % 100) as f64 - 50.0) / 50.0)
+            .collect();
+        let b: Vec<f64> = (0..n * n)
+            .map(|i| ((i * 31 % 100) as f64 - 50.0) / 50.0)
+            .collect();
+        let mut c = vec![0.0; n * n];
+        let flops = 2.0 * (n as f64).powi(3);
+        let reps = (1 << 30) / (flops as usize).max(1) + 1;
+
+        let seq = gflops(flops, reps, || {
+            gemm(n, n, n, 1.0, &a, n, &b, n, 0.0, &mut c, n)
+        });
+        let par = gflops(flops, reps, || {
+            gemm_par(2, n, n, n, 1.0, &a, n, &b, n, 0.0, &mut c, n)
+        });
+        let axpy = gflops(flops, reps, || {
+            gemm_axpy_ref(n, n, n, 1.0, &a, n, &b, n, 0.0, &mut c, n)
+        });
+
+        table.row(vec![
+            n.to_string(),
+            format!("{seq:.2}"),
+            format!("{par:.2}"),
+            format!("{axpy:.2}"),
+            format!("{:.2}x", seq / axpy),
+        ]);
+        let sep = if idx + 1 < sizes.len() { "," } else { "" };
+        write!(
+            json,
+            "\n    {{\"n\": {n}, \"gflops_1t\": {seq:.3}, \"gflops_2t\": {par:.3}, \
+             \"gflops_axpy_ref\": {axpy:.3}, \"speedup_vs_axpy\": {:.3}}}{sep}",
+            seq / axpy
+        )
+        .unwrap();
+    }
+    json.push_str("\n  ]\n}\n");
+    table.print();
+    std::fs::write(out_path, json).expect("write BENCH_gemm.json");
+    println!("wrote {out_path}");
+}

@@ -21,15 +21,27 @@ fn main() {
     let n = args.usize_or("--n", 1024);
     let threads = args.usize_or("--threads", dcst_bench::max_threads());
     let t = MatrixType::Type4.generate(n, 55);
-    let mrrr = MrrrSolver::new(MrrrOptions { threads, ..Default::default() });
+    let mrrr = MrrrSolver::new(MrrrOptions {
+        threads,
+        ..Default::default()
+    });
 
     let start = Instant::now();
     let _ = mrrr.solve(&t).expect("full mrrr");
     let t_full_mrrr = start.elapsed().as_secs_f64();
     let (t_dc, _, _) = time_taskflow(threads, &t);
 
-    println!("type 4 matrix, n = {n}: full MRRR {} | full task-flow D&C {}\n", fmt_s(t_full_mrrr), fmt_s(t_dc));
-    let mut table = Table::new(&["k (subset size)", "t_mrrr(k of n)", "vs full MRRR", "vs full D&C"]);
+    println!(
+        "type 4 matrix, n = {n}: full MRRR {} | full task-flow D&C {}\n",
+        fmt_s(t_full_mrrr),
+        fmt_s(t_dc)
+    );
+    let mut table = Table::new(&[
+        "k (subset size)",
+        "t_mrrr(k of n)",
+        "vs full MRRR",
+        "vs full D&C",
+    ]);
     for frac in [1usize, 5, 10, 25, 50] {
         let k = (n * frac / 100).max(1);
         let start = Instant::now();

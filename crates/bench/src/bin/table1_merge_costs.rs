@@ -28,21 +28,49 @@ fn main() {
                 .iter()
                 .map(|&m| {
                     let node = &tree.nodes[m];
-                    format!("[{}..{}) = {}+{}", node.off, node.off + node.n, node.n1, node.n - node.n1)
+                    format!(
+                        "[{}..{}) = {}+{}",
+                        node.off,
+                        node.off + node.n,
+                        node.n1,
+                        node.n - node.n1
+                    )
                 })
                 .collect();
-            println!("  level {} ({} merges): {}", h + 1, level.len(), descr.join("  "));
+            println!(
+                "  level {} ({} merges): {}",
+                h + 1,
+                level.len(),
+                descr.join("  ")
+            );
         }
         println!();
     }
 
     // Low deflation (type 4) exercises every step of the model.
     let t = MatrixType::Type4.generate(n, 42);
-    let solver = TaskFlowDc::new(DcOptions { min_part, nb, threads, extra_workspace: true, use_gatherv: true });
+    let solver = TaskFlowDc::new(DcOptions {
+        min_part,
+        nb,
+        threads,
+        extra_workspace: true,
+        use_gatherv: true,
+    });
     let (_, stats, trace) = solver.solve_traced(&t).expect("solve failed");
 
     println!("Table I — merge-step cost model (type 4 matrix, n = {n}):");
-    let mut table = Table::new(&["merge n", "k (non-defl)", "deflation", "permute", "secular", "stabilize", "copy-back", "compute X", "update V=VX", "total"]);
+    let mut table = Table::new(&[
+        "merge n",
+        "k (non-defl)",
+        "deflation",
+        "permute",
+        "secular",
+        "stabilize",
+        "copy-back",
+        "compute X",
+        "update V=VX",
+        "total",
+    ]);
     for stat in &stats.merges {
         let c = merge_cost_model(stat);
         table.row(vec![

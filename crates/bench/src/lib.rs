@@ -16,7 +16,9 @@ pub struct Args {
 
 impl Args {
     pub fn parse() -> Self {
-        Args { raw: std::env::args().skip(1).collect() }
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
     }
 
     pub fn flag(&self, name: &str) -> bool {
@@ -24,11 +26,17 @@ impl Args {
     }
 
     pub fn value(&self, name: &str) -> Option<&str> {
-        self.raw.iter().position(|a| a == name).and_then(|i| self.raw.get(i + 1)).map(|s| s.as_str())
+        self.raw
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(|s| s.as_str())
     }
 
     pub fn usize_or(&self, name: &str, default: usize) -> usize {
-        self.value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Comma-separated size list, e.g. `--sizes 512,1024,2048`.
@@ -42,18 +50,25 @@ impl Args {
 
 /// Number of hardware threads available.
 pub fn max_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
 }
 
 /// Default options at a given thread count.
 pub fn opts(threads: usize) -> DcOptions {
-    DcOptions { threads, ..DcOptions::default() }
+    DcOptions {
+        threads,
+        ..DcOptions::default()
+    }
 }
 
 /// Wall-clock one solve, returning seconds and the result.
 pub fn time_solve<S: TridiagEigensolver + ?Sized>(solver: &S, t: &SymTridiag) -> (f64, Eigen) {
     let start = Instant::now();
-    let eig = solver.solve(t).unwrap_or_else(|e| panic!("{} failed: {e}", solver.name()));
+    let eig = solver
+        .solve(t)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", solver.name()));
     (start.elapsed().as_secs_f64(), eig)
 }
 
@@ -67,7 +82,10 @@ pub fn time_taskflow(threads: usize, t: &SymTridiag) -> (f64, Eigen, DcStats) {
 
 /// Wall-clock the MRRR solver.
 pub fn time_mrrr(threads: usize, t: &SymTridiag) -> (f64, Vec<f64>, dcst_matrix::Matrix) {
-    let solver = MrrrSolver::new(MrrrOptions { threads, ..Default::default() });
+    let solver = MrrrSolver::new(MrrrOptions {
+        threads,
+        ..Default::default()
+    });
     let start = Instant::now();
     let (lam, v) = solver.solve(t).expect("mrrr solve failed");
     (start.elapsed().as_secs_f64(), lam, v)
@@ -99,7 +117,10 @@ pub struct Table {
 
 impl Table {
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: vec![] }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+        }
     }
 
     pub fn row(&mut self, cells: Vec<String>) {
@@ -115,8 +136,11 @@ impl Table {
             }
         }
         let line = |cells: &[String]| {
-            let body: Vec<String> =
-                cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+            let body: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
             println!("| {} |", body.join(" | "));
         };
         line(&self.headers);

@@ -25,13 +25,19 @@ struct Args {
 
 impl Args {
     fn value(&self, name: &str) -> Option<&str> {
-        self.raw.iter().position(|a| a == name).and_then(|i| self.raw.get(i + 1)).map(|s| s.as_str())
+        self.raw
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(|s| s.as_str())
     }
     fn flag(&self, name: &str) -> bool {
         self.raw.iter().any(|a| a == name)
     }
     fn usize_or(&self, name: &str, default: usize) -> usize {
-        self.value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -59,7 +65,12 @@ fn main() -> ExitCode {
     }
     let cmd = argv.remove(0);
     let args = Args { raw: argv };
-    let threads = args.usize_or("--threads", std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+    let threads = args.usize_or(
+        "--threads",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    );
 
     match cmd.as_str() {
         "generate" => {
@@ -103,7 +114,8 @@ fn main() -> ExitCode {
             let splits = (0..t.n().saturating_sub(1))
                 .filter(|&i| {
                     t.e[i].abs()
-                        <= f64::EPSILON * (t.d[i].abs() * t.d[i + 1].abs()).sqrt() + f64::MIN_POSITIVE
+                        <= f64::EPSILON * (t.d[i].abs() * t.d[i + 1].abs()).sqrt()
+                            + f64::MIN_POSITIVE
                 })
                 .count();
             println!("n               = {}", t.n());
@@ -122,11 +134,17 @@ fn main() -> ExitCode {
                 }
             };
             let solver_name = args.value("--solver").unwrap_or("taskflow");
-            let opts = DcOptions { threads, ..DcOptions::default() };
+            let opts = DcOptions {
+                threads,
+                ..DcOptions::default()
+            };
             let start = Instant::now();
             let (values, vectors) = match solver_name {
                 "mrrr" => {
-                    let solver = MrrrSolver::new(MrrrOptions { threads, ..Default::default() });
+                    let solver = MrrrSolver::new(MrrrOptions {
+                        threads,
+                        ..Default::default()
+                    });
                     if let Some(spec) = args.value("--subset") {
                         let (il, iu) = match spec.split_once(':') {
                             Some((a, b)) => (a.parse().unwrap_or(0), b.parse().unwrap_or(0)),
@@ -157,7 +175,11 @@ fn main() -> ExitCode {
                 }
             };
             let secs = start.elapsed().as_secs_f64();
-            eprintln!("{solver_name}: {} eigenpairs in {:.3}s ({threads} threads)", values.len(), secs);
+            eprintln!(
+                "{solver_name}: {} eigenpairs in {:.3}s ({threads} threads)",
+                values.len(),
+                secs
+            );
             if args.flag("--check") && vectors.cols() == values.len() && vectors.cols() == t.n() {
                 let orth = dcst_matrix::orthogonality_error(&vectors);
                 let res = dcst_matrix::residual_error(
@@ -177,10 +199,14 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "trace" => {
-            let ty = MatrixType::from_index(args.usize_or("--type", 4)).unwrap_or(MatrixType::Type4);
+            let ty =
+                MatrixType::from_index(args.usize_or("--type", 4)).unwrap_or(MatrixType::Type4);
             let n = args.usize_or("--n", 1000);
             let t = ty.generate(n, 1);
-            let solver = TaskFlowDc::new(DcOptions { threads, ..DcOptions::default() });
+            let solver = TaskFlowDc::new(DcOptions {
+                threads,
+                ..DcOptions::default()
+            });
             let (_, stats, trace) = solver.solve_traced(&t).expect("solve failed");
             eprintln!(
                 "n = {n}, type {}: makespan {:.1} ms, idle {:.1}%, deflation {:.0}%",

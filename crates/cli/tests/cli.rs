@@ -16,19 +16,41 @@ fn tempfile(name: &str) -> std::path::PathBuf {
 fn generate_info_solve_pipeline() {
     let path = tempfile("pipeline.txt");
     let out = dcst()
-        .args(["generate", "--type", "10", "--n", "64", "--out", path.to_str().unwrap()])
+        .args([
+            "generate",
+            "--type",
+            "10",
+            "--n",
+            "64",
+            "--out",
+            path.to_str().unwrap(),
+        ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
-    let out = dcst().args(["info", "--in", path.to_str().unwrap()]).output().unwrap();
+    let out = dcst()
+        .args(["info", "--in", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("n               = 64"), "{text}");
     assert!(text.contains("max-norm        = 2.0"), "{text}");
 
     let out = dcst()
-        .args(["solve", "--in", path.to_str().unwrap(), "--check", "--threads", "2"])
+        .args([
+            "solve",
+            "--in",
+            path.to_str().unwrap(),
+            "--check",
+            "--threads",
+            "2",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -51,7 +73,17 @@ fn generate_info_solve_pipeline() {
 fn solvers_agree_through_the_cli() {
     let path = tempfile("agree.txt");
     dcst()
-        .args(["generate", "--type", "6", "--n", "48", "--seed", "3", "--out", path.to_str().unwrap()])
+        .args([
+            "generate",
+            "--type",
+            "6",
+            "--n",
+            "48",
+            "--seed",
+            "3",
+            "--out",
+            path.to_str().unwrap(),
+        ])
         .status()
         .unwrap();
     let mut all: Vec<Vec<f64>> = Vec::new();
@@ -60,9 +92,16 @@ fn solvers_agree_through_the_cli() {
             .args(["solve", "--in", path.to_str().unwrap(), "--solver", solver])
             .output()
             .unwrap();
-        assert!(out.status.success(), "{solver}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{solver}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         all.push(
-            String::from_utf8_lossy(&out.stdout).lines().map(|l| l.parse().unwrap()).collect(),
+            String::from_utf8_lossy(&out.stdout)
+                .lines()
+                .map(|l| l.parse().unwrap())
+                .collect(),
         );
     }
     for other in &all[1..] {
@@ -78,16 +117,35 @@ fn solvers_agree_through_the_cli() {
 fn mrrr_subset_through_the_cli() {
     let path = tempfile("subset.txt");
     dcst()
-        .args(["generate", "--type", "4", "--n", "60", "--out", path.to_str().unwrap()])
+        .args([
+            "generate",
+            "--type",
+            "4",
+            "--n",
+            "60",
+            "--out",
+            path.to_str().unwrap(),
+        ])
         .status()
         .unwrap();
     let out = dcst()
-        .args(["solve", "--in", path.to_str().unwrap(), "--solver", "mrrr", "--subset", "5:9"])
+        .args([
+            "solve",
+            "--in",
+            path.to_str().unwrap(),
+            "--solver",
+            "mrrr",
+            "--subset",
+            "5:9",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
     let count = String::from_utf8_lossy(&out.stdout).lines().count();
-    assert!(count >= 5, "at least the requested 5 eigenvalues, got {count}");
+    assert!(
+        count >= 5,
+        "at least the requested 5 eigenvalues, got {count}"
+    );
     let _ = std::fs::remove_file(&path);
 }
 
@@ -95,10 +153,22 @@ fn mrrr_subset_through_the_cli() {
 fn trace_writes_svg() {
     let svg = tempfile("trace.svg");
     let out = dcst()
-        .args(["trace", "--type", "2", "--n", "128", "--svg", svg.to_str().unwrap()])
+        .args([
+            "trace",
+            "--type",
+            "2",
+            "--n",
+            "128",
+            "--svg",
+            svg.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let body = std::fs::read_to_string(&svg).unwrap();
     assert!(body.starts_with("<svg"));
     assert!(body.contains("STEDC"));
@@ -109,10 +179,16 @@ fn trace_writes_svg() {
 fn bad_usage_fails_cleanly() {
     let out = dcst().output().unwrap();
     assert_eq!(out.status.code(), Some(2));
-    let out = dcst().args(["solve", "--in", "/nonexistent/file"]).output().unwrap();
+    let out = dcst()
+        .args(["solve", "--in", "/nonexistent/file"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     let out = dcst().args(["generate", "--type", "99"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
-    let out = dcst().args(["solve", "--in", "/dev/null"]).output().unwrap();
+    let out = dcst()
+        .args(["solve", "--in", "/dev/null"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1), "empty input rejected");
 }

@@ -80,7 +80,9 @@ impl Default for DcOptions {
         DcOptions {
             min_part: 32,
             nb: 64,
-            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
             extra_workspace: false,
             use_gatherv: true,
         }

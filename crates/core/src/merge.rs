@@ -44,14 +44,40 @@ const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
 /// left child's eigenvector block and the first row of the right child's,
 /// scaled to unit norm. `v_block` starts at `(off, off)`.
 pub(crate) fn build_z(v_block: &[f64], ld: usize, nm: usize, n1: usize) -> Vec<f64> {
-    let mut z = Vec::with_capacity(nm);
+    let mut z = Vec::new();
+    build_z_into(&mut z, v_block, ld, nm, n1);
+    z
+}
+
+/// [`build_z`] into a caller-provided buffer (cleared, then filled).
+pub(crate) fn build_z_into(z: &mut Vec<f64>, v_block: &[f64], ld: usize, nm: usize, n1: usize) {
+    z.clear();
+    z.reserve(nm);
     for j in 0..n1 {
         z.push(v_block[j * ld + (n1 - 1)] * FRAC_1_SQRT_2);
     }
     for j in n1..nm {
         z.push(v_block[j * ld + n1] * FRAC_1_SQRT_2);
     }
-    z
+}
+
+/// Reusable per-merge scratch buffers for [`merge_sequential`] and
+/// [`apply_final_sort`]. All buffers grow monotonically to the largest
+/// merge seen, so a driver that reuses one `MergeScratch` across its
+/// postorder sweep allocates each buffer once (at the root's size) rather
+/// than once per merge node.
+#[derive(Default)]
+pub(crate) struct MergeScratch {
+    /// Rank-one vector `z` (`nm` entries).
+    z: Vec<f64>,
+    /// Concatenated child permutations (`nm` entries).
+    idxq: Vec<usize>,
+    /// Secular eigenvalues (`k` entries).
+    lam: Vec<f64>,
+    /// Delta/eigenvector panel `X` (`k × k`, column-major, `ld = k`).
+    x: Vec<f64>,
+    /// Diagonal permutation scratch for the final sort (`n` entries).
+    dtmp: Vec<f64>,
 }
 
 /// Apply the deflation Givens rotations to eigenvector columns (block rows
@@ -124,7 +150,12 @@ pub(crate) fn solve_roots_panel(
 
 /// `ComputeLocalW` for a root panel: partial Gu–Eisenstat products.
 /// `x_cols` starts at `(off, off + jrange.start)`.
-pub(crate) fn local_w_panel(defl: &Deflation, x_cols: &[f64], ld: usize, jrange: std::ops::Range<usize>) -> Vec<f64> {
+pub(crate) fn local_w_panel(
+    defl: &Deflation,
+    x_cols: &[f64],
+    ld: usize,
+    jrange: std::ops::Range<usize>,
+) -> Vec<f64> {
     local_w_products(&defl.dlamda, x_cols, ld, jrange.start, jrange)
 }
 
@@ -227,7 +258,13 @@ pub(crate) fn update_vect_panel(
 /// `CopyBackDeflated`: copy deflated workspace columns back into V.
 /// Both slices start at `(off, off + slot0)`; `count` columns are copied
 /// over the full block height.
-pub(crate) fn copy_back_panel(ws_cols: &[f64], v_cols: &mut [f64], ld: usize, nm: usize, count: usize) {
+pub(crate) fn copy_back_panel(
+    ws_cols: &[f64],
+    v_cols: &mut [f64],
+    ld: usize,
+    nm: usize,
+    count: usize,
+) {
     for s in 0..count {
         v_cols[s * ld..s * ld + nm].copy_from_slice(&ws_cols[s * ld..s * ld + nm]);
     }
@@ -253,7 +290,8 @@ pub(crate) fn finalize_d(defl: &Deflation, lam_sec: &[f64], d_block: &mut [f64])
 ///   at `row_off`;
 /// * `beta`: the signed coupling `e[off + n1 − 1]`;
 /// * `idxq_l`, `idxq_r`: children's sorting permutations (local to each
-///   child's range).
+///   child's range);
+/// * `scratch`: grow-once buffers reused across merges by the caller.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn merge_sequential(
     d_block: &mut [f64],
@@ -267,6 +305,7 @@ pub(crate) fn merge_sequential(
     idxq_l: &[usize],
     idxq_r: &[usize],
     gemm_threads: usize,
+    scratch: &mut MergeScratch,
 ) -> Result<(Vec<usize>, MergeStat), DcError> {
     debug_assert_eq!(d_block.len(), nm);
     debug_assert_eq!(idxq_l.len(), n1);
@@ -275,43 +314,94 @@ pub(crate) fn merge_sequential(
     // Block-origin view of the V/workspace panels.
     let vb0 = row_off; // offset of element (off, off) within v_panel
 
-    let z = build_z(&v_panel[vb0..], ld, nm, n1);
-    let mut idxq: Vec<usize> = idxq_l.to_vec();
+    let MergeScratch {
+        z, idxq, lam, x, ..
+    } = scratch;
+    build_z_into(z, &v_panel[vb0..], ld, nm, n1);
+    idxq.clear();
+    idxq.extend_from_slice(idxq_l);
     idxq.extend(idxq_r.iter().map(|&r| r + n1));
 
-    let defl = deflate(&DeflationInput { d: d_block, z: &z, beta, n1, idxq: &idxq });
+    let defl = deflate(&DeflationInput {
+        d: d_block,
+        z: z.as_slice(),
+        beta,
+        n1,
+        idxq: idxq.as_slice(),
+    });
     let k = defl.k;
 
     apply_givens(&mut v_panel[vb0..], ld, nm, &defl.givens);
-    permute_slots(&v_panel[vb0..], &mut ws_panel[vb0..], ld, nm, n1, &defl, 0..nm);
+    permute_slots(
+        &v_panel[vb0..],
+        &mut ws_panel[vb0..],
+        ld,
+        nm,
+        n1,
+        &defl,
+        0..nm,
+    );
 
-    let mut lam = vec![0.0; k];
+    lam.clear();
+    lam.resize(k, 0.0);
     if k > 0 {
-        let mut x = vec![0.0f64; k * k];
-        solve_roots_panel(&defl, &mut x, k, 0..k, &mut lam)?;
-        let partials = vec![local_w_panel(&defl, &x, k, 0..k)];
+        // Grow-once k×k panel; every entry is written by solve_roots_panel
+        // before any read, so stale contents need no zeroing.
+        if x.len() < k * k {
+            x.resize(k * k, 0.0);
+        }
+        let x = &mut x[..k * k];
+        solve_roots_panel(&defl, x, k, 0..k, lam)?;
+        let partials = vec![local_w_panel(&defl, x, k, 0..k)];
         let zhat = reduce_w_panels(&defl, &partials);
-        compute_vect_panel(&defl, &zhat, &mut x, k, 0..k);
-        update_vect_panel(&ws_panel[vb0..], &x, k, v_panel, ld, row_off, nm, n1, &defl, 0..k, gemm_threads);
+        compute_vect_panel(&defl, &zhat, x, k, 0..k);
+        update_vect_panel(
+            &ws_panel[vb0..],
+            x,
+            k,
+            v_panel,
+            ld,
+            row_off,
+            nm,
+            n1,
+            &defl,
+            0..k,
+            gemm_threads,
+        );
     }
     if k < nm {
-        copy_back_panel(&ws_panel[vb0 + k * ld..], &mut v_panel[vb0 + k * ld..], ld, nm, nm - k);
+        copy_back_panel(
+            &ws_panel[vb0 + k * ld..],
+            &mut v_panel[vb0 + k * ld..],
+            ld,
+            nm,
+            nm - k,
+        );
     }
 
-    let idxq_out = finalize_d(&defl, &lam, d_block);
+    let idxq_out = finalize_d(&defl, lam, d_block);
     Ok((idxq_out, MergeStat { n: nm, n1, k }))
 }
 
 /// Apply the final sorting permutation to `d` and the columns of `v`,
 /// using `ws` as scratch (both full `n × n`, `ld = n`).
-pub(crate) fn apply_final_sort(d: &mut [f64], v: &mut [f64], ws: &mut [f64], ld: usize, idxq: &[usize]) {
+pub(crate) fn apply_final_sort(
+    d: &mut [f64],
+    v: &mut [f64],
+    ws: &mut [f64],
+    ld: usize,
+    idxq: &[usize],
+    scratch: &mut MergeScratch,
+) {
     let n = idxq.len();
-    let mut dtmp = vec![0.0; n];
+    let dtmp = &mut scratch.dtmp;
+    dtmp.clear();
+    dtmp.resize(n, 0.0);
     for (r, &src) in idxq.iter().enumerate() {
         dtmp[r] = d[src];
         ws[r * ld..r * ld + ld].copy_from_slice(&v[src * ld..src * ld + ld]);
     }
-    d[..n].copy_from_slice(&dtmp);
+    d[..n].copy_from_slice(dtmp);
     v[..n * ld].copy_from_slice(&ws[..n * ld]);
 }
 
@@ -342,7 +432,12 @@ mod tests {
             v.as_mut_slice(),
             3,
             3,
-            &[GivensRot { col_a: 0, col_b: 2, c: th.cos(), s: th.sin() }],
+            &[GivensRot {
+                col_a: 0,
+                col_b: 2,
+                c: th.cos(),
+                s: th.sin(),
+            }],
         );
         let after: f64 = v.as_slice().iter().map(|x| x * x).sum();
         assert!((before - after).abs() < 1e-12);
@@ -362,7 +457,13 @@ mod tests {
         let d = [0.0, 1.0, 0.5, 2.0];
         let z = [0.5, 0.5, 1e-30, 1e-30];
         let idxq = [0usize, 1, 2, 3];
-        let defl = deflate(&DeflationInput { d: &d, z: &z, beta: 0.25, n1: 2, idxq: &idxq });
+        let defl = deflate(&DeflationInput {
+            d: &d,
+            z: &z,
+            beta: 0.25,
+            n1: 2,
+            idxq: &idxq,
+        });
         assert_eq!(defl.k, 2);
         let mut d_block = [0.0; 4];
         let lam = [0.4, 1.4];

@@ -56,7 +56,14 @@ pub fn solve_cost_model(stats: &[MergeStat]) -> (u64, u64) {
     let measured: u64 = stats.iter().map(|s| merge_cost_model(s).total()).sum();
     let worst: u64 = stats
         .iter()
-        .map(|s| merge_cost_model(&MergeStat { n: s.n, n1: s.n1, k: s.n }).total())
+        .map(|s| {
+            merge_cost_model(&MergeStat {
+                n: s.n,
+                n1: s.n1,
+                k: s.n,
+            })
+            .total()
+        })
         .sum();
     (measured, worst)
 }
@@ -67,31 +74,64 @@ mod tests {
 
     #[test]
     fn full_deflation_is_quadratic() {
-        let c = merge_cost_model(&MergeStat { n: 1000, n1: 500, k: 0 });
+        let c = merge_cost_model(&MergeStat {
+            n: 1000,
+            n1: 500,
+            k: 0,
+        });
         assert_eq!(c.update_vect, 0);
         assert_eq!(c.secular, 0);
-        assert!(c.total() < 3_000_000, "quadratic when everything deflates: {}", c.total());
+        assert!(
+            c.total() < 3_000_000,
+            "quadratic when everything deflates: {}",
+            c.total()
+        );
     }
 
     #[test]
     fn no_deflation_is_cubic_dominated() {
-        let c = merge_cost_model(&MergeStat { n: 1000, n1: 500, k: 1000 });
-        assert!(c.update_vect as f64 / c.total() as f64 > 0.9, "GEMM dominates");
+        let c = merge_cost_model(&MergeStat {
+            n: 1000,
+            n1: 500,
+            k: 1000,
+        });
+        assert!(
+            c.update_vect as f64 / c.total() as f64 > 0.9,
+            "GEMM dominates"
+        );
         assert_eq!(c.copy_back, 0);
     }
 
     #[test]
     fn model_monotone_in_k() {
-        let lo = merge_cost_model(&MergeStat { n: 512, n1: 256, k: 100 }).total();
-        let hi = merge_cost_model(&MergeStat { n: 512, n1: 256, k: 400 }).total();
+        let lo = merge_cost_model(&MergeStat {
+            n: 512,
+            n1: 256,
+            k: 100,
+        })
+        .total();
+        let hi = merge_cost_model(&MergeStat {
+            n: 512,
+            n1: 256,
+            k: 400,
+        })
+        .total();
         assert!(hi > lo);
     }
 
     #[test]
     fn worst_case_bound() {
         let stats = vec![
-            MergeStat { n: 256, n1: 128, k: 50 },
-            MergeStat { n: 512, n1: 256, k: 80 },
+            MergeStat {
+                n: 256,
+                n1: 128,
+                k: 50,
+            },
+            MergeStat {
+                n: 512,
+                n1: 256,
+                k: 80,
+            },
         ];
         let (measured, worst) = solve_cost_model(&stats);
         assert!(measured <= worst);

@@ -3,7 +3,7 @@
 //! threaded BLAS under a sequential driver), and [`LevelParallelDc`]
 //! (ScaLAPACK shape: parallel subproblems with level barriers).
 
-use crate::merge::{apply_final_sort, merge_sequential, MergeStat};
+use crate::merge::{apply_final_sort, merge_sequential, MergeScratch, MergeStat};
 use crate::tree::PartitionTree;
 use crate::{DcError, DcOptions, DcStats, Eigen, TridiagEigensolver};
 use dcst_matrix::Matrix;
@@ -59,7 +59,13 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
         return Err(DcError::NonFinite);
     }
     if n == 0 {
-        return Ok((Eigen { values: vec![], vectors: Matrix::zeros(0, 0) }, DcStats::default()));
+        return Ok((
+            Eigen {
+                values: vec![],
+                vectors: Matrix::zeros(0, 0),
+            },
+            DcStats::default(),
+        ));
     }
 
     // Scale to unit max-norm (the paper's `Scale T` / `Scale back` tasks).
@@ -89,7 +95,10 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
 
     // --- leaves.
     let leaves = tree.leaves();
-    let leaf_geom: Vec<(usize, usize)> = leaves.iter().map(|&l| (tree.nodes[l].off, tree.nodes[l].n)).collect();
+    let leaf_geom: Vec<(usize, usize)> = leaves
+        .iter()
+        .map(|&l| (tree.nodes[l].off, tree.nodes[l].n))
+        .collect();
     if mode == Mode::LevelParallel && leaves.len() > 1 {
         // Round-robin the leaves over `threads` workers.
         let nt = opts.threads.max(1);
@@ -133,6 +142,11 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
         Mode::Sequential => 1,
         Mode::ForkJoin | Mode::LevelParallel => opts.threads.max(1),
     };
+    // One scratch per executing thread: the sequential drivers reuse this
+    // single instance across the whole postorder sweep (each buffer
+    // allocates once, at root size); the level-parallel driver recycles
+    // instances through a pool so buffers survive across levels.
+    let mut scratch = MergeScratch::default();
     match mode {
         Mode::Sequential | Mode::ForkJoin => {
             for &m in &tree.merges_postorder() {
@@ -153,15 +167,20 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
                     &idxq_l,
                     &idxq_r,
                     gemm_threads,
+                    &mut scratch,
                 )?;
                 idxqs[m] = Some(idxq);
                 stats.merges.push(stat);
             }
         }
         Mode::LevelParallel => {
+            let scratch_pool: std::sync::Mutex<Vec<MergeScratch>> =
+                std::sync::Mutex::new(Vec::new());
             for level in tree.merge_levels() {
-                let geom: Vec<(usize, usize)> =
-                    level.iter().map(|&m| (tree.nodes[m].off, tree.nodes[m].n)).collect();
+                let geom: Vec<(usize, usize)> = level
+                    .iter()
+                    .map(|&m| (tree.nodes[m].off, tree.nodes[m].n))
+                    .collect();
                 let per_merge_threads = (opts.threads.max(1) / level.len().max(1)).max(1);
                 let results: std::sync::Mutex<Vec<(usize, Vec<usize>, MergeStat)>> =
                     std::sync::Mutex::new(Vec::new());
@@ -178,14 +197,30 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
                             let beta = betas[m];
                             let results = &results;
                             let errs = &errs;
+                            let scratch_pool = &scratch_pool;
                             s.spawn(move || {
+                                let mut scratch =
+                                    scratch_pool.lock().unwrap().pop().unwrap_or_default();
                                 match merge_sequential(
-                                    dh, vh, wh, n, off, nm, n1, beta, &idxq_l, &idxq_r,
+                                    dh,
+                                    vh,
+                                    wh,
+                                    n,
+                                    off,
+                                    nm,
+                                    n1,
+                                    beta,
+                                    &idxq_l,
+                                    &idxq_r,
                                     per_merge_threads,
+                                    &mut scratch,
                                 ) {
-                                    Ok((idxq, stat)) => results.lock().unwrap().push((m, idxq, stat)),
+                                    Ok((idxq, stat)) => {
+                                        results.lock().unwrap().push((m, idxq, stat))
+                                    }
                                     Err(err) => errs.lock().unwrap().push(err),
                                 }
+                                scratch_pool.lock().unwrap().push(scratch);
                             });
                         }
                     });
@@ -203,13 +238,19 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
 
     // --- final sort + scale back.
     let idxq_root = idxqs[tree.root].take().unwrap();
-    apply_final_sort(&mut d, &mut v, &mut ws, n, &idxq_root);
+    apply_final_sort(&mut d, &mut v, &mut ws, n, &idxq_root, &mut scratch);
     if scale != 1.0 {
         for x in &mut d {
             *x *= orgnrm;
         }
     }
-    Ok((Eigen { values: d, vectors: Matrix::from_vec(n, n, v) }, stats))
+    Ok((
+        Eigen {
+            values: d,
+            vectors: Matrix::from_vec(n, n, v),
+        },
+        stats,
+    ))
 }
 
 fn solve_leaf(
@@ -224,7 +265,11 @@ fn solve_leaf(
     for j in 0..nm {
         v_panel[j * ld + off + j] = 1.0;
     }
-    let z = ZBlock { buf: &mut v_panel[off..], ld, nrows: nm };
+    let z = ZBlock {
+        buf: &mut v_panel[off..],
+        ld,
+        nrows: nm,
+    };
     steqr_mut(d, &mut e, Some(z))?;
     Ok(())
 }
@@ -288,12 +333,24 @@ mod tests {
         assert!(eig.values.windows(2).all(|w| w[0] <= w[1]), "sorted");
         let orth = orthogonality_error(&eig.vectors);
         assert!(orth < tol, "orthogonality {orth}");
-        let res = residual_error(n, |x, y| t.matvec(x, y), &eig.values, &eig.vectors, t.max_norm());
+        let res = residual_error(
+            n,
+            |x, y| t.matvec(x, y),
+            &eig.values,
+            &eig.vectors,
+            t.max_norm(),
+        );
         assert!(res < tol, "residual {res}");
     }
 
     fn opts(min_part: usize, threads: usize) -> DcOptions {
-        DcOptions { min_part, nb: 16, threads, extra_workspace: false, use_gatherv: true }
+        DcOptions {
+            min_part,
+            nb: 16,
+            threads,
+            extra_workspace: false,
+            use_gatherv: true,
+        }
     }
 
     #[test]
@@ -355,8 +412,12 @@ mod tests {
         // Type 2 (massive clustering) must deflate far more than type 4.
         let t2 = dcst_tridiag::gen::MatrixType::Type2.generate(128, 3);
         let t4 = dcst_tridiag::gen::MatrixType::Type4.generate(128, 3);
-        let (_, s2) = SequentialDc::new(opts(16, 1)).solve_with_stats(&t2).unwrap();
-        let (_, s4) = SequentialDc::new(opts(16, 1)).solve_with_stats(&t4).unwrap();
+        let (_, s2) = SequentialDc::new(opts(16, 1))
+            .solve_with_stats(&t2)
+            .unwrap();
+        let (_, s4) = SequentialDc::new(opts(16, 1))
+            .solve_with_stats(&t4)
+            .unwrap();
         assert!(
             s2.overall_deflation() > s4.overall_deflation() + 0.2,
             "type2 {} vs type4 {}",
@@ -375,7 +436,10 @@ mod tests {
     #[test]
     fn rejects_non_finite() {
         let t = SymTridiag::new(vec![1.0, f64::NAN, 0.0], vec![0.1, 0.1]);
-        assert!(matches!(SequentialDc::new(opts(4, 1)).solve(&t), Err(DcError::NonFinite)));
+        assert!(matches!(
+            SequentialDc::new(opts(4, 1)).solve(&t),
+            Err(DcError::NonFinite)
+        ));
     }
 
     #[test]
@@ -387,7 +451,10 @@ mod tests {
 
     #[test]
     fn scaling_extreme_norm() {
-        let t = SymTridiag::new(vec![1e200, 2e200, -1e200, 5e199], vec![1e199, -2e199, 3e198]);
+        let t = SymTridiag::new(
+            vec![1e200, 2e200, -1e200, 5e199],
+            vec![1e199, -2e199, 3e198],
+        );
         let eig = SequentialDc::new(opts(2, 1)).solve(&t).unwrap();
         check(&t, &eig, 1e-12);
     }

@@ -68,13 +68,25 @@ struct NodeCell {
 
 impl NodeCell {
     fn defl(&self) -> Arc<Deflation> {
-        self.defl.lock().unwrap().clone().expect("deflation state not yet computed")
+        self.defl
+            .lock()
+            .unwrap()
+            .clone()
+            .expect("deflation state not yet computed")
     }
     fn zhat(&self) -> Arc<Vec<f64>> {
-        self.zhat.lock().unwrap().clone().expect("zhat not yet computed")
+        self.zhat
+            .lock()
+            .unwrap()
+            .clone()
+            .expect("zhat not yet computed")
     }
     fn idxq(&self) -> Arc<Vec<usize>> {
-        self.idxq.lock().unwrap().clone().expect("idxq not yet computed")
+        self.idxq
+            .lock()
+            .unwrap()
+            .clone()
+            .expect("idxq not yet computed")
     }
 }
 
@@ -116,7 +128,13 @@ impl TaskFlowDc {
             return Err(DcError::NonFinite);
         }
         if n == 0 {
-            return Ok((Eigen { values: vec![], vectors: Matrix::zeros(0, 0) }, DcStats::default()));
+            return Ok((
+                Eigen {
+                    values: vec![],
+                    vectors: Matrix::zeros(0, 0),
+                },
+                DcStats::default(),
+            ));
         }
         let nb = self.opts.nb.max(1);
         let orgnrm = t.max_norm();
@@ -172,20 +190,28 @@ impl TaskFlowDc {
             let (off, nm) = (node.off, node.n);
             let (d, e, v) = (d.clone(), e.clone(), v.clone());
             let cells = cells.clone();
-            rt.task("STEDC").read(key_scale).write(key_node(l)).spawn(move || {
-                // SAFETY: exclusive block ranges per leaf; ordered after
-                // Scale by the key and before the parent merge by N(l).
-                let db = unsafe { d.range_mut(off..off + nm) };
-                let eb = unsafe { e.range_mut(off..off + nm - 1) };
-                let ld = d.len();
-                let vcols = unsafe { v.range_mut(off * ld..(off + nm) * ld) };
-                for j in 0..nm {
-                    vcols[j * ld + off + j] = 1.0;
-                }
-                let z = ZBlock { buf: &mut vcols[off..], ld, nrows: nm };
-                steqr_mut(db, eb, Some(z)).unwrap_or_else(|err| panic!("leaf solver failed: {err}"));
-                *cells[l].idxq.lock().unwrap() = Some(Arc::new((0..nm).collect()));
-            });
+            rt.task("STEDC")
+                .read(key_scale)
+                .write(key_node(l))
+                .spawn(move || {
+                    // SAFETY: exclusive block ranges per leaf; ordered after
+                    // Scale by the key and before the parent merge by N(l).
+                    let db = unsafe { d.range_mut(off..off + nm) };
+                    let eb = unsafe { e.range_mut(off..off + nm - 1) };
+                    let ld = d.len();
+                    let vcols = unsafe { v.range_mut(off * ld..(off + nm) * ld) };
+                    for j in 0..nm {
+                        vcols[j * ld + off + j] = 1.0;
+                    }
+                    let z = ZBlock {
+                        buf: &mut vcols[off..],
+                        ld,
+                        nrows: nm,
+                    };
+                    steqr_mut(db, eb, Some(z))
+                        .unwrap_or_else(|err| panic!("leaf solver failed: {err}"));
+                    *cells[l].idxq.lock().unwrap() = Some(Arc::new((0..nm).collect()));
+                });
         }
 
         // ---- merges, bottom-up.
@@ -246,8 +272,9 @@ impl TaskFlowDc {
                         // SAFETY: reads the whole block (shared, no writer
                         // in this phase), writes only columns s0..s1 of ws.
                         let vb = unsafe { v.range(off * n + off..block_end(nm)) };
-                        let wcols =
-                            unsafe { ws.range_mut((off + s0) * n + off..(off + s1 - 1) * n + off + nm) };
+                        let wcols = unsafe {
+                            ws.range_mut((off + s0) * n + off..(off + s1 - 1) * n + off + nm)
+                        };
                         permute_slots(vb, wcols, n, nm, n1, &defl, s0..s1);
                     });
                 }
@@ -255,28 +282,32 @@ impl TaskFlowDc {
                 {
                     let (x, lam) = (x.clone(), lam.clone());
                     let cells = cells.clone();
-                    panel_task(rt, "LAED4", key_node(m), use_gatherv).write(key_x(off + s0)).spawn(move || {
-                        let defl = cells[m].defl();
-                        let k = defl.k;
-                        let j0 = s0.min(k);
-                        let j1 = s1.min(k);
-                        if j0 >= j1 {
-                            return;
-                        }
-                        // SAFETY: exclusive column range of X and of lam.
-                        let xc =
-                            unsafe { x.range_mut((off + j0) * n + off..(off + j1 - 1) * n + off + k) };
-                        let lo = unsafe { lam.range_mut(off + j0..off + j1) };
-                        solve_roots_panel(&defl, xc, n, j0..j1, lo)
-                            .unwrap_or_else(|err| panic!("secular solver failed: {err}"));
-                    });
+                    panel_task(rt, "LAED4", key_node(m), use_gatherv)
+                        .write(key_x(off + s0))
+                        .spawn(move || {
+                            let defl = cells[m].defl();
+                            let k = defl.k;
+                            let j0 = s0.min(k);
+                            let j1 = s1.min(k);
+                            if j0 >= j1 {
+                                return;
+                            }
+                            // SAFETY: exclusive column range of X and of lam.
+                            let xc = unsafe {
+                                x.range_mut((off + j0) * n + off..(off + j1 - 1) * n + off + k)
+                            };
+                            let lo = unsafe { lam.range_mut(off + j0..off + j1) };
+                            solve_roots_panel(&defl, xc, n, j0..j1, lo)
+                                .unwrap_or_else(|err| panic!("secular solver failed: {err}"));
+                        });
                 }
                 // ComputeLocalW
                 {
                     let x = x.clone();
                     let cells = cells.clone();
-                    panel_task(rt, "ComputeLocalW", key_node(m), use_gatherv).read(key_x(off + s0)).spawn(
-                        move || {
+                    panel_task(rt, "ComputeLocalW", key_node(m), use_gatherv)
+                        .read(key_x(off + s0))
+                        .spawn(move || {
                             let defl = cells[m].defl();
                             let k = defl.k;
                             let j0 = s0.min(k);
@@ -285,12 +316,12 @@ impl TaskFlowDc {
                                 return;
                             }
                             // SAFETY: shared read of this panel's X columns.
-                            let xc =
-                                unsafe { x.range((off + j0) * n + off..(off + j1 - 1) * n + off + k) };
+                            let xc = unsafe {
+                                x.range((off + j0) * n + off..(off + j1 - 1) * n + off + k)
+                            };
                             let part = local_w_panel(&defl, xc, n, j0..j1);
                             cells[m].partials.lock().unwrap()[p] = Some(part);
-                        },
-                    );
+                        });
                 }
             }
 
@@ -342,9 +373,12 @@ impl TaskFlowDc {
                             return;
                         }
                         // SAFETY: disjoint deflated column ranges.
-                        let wc = unsafe { ws.range((off + c0) * n + off..(off + c1 - 1) * n + off + nm) };
-                        let vc =
-                            unsafe { v.range_mut((off + c0) * n + off..(off + c1 - 1) * n + off + nm) };
+                        let wc = unsafe {
+                            ws.range((off + c0) * n + off..(off + c1 - 1) * n + off + nm)
+                        };
+                        let vc = unsafe {
+                            v.range_mut((off + c0) * n + off..(off + c1 - 1) * n + off + nm)
+                        };
                         copy_back_panel(wc, vc, n, nm, c1 - c0);
                     });
                 }
@@ -352,8 +386,9 @@ impl TaskFlowDc {
                 {
                     let x = x.clone();
                     let cells = cells.clone();
-                    panel_task(rt, "ComputeVect", key_node(m), use_gatherv).read_write(key_x(off + s0)).spawn(
-                        move || {
+                    panel_task(rt, "ComputeVect", key_node(m), use_gatherv)
+                        .read_write(key_x(off + s0))
+                        .spawn(move || {
                             let defl = cells[m].defl();
                             let k = defl.k;
                             let j0 = s0.min(k);
@@ -367,28 +402,31 @@ impl TaskFlowDc {
                                 x.range_mut((off + j0) * n + off..(off + j1 - 1) * n + off + k)
                             };
                             compute_vect_panel(&defl, &zhat, xc, n, j0..j1);
-                        },
-                    );
+                        });
                 }
                 // UpdateVect (both structured GEMMs for this panel).
                 {
                     let (v, ws, x) = (v.clone(), ws.clone(), x.clone());
                     let cells = cells.clone();
-                    panel_task(rt, "UpdateVect", key_node(m), use_gatherv).read(key_x(off + s0)).spawn(move || {
-                        let defl = cells[m].defl();
-                        let k = defl.k;
-                        let j0 = s0.min(k);
-                        let j1 = s1.min(k);
-                        if j0 >= j1 {
-                            return;
-                        }
-                        // SAFETY: ws block is read-shared in this phase; V
-                        // columns j0..j1 (full height) are exclusive.
-                        let wb = unsafe { ws.range(off * n + off..block_end(k)) };
-                        let xc = unsafe { x.range((off + j0) * n + off..(off + j1 - 1) * n + off + k) };
-                        let vc = unsafe { v.range_mut((off + j0) * n..(off + j1) * n) };
-                        update_vect_panel(wb, xc, n, vc, n, off, nm, n1, &defl, j0..j1, 1);
-                    });
+                    panel_task(rt, "UpdateVect", key_node(m), use_gatherv)
+                        .read(key_x(off + s0))
+                        .spawn(move || {
+                            let defl = cells[m].defl();
+                            let k = defl.k;
+                            let j0 = s0.min(k);
+                            let j1 = s1.min(k);
+                            if j0 >= j1 {
+                                return;
+                            }
+                            // SAFETY: ws block is read-shared in this phase; V
+                            // columns j0..j1 (full height) are exclusive.
+                            let wb = unsafe { ws.range(off * n + off..block_end(k)) };
+                            let xc = unsafe {
+                                x.range((off + j0) * n + off..(off + j1 - 1) * n + off + k)
+                            };
+                            let vc = unsafe { v.range_mut((off + j0) * n..(off + j1) * n) };
+                            update_vect_panel(wb, xc, n, vc, n, off, nm, n1, &defl, j0..j1, 1);
+                        });
                 }
             }
         }
@@ -400,13 +438,15 @@ impl TaskFlowDc {
             {
                 let d = d.clone();
                 let cells = cells.clone();
-                rt.task("SortEigenvalues").read_write(key_node(root)).spawn(move || {
-                    let idxq = cells[root].idxq();
-                    // SAFETY: epoch-exclusive d.
-                    let ds = unsafe { d.slice_mut() };
-                    let tmp: Vec<f64> = idxq.iter().map(|&s| ds[s]).collect();
-                    ds.copy_from_slice(&tmp);
-                });
+                rt.task("SortEigenvalues")
+                    .read_write(key_node(root))
+                    .spawn(move || {
+                        let idxq = cells[root].idxq();
+                        // SAFETY: epoch-exclusive d.
+                        let ds = unsafe { d.slice_mut() };
+                        let tmp: Vec<f64> = idxq.iter().map(|&s| ds[s]).collect();
+                        ds.copy_from_slice(&tmp);
+                    });
             }
             for p in 0..nroot_panels {
                 let r0 = p * nb;
@@ -424,7 +464,9 @@ impl TaskFlowDc {
                     }
                 });
             }
-            rt.task("SortBarrier").read_write(key_node(root)).spawn(|| {});
+            rt.task("SortBarrier")
+                .read_write(key_node(root))
+                .spawn(|| {});
             for p in 0..nroot_panels {
                 let r0 = p * nb;
                 let r1 = ((p + 1) * nb).min(n);
@@ -439,29 +481,41 @@ impl TaskFlowDc {
         }
         {
             let d = d.clone();
-            rt.task("ScaleBack").read_write(key_node(root)).spawn(move || {
-                if scale != 1.0 {
-                    // SAFETY: epoch-exclusive d.
-                    let ds = unsafe { d.slice_mut() };
-                    ds.iter_mut().for_each(|x| *x *= orgnrm);
-                }
-            });
+            rt.task("ScaleBack")
+                .read_write(key_node(root))
+                .spawn(move || {
+                    if scale != 1.0 {
+                        // SAFETY: epoch-exclusive d.
+                        let ds = unsafe { d.slice_mut() };
+                        ds.iter_mut().for_each(|x| *x *= orgnrm);
+                    }
+                });
         }
 
         rt.wait()?;
 
         // Collect results.
-        let values = d.try_unwrap().unwrap_or_else(|_| panic!("d buffer still shared after wait"));
+        let values = d
+            .try_unwrap()
+            .unwrap_or_else(|_| panic!("d buffer still shared after wait"));
         drop(ws);
         drop(x);
-        let vectors = v.try_unwrap().unwrap_or_else(|_| panic!("v buffer still shared after wait"));
+        let vectors = v
+            .try_unwrap()
+            .unwrap_or_else(|_| panic!("v buffer still shared after wait"));
         let mut stats = DcStats::default();
         for &m in &tree.merges_postorder() {
             if let Some(stat) = cells[m].stat.lock().unwrap().take() {
                 stats.merges.push(stat);
             }
         }
-        Ok((Eigen { values, vectors: Matrix::from_vec(n, n, vectors) }, stats))
+        Ok((
+            Eigen {
+                values,
+                vectors: Matrix::from_vec(n, n, vectors),
+            },
+            stats,
+        ))
     }
 }
 
@@ -482,15 +536,26 @@ mod tests {
     use dcst_tridiag::gen::MatrixType;
 
     fn opts(min_part: usize, nb: usize, threads: usize) -> DcOptions {
-        DcOptions { min_part, nb, threads, extra_workspace: true, use_gatherv: true }
+        DcOptions {
+            min_part,
+            nb,
+            threads,
+            extra_workspace: true,
+            use_gatherv: true,
+        }
     }
 
     fn check(t: &SymTridiag, eig: &Eigen, tol: f64) {
         assert!(eig.values.windows(2).all(|w| w[0] <= w[1]), "values sorted");
         let orth = orthogonality_error(&eig.vectors);
         assert!(orth < tol, "orthogonality {orth}");
-        let res =
-            residual_error(t.n(), |x, y| t.matvec(x, y), &eig.values, &eig.vectors, t.max_norm());
+        let res = residual_error(
+            t.n(),
+            |x, y| t.matvec(x, y),
+            &eig.values,
+            &eig.vectors,
+            t.max_norm(),
+        );
         assert!(res < tol, "residual {res}");
     }
 
@@ -536,11 +601,20 @@ mod tests {
         let t = MatrixType::Type4.generate(96, 5);
         let (eig, _stats, trace) = TaskFlowDc::new(opts(16, 8, 2)).solve_traced(&t).unwrap();
         check(&t, &eig, 1e-12);
-        let names: std::collections::HashSet<&str> =
-            trace.records.iter().map(|r| r.name).collect();
-        for expect in
-            ["Scale", "STEDC", "ComputeDeflation", "PermuteV", "LAED4", "ComputeLocalW", "ReduceW", "CopyBackDeflated", "ComputeVect", "UpdateVect", "ScaleBack"]
-        {
+        let names: std::collections::HashSet<&str> = trace.records.iter().map(|r| r.name).collect();
+        for expect in [
+            "Scale",
+            "STEDC",
+            "ComputeDeflation",
+            "PermuteV",
+            "LAED4",
+            "ComputeLocalW",
+            "ReduceW",
+            "CopyBackDeflated",
+            "ComputeVect",
+            "UpdateVect",
+            "ScaleBack",
+        ] {
             assert!(names.contains(expect), "missing kernel {expect}");
         }
     }
@@ -575,8 +649,14 @@ mod tests {
     #[test]
     fn stats_report_deflation() {
         let t = MatrixType::Type2.generate(128, 3);
-        let (_, stats) = TaskFlowDc::new(opts(16, 16, 2)).solve_with_stats(&t).unwrap();
-        assert!(stats.overall_deflation() > 0.8, "type 2 deflates heavily: {}", stats.overall_deflation());
+        let (_, stats) = TaskFlowDc::new(opts(16, 16, 2))
+            .solve_with_stats(&t)
+            .unwrap();
+        assert!(
+            stats.overall_deflation() > 0.8,
+            "type 2 deflates heavily: {}",
+            stats.overall_deflation()
+        );
     }
 
     #[test]

@@ -41,26 +41,42 @@ impl PartitionTree {
 
     fn build_rec(nodes: &mut Vec<TreeNode>, off: usize, n: usize, min_part: usize) -> usize {
         if n <= min_part {
-            nodes.push(TreeNode { off, n, n1: 0, children: None, height: 0 });
+            nodes.push(TreeNode {
+                off,
+                n,
+                n1: 0,
+                children: None,
+                height: 0,
+            });
             return nodes.len() - 1;
         }
         let n1 = n / 2;
         let left = Self::build_rec(nodes, off, n1, min_part);
         let right = Self::build_rec(nodes, off + n1, n - n1, min_part);
         let height = nodes[left].height.max(nodes[right].height) + 1;
-        nodes.push(TreeNode { off, n, n1, children: Some((left, right)), height });
+        nodes.push(TreeNode {
+            off,
+            n,
+            n1,
+            children: Some((left, right)),
+            height,
+        });
         nodes.len() - 1
     }
 
     /// Leaf node ids, left to right.
     pub fn leaves(&self) -> Vec<usize> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].is_leaf()).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_leaf())
+            .collect()
     }
 
     /// Internal node ids in post order (children before parents) — a valid
     /// sequential merge order.
     pub fn merges_postorder(&self) -> Vec<usize> {
-        (0..self.nodes.len()).filter(|&i| !self.nodes[i].is_leaf()).collect()
+        (0..self.nodes.len())
+            .filter(|&i| !self.nodes[i].is_leaf())
+            .collect()
         // `build_rec` pushes children before parents, so index order IS
         // post order.
     }
@@ -81,7 +97,10 @@ impl PartitionTree {
     /// Cut positions: global indices `c` such that the rank-one tear
     /// couples rows `c-1` and `c` (one per internal node).
     pub fn cuts(&self) -> Vec<usize> {
-        self.merges_postorder().iter().map(|&i| self.nodes[i].off + self.nodes[i].n1).collect()
+        self.merges_postorder()
+            .iter()
+            .map(|&i| self.nodes[i].off + self.nodes[i].n1)
+            .collect()
     }
 }
 
@@ -116,9 +135,10 @@ mod tests {
     #[test]
     fn ranges_partition_the_problem() {
         let t = PartitionTree::build(137, 10);
-        let mut covered = vec![false; 137];
+        let mut covered = [false; 137];
         for &l in &t.leaves() {
             let node = &t.nodes[l];
+            #[allow(clippy::needless_range_loop)]
             for i in node.off..node.off + node.n {
                 assert!(!covered[i], "overlap at {i}");
                 covered[i] = true;

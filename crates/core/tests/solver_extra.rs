@@ -7,7 +7,13 @@ use dcst_tridiag::gen::MatrixType;
 use dcst_tridiag::SymTridiag;
 
 fn opts(min_part: usize, nb: usize, threads: usize) -> DcOptions {
-    DcOptions { min_part, nb, threads, extra_workspace: true, use_gatherv: true }
+    DcOptions {
+        min_part,
+        nb,
+        threads,
+        extra_workspace: true,
+        use_gatherv: true,
+    }
 }
 
 fn spectrum_close(a: &[f64], b: &[f64], tol: f64) {
@@ -23,7 +29,13 @@ fn odd_sizes_and_prime_sizes() {
         let t = MatrixType::Type6.generate(n, n as u64);
         let eig = TaskFlowDc::new(opts(4, 4, 2)).solve(&t).unwrap();
         assert_eq!(eig.values.len(), n);
-        let r = dcst_matrix::residual_error(n, |x, y| t.matvec(x, y), &eig.values, &eig.vectors, t.max_norm());
+        let r = dcst_matrix::residual_error(
+            n,
+            |x, y| t.matvec(x, y),
+            &eig.values,
+            &eig.vectors,
+            t.max_norm(),
+        );
         assert!(r < 1e-12, "n = {n}: {r}");
     }
 }
@@ -32,7 +44,9 @@ fn odd_sizes_and_prime_sizes() {
 fn all_four_variants_identical_spectra() {
     let t = MatrixType::Type5.generate(90, 4);
     let o = opts(16, 8, 2);
-    let a = SequentialDc::new(DcOptions { threads: 1, ..o }).solve(&t).unwrap();
+    let a = SequentialDc::new(DcOptions { threads: 1, ..o })
+        .solve(&t)
+        .unwrap();
     let b = ForkJoinDc::new(o).solve(&t).unwrap();
     let c = LevelParallelDc::new(o).solve(&t).unwrap();
     let d = TaskFlowDc::new(o).solve(&t).unwrap();
@@ -50,8 +64,11 @@ fn stats_sizes_sum_to_merge_tree() {
     let tree = PartitionTree::build(n, 16);
     assert_eq!(stats.merges.len(), tree.merges_postorder().len());
     // Each merge's n equals the corresponding node size.
-    let mut node_sizes: Vec<usize> =
-        tree.merges_postorder().iter().map(|&m| tree.nodes[m].n).collect();
+    let mut node_sizes: Vec<usize> = tree
+        .merges_postorder()
+        .iter()
+        .map(|&m| tree.nodes[m].n)
+        .collect();
     let mut stat_sizes: Vec<usize> = stats.merges.iter().map(|s| s.n).collect();
     node_sizes.sort_unstable();
     stat_sizes.sort_unstable();
@@ -65,9 +82,21 @@ fn deflation_ordering_across_types() {
     // Deflation: type2 >= type3 >= type4 (the Figure 5/6/7 legend).
     let n = 200;
     let solver = TaskFlowDc::new(opts(25, 32, 2));
-    let d2 = solver.solve_with_stats(&MatrixType::Type2.generate(n, 7)).unwrap().1.overall_deflation();
-    let d3 = solver.solve_with_stats(&MatrixType::Type3.generate(n, 7)).unwrap().1.overall_deflation();
-    let d4 = solver.solve_with_stats(&MatrixType::Type4.generate(n, 7)).unwrap().1.overall_deflation();
+    let d2 = solver
+        .solve_with_stats(&MatrixType::Type2.generate(n, 7))
+        .unwrap()
+        .1
+        .overall_deflation();
+    let d3 = solver
+        .solve_with_stats(&MatrixType::Type3.generate(n, 7))
+        .unwrap()
+        .1
+        .overall_deflation();
+    let d4 = solver
+        .solve_with_stats(&MatrixType::Type4.generate(n, 7))
+        .unwrap()
+        .1
+        .overall_deflation();
     assert!(d2 > d3 + 0.2, "type2 {d2} vs type3 {d3}");
     assert!(d3 > d4, "type3 {d3} vs type4 {d4}");
 }
@@ -99,12 +128,19 @@ fn dag_size_scales_with_panels() {
 fn cost_model_tracks_deflation() {
     let n = 128;
     let solver = TaskFlowDc::new(opts(16, 16, 1));
-    let (_, s_hi) = solver.solve_with_stats(&MatrixType::Type2.generate(n, 3)).unwrap();
-    let (_, s_lo) = solver.solve_with_stats(&MatrixType::Type4.generate(n, 3)).unwrap();
+    let (_, s_hi) = solver
+        .solve_with_stats(&MatrixType::Type2.generate(n, 3))
+        .unwrap();
+    let (_, s_lo) = solver
+        .solve_with_stats(&MatrixType::Type4.generate(n, 3))
+        .unwrap();
     let (hi_cost, hi_worst) = solve_cost_model(&s_hi.merges);
     let (lo_cost, lo_worst) = solve_cost_model(&s_lo.merges);
     assert_eq!(hi_worst, lo_worst, "same tree ⇒ same worst case");
-    assert!(hi_cost * 4 < lo_cost, "deflation saves ops: {hi_cost} vs {lo_cost}");
+    assert!(
+        hi_cost * 4 < lo_cost,
+        "deflation saves ops: {hi_cost} vs {lo_cost}"
+    );
 }
 
 #[test]

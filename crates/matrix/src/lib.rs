@@ -3,16 +3,25 @@
 //! This crate is the BLAS-like substrate of the workspace: a column-major
 //! [`Matrix`] container plus free functions operating on `(slice, leading
 //! dimension)` pairs in the LAPACK style, so sub-matrices can be addressed
-//! without a dedicated view type. Everything is pure safe Rust; the parallel
-//! GEMM uses scoped threads over disjoint column panels.
+//! without a dedicated view type. The GEMM is a packed, register-tiled
+//! implementation ([`kernel`]) with per-thread recycled packing buffers
+//! ([`workspace_growth_events`] exposes the allocation counter); the
+//! parallel GEMM runs 2-D C tiles on a persistent worker pool ([`pool`])
+//! instead of spawning threads per call.
 
 mod blas;
 mod check;
+mod kernel;
 mod matrix;
 mod merge;
+mod pool;
 pub mod util;
+mod workspace;
 
-pub use blas::{axpy, dot, gemm, gemm_par, gemv, nrm2, scal};
+pub use blas::{axpy, dot, gemm, gemm_axpy_ref, gemm_par, gemv, nrm2, scal};
 pub use check::{orthogonality_error, residual_error, symmetric_residual_error};
+pub use kernel::{KC, MC, MR, MR_SMALL, NC, NR};
 pub use matrix::Matrix;
 pub use merge::merge_perm;
+pub use pool::pool_workers;
+pub use workspace::workspace_growth_events;

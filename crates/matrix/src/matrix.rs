@@ -17,7 +17,11 @@ pub struct Matrix {
 impl Matrix {
     /// An `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { data: vec![0.0; rows * cols], rows, cols }
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// The `n x n` identity matrix.

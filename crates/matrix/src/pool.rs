@@ -1,0 +1,218 @@
+//! Persistent worker pool executing 2-D C-tile jobs for `gemm_par`.
+//!
+//! The seed implementation spawned a fresh `thread::scope` per parallel
+//! GEMM; at the merge sizes the eigensolver produces, thread startup was a
+//! measurable fraction of the kernel. This pool spawns
+//! `available_parallelism - 1` workers once (the calling thread is always
+//! the final executor, so one-core machines still get two lanes of
+//! progress) and feeds them jobs whose tiles are claimed with a single
+//! `fetch_add` — no per-call allocation beyond one `Arc`.
+//!
+//! A panicking tile is contained with `catch_unwind` and re-raised on the
+//! calling thread after the job drains, so a poisoned job can never wedge
+//! the pool or unwind through a worker loop.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One fan-out of `total` tiles over closure `f`.
+///
+/// `f` points at a stack-owned closure in [`run_tiles`]; it is only ever
+/// dereferenced between a successful tile claim and the matching `pending`
+/// decrement, and `run_tiles` does not return until `pending` reaches zero,
+/// so the pointee outlives every dereference.
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    next: AtomicUsize,
+    pending: AtomicUsize,
+    total: usize,
+    panicked: AtomicBool,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.total
+    }
+
+    /// Claim and run tiles until none remain.
+    fn execute(&self) {
+        loop {
+            let t = self.next.fetch_add(1, Ordering::Relaxed);
+            if t >= self.total {
+                return;
+            }
+            let f = unsafe { &*self.f };
+            if catch_unwind(AssertUnwindSafe(|| f(t))).is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *lock(&self.done) = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work_cv: Condvar,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A panicking tile poisons nothing observable: job state is atomic and
+    // the boolean guarded here is monotone.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn pool() -> &'static PoolShared {
+    static POOL: OnceLock<&'static PoolShared> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let shared: &'static PoolShared = Box::leak(Box::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+        }));
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(2)
+            .saturating_sub(1)
+            .max(1);
+        for w in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("dcst-gemm-{w}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn gemm pool worker");
+        }
+        shared
+    })
+}
+
+/// Number of pool worker threads (excluding the calling thread).
+pub fn pool_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .saturating_sub(1)
+        .max(1)
+}
+
+fn worker_loop(shared: &'static PoolShared) {
+    loop {
+        let job = {
+            let mut q = lock(&shared.queue);
+            loop {
+                while q.front().is_some_and(|j| j.exhausted()) {
+                    q.pop_front();
+                }
+                match q.front() {
+                    Some(j) => break j.clone(),
+                    None => q = shared.work_cv.wait(q).unwrap_or_else(|e| e.into_inner()),
+                }
+            }
+        };
+        job.execute();
+    }
+}
+
+/// Run `f(0..tiles)` across the pool plus the calling thread; returns once
+/// every tile has finished. Re-raises a panic from any tile.
+pub(crate) fn run_tiles(tiles: usize, f: &(dyn Fn(usize) + Sync)) {
+    if tiles == 0 {
+        return;
+    }
+    let shared = pool();
+    // Erase the borrow lifetime; see the safety argument on `Job::f`.
+    let f_static: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
+        std::mem::transmute::<
+            *const (dyn Fn(usize) + Sync + '_),
+            *const (dyn Fn(usize) + Sync + 'static),
+        >(f as *const _)
+    };
+    let job = Arc::new(Job {
+        f: f_static,
+        next: AtomicUsize::new(0),
+        pending: AtomicUsize::new(tiles),
+        total: tiles,
+        panicked: AtomicBool::new(false),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut q = lock(&shared.queue);
+        q.push_back(job.clone());
+        shared.work_cv.notify_all();
+    }
+    job.execute();
+    let mut done = lock(&job.done);
+    while !*done {
+        done = job.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+    }
+    drop(done);
+    if job.panicked.load(Ordering::Relaxed) {
+        panic!("gemm_par tile panicked on a pool worker");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_tile_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        run_tiles(hits.len(), &|t| {
+            hits[t].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_and_repeated_jobs_complete() {
+        for round in 0..20 {
+            let sum = AtomicUsize::new(0);
+            run_tiles(round + 1, &|t| {
+                sum.fetch_add(t + 1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), (round + 1) * (round + 2) / 2);
+        }
+    }
+
+    #[test]
+    fn concurrent_callers_all_finish() {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let count = AtomicUsize::new(0);
+                    run_tiles(64, &|_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                    assert_eq!(count.load(Ordering::Relaxed), 64);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn panicking_tile_is_reraised_and_pool_survives() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_tiles(8, &|t| {
+                if t == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "tile panic must surface to the caller");
+        // The pool must still execute subsequent jobs.
+        let ok = AtomicUsize::new(0);
+        run_tiles(8, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 8);
+    }
+}

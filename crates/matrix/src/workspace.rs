@@ -1,0 +1,95 @@
+//! Per-thread packing workspace for the blocked GEMM.
+//!
+//! Each thread that executes GEMM work owns one [`Workspace`] holding the
+//! A-panel (`MC x KC`) and B-panel (`KC x NC`) packing buffers. Buffers grow
+//! monotonically and are never shrunk, so after a warm-up call at a given
+//! problem size the steady state performs **zero heap allocation** inside
+//! GEMM. Every actual growth bumps a global counter, which the allocation
+//! regression test snapshots across repeated calls.
+
+use std::cell::{Cell, RefCell};
+
+thread_local! {
+    /// Growth events of the *calling thread's* workspace. Thread-local so
+    /// unrelated threads (pool workers, parallel tests) cannot perturb an
+    /// allocation regression test's snapshot.
+    static GROWTH_EVENTS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of workspace buffer growth events (allocations or reallocations)
+/// performed so far by the calling thread. Monotone; only meaningful as a
+/// delta: snapshot before and after a repeated GEMM call — an unchanged
+/// count proves the steady state allocates nothing.
+pub fn workspace_growth_events() -> usize {
+    GROWTH_EVENTS.with(|c| c.get())
+}
+
+/// Reusable packing buffers for one thread.
+#[derive(Default)]
+pub struct Workspace {
+    a_pack: Vec<f64>,
+    b_pack: Vec<f64>,
+}
+
+impl Workspace {
+    /// Mutable views of the A- and B-packing buffers, grown (never shrunk)
+    /// to at least `a_len` / `b_len` elements.
+    pub fn panels(&mut self, a_len: usize, b_len: usize) -> (&mut [f64], &mut [f64]) {
+        grow(&mut self.a_pack, a_len);
+        grow(&mut self.b_pack, b_len);
+        (&mut self.a_pack[..a_len], &mut self.b_pack[..b_len])
+    }
+}
+
+fn grow(buf: &mut Vec<f64>, len: usize) {
+    if buf.len() < len {
+        GROWTH_EVENTS.with(|c| c.set(c.get() + 1));
+        buf.resize(len, 0.0);
+    }
+}
+
+thread_local! {
+    static WORKSPACE: RefCell<Workspace> = RefCell::new(Workspace::default());
+}
+
+/// Run `f` with this thread's workspace.
+///
+/// GEMM never calls itself reentrantly from packing or micro-kernel code,
+/// so the `RefCell` borrow cannot conflict.
+pub(crate) fn with_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_grow_once_per_high_water_mark() {
+        let t = std::thread::spawn(|| {
+            let before = workspace_growth_events();
+            with_workspace(|ws| {
+                ws.panels(100, 200);
+            });
+            let after_first = workspace_growth_events();
+            assert!(after_first >= before + 2, "first use allocates both panels");
+            for _ in 0..10 {
+                with_workspace(|ws| {
+                    let (a, b) = ws.panels(100, 200);
+                    a[99] = 1.0;
+                    b[199] = 1.0;
+                });
+            }
+            assert_eq!(
+                workspace_growth_events(),
+                after_first,
+                "steady state allocates nothing"
+            );
+            with_workspace(|ws| {
+                ws.panels(101, 200);
+            });
+            assert_eq!(workspace_growth_events(), after_first + 1, "only A grew");
+        });
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests pitting the packed micro-kernel GEMM (and its pool-tiled
+//! parallel form) against a naive triple loop across adversarial shapes:
+//! every dimension drawn from the micro-kernel/cache-block boundary set
+//! {1, MR-1, MR, MR+1, 2*MC+3}, operands embedded in larger buffers with
+//! slack leading dimensions, and alpha/beta from {0, 1, -0.5}.
+
+use dcst_matrix::{gemm, gemm_axpy_ref, gemm_par, MC, MR};
+use proptest::prelude::*;
+
+/// Naive `C = alpha*A*B + beta*C` with explicit leading dimensions — the
+/// independent oracle (no blocking, no packing, no unrolling).
+#[allow(clippy::too_many_arguments)]
+fn gemm_naive(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a[i + l * lda] * b[l + j * ldb];
+            }
+            c[i + j * ldc] = alpha * acc + beta * c[i + j * ldc];
+        }
+    }
+}
+
+/// Shapes straddling every blocking boundary: unit, one-off-micro-tile,
+/// exact micro-tile, and spilling past two MC cache blocks.
+fn dim() -> impl Strategy<Value = usize> {
+    (0usize..5).prop_map(|i| [1, MR - 1, MR, MR + 1, 2 * MC + 3][i])
+}
+
+fn coeff() -> impl Strategy<Value = f64> {
+    (0usize..3).prop_map(|i| [0.0, 1.0, -0.5][i])
+}
+
+struct Case {
+    m: usize,
+    n: usize,
+    k: usize,
+    lda: usize,
+    ldb: usize,
+    ldc: usize,
+    alpha: f64,
+    beta: f64,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c0: Vec<f64>,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (
+        dim(),
+        dim(),
+        dim(),
+        0usize..4,
+        0usize..4,
+        0usize..4,
+        coeff(),
+        coeff(),
+    )
+        .prop_flat_map(|(m, n, k, sa, sb, sc, alpha, beta)| {
+            // Slack pads the leading dimension, embedding each operand as a
+            // sub-matrix of a taller buffer.
+            let (lda, ldb, ldc) = (m + sa, k + sb, m + sc);
+            let alen = if k == 0 { 0 } else { (k - 1) * lda + m };
+            let blen = if n == 0 { 0 } else { (n - 1) * ldb + k };
+            let clen = if n == 0 { 0 } else { (n - 1) * ldc + m };
+            (
+                proptest::collection::vec(-1.0f64..1.0, alen.max(1)),
+                proptest::collection::vec(-1.0f64..1.0, blen.max(1)),
+                proptest::collection::vec(-1.0f64..1.0, clen.max(1)),
+            )
+                .prop_map(move |(a, b, c0)| Case {
+                    m,
+                    n,
+                    k,
+                    lda,
+                    ldb,
+                    ldc,
+                    alpha,
+                    beta,
+                    a,
+                    b,
+                    c0,
+                })
+        })
+}
+
+fn tolerance(k: usize) -> f64 {
+    1e-12 * (k as f64).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn packed_gemm_matches_naive(case in arb_case()) {
+        let Case { m, n, k, lda, ldb, ldc, alpha, beta, a, b, c0 } = case;
+        let mut c = c0.clone();
+        let mut cref = c0.clone();
+        gemm(m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c, ldc);
+        gemm_naive(m, n, k, alpha, &a, lda, &b, ldb, beta, &mut cref, ldc);
+        for j in 0..n {
+            for i in 0..m {
+                let (x, y) = (c[i + j * ldc], cref[i + j * ldc]);
+                prop_assert!((x - y).abs() < tolerance(k),
+                    "C[{i},{j}] = {x} vs naive {y} (m={m} n={n} k={k} lda={lda} alpha={alpha} beta={beta})");
+            }
+        }
+        // Slack rows between columns must never be written.
+        for j in 0..n {
+            for i in m..ldc {
+                let idx = i + j * ldc;
+                if idx < c.len() {
+                    prop_assert_eq!(c[idx], c0[idx]);
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    #[test]
+    fn parallel_gemm_matches_sequential(case in arb_case(), nt in 1usize..5) {
+        let Case { m, n, k, lda, ldb, ldc, alpha, beta, a, b, c0 } = case;
+        let mut cpar = c0.clone();
+        let mut cseq = c0.clone();
+        gemm_par(nt, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut cpar, ldc);
+        gemm(m, n, k, alpha, &a, lda, &b, ldb, beta, &mut cseq, ldc);
+        for j in 0..n {
+            for i in 0..m {
+                let (x, y) = (cpar[i + j * ldc], cseq[i + j * ldc]);
+                prop_assert!((x - y).abs() < tolerance(k),
+                    "C[{i},{j}] = {x} (par, nt={nt}) vs {y} (seq)");
+            }
+        }
+        return Ok(());
+    }
+
+    #[test]
+    fn axpy_reference_agrees_with_packed(case in arb_case()) {
+        let Case { m, n, k, lda, ldb, ldc, alpha, beta, a, b, c0 } = case;
+        let mut cpacked = c0.clone();
+        let mut caxpy = c0;
+        gemm(m, n, k, alpha, &a, lda, &b, ldb, beta, &mut cpacked, ldc);
+        gemm_axpy_ref(m, n, k, alpha, &a, lda, &b, ldb, beta, &mut caxpy, ldc);
+        for j in 0..n {
+            for i in 0..m {
+                let (x, y) = (cpacked[i + j * ldc], caxpy[i + j * ldc]);
+                prop_assert!((x - y).abs() < tolerance(k), "C[{i},{j}] = {x} vs axpy {y}");
+            }
+        }
+        return Ok(());
+    }
+}

@@ -99,7 +99,10 @@ fn dqds_block(mut q: Vec<f64>, mut e: Vec<f64>, mut sigma: f64, budget: &mut usi
             continue;
         }
         // --- split at a negligible interior e (process the tail first).
-        if let Some(split) = (0..n - 2).rev().find(|&i| e[i] <= tol * tol * (sigma + q[i])) {
+        if let Some(split) = (0..n - 2)
+            .rev()
+            .find(|&i| e[i] <= tol * tol * (sigma + q[i]))
+        {
             let q_tail = q.split_off(split + 1);
             let mut e_tail = e.split_off(split + 1);
             e.pop(); // the negligible coupling itself
@@ -132,7 +135,11 @@ fn dqds_block(mut q: Vec<f64>, mut e: Vec<f64>, mut sigma: f64, budget: &mut usi
                 None => {
                     // Shift too aggressive; back off (τ = 0 always works
                     // for a positive-definite array).
-                    tau = if tau > f64::MIN_POSITIVE { tau * 0.25 } else { 0.0 };
+                    tau = if tau > f64::MIN_POSITIVE {
+                        tau * 0.25
+                    } else {
+                        0.0
+                    };
                 }
             }
         }
@@ -202,7 +209,14 @@ mod tests {
 
     #[test]
     fn matches_bisection_on_table3_types() {
-        for ty in [MatrixType::Type3, MatrixType::Type4, MatrixType::Type6, MatrixType::Type10, MatrixType::Type13, MatrixType::Type14] {
+        for ty in [
+            MatrixType::Type3,
+            MatrixType::Type4,
+            MatrixType::Type6,
+            MatrixType::Type10,
+            MatrixType::Type13,
+            MatrixType::Type14,
+        ] {
             let t = ty.generate(80, 17);
             let vals = dqds_eigenvalues(&t).expect("dqds converges");
             let reference = bisect_reference(&t);
@@ -244,14 +258,23 @@ mod tests {
         let vals = dqds_eigenvalues(&t).expect("dqds converges");
         let reference = bisect_reference(&t);
         for (i, (a, b)) in vals.iter().zip(&reference).enumerate() {
-            assert!((a - b).abs() < 1e-12 * t.max_norm().max(1.0), "eig {i}: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-12 * t.max_norm().max(1.0),
+                "eig {i}: {a} vs {b}"
+            );
         }
     }
 
     #[test]
     fn tiny_sizes() {
-        assert_eq!(dqds_eigenvalues(&SymTridiag::new(vec![], vec![])).unwrap(), Vec::<f64>::new());
-        assert_eq!(dqds_eigenvalues(&SymTridiag::new(vec![7.0], vec![])).unwrap(), vec![7.0]);
+        assert_eq!(
+            dqds_eigenvalues(&SymTridiag::new(vec![], vec![])).unwrap(),
+            Vec::<f64>::new()
+        );
+        assert_eq!(
+            dqds_eigenvalues(&SymTridiag::new(vec![7.0], vec![])).unwrap(),
+            vec![7.0]
+        );
         let t = SymTridiag::new(vec![2.0, 0.0], vec![1.0]);
         let vals = dqds_eigenvalues(&t).unwrap();
         assert!((vals[0] - (1.0 - 2.0f64.sqrt())).abs() < 1e-12);

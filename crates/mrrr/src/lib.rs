@@ -28,7 +28,10 @@ mod tstein;
 
 pub use bisect::{bisect_all, bisect_range, bisect_refine_ldl};
 pub use dqds::dqds_eigenvalues;
-pub use rrr::{ldl_factor, solve_shifted, solve_twisted, stqds_shift, sturm_count_ldl, twisted_vector, twisted_vector_ranked, Rrr};
+pub use rrr::{
+    ldl_factor, solve_shifted, solve_twisted, stqds_shift, sturm_count_ldl, twisted_vector,
+    twisted_vector_ranked, Rrr,
+};
 pub use tstein::{lu_factor, solve_u, TridiagLu};
 
 use dcst_matrix::Matrix;
@@ -36,14 +39,16 @@ use dcst_tridiag::SymTridiag;
 use std::ops::Range;
 use std::sync::Arc;
 
-
 /// Errors from the MRRR driver.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MrrrError {
     NonFinite,
     /// The representation tree failed to separate a cluster and the
     /// fallback also failed (should not happen in practice).
-    ClusterFailure { first: usize, last: usize },
+    ClusterFailure {
+        first: usize,
+        last: usize,
+    },
 }
 
 impl std::fmt::Display for MrrrError {
@@ -77,7 +82,9 @@ pub struct MrrrOptions {
 impl Default for MrrrOptions {
     fn default() -> Self {
         MrrrOptions {
-            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
             reltol: 1e-3,
             max_depth: 8,
             use_dqds: true,
@@ -172,7 +179,9 @@ impl MrrrSolver {
             order.extend((0..lam.len()).map(|c| (bi, c)));
         }
         order.sort_by(|&(ba, ca), &(bb, cb)| {
-            per_block[ba].1[ca].partial_cmp(&per_block[bb].1[cb]).unwrap()
+            per_block[ba].1[ca]
+                .partial_cmp(&per_block[bb].1[cb])
+                .unwrap()
         });
         let mut values = Vec::with_capacity(n);
         let mut v = vec![0.0f64; n * n];
@@ -189,7 +198,12 @@ impl MrrrSolver {
     /// `[lo, hi)`: values ascending plus an `n × k` vector matrix. This is
     /// the subset computation the paper names as MRRR's main asset —
     /// Θ(n·k) instead of Θ(n²) work.
-    pub fn solve_window(&self, t: &SymTridiag, lo: f64, hi: f64) -> Result<(Vec<f64>, Matrix), MrrrError> {
+    pub fn solve_window(
+        &self,
+        t: &SymTridiag,
+        lo: f64,
+        hi: f64,
+    ) -> Result<(Vec<f64>, Matrix), MrrrError> {
         let n = t.n();
         if t.has_non_finite() {
             return Err(MrrrError::NonFinite);
@@ -227,9 +241,8 @@ impl MrrrSolver {
         for (pi, (_, vals, _)) in parts.iter().enumerate() {
             order.extend((0..vals.len()).map(|c| (pi, c)));
         }
-        order.sort_by(|&(pa, ca), &(pb, cb)| {
-            parts[pa].1[ca].partial_cmp(&parts[pb].1[cb]).unwrap()
-        });
+        order
+            .sort_by(|&(pa, ca), &(pb, cb)| parts[pa].1[ca].partial_cmp(&parts[pb].1[cb]).unwrap());
         let mut values = Vec::with_capacity(total);
         let mut v = vec![0.0f64; n * total];
         for (slot, &(pi, c)) in order.iter().enumerate() {
@@ -246,7 +259,12 @@ impl MrrrSolver {
     /// the neighbouring eigenvalues; when the boundary eigenvalue is part
     /// of a numerically degenerate multiplet, the whole multiplet is
     /// included (the count may then exceed `iu − il + 1`).
-    pub fn solve_range(&self, t: &SymTridiag, il: usize, iu: usize) -> Result<(Vec<f64>, Matrix), MrrrError> {
+    pub fn solve_range(
+        &self,
+        t: &SymTridiag,
+        il: usize,
+        iu: usize,
+    ) -> Result<(Vec<f64>, Matrix), MrrrError> {
         let n = t.n();
         assert!(il <= iu && iu < n, "index range out of bounds");
         if t.has_non_finite() {
@@ -266,7 +284,11 @@ impl MrrrSolver {
             let above = bisect_range(t, iu..iu + 2, 1);
             let mid = 0.5 * (above[0] + above[1]);
             // A half-open window needs hi strictly above λ_iu.
-            if mid > above[0] { mid } else { above[0] + f64::MIN_POSITIVE }
+            if mid > above[0] {
+                mid
+            } else {
+                above[0] + f64::MIN_POSITIVE
+            }
         };
         self.solve_window(t, lo, hi)
     }
@@ -323,7 +345,16 @@ impl MrrrSolver {
         let mut jobs: Vec<VecJob> = Vec::with_capacity(n);
         let mut gs_groups = 0usize;
         let lam_local: Vec<f64> = lam.iter().map(|l| l - sigma).collect();
-        self.descend(root, sigma, range.clone(), &lam_local, norm, 0, &mut jobs, &mut gs_groups)?;
+        self.descend(
+            root,
+            sigma,
+            range.clone(),
+            &lam_local,
+            norm,
+            0,
+            &mut jobs,
+            &mut gs_groups,
+        )?;
 
         // 4. eigenvectors in parallel over jobs (disjoint V columns).
         let mut v = vec![0.0f64; n * k];
@@ -360,7 +391,6 @@ impl MrrrSolver {
                 }
             });
         }
-
 
         // 5. Resolve fallback groups (numerically multiple eigenvalues):
         // keep the twisted vector for the first member, then build the
@@ -488,7 +518,10 @@ impl MrrrSolver {
             let mut j = i;
             while j + 1 < range.end {
                 let gap = lam_local[j + 1] - lam_local[j];
-                let scale = lam_local[j + 1].abs().max(lam_local[j].abs()).max(64.0 * f64::EPSILON * norm);
+                let scale = lam_local[j + 1]
+                    .abs()
+                    .max(lam_local[j].abs())
+                    .max(64.0 * f64::EPSILON * norm);
                 if gap > self.opts.reltol * scale {
                     break;
                 }
@@ -509,7 +542,8 @@ impl MrrrSolver {
             } else {
                 // Cluster i..=j.
                 let width = lam_local[j] - lam_local[i];
-                let tiny_cluster = width <= 4.0 * f64::EPSILON * lam_local[j].abs().max(f64::EPSILON * norm);
+                let tiny_cluster =
+                    width <= 4.0 * f64::EPSILON * lam_local[j].abs().max(f64::EPSILON * norm);
                 if depth >= self.opts.max_depth || tiny_cluster {
                     // Fallback: twisted vectors at slightly spread
                     // eigenvalues + Gram–Schmidt.
@@ -574,6 +608,7 @@ impl MrrrSolver {
                     }
                     let child = Arc::new(child);
                     let mut refined: Vec<f64> = lam_local.iter().map(|l| l - tau).collect();
+                    #[allow(clippy::needless_range_loop)]
                     for idx in i..=j {
                         refined[idx] = bisect_refine_ldl(&child, idx, refined[idx], norm);
                     }
@@ -657,7 +692,10 @@ mod tests {
     }
 
     fn solver() -> MrrrSolver {
-        MrrrSolver::new(MrrrOptions { threads: 2, ..Default::default() })
+        MrrrSolver::new(MrrrOptions {
+            threads: 2,
+            ..Default::default()
+        })
     }
 
     fn bisect_reference(t: &SymTridiag) -> Vec<f64> {
@@ -703,7 +741,12 @@ mod tests {
 
     #[test]
     fn well_separated_types() {
-        for ty in [MatrixType::Type4, MatrixType::Type6, MatrixType::Type13, MatrixType::Type14] {
+        for ty in [
+            MatrixType::Type4,
+            MatrixType::Type6,
+            MatrixType::Type13,
+            MatrixType::Type14,
+        ] {
             let t = ty.generate(64, 5);
             let (lam, v) = solver().solve(&t).unwrap();
             check(&t, &lam, &v, 1e-10);

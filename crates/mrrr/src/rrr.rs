@@ -75,7 +75,11 @@ pub fn stqds_shift_checked(rep: &Rrr, tau: f64) -> (Rrr, f64) {
         }
     }
     let max_parent = rep.d.iter().fold(f64::MIN_POSITIVE, |m, &x| m.max(x.abs()));
-    let growth = if broke { f64::INFINITY } else { max_child / max_parent };
+    let growth = if broke {
+        f64::INFINITY
+    } else {
+        max_child / max_parent
+    };
     (Rrr { d, l }, growth)
 }
 
@@ -163,8 +167,9 @@ pub fn twisted_vector_ranked(rep: &Rrr, lam: f64, rank: usize, out: &mut [f64]) 
     }
 
     // γ_r = s_r + p_r + λ; pick the twist with the rank-th smallest |γ|.
-    let mut gammas: Vec<(f64, usize)> =
-        (0..n).map(|i| ((svec[i] + pvec[i] + lam).abs(), i)).collect();
+    let mut gammas: Vec<(f64, usize)> = (0..n)
+        .map(|i| ((svec[i] + pvec[i] + lam).abs(), i))
+        .collect();
     gammas.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     let r = gammas[rank.min(n - 1)].1;
 
@@ -237,7 +242,13 @@ fn factor_twisted(rep: &Rrr, lam: f64) -> Twisted {
     }
     dminus[0] = guard(pvec[0]);
     let gamma = (0..n).map(|i| svec[i] + pvec[i] + lam).collect();
-    Twisted { lplus, uminus, dplus, dminus, gamma }
+    Twisted {
+        lplus,
+        uminus,
+        dplus,
+        dminus,
+        gamma,
+    }
 }
 
 /// Solve `(LDLᵀ − λI) x = N_r Δ_r N_rᵀ x = b` through the **twisted**
@@ -263,7 +274,10 @@ pub fn solve_twisted(rep: &Rrr, lam: f64, rank: usize, b: &[f64], x: &mut [f64])
     let tw = factor_twisted(rep, lam);
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &bb| {
-        tw.gamma[a].abs().partial_cmp(&tw.gamma[bb].abs()).unwrap_or(std::cmp::Ordering::Equal)
+        tw.gamma[a]
+            .abs()
+            .partial_cmp(&tw.gamma[bb].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let r = order[rank.min(n - 1)];
 
@@ -308,8 +322,16 @@ pub fn solve_twisted(rep: &Rrr, lam: f64, rank: usize, b: &[f64], x: &mut [f64])
         }
     }
     x[r] = common * b[r]
-        - if r > 0 { tw.lplus[r - 1] * x[r - 1] } else { 0.0 }
-        - if r + 1 < n { tw.uminus[r] * x[r + 1] } else { 0.0 };
+        - if r > 0 {
+            tw.lplus[r - 1] * x[r - 1]
+        } else {
+            0.0
+        }
+        - if r + 1 < n {
+            tw.uminus[r] * x[r + 1]
+        } else {
+            0.0
+        };
 
     // ---- Δ_r z = y (elementwise; whole-vector rescale is linear).
     for i in 0..n {
@@ -440,7 +462,12 @@ mod tests {
         let mut d = vec![0.0; n];
         let mut e = vec![0.0; n.saturating_sub(1)];
         for i in 0..n {
-            d[i] = rep.d[i] + if i > 0 { rep.l[i - 1] * rep.l[i - 1] * rep.d[i - 1] } else { 0.0 };
+            d[i] = rep.d[i]
+                + if i > 0 {
+                    rep.l[i - 1] * rep.l[i - 1] * rep.d[i - 1]
+                } else {
+                    0.0
+                };
             if i + 1 < n {
                 e[i] = rep.l[i] * rep.d[i];
             }
@@ -483,7 +510,11 @@ mod tests {
         let rep = ldl_factor(&t, sigma);
         for x in [-0.3, 0.1, 0.9, 2.0, 3.7, 4.6] {
             // count of (T - σ) below x == count of T below x + σ.
-            assert_eq!(sturm_count_ldl(&rep, x), sturm_count(&t, x + sigma), "x={x}");
+            assert_eq!(
+                sturm_count_ldl(&rep, x),
+                sturm_count(&t, x + sigma),
+                "x={x}"
+            );
         }
     }
 
@@ -502,7 +533,11 @@ mod tests {
             let mut y = vec![0.0; n];
             t.matvec(&z, &mut y);
             for i in 0..n {
-                assert!((y[i] - lam * z[i]).abs() < 1e-10, "k={k} row {i}: {}", y[i] - lam * z[i]);
+                assert!(
+                    (y[i] - lam * z[i]).abs() < 1e-10,
+                    "k={k} row {i}: {}",
+                    y[i] - lam * z[i]
+                );
             }
         }
     }

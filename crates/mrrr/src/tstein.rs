@@ -35,7 +35,13 @@ pub fn lu_factor(t: &SymTridiag, lam: f64) -> TridiagLu {
     let mut ml = vec![0.0f64; n.saturating_sub(1)];
     let mut swap = vec![false; n.saturating_sub(1)];
     if n == 0 {
-        return TridiagLu { u0, u1, u2, ml, swap };
+        return TridiagLu {
+            u0,
+            u1,
+            u2,
+            ml,
+            swap,
+        };
     }
     // Transformed current row: diagonal `a`, superdiagonal `b`.
     let mut a = t.d[0] - lam;
@@ -46,7 +52,11 @@ pub fn lu_factor(t: &SymTridiag, lam: f64) -> TridiagLu {
         let super_next = if i + 2 < n { t.e[i + 1] } else { 0.0 };
         if a.abs() >= sub.abs() {
             // No swap; guard an exactly-zero pivot.
-            let piv = if a == 0.0 { f64::MIN_POSITIVE.sqrt() } else { a };
+            let piv = if a == 0.0 {
+                f64::MIN_POSITIVE.sqrt()
+            } else {
+                a
+            };
             let m = sub / piv;
             ml[i] = m;
             u0[i] = piv;
@@ -70,8 +80,18 @@ pub fn lu_factor(t: &SymTridiag, lam: f64) -> TridiagLu {
             b = -m * super_next;
         }
     }
-    u0[n - 1] = if a == 0.0 { f64::MIN_POSITIVE.sqrt() } else { a };
-    TridiagLu { u0, u1, u2, ml, swap }
+    u0[n - 1] = if a == 0.0 {
+        f64::MIN_POSITIVE.sqrt()
+    } else {
+        a
+    };
+    TridiagLu {
+        u0,
+        u1,
+        u2,
+        ml,
+        swap,
+    }
 }
 
 /// Solve `(T − λI) x = b` in place through the full pivoted factorization
@@ -142,6 +162,7 @@ mod tests {
         let mut a = u;
         for i in (0..n - 1).rev() {
             let m = lu.ml[i];
+            #[allow(clippy::needless_range_loop)]
             for j in 0..n {
                 a[i + 1][j] += m * a[i][j];
             }
@@ -149,7 +170,9 @@ mod tests {
                 a.swap(i, i + 1);
             }
         }
+        #[allow(clippy::needless_range_loop)]
         for r in 0..n {
+            #[allow(clippy::needless_range_loop)]
             for c in 0..n {
                 let want = if r == c {
                     t.d[r] - lam
@@ -187,16 +210,27 @@ mod tests {
         // sin(i·k·h) pairs with the eigenvalue 2 + 2cos(k·h).
         let lam = 2.0 + 2.0 * (k as f64 * h).cos();
         let lu = lu_factor(&t, lam);
-        let mut x: Vec<f64> = (0..n).map(|i| 0.5 - ((i * 7919) % 13) as f64 / 13.0).collect();
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| 0.5 - ((i * 7919) % 13) as f64 / 13.0)
+            .collect();
         for _ in 0..3 {
             solve_u(&lu, &mut x);
         }
         // Compare to the analytic eigenvector sin((i+1) k h).
-        let want: Vec<f64> = (0..n).map(|i| ((i + 1) as f64 * k as f64 * h).sin()).collect();
+        let want: Vec<f64> = (0..n)
+            .map(|i| ((i + 1) as f64 * k as f64 * h).sin())
+            .collect();
         let wn = dcst_matrix::nrm2(&want);
-        let cosang: f64 =
-            x.iter().zip(&want).map(|(a, b)| a * b / wn).sum::<f64>().abs();
-        assert!(cosang > 1.0 - 1e-10, "aligned with the true eigenvector: {cosang}");
+        let cosang: f64 = x
+            .iter()
+            .zip(&want)
+            .map(|(a, b)| a * b / wn)
+            .sum::<f64>()
+            .abs();
+        assert!(
+            cosang > 1.0 - 1e-10,
+            "aligned with the true eigenvector: {cosang}"
+        );
     }
 
     #[test]
@@ -231,13 +265,18 @@ mod tests {
         }
         let lam = 0.5 * (lo + hi);
         let lu = lu_factor(&t, lam);
-        let mut x: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5).collect();
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+            .collect();
         for _ in 0..3 {
             solve_u(&lu, &mut x);
         }
         let mut y = vec![0.0; n];
         t.matvec(&x, &mut y);
-        let r: f64 = (0..n).map(|i| (y[i] - lam * x[i]).powi(2)).sum::<f64>().sqrt();
+        let r: f64 = (0..n)
+            .map(|i| (y[i] - lam * x[i]).powi(2))
+            .sum::<f64>()
+            .sqrt();
         assert!(r < 1e-10 * t.max_norm(), "residual {r:e}");
     }
 }

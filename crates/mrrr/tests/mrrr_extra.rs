@@ -6,14 +6,25 @@ use dcst_tridiag::gen::MatrixType;
 use dcst_tridiag::SymTridiag;
 
 fn solver() -> MrrrSolver {
-    MrrrSolver::new(MrrrOptions { threads: 2, ..Default::default() })
+    MrrrSolver::new(MrrrOptions {
+        threads: 2,
+        ..Default::default()
+    })
 }
 
 #[test]
 fn dqds_and_bisection_agree_through_options() {
     let t = MatrixType::Type5.generate(120, 9);
-    let with = MrrrSolver::new(MrrrOptions { threads: 2, use_dqds: true, ..Default::default() });
-    let without = MrrrSolver::new(MrrrOptions { threads: 2, use_dqds: false, ..Default::default() });
+    let with = MrrrSolver::new(MrrrOptions {
+        threads: 2,
+        use_dqds: true,
+        ..Default::default()
+    });
+    let without = MrrrSolver::new(MrrrOptions {
+        threads: 2,
+        use_dqds: false,
+        ..Default::default()
+    });
     let a = with.eigenvalues(&t).unwrap();
     let b = without.eigenvalues(&t).unwrap();
     for (x, y) in a.iter().zip(&b) {

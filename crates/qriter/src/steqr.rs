@@ -13,15 +13,24 @@ pub enum QrError {
     /// Input contained NaN or infinity.
     NonFinite,
     /// An unreduced block failed to converge within `30·n` sweeps.
-    NoConvergence { block_start: usize, block_end: usize },
+    NoConvergence {
+        block_start: usize,
+        block_end: usize,
+    },
 }
 
 impl std::fmt::Display for QrError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QrError::NonFinite => write!(f, "matrix contains NaN or infinite entries"),
-            QrError::NoConvergence { block_start, block_end } => {
-                write!(f, "QR iteration failed to converge on block {block_start}..={block_end}")
+            QrError::NoConvergence {
+                block_start,
+                block_end,
+            } => {
+                write!(
+                    f,
+                    "QR iteration failed to converge on block {block_start}..={block_end}"
+                )
             }
         }
     }
@@ -126,7 +135,10 @@ fn negligible(e: f64, di: f64, di1: f64) -> bool {
 /// sort — pass identity to obtain the eigenvectors of the tridiagonal.
 pub fn steqr_mut(d: &mut [f64], e: &mut [f64], mut z: Option<ZBlock<'_>>) -> Result<(), QrError> {
     let n = d.len();
-    assert!(e.len() + 1 == n || (n == 0 && e.is_empty()), "off-diagonal length mismatch");
+    assert!(
+        e.len() + 1 == n || (n == 0 && e.is_empty()),
+        "off-diagonal length mismatch"
+    );
     if let Some(zb) = &z {
         assert!(zb.ld >= zb.nrows && zb.buf.len() >= n.saturating_sub(1) * zb.ld + zb.nrows);
     }
@@ -138,7 +150,10 @@ pub fn steqr_mut(d: &mut [f64], e: &mut [f64], mut z: Option<ZBlock<'_>>) -> Res
     }
 
     // Global scaling keeps squared quantities representable.
-    let anorm = d.iter().chain(e.iter()).fold(0.0f64, |a, &x| a.max(x.abs()));
+    let anorm = d
+        .iter()
+        .chain(e.iter())
+        .fold(0.0f64, |a, &x| a.max(x.abs()));
     let mut scale = 1.0;
     if anorm > 0.0 {
         if anorm > 1e145 {
@@ -168,7 +183,10 @@ pub fn steqr_mut(d: &mut [f64], e: &mut [f64], mut z: Option<ZBlock<'_>>) -> Res
             l -= 1;
         }
         if iters >= maxit {
-            return Err(QrError::NoConvergence { block_start: l, block_end: m });
+            return Err(QrError::NoConvergence {
+                block_start: l,
+                block_end: m,
+            });
         }
         iters += 1;
         let mu = wilkinson_shift(d[m - 1], e[m - 1], d[m]);
@@ -207,7 +225,11 @@ pub fn steqr(t: &SymTridiag) -> Result<(Vec<f64>, Matrix), QrError> {
     let mut e = t.e.clone();
     let mut v = Matrix::identity(n);
     {
-        let z = ZBlock { buf: v.as_mut_slice(), ld: n.max(1), nrows: n };
+        let z = ZBlock {
+            buf: v.as_mut_slice(),
+            ld: n.max(1),
+            nrows: n,
+        };
         steqr_mut(&mut d, &mut e, Some(z))?;
     }
     Ok((d, v))
@@ -338,7 +360,11 @@ mod tests {
         let mut e = t.e.clone();
         {
             let off = 2 + 2 * big;
-            let z = ZBlock { buf: &mut v.as_mut_slice()[off..], ld: big, nrows: n };
+            let z = ZBlock {
+                buf: &mut v.as_mut_slice()[off..],
+                ld: big,
+                nrows: n,
+            };
             steqr_mut(&mut d, &mut e, Some(z)).unwrap();
         }
         // The 3x3 block must be the leaf's eigenvectors; rest untouched.

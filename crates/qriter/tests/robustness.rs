@@ -75,12 +75,21 @@ fn two_by_two_exact_rotation() {
 
 #[test]
 fn values_only_path_is_consistent_across_types() {
-    for ty in [MatrixType::Type8, MatrixType::Type11, MatrixType::Type12, MatrixType::Type15] {
+    for ty in [
+        MatrixType::Type8,
+        MatrixType::Type11,
+        MatrixType::Type12,
+        MatrixType::Type15,
+    ] {
         let t = ty.generate(48, 12);
         let only = QrIteration.solve_values(&t).unwrap();
         let (full, _) = QrIteration.solve(&t).unwrap();
         for (a, b) in only.iter().zip(&full) {
-            assert!((a - b).abs() < 1e-11 * t.max_norm().max(1.0), "type {}", ty.index());
+            assert!(
+                (a - b).abs() < 1e-11 * t.max_norm().max(1.0),
+                "type {}",
+                ty.index()
+            );
         }
     }
 }
@@ -90,11 +99,19 @@ fn near_reducible_chain() {
     // Alternating strong/negligible couplings: effectively 2x2 blocks.
     let n = 12;
     let d = vec![1.0; n];
-    let e: Vec<f64> = (0..n - 1).map(|i| if i % 2 == 0 { 0.5 } else { 1e-300 }).collect();
+    let e: Vec<f64> = (0..n - 1)
+        .map(|i| if i % 2 == 0 { 0.5 } else { 1e-300 })
+        .collect();
     let t = SymTridiag::new(d, e);
     let (lam, v) = steqr(&t).unwrap();
     // Spectrum: 0.5 and 1.5, each with multiplicity n/2.
-    assert_eq!(lam.iter().filter(|&&l| (l - 0.5).abs() < 1e-12).count(), n / 2);
-    assert_eq!(lam.iter().filter(|&&l| (l - 1.5).abs() < 1e-12).count(), n / 2);
+    assert_eq!(
+        lam.iter().filter(|&&l| (l - 0.5).abs() < 1e-12).count(),
+        n / 2
+    );
+    assert_eq!(
+        lam.iter().filter(|&&l| (l - 1.5).abs() < 1e-12).count(),
+        n / 2
+    );
     assert!(dcst_matrix::orthogonality_error(&v) < 1e-14);
 }

@@ -66,12 +66,21 @@ impl DagRecorder {
     pub fn to_dot(&self) -> String {
         use std::fmt::Write;
         let palette = [
-            "lightblue", "salmon", "palegreen", "gold", "plum", "khaki", "lightcyan", "orange",
-            "lightpink", "lightgray",
+            "lightblue",
+            "salmon",
+            "palegreen",
+            "gold",
+            "plum",
+            "khaki",
+            "lightcyan",
+            "orange",
+            "lightpink",
+            "lightgray",
         ];
         let mut colors: std::collections::HashMap<&'static str, &'static str> = Default::default();
         let mut next = 0usize;
-        let mut s = String::from("digraph dcst {\n  rankdir=TB;\n  node [style=filled, shape=box];\n");
+        let mut s =
+            String::from("digraph dcst {\n  rankdir=TB;\n  node [style=filled, shape=box];\n");
         for &(id, name) in &self.nodes {
             let color = *colors.entry(name).or_insert_with(|| {
                 let c = palette[next % palette.len()];

@@ -116,7 +116,10 @@ mod tests {
     use super::*;
 
     fn acc(key: u64, mode: AccessMode) -> Access {
-        Access { key: DataKey(key), mode }
+        Access {
+            key: DataKey(key),
+            mode,
+        }
     }
 
     #[test]
@@ -194,7 +197,10 @@ mod tests {
     fn multi_access_task_dedups_deps() {
         let mut t = DepTracker::default();
         t.submit(0, &[acc(1, AccessMode::Write), acc(2, AccessMode::Write)]);
-        let deps = t.submit(1, &[acc(1, AccessMode::Read), acc(2, AccessMode::ReadWrite)]);
+        let deps = t.submit(
+            1,
+            &[acc(1, AccessMode::Read), acc(2, AccessMode::ReadWrite)],
+        );
         assert_eq!(deps, vec![0]);
     }
 

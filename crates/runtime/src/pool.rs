@@ -87,7 +87,10 @@ impl Shared {
                     .unwrap_or_else(|| "non-string panic payload".into());
                 let mut slot = self.panic.lock();
                 if slot.is_none() {
-                    *slot = Some(RuntimeError { task: node.name.to_string(), message });
+                    *slot = Some(RuntimeError {
+                        task: node.name.to_string(),
+                        message,
+                    });
                 }
             }
         }
@@ -119,17 +122,15 @@ impl Shared {
 }
 
 fn find_task(shared: &Shared, local: &WorkerDeque<Arc<Node>>) -> Option<Arc<Node>> {
-    local.pop().or_else(|| {
-        loop {
-            let steal = shared
-                .injector
-                .steal_batch_and_pop(local)
-                .or_else(|| shared.stealers.iter().map(|s| s.steal()).collect());
-            match steal {
-                Steal::Success(node) => return Some(node),
-                Steal::Empty => return None,
-                Steal::Retry => continue,
-            }
+    local.pop().or_else(|| loop {
+        let steal = shared
+            .injector
+            .steal_batch_and_pop(local)
+            .or_else(|| shared.stealers.iter().map(|s| s.steal()).collect());
+        match steal {
+            Steal::Success(node) => return Some(node),
+            Steal::Empty => return None,
+            Steal::Retry => continue,
         }
     })
 }
@@ -146,7 +147,9 @@ fn worker_loop(shared: Arc<Shared>, local: WorkerDeque<Arc<Node>>, worker_id: us
                 // Re-check under the lock so a push between the failed pop
                 // and this park cannot be missed (pushers notify under it).
                 if shared.injector.is_empty() && !shared.stop.load(Ordering::Acquire) {
-                    shared.idle_cv.wait_for(&mut guard, std::time::Duration::from_millis(50));
+                    shared
+                        .idle_cv
+                        .wait_for(&mut guard, std::time::Duration::from_millis(50));
                 }
             }
         }
@@ -220,7 +223,11 @@ impl Runtime {
 
     /// Begin building a task named `name` (names label traces and DAG dumps).
     pub fn task(&self, name: &'static str) -> TaskBuilder<'_> {
-        TaskBuilder { rt: self, name, accesses: Vec::new() }
+        TaskBuilder {
+            rt: self,
+            name,
+            accesses: Vec::new(),
+        }
     }
 
     /// Start recording per-task timing. Any previous trace is discarded.
@@ -261,7 +268,11 @@ impl Runtime {
             id,
             name,
             pending: AtomicUsize::new(1),
-            body: Mutex::new(NodeBody { closure: Some(f), successors: Vec::new(), finished: false }),
+            body: Mutex::new(NodeBody {
+                closure: Some(f),
+                successors: Vec::new(),
+                finished: false,
+            }),
         });
         self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
         for &d in &deps {
@@ -291,7 +302,10 @@ impl Runtime {
         }
         drop(guard);
         // Completed nodes are no longer needed for edge wiring.
-        self.submit.lock().nodes.retain(|_, n| !n.body.lock().finished);
+        self.submit
+            .lock()
+            .nodes
+            .retain(|_, n| !n.body.lock().finished);
         match self.shared.panic.lock().take() {
             Some(e) => Err(e),
             None => Ok(()),
@@ -323,25 +337,37 @@ pub struct TaskBuilder<'rt> {
 impl TaskBuilder<'_> {
     /// Declare an `INPUT` access.
     pub fn read(mut self, key: DataKey) -> Self {
-        self.accesses.push(Access { key, mode: AccessMode::Read });
+        self.accesses.push(Access {
+            key,
+            mode: AccessMode::Read,
+        });
         self
     }
 
     /// Declare an `OUTPUT` access.
     pub fn write(mut self, key: DataKey) -> Self {
-        self.accesses.push(Access { key, mode: AccessMode::Write });
+        self.accesses.push(Access {
+            key,
+            mode: AccessMode::Write,
+        });
         self
     }
 
     /// Declare an `INOUT` access.
     pub fn read_write(mut self, key: DataKey) -> Self {
-        self.accesses.push(Access { key, mode: AccessMode::ReadWrite });
+        self.accesses.push(Access {
+            key,
+            mode: AccessMode::ReadWrite,
+        });
         self
     }
 
     /// Declare a `GATHERV` access (commuting disjoint writer).
     pub fn gatherv(mut self, key: DataKey) -> Self {
-        self.accesses.push(Access { key, mode: AccessMode::GatherV });
+        self.accesses.push(Access {
+            key,
+            mode: AccessMode::GatherV,
+        });
         self
     }
 
@@ -374,7 +400,9 @@ mod tests {
         let log = Arc::new(Mutex::new(Vec::new()));
         for i in 0..64usize {
             let log = log.clone();
-            rt.task("chain").read_write(k).spawn(move || log.lock().push(i));
+            rt.task("chain")
+                .read_write(k)
+                .spawn(move || log.lock().push(i));
         }
         rt.wait().unwrap();
         let got = log.lock().clone();
@@ -463,7 +491,10 @@ mod tests {
         rt.wait().unwrap();
         let trace = rt.take_trace();
         assert_eq!(trace.records.len(), 5);
-        assert!(trace.records.iter().all(|r| r.name == "traced" && r.end_us >= r.start_us));
+        assert!(trace
+            .records
+            .iter()
+            .all(|r| r.name == "traced" && r.end_us >= r.start_us));
     }
 
     #[test]

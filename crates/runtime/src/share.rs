@@ -41,7 +41,9 @@ impl<T> Drop for Inner<T> {
         // SAFETY: ptr/len came from Box::into_raw of a boxed slice and are
         // only reconstituted once, here.
         unsafe {
-            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(self.ptr, self.len)));
+            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                self.ptr, self.len,
+            )));
         }
     }
 }
@@ -53,7 +55,9 @@ pub struct SharedData<T> {
 
 impl<T> Clone for SharedData<T> {
     fn clone(&self) -> Self {
-        SharedData { inner: self.inner.clone() }
+        SharedData {
+            inner: self.inner.clone(),
+        }
     }
 }
 
@@ -63,7 +67,9 @@ impl<T: Send> SharedData<T> {
         let boxed = data.into_boxed_slice();
         let len = boxed.len();
         let ptr = Box::into_raw(boxed) as *mut T;
-        SharedData { inner: Arc::new(Inner { ptr, len }) }
+        SharedData {
+            inner: Arc::new(Inner { ptr, len }),
+        }
     }
 
     /// Number of elements (fixed at construction).
@@ -122,8 +128,9 @@ impl<T: Send> SharedData<T> {
                 // SAFETY: unique ownership; reconstitute the box exactly
                 // once and suppress Inner's Drop.
                 let inner = std::mem::ManuallyDrop::new(inner);
-                let boxed =
-                    unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(inner.ptr, inner.len)) };
+                let boxed = unsafe {
+                    Box::from_raw(std::ptr::slice_from_raw_parts_mut(inner.ptr, inner.len))
+                };
                 Ok(boxed.into_vec())
             }
             Err(arc) => Err(SharedData { inner: arc }),

@@ -1,9 +1,7 @@
 //! Execution traces: one record per executed task (Figures 3 and 4).
 
-use serde::Serialize;
-
 /// Timing record for one executed task.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct TaskRecord {
     /// Kernel name as given at submission (`LAED4`, `UpdateVect`, ...).
     pub name: &'static str,
@@ -16,14 +14,14 @@ pub struct TaskRecord {
 }
 
 /// A collected execution trace.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Trace {
     pub records: Vec<TaskRecord>,
     pub num_workers: usize,
 }
 
 /// Per-kernel aggregate used in textual trace summaries.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct KernelStat {
     pub name: &'static str,
     pub count: usize,
@@ -60,15 +58,41 @@ impl Trace {
             e.0 += 1;
             e.1 += r.end_us - r.start_us;
         }
-        let mut out: Vec<KernelStat> =
-            map.into_iter().map(|(name, (count, total_us))| KernelStat { name, count, total_us }).collect();
-        out.sort_by(|a, b| b.total_us.cmp(&a.total_us));
+        let mut out: Vec<KernelStat> = map
+            .into_iter()
+            .map(|(name, (count, total_us))| KernelStat {
+                name,
+                count,
+                total_us,
+            })
+            .collect();
+        out.sort_by_key(|s| std::cmp::Reverse(s.total_us));
         out
     }
 
-    /// Serialize the full trace to JSON (one object; `records` array inside).
+    /// Serialize the full trace to JSON (one object; `records` array
+    /// inside), pretty-printed with two-space indentation. Task names are
+    /// static identifiers, so no string escaping is required.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+        use std::fmt::Write;
+        let mut out = String::from("{\n  \"records\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 < self.records.len() { "," } else { "" };
+            write!(
+                out,
+                "\n    {{\n      \"name\": \"{}\",\n      \"worker\": {},\n      \
+                 \"start_us\": {},\n      \"end_us\": {}\n    }}{sep}",
+                r.name, r.worker, r.start_us, r.end_us
+            )
+            .unwrap();
+        }
+        if self.records.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n  ],\n");
+        }
+        write!(out, "  \"num_workers\": {}\n}}", self.num_workers).unwrap();
+        out
     }
 
     /// Render the trace as an SVG timeline — one lane per worker, one
@@ -78,11 +102,17 @@ impl Trace {
     pub fn to_svg(&self, width: u32, lane_height: u32) -> String {
         use std::fmt::Write;
         const PALETTE: [&str; 12] = [
-            "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
-            "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#1b9e77", "#d95f02",
+            "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+            "#9c755f", "#bab0ac", "#1b9e77", "#d95f02",
         ];
         let t0 = self.records.iter().map(|r| r.start_us).min().unwrap_or(0);
-        let t1 = self.records.iter().map(|r| r.end_us).max().unwrap_or(1).max(t0 + 1);
+        let t1 = self
+            .records
+            .iter()
+            .map(|r| r.end_us)
+            .max()
+            .unwrap_or(1)
+            .max(t0 + 1);
         let scale = width as f64 / (t1 - t0) as f64;
         let legend_h = 18;
         let height = self.num_workers as u32 * (lane_height + 4) + legend_h + 8;
@@ -107,10 +137,10 @@ impl Trace {
             let x = (r.start_us - t0) as f64 * scale;
             let w = (((r.end_us - r.start_us) as f64) * scale).max(0.5);
             let y = legend_h as f64 + r.worker as f64 * (lane_height + 4) as f64;
-            write!(
+            writeln!(
                 svg,
                 "<rect x=\"{x:.2}\" y=\"{y:.1}\" width=\"{w:.2}\" height=\"{lane_height}\" \
-                 fill=\"{color}\"><title>{} [w{}] {}us</title></rect>\n",
+                 fill=\"{color}\"><title>{} [w{}] {}us</title></rect>",
                 r.name,
                 r.worker,
                 r.end_us - r.start_us
@@ -120,10 +150,10 @@ impl Trace {
         // Legend.
         let mut x = 2.0f64;
         for (name, color) in &colors {
-            write!(
+            writeln!(
                 svg,
                 "<rect x=\"{x:.1}\" y=\"2\" width=\"10\" height=\"10\" fill=\"{color}\"/>\
-                 <text x=\"{:.1}\" y=\"11\">{name}</text>\n",
+                 <text x=\"{:.1}\" y=\"11\">{name}</text>",
                 x + 13.0
             )
             .unwrap();
@@ -142,7 +172,13 @@ impl Trace {
             return String::new();
         }
         let t0 = self.records.iter().map(|r| r.start_us).min().unwrap();
-        let t1 = self.records.iter().map(|r| r.end_us).max().unwrap().max(t0 + 1);
+        let t1 = self
+            .records
+            .iter()
+            .map(|r| r.end_us)
+            .max()
+            .unwrap()
+            .max(t0 + 1);
         let scale = width as f64 / (t1 - t0) as f64;
         let mut rows = vec![vec!['.'; width]; self.num_workers];
         for r in &self.records {
@@ -170,9 +206,24 @@ mod tests {
     fn sample() -> Trace {
         Trace {
             records: vec![
-                TaskRecord { name: "LAED4", worker: 0, start_us: 0, end_us: 10 },
-                TaskRecord { name: "LAED4", worker: 1, start_us: 0, end_us: 10 },
-                TaskRecord { name: "UpdateVect", worker: 0, start_us: 10, end_us: 35 },
+                TaskRecord {
+                    name: "LAED4",
+                    worker: 0,
+                    start_us: 0,
+                    end_us: 10,
+                },
+                TaskRecord {
+                    name: "LAED4",
+                    worker: 1,
+                    start_us: 0,
+                    end_us: 10,
+                },
+                TaskRecord {
+                    name: "UpdateVect",
+                    worker: 0,
+                    start_us: 10,
+                    end_us: 35,
+                },
             ],
             num_workers: 2,
         }
@@ -232,14 +283,20 @@ mod tests {
 
     #[test]
     fn svg_of_empty_trace_is_valid() {
-        let t = Trace { records: vec![], num_workers: 2 };
+        let t = Trace {
+            records: vec![],
+            num_workers: 2,
+        };
         let svg = t.to_svg(100, 10);
         assert!(svg.starts_with("<svg") && svg.contains("</svg>"));
     }
 
     #[test]
     fn empty_trace_is_benign() {
-        let t = Trace { records: vec![], num_workers: 4 };
+        let t = Trace {
+            records: vec![],
+            num_workers: 4,
+        };
         assert_eq!(t.makespan_us(), 0);
         assert_eq!(t.idle_fraction(), 0.0);
         assert!(t.ascii_timeline(10).is_empty());

@@ -12,7 +12,9 @@ fn deep_chain_runs_in_order_under_many_workers() {
     let log = Arc::new(Mutex::new(Vec::new()));
     for i in 0..500usize {
         let log = log.clone();
-        rt.task("chain").read_write(k).spawn(move || log.lock().unwrap().push(i));
+        rt.task("chain")
+            .read_write(k)
+            .spawn(move || log.lock().unwrap().push(i));
     }
     rt.wait().unwrap();
     assert_eq!(*log.lock().unwrap(), (0..500).collect::<Vec<_>>());
@@ -52,7 +54,9 @@ fn alternating_gatherv_epochs_are_separated() {
         });
     }
     let c = counter.clone();
-    rt.task("r").read(k).spawn(move || assert_eq!(c.load(Ordering::SeqCst), 2));
+    rt.task("r")
+        .read(k)
+        .spawn(move || assert_eq!(c.load(Ordering::SeqCst), 2));
     for _ in 0..2 {
         let c = counter.clone();
         rt.task("g2").gatherv(k).spawn(move || {
@@ -60,7 +64,9 @@ fn alternating_gatherv_epochs_are_separated() {
         });
     }
     let c = counter.clone();
-    rt.task("w").write(k).spawn(move || assert_eq!(c.load(Ordering::SeqCst), 4));
+    rt.task("w")
+        .write(k)
+        .spawn(move || assert_eq!(c.load(Ordering::SeqCst), 4));
     rt.wait().unwrap();
 }
 
@@ -101,6 +107,7 @@ fn independent_key_spaces_fully_overlap() {
     for threads in [1, 4] {
         let rt = Runtime::new(threads);
         let cells: Vec<Arc<AtomicUsize>> = (0..4).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+        #[allow(clippy::needless_range_loop)]
         for chain in 0..4usize {
             let k = DataKey::new(6, chain as u64);
             for step in 0..50usize {
@@ -169,7 +176,9 @@ fn shared_data_ranges_partition_under_runtime() {
         });
     }
     rt.wait().unwrap();
-    let v = buf.try_unwrap().unwrap_or_else(|_| panic!("unique after wait"));
+    let v = buf
+        .try_unwrap()
+        .unwrap_or_else(|_| panic!("unique after wait"));
     assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
 }
 

@@ -128,7 +128,13 @@ pub fn deflate(input: &DeflationInput<'_>) -> Deflation {
     let dmax = d.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
     let tol = 8.0 * EPS * zmax.max(dmax);
 
-    let block_of = |p: usize| if p < n1 { SlotType::Top } else { SlotType::Bottom };
+    let block_of = |p: usize| {
+        if p < n1 {
+            SlotType::Top
+        } else {
+            SlotType::Bottom
+        }
+    };
 
     let mut givens = Vec::new();
     // Physical indices of surviving (non-deflated) entries, ascending d.
@@ -162,7 +168,12 @@ pub fn deflate(input: &DeflationInput<'_>) -> Deflation {
                         // Rotate (q, p): z[q] → 0, z[p] → τ.
                         z[p] = tau;
                         z[q] = 0.0;
-                        givens.push(GivensRot { col_a: q, col_b: p, c, s });
+                        givens.push(GivensRot {
+                            col_a: q,
+                            col_b: p,
+                            c,
+                            s,
+                        });
                         let dq = d[q];
                         let dp = d[p];
                         d[q] = dq * c * c + dp * s * s;
@@ -249,8 +260,20 @@ pub fn deflate(input: &DeflationInput<'_>) -> Deflation {
 mod tests {
     use super::*;
 
-    fn ident_input<'a>(d: &'a [f64], z: &'a [f64], beta: f64, n1: usize, idxq: &'a [usize]) -> DeflationInput<'a> {
-        DeflationInput { d, z, beta, n1, idxq }
+    fn ident_input<'a>(
+        d: &'a [f64],
+        z: &'a [f64],
+        beta: f64,
+        n1: usize,
+        idxq: &'a [usize],
+    ) -> DeflationInput<'a> {
+        DeflationInput {
+            d,
+            z,
+            beta,
+            n1,
+            idxq,
+        }
     }
 
     #[test]
@@ -296,7 +319,11 @@ mod tests {
         assert_eq!(out.d_deflated.len(), 1);
         assert!((out.d_deflated[0] - 1.0).abs() < 1e-14);
         // Combined z magnitude √(0.25+0.25).
-        let full_idx = out.slot_type.iter().position(|&t| t == SlotType::Full).unwrap();
+        let full_idx = out
+            .slot_type
+            .iter()
+            .position(|&t| t == SlotType::Full)
+            .unwrap();
         let sec_i = out.sec_to_slot.iter().position(|&s| s == full_idx).unwrap();
         assert!((out.w[sec_i] - 0.5f64.sqrt()).abs() < 1e-15);
         assert_eq!(out.ctot, [1, 1, 1, 1]);
@@ -371,8 +398,18 @@ mod tests {
             v.extend(n / 2..n);
             v
         };
-        let out = deflate(&DeflationInput { d: &d, z: &z, beta: 1.0, n1: n / 2, idxq: &idxq });
-        assert!(out.dlamda.windows(2).all(|w| w[0] < w[1]), "{:?}", out.dlamda);
+        let out = deflate(&DeflationInput {
+            d: &d,
+            z: &z,
+            beta: 1.0,
+            n1: n / 2,
+            idxq: &idxq,
+        });
+        assert!(
+            out.dlamda.windows(2).all(|w| w[0] < w[1]),
+            "{:?}",
+            out.dlamda
+        );
         assert!(out.k < n, "ties must deflate");
     }
 }

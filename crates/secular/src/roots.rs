@@ -28,7 +28,9 @@ pub enum SecularError {
 impl std::fmt::Display for SecularError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SecularError::NoConvergence { root } => write!(f, "secular root {root} did not converge"),
+            SecularError::NoConvergence { root } => {
+                write!(f, "secular root {root} did not converge")
+            }
             SecularError::InvalidInput(msg) => write!(f, "invalid secular input: {msg}"),
         }
     }
@@ -39,7 +41,11 @@ impl std::error::Error for SecularError {}
 /// Evaluate `f(λ)` directly (for tests and diagnostics; the solver itself
 /// works in shifted coordinates).
 pub fn secular_function(d: &[f64], z: &[f64], rho: f64, lambda: f64) -> f64 {
-    1.0 + rho * d.iter().zip(z).map(|(&di, &zi)| zi * zi / (di - lambda)).sum::<f64>()
+    1.0 + rho
+        * d.iter()
+            .zip(z)
+            .map(|(&di, &zi)| zi * zi / (di - lambda))
+            .sum::<f64>()
 }
 
 /// `f` and bookkeeping evaluated in shifted coordinates: `delta[i]`
@@ -68,11 +74,13 @@ pub fn solve_secular_root(
 ) -> Result<f64, SecularError> {
     let k = d.len();
     assert!(j < k && z.len() == k && delta.len() == k);
-    if !(rho > 0.0) {
+    if rho.is_nan() || rho <= 0.0 {
         return Err(SecularError::InvalidInput("rho must be positive"));
     }
     if d.windows(2).any(|w| w[0] >= w[1]) {
-        return Err(SecularError::InvalidInput("poles must be strictly ascending"));
+        return Err(SecularError::InvalidInput(
+            "poles must be strictly ascending",
+        ));
     }
 
     if k == 1 {
@@ -195,7 +203,9 @@ pub fn solve_secular_root(
     if !converged {
         let (f, fabs) = eval_shifted(z, rho, delta);
         // Accept if the bracket is as tight as representable.
-        if f.abs() > 1e3 * EPS * (k as f64) * fabs && hi - lo > 4.0 * EPS * (lo.abs().max(hi.abs()) + EPS) {
+        if f.abs() > 1e3 * EPS * (k as f64) * fabs
+            && hi - lo > 4.0 * EPS * (lo.abs().max(hi.abs()) + EPS)
+        {
             return Err(SecularError::NoConvergence { root: j });
         }
     }

@@ -191,7 +191,14 @@ mod tests {
         let z = {
             let raw: [f64; 6] = [0.3, 0.35, 0.4, 0.45, 0.5, 0.55];
             let n: f64 = raw.iter().map(|x| x * x).sum::<f64>().sqrt();
-            [raw[0] / n, raw[1] / n, raw[2] / n, raw[3] / n, raw[4] / n, raw[5] / n]
+            [
+                raw[0] / n,
+                raw[1] / n,
+                raw[2] / n,
+                raw[3] / n,
+                raw[4] / n,
+                raw[5] / n,
+            ]
         };
         let rho = 0.7;
         let (lam, x) = full_solve(&d, &z, rho);
@@ -210,7 +217,9 @@ mod tests {
             solve_secular_root(j, &d, &z, rho, &mut deltas[j * k..(j + 1) * k]).unwrap();
         }
         let one = vec![local_w_products(&d, &deltas, k, 0, 0..k)];
-        let many: Vec<Vec<f64>> = (0..k).map(|j| local_w_products(&d, &deltas, k, 0, j..j + 1)).collect();
+        let many: Vec<Vec<f64>> = (0..k)
+            .map(|j| local_w_products(&d, &deltas, k, 0, j..j + 1))
+            .collect();
         let za = reduce_w(&z, &one);
         let zb = reduce_w(&z, &many);
         for (a, b) in za.iter().zip(&zb) {
@@ -221,7 +230,7 @@ mod tests {
     #[test]
     fn slot_permutation_places_rows() {
         let d = [0.0, 1.0, 3.0];
-        let z = [0.6, 0.6, 0.52915026221291817]; // unit-ish
+        let z = [0.6, 0.6, 0.529_150_262_212_918_2]; // unit-ish
         let rho = 1.0;
         let k = 3;
         let mut deltas = vec![0.0; k * k];

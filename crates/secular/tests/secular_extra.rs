@@ -57,7 +57,13 @@ fn deflation_all_z_aligned_one_survivor_per_value() {
         v.extend(n / 2..n);
         v
     };
-    let out = deflate(&DeflationInput { d: &d, z: &z, beta: 1.0, n1: n / 2, idxq: &idxq });
+    let out = deflate(&DeflationInput {
+        d: &d,
+        z: &z,
+        beta: 1.0,
+        n1: n / 2,
+        idxq: &idxq,
+    });
     assert_eq!(out.k, 3, "one survivor per distinct diagonal value");
     assert_eq!(out.givens.len(), n - 3);
     // The survivors collect the whole weight: Σw² = ‖z‖² = 1.
@@ -80,9 +86,18 @@ fn givens_rotations_preserve_z_norm() {
         v.extend(n / 2..n);
         v
     };
-    let out = deflate(&DeflationInput { d: &d, z: &z, beta: 0.5, n1: n / 2, idxq: &idxq });
+    let out = deflate(&DeflationInput {
+        d: &d,
+        z: &z,
+        beta: 0.5,
+        n1: n / 2,
+        idxq: &idxq,
+    });
     let surviving: f64 = out.w.iter().map(|x| x * x).sum();
-    assert!((surviving - 1.0).abs() < 1e-12, "deflated components carry no weight");
+    assert!(
+        (surviving - 1.0).abs() < 1e-12,
+        "deflated components carry no weight"
+    );
 }
 
 #[test]
@@ -90,7 +105,13 @@ fn slot_groups_are_contiguous_in_storage() {
     let d = [0.0, 2.0, 1.0, 3.0, 0.5, 2.5];
     let z = [0.4, 0.4, 0.4, 0.4, 0.4, 0.42];
     let idxq = [0usize, 1, 2, 3, 4, 5];
-    let out = deflate(&DeflationInput { d: &d, z: &z, beta: 0.5, n1: 2, idxq: &idxq });
+    let out = deflate(&DeflationInput {
+        d: &d,
+        z: &z,
+        beta: 0.5,
+        n1: 2,
+        idxq: &idxq,
+    });
     // slot_type must be sorted as Top* Full* Bottom* Deflated*.
     let order = |t: SlotType| t as usize;
     let kinds: Vec<usize> = out.slot_type.iter().map(|&t| order(t)).collect();
@@ -122,7 +143,12 @@ fn delta_columns_reusable_for_rayleigh_check() {
     let mut delta = [0.0; 4];
     for j in 0..4 {
         solve_secular_root(j, &d, &z, rho, &mut delta).unwrap();
-        let f: f64 = 1.0 + rho * z.iter().zip(&delta).map(|(zi, de)| zi * zi / de).sum::<f64>();
+        let f: f64 = 1.0
+            + rho
+                * z.iter()
+                    .zip(&delta)
+                    .map(|(zi, de)| zi * zi / de)
+                    .sum::<f64>();
         assert!(f.abs() < 1e-10, "root {j}: f = {f}");
     }
 }

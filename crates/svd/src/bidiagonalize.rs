@@ -3,7 +3,7 @@
 
 use crate::{svd_bidiagonal, Bidiagonal, Svd};
 use dcst_core::{DcError, DcOptions};
-use dcst_matrix::{dot, nrm2, Matrix};
+use dcst_matrix::{dot, gemm, nrm2, Matrix};
 
 /// The stored reflectors of a bidiagonalization `A = Q_L · B · Q_Rᵀ`:
 /// left reflectors below the diagonal of `vs`, right reflectors to the
@@ -71,62 +71,69 @@ pub fn bidiagonalize(a: &Matrix) -> (Bidiagonal, BidiagFactors) {
             }
         }
         // --- right reflector annihilating row i right of the superdiagonal.
-        if i + 2 <= n - 1 || (i + 1 < n && n - i - 1 >= 1) {
-            if i + 1 < n {
-                let alpha = w[(i, i + 1)];
-                // Gather the row segment, reflect, scatter back.
-                let mut row: Vec<f64> = (i + 2..n).map(|j| w[(i, j)]).collect();
-                let (beta, tr) = larfg(alpha, &mut row);
-                tau_r[i] = tr;
-                e[i] = beta;
-                for (jj, j) in (i + 2..n).enumerate() {
-                    w[(i, j)] = row[jj];
-                }
-                if tr != 0.0 {
-                    // Apply H_R from the right to rows i+1..n:
-                    // row_r ← row_r − τ (row_r · v) vᵀ, v = [1; row].
-                    let mut v = Vec::with_capacity(n - i - 1);
-                    v.push(1.0);
-                    v.extend_from_slice(&row);
-                    for r in i + 1..n {
-                        let mut s = 0.0;
-                        for (jj, j) in (i + 1..n).enumerate() {
-                            s += w[(r, j)] * v[jj];
-                        }
-                        s *= tr;
-                        for (jj, j) in (i + 1..n).enumerate() {
-                            w[(r, j)] -= s * v[jj];
-                        }
+        if i + 1 < n {
+            let alpha = w[(i, i + 1)];
+            // Gather the row segment, reflect, scatter back.
+            let mut row: Vec<f64> = (i + 2..n).map(|j| w[(i, j)]).collect();
+            let (beta, tr) = larfg(alpha, &mut row);
+            tau_r[i] = tr;
+            e[i] = beta;
+            for (jj, j) in (i + 2..n).enumerate() {
+                w[(i, j)] = row[jj];
+            }
+            if tr != 0.0 {
+                // Apply H_R from the right to rows i+1..n:
+                // row_r ← row_r − τ (row_r · v) vᵀ, v = [1; row].
+                let mut v = Vec::with_capacity(n - i - 1);
+                v.push(1.0);
+                v.extend_from_slice(&row);
+                for r in i + 1..n {
+                    let mut s = 0.0;
+                    for (jj, j) in (i + 1..n).enumerate() {
+                        s += w[(r, j)] * v[jj];
+                    }
+                    s *= tr;
+                    for (jj, j) in (i + 1..n).enumerate() {
+                        w[(r, j)] -= s * v[jj];
                     }
                 }
             }
         }
     }
-    (Bidiagonal::new(d, e), BidiagFactors { vs: w, tau_l, tau_r })
+    (
+        Bidiagonal::new(d, e),
+        BidiagFactors {
+            vs: w,
+            tau_l,
+            tau_r,
+        },
+    )
 }
 
 impl BidiagFactors {
     /// Overwrite `m` with `Q_L · m` (left reflectors, reverse order).
+    /// Each reflector is applied to the whole block through two GEMM calls
+    /// (`s = τ vᵀ M2`, then `M2 ← M2 − v s`) on the packed kernel.
     pub fn apply_ql(&self, m: &mut Matrix) {
         let n = self.vs.rows();
         assert_eq!(m.rows(), n);
         let ncols = m.cols();
+        if ncols == 0 {
+            return;
+        }
+        let mut v = vec![0.0; n];
+        let mut s = vec![0.0; ncols];
         for i in (0..n).rev() {
             let t = self.tau_l[i];
             if t == 0.0 {
                 continue;
             }
             let len = n - i;
-            let mut v = Vec::with_capacity(len);
-            v.push(1.0);
-            v.extend_from_slice(&self.vs.col(i)[i + 1..]);
-            for j in 0..ncols {
-                let c = &mut m.col_mut(j)[i..];
-                let s = t * dot(&v, c);
-                for (ci, vi) in c.iter_mut().zip(&v) {
-                    *ci -= s * vi;
-                }
-            }
+            v[0] = 1.0;
+            v[1..len].copy_from_slice(&self.vs.col(i)[i + 1..]);
+            let m2 = &mut m.as_mut_slice()[i..];
+            gemm(1, ncols, len, t, &v[..len], 1, m2, n, 0.0, &mut s, 1);
+            gemm(len, ncols, 1, -1.0, &v[..len], len, &s, 1, 1.0, m2, n);
         }
     }
 
@@ -136,24 +143,24 @@ impl BidiagFactors {
         let n = self.vs.rows();
         assert_eq!(m.rows(), n);
         let ncols = m.cols();
+        if ncols == 0 {
+            return;
+        }
+        let mut v = vec![0.0; n];
+        let mut s = vec![0.0; ncols];
         for i in (0..n.saturating_sub(1)).rev() {
             let t = self.tau_r[i];
             if t == 0.0 {
                 continue;
             }
             let len = n - i - 1;
-            let mut v = Vec::with_capacity(len);
-            v.push(1.0);
-            for j in i + 2..n {
-                v.push(self.vs[(i, j)]);
+            v[0] = 1.0;
+            for (jj, j) in (i + 2..n).enumerate() {
+                v[jj + 1] = self.vs[(i, j)];
             }
-            for j in 0..ncols {
-                let c = &mut m.col_mut(j)[i + 1..];
-                let s = t * dot(&v, c);
-                for (ci, vi) in c.iter_mut().zip(&v) {
-                    *ci -= s * vi;
-                }
-            }
+            let m2 = &mut m.as_mut_slice()[i + 1..];
+            gemm(1, ncols, len, t, &v[..len], 1, m2, n, 0.0, &mut s, 1);
+            gemm(len, ncols, 1, -1.0, &v[..len], len, &s, 1, 1.0, m2, n);
         }
     }
 }
@@ -168,7 +175,11 @@ pub fn svd_dense(a: &Matrix, opts: DcOptions) -> Result<Svd, DcError> {
     factors.apply_ql(&mut u);
     let mut v = inner.vt.transpose();
     factors.apply_qr(&mut v);
-    Ok(Svd { u, s: inner.s, vt: v.transpose() })
+    Ok(Svd {
+        u,
+        s: inner.s,
+        vt: v.transpose(),
+    })
 }
 
 #[cfg(test)]
@@ -191,7 +202,19 @@ mod tests {
             us.col_mut(j).iter_mut().for_each(|x| *x *= s);
         }
         let mut out = Matrix::zeros(n, n);
-        gemm(n, n, n, 1.0, us.as_slice(), n, svd.vt.as_slice(), n, 0.0, out.as_mut_slice(), n);
+        gemm(
+            n,
+            n,
+            n,
+            1.0,
+            us.as_slice(),
+            n,
+            svd.vt.as_slice(),
+            n,
+            0.0,
+            out.as_mut_slice(),
+            n,
+        );
         out
     }
 
@@ -211,7 +234,10 @@ mod tests {
             let a = rand_matrix(n, n as u64);
             let svd = svd_dense(&a, DcOptions::default()).unwrap();
             assert!(orthogonality_error(&svd.u) < 1e-12, "U orthogonal n={n}");
-            assert!(orthogonality_error(&svd.vt.transpose()) < 1e-12, "V orthogonal n={n}");
+            assert!(
+                orthogonality_error(&svd.vt.transpose()) < 1e-12,
+                "V orthogonal n={n}"
+            );
             let back = reconstruct(&svd);
             for j in 0..n {
                 for i in 0..n {

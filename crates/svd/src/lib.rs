@@ -80,7 +80,11 @@ pub struct Svd {
 pub fn svd_bidiagonal(b: &Bidiagonal, opts: DcOptions) -> Result<Svd, DcError> {
     let n = b.n();
     if n == 0 {
-        return Ok(Svd { u: Matrix::zeros(0, 0), s: vec![], vt: Matrix::zeros(0, 0) });
+        return Ok(Svd {
+            u: Matrix::zeros(0, 0),
+            s: vec![],
+            vt: Matrix::zeros(0, 0),
+        });
     }
     let gk = b.golub_kahan();
     let eig = TaskFlowDc::new(opts).solve(&gk)?;
@@ -167,18 +171,29 @@ mod tests {
 
     fn check_svd(b: &Bidiagonal, svd: &Svd, tol: f64) {
         let n = b.n();
-        assert!(svd.s.windows(2).all(|w| w[0] >= w[1]), "singular values descending");
-        assert!(svd.s.iter().all(|&x| x >= 0.0), "singular values non-negative");
+        assert!(
+            svd.s.windows(2).all(|w| w[0] >= w[1]),
+            "singular values descending"
+        );
+        assert!(
+            svd.s.iter().all(|&x| x >= 0.0),
+            "singular values non-negative"
+        );
         assert!(orthogonality_error(&svd.u) < tol, "U orthogonal");
-        assert!(orthogonality_error(&svd.vt.transpose()) < tol, "V orthogonal");
+        assert!(
+            orthogonality_error(&svd.vt.transpose()) < tol,
+            "V orthogonal"
+        );
         // Reconstruct: B vᵀ_j = σ_j u_j.
         let mut bv = vec![0.0; n];
         for j in 0..n {
             let vrow: Vec<f64> = (0..n).map(|i| svd.vt[(j, i)]).collect();
             b.matvec(&vrow, &mut bv);
+            #[allow(clippy::needless_range_loop)]
             for i in 0..n {
                 assert!(
-                    (bv[i] - svd.s[j] * svd.u[(i, j)]).abs() < tol * b.d.iter().fold(1.0f64, |m, &x| m.max(x.abs())) * n as f64,
+                    (bv[i] - svd.s[j] * svd.u[(i, j)]).abs()
+                        < tol * b.d.iter().fold(1.0f64, |m, &x| m.max(x.abs())) * n as f64,
                     "B v != s u at ({i},{j})"
                 );
             }
@@ -219,7 +234,10 @@ mod tests {
             // power-iteration estimate.
             let frob: f64 = b.d.iter().chain(&b.e).map(|x| x * x).sum::<f64>();
             let sumsq: f64 = svd.s.iter().map(|x| x * x).sum();
-            assert!((frob - sumsq).abs() < 1e-10 * frob.max(1.0), "Frobenius identity");
+            assert!(
+                (frob - sumsq).abs() < 1e-10 * frob.max(1.0),
+                "Frobenius identity"
+            );
         }
     }
 
@@ -240,7 +258,8 @@ mod tests {
     fn empty_and_singleton() {
         let svd = svd_bidiagonal(&Bidiagonal::new(vec![], vec![]), DcOptions::default()).unwrap();
         assert!(svd.s.is_empty());
-        let svd = svd_bidiagonal(&Bidiagonal::new(vec![-4.0], vec![]), DcOptions::default()).unwrap();
+        let svd =
+            svd_bidiagonal(&Bidiagonal::new(vec![-4.0], vec![]), DcOptions::default()).unwrap();
         assert!((svd.s[0] - 4.0).abs() < 1e-14);
     }
 }

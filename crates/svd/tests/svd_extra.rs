@@ -13,7 +13,19 @@ fn reconstruct(svd: &dcst_svd::Svd) -> Matrix {
         us.col_mut(j).iter_mut().for_each(|x| *x *= s);
     }
     let mut out = Matrix::zeros(n, n);
-    gemm(n, n, n, 1.0, us.as_slice(), n, svd.vt.as_slice(), n, 0.0, out.as_mut_slice(), n);
+    gemm(
+        n,
+        n,
+        n,
+        1.0,
+        us.as_slice(),
+        n,
+        svd.vt.as_slice(),
+        n,
+        0.0,
+        out.as_mut_slice(),
+        n,
+    );
     out
 }
 
@@ -85,14 +97,24 @@ fn golub_kahan_eigvecs_interleave() {
     // non-degenerate σ.
     let b = Bidiagonal::new(vec![2.0, 1.0, 3.0], vec![0.5, 0.7]);
     let gk = b.golub_kahan();
-    let eig =
-        dcst_core::TaskFlowDc::new(DcOptions::default()).solve(&gk).map(|e| e).unwrap();
+    let eig = dcst_core::TaskFlowDc::new(DcOptions::default())
+        .solve(&gk)
+        .unwrap();
     use dcst_core::TridiagEigensolver as _;
     let top = eig.vectors.col(5); // largest σ
     let vnorm: f64 = (0..3).map(|i| top[2 * i] * top[2 * i]).sum::<f64>().sqrt();
-    let unorm: f64 = (0..3).map(|i| top[2 * i + 1] * top[2 * i + 1]).sum::<f64>().sqrt();
-    assert!((vnorm - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10, "{vnorm}");
-    assert!((unorm - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10, "{unorm}");
+    let unorm: f64 = (0..3)
+        .map(|i| top[2 * i + 1] * top[2 * i + 1])
+        .sum::<f64>()
+        .sqrt();
+    assert!(
+        (vnorm - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10,
+        "{vnorm}"
+    );
+    assert!(
+        (unorm - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10,
+        "{unorm}"
+    );
 }
 
 proptest! {
@@ -120,6 +142,7 @@ proptest! {
         for j in 0..n {
             let vrow: Vec<f64> = (0..n).map(|i| svd.vt[(j, i)]).collect();
             b.matvec(&vrow, &mut bv);
+            #[allow(clippy::needless_range_loop)]
             for i in 0..n {
                 prop_assert!((bv[i] - svd.s[j] * svd.u[(i, j)]).abs() < 1e-9);
             }

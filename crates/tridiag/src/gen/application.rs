@@ -62,7 +62,9 @@ fn clustered_spectrum(n: usize, clusters: usize, seed: u64) -> SymTridiag {
             lam[i] = lam[i - 1] + 1e-13 * lam[i - 1].abs().max(1.0);
         }
     }
-    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05f64..1.0).powi(2)).collect();
+    let weights: Vec<f64> = (0..n)
+        .map(|_| rng.gen_range(0.05f64..1.0).powi(2))
+        .collect();
     jacobi_from_spectrum(&lam, &weights)
 }
 
@@ -75,8 +77,14 @@ pub fn application_suite(sizes: &[usize]) -> Vec<ApplicationMatrix> {
             name: format!("glued-wilkinson-{n}"),
             matrix: glued_wilkinson(bn, n.div_ceil(bn).max(1), 1e-8),
         });
-        out.push(ApplicationMatrix { name: format!("legendre-{n}"), matrix: super::legendre(n) });
-        out.push(ApplicationMatrix { name: format!("hermite-{n}"), matrix: super::hermite(n) });
+        out.push(ApplicationMatrix {
+            name: format!("legendre-{n}"),
+            matrix: super::legendre(n),
+        });
+        out.push(ApplicationMatrix {
+            name: format!("hermite-{n}"),
+            matrix: super::hermite(n),
+        });
         out.push(ApplicationMatrix {
             name: format!("electronic-{n}"),
             matrix: clustered_spectrum(n, 4, n as u64),

@@ -52,7 +52,11 @@ pub fn jacobi_from_spectrum(nodes: &[f64], weights: &[f64]) -> SymTridiag {
             let tk = sig * (p0[j] - xlam) - gam * t;
             p0[j] -= tk - t;
             t = tk;
-            pn = if sig <= 0.0 { tsig * p1[j] } else { (t * t) / sig };
+            pn = if sig <= 0.0 {
+                tsig * p1[j]
+            } else {
+                (t * t) / sig
+            };
             p1[j] = tmp;
         }
     }
@@ -75,7 +79,9 @@ mod tests {
         let nodes = (1..=n).map(|k| 2.0 - 2.0 * (k as f64 * h).cos()).collect();
         // First eigenvector components: sqrt(2/(n+1)) sin(k h); weights are
         // their squares.
-        let weights = (1..=n).map(|k| 2.0 / (n as f64 + 1.0) * (k as f64 * h).sin().powi(2)).collect();
+        let weights = (1..=n)
+            .map(|k| 2.0 / (n as f64 + 1.0) * (k as f64 * h).sin().powi(2))
+            .collect();
         (nodes, weights)
     }
 
@@ -88,7 +94,11 @@ mod tests {
                 assert!((t.d[i] - 2.0).abs() < 1e-10, "n={n} d[{i}]={}", t.d[i]);
             }
             for i in 0..n - 1 {
-                assert!((t.e[i].abs() - 1.0).abs() < 1e-10, "n={n} e[{i}]={}", t.e[i]);
+                assert!(
+                    (t.e[i].abs() - 1.0).abs() < 1e-10,
+                    "n={n} e[{i}]={}",
+                    t.e[i]
+                );
             }
         }
     }
@@ -107,8 +117,8 @@ mod tests {
         let nodes = vec![-1.0, 0.25, 1.5];
         let weights = vec![1.0, 2.0, 3.0];
         let t = jacobi_from_spectrum(&nodes, &weights);
-        let fro2: f64 = t.d.iter().map(|x| x * x).sum::<f64>()
-            + 2.0 * t.e.iter().map(|x| x * x).sum::<f64>();
+        let fro2: f64 =
+            t.d.iter().map(|x| x * x).sum::<f64>() + 2.0 * t.e.iter().map(|x| x * x).sum::<f64>();
         let want: f64 = nodes.iter().map(|x| x * x).sum();
         assert!((fro2 - want).abs() < 1e-12);
     }

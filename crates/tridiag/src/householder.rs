@@ -4,7 +4,7 @@
 //! paper's equations (1)–(3).
 
 use crate::SymTridiag;
-use dcst_matrix::{dot, gemv, nrm2, Matrix};
+use dcst_matrix::{dot, gemm, gemv, nrm2, Matrix};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
@@ -96,8 +96,14 @@ pub fn apply_q(q: &HouseholderFactors, v: &mut Matrix) {
     let n = q.vs.rows();
     assert_eq!(v.rows(), n, "dimension mismatch");
     let ncols = v.cols();
+    if ncols == 0 {
+        return;
+    }
     // Q = H_0 H_1 … H_{n-2}; multiply from the left applying in reverse.
+    // Each rank-one update `V2 ← V2 − τ u (uᵀ V2)` is expressed as two GEMM
+    // calls so the whole back-transformation runs on the packed kernel.
     let mut u = vec![0.0; n];
+    let mut s = vec![0.0; ncols];
     for i in (0..n.saturating_sub(1)).rev() {
         let t = q.tau[i];
         if t == 0.0 {
@@ -106,13 +112,11 @@ pub fn apply_q(q: &HouseholderFactors, v: &mut Matrix) {
         let m = n - i - 1;
         u[0] = 1.0;
         u[1..m].copy_from_slice(&q.vs.col(i)[i + 2..]);
-        for j in 0..ncols {
-            let col = &mut v.col_mut(j)[i + 1..];
-            let s = t * dot(&u[..m], col);
-            for (ci, ui) in col.iter_mut().zip(&u[..m]) {
-                *ci -= s * ui;
-            }
-        }
+        let v2 = &mut v.as_mut_slice()[i + 1..];
+        // s = τ · uᵀ V2  (1 × ncols row vector).
+        gemm(1, ncols, m, t, &u[..m], 1, v2, n, 0.0, &mut s, 1);
+        // V2 ← V2 − u s  (rank-one update).
+        gemm(m, ncols, 1, -1.0, &u[..m], m, &s, 1, 1.0, v2, n);
     }
 }
 

@@ -30,7 +30,10 @@ impl SymTridiag {
     /// The (1,2,1) Toeplitz matrix (Table III type 10). Eigenvalues are
     /// known in closed form: `2 − 2 cos(kπ/(n+1))`.
     pub fn toeplitz121(n: usize) -> Self {
-        SymTridiag { d: vec![2.0; n], e: vec![1.0; n.saturating_sub(1)] }
+        SymTridiag {
+            d: vec![2.0; n],
+            e: vec![1.0; n.saturating_sub(1)],
+        }
     }
 
     /// `y = T x`.

@@ -16,10 +16,16 @@ use dcst::tridiag::MatrixType as MT;
 use std::time::Instant;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
     let solver = TaskFlowDc::new(DcOptions::default());
 
-    println!("{:<8} {:>10} {:>11} {:>14} {:>12} {:>10}", "type", "time", "deflation", "model ops", "worst case", "savings");
+    println!(
+        "{:<8} {:>10} {:>11} {:>14} {:>12} {:>10}",
+        "type", "time", "deflation", "model ops", "worst case", "savings"
+    );
     for ty in MT::ALL {
         let t = ty.generate(n, 1);
         let start = Instant::now();

@@ -13,18 +13,24 @@ use dcst::tridiag::{apply_q, dense_with_spectrum, tridiagonalize};
 fn main() {
     // A dense symmetric matrix with a known random-ish spectrum.
     let n = 200;
-    let spectrum: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 10.0 + i as f64 * 0.01).collect();
+    let spectrum: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.37).sin() * 10.0 + i as f64 * 0.01)
+        .collect();
     let a = dense_with_spectrum(&spectrum, 2024);
     println!("dense symmetric A: {n} x {n}");
 
     // (1)  A = Q T Qt — Householder tridiagonalization.
     let (t, q) = tridiagonalize(&a);
-    println!("reduced to tridiagonal (|d|max = {:.3}, |e|max = {:.3})",
+    println!(
+        "reduced to tridiagonal (|d|max = {:.3}, |e|max = {:.3})",
         t.d.iter().fold(0.0f64, |m, &x| m.max(x.abs())),
-        t.e.iter().fold(0.0f64, |m, &x| m.max(x.abs())));
+        t.e.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    );
 
     // (2)  T = V L Vt — the task-flow divide & conquer eigensolver.
-    let eig = TaskFlowDc::new(DcOptions::default()).solve(&t).expect("D&C failed");
+    let eig = TaskFlowDc::new(DcOptions::default())
+        .solve(&t)
+        .expect("D&C failed");
 
     // (3)  eigenvectors of A are Q V — back-transformation.
     let mut vectors = eig.vectors;

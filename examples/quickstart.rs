@@ -30,7 +30,13 @@ fn main() {
 
     // Numerical quality of the eigenvectors (the paper's Figure 9 metrics).
     let orth = orthogonality_error(&eig.vectors);
-    let resid = residual_error(n, |x, y| t.matvec(x, y), &eig.values, &eig.vectors, t.max_norm());
+    let resid = residual_error(
+        n,
+        |x, y| t.matvec(x, y),
+        &eig.values,
+        &eig.vectors,
+        t.max_norm(),
+    );
     println!("orthogonality |I-VVt|/n = {orth:.3e}");
     println!("residual |Tv-lv|/(|T|n) = {resid:.3e}");
     assert!(max_err < 1e-12 && orth < 1e-14 && resid < 1e-14);

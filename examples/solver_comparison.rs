@@ -16,20 +16,36 @@ use std::time::Instant;
 fn report(name: &str, secs: f64, t: &SymTridiag, lam: &[f64], v: &dcst::matrix::Matrix) {
     let orth = orthogonality_error(v);
     let resid = residual_error(t.n(), |x, y| t.matvec(x, y), lam, v, t.max_norm());
-    println!("{name:<18} {:>9.1}ms   orth {orth:.2e}   resid {resid:.2e}", secs * 1e3);
+    println!(
+        "{name:<18} {:>9.1}ms   orth {orth:.2e}   resid {resid:.2e}",
+        secs * 1e3
+    );
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let ty = MT::from_index(args.next().and_then(|s| s.parse().ok()).unwrap_or(4)).expect("type 1..15");
+    let ty =
+        MT::from_index(args.next().and_then(|s| s.parse().ok()).unwrap_or(4)).expect("type 1..15");
     let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(800);
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let t = ty.generate(n, 5);
-    println!("matrix: type {} ({}), n = {n}, {threads} threads\n", ty.index(), ty.description());
+    println!(
+        "matrix: type {} ({}), n = {n}, {threads} threads\n",
+        ty.index(),
+        ty.description()
+    );
 
-    let opts = DcOptions { threads, ..DcOptions::default() };
+    let opts = DcOptions {
+        threads,
+        ..DcOptions::default()
+    };
     let dcs: Vec<(&str, Box<dyn TridiagEigensolver>)> = vec![
-        ("dc-sequential", Box::new(SequentialDc::new(DcOptions { threads: 1, ..opts }))),
+        (
+            "dc-sequential",
+            Box::new(SequentialDc::new(DcOptions { threads: 1, ..opts })),
+        ),
         ("dc-forkjoin", Box::new(ForkJoinDc::new(opts))),
         ("dc-levelparallel", Box::new(LevelParallelDc::new(opts))),
         ("dc-taskflow", Box::new(TaskFlowDc::new(opts))),
@@ -37,10 +53,19 @@ fn main() {
     for (name, solver) in &dcs {
         let start = Instant::now();
         let eig = solver.solve(&t).expect("solve failed");
-        report(name, start.elapsed().as_secs_f64(), &t, &eig.values, &eig.vectors);
+        report(
+            name,
+            start.elapsed().as_secs_f64(),
+            &t,
+            &eig.values,
+            &eig.vectors,
+        );
     }
 
-    let mrrr = MrrrSolver::new(MrrrOptions { threads, ..Default::default() });
+    let mrrr = MrrrSolver::new(MrrrOptions {
+        threads,
+        ..Default::default()
+    });
     let start = Instant::now();
     let (lam, v) = mrrr.solve(&t).expect("mrrr failed");
     report("mrrr", start.elapsed().as_secs_f64(), &t, &lam, &v);

@@ -25,14 +25,32 @@ fn main() {
         us.col_mut(j).iter_mut().for_each(|x| *x *= s);
     }
     let mut back = Matrix::zeros(n, n);
-    gemm(n, n, n, 1.0, us.as_slice(), n, svd.vt.as_slice(), n, 0.0, back.as_mut_slice(), n);
+    gemm(
+        n,
+        n,
+        n,
+        1.0,
+        us.as_slice(),
+        n,
+        svd.vt.as_slice(),
+        n,
+        0.0,
+        back.as_mut_slice(),
+        n,
+    );
     let mut max_err = 0.0f64;
     for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
         max_err = max_err.max((x - y).abs());
     }
     println!("max |A - U S Vt|        = {max_err:.3e}");
-    println!("orthogonality of U       = {:.3e}", orthogonality_error(&svd.u));
-    println!("orthogonality of V       = {:.3e}", orthogonality_error(&svd.vt.transpose()));
+    println!(
+        "orthogonality of U       = {:.3e}",
+        orthogonality_error(&svd.u)
+    );
+    println!(
+        "orthogonality of V       = {:.3e}",
+        orthogonality_error(&svd.vt.transpose())
+    );
     assert!(max_err < 1e-11);
     println!("svd verified");
 }

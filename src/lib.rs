@@ -23,7 +23,9 @@ pub use dcst_tridiag as tridiag;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use dcst_core::{DcOptions, Eigen, ForkJoinDc, LevelParallelDc, SequentialDc, TaskFlowDc, TridiagEigensolver};
+    pub use dcst_core::{
+        DcOptions, Eigen, ForkJoinDc, LevelParallelDc, SequentialDc, TaskFlowDc, TridiagEigensolver,
+    };
     pub use dcst_matrix::{orthogonality_error, residual_error, Matrix};
     pub use dcst_mrrr::MrrrSolver;
     pub use dcst_qriter::QrIteration;

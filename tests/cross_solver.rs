@@ -7,7 +7,10 @@ use dcst::prelude::*;
 use dcst::tridiag::MatrixType as MT;
 
 fn check_decomposition(t: &SymTridiag, lam: &[f64], v: &dcst::matrix::Matrix, tol: f64, who: &str) {
-    assert!(lam.windows(2).all(|w| w[0] <= w[1]), "{who}: values not sorted");
+    assert!(
+        lam.windows(2).all(|w| w[0] <= w[1]),
+        "{who}: values not sorted"
+    );
     let orth = orthogonality_error(v);
     assert!(orth < tol, "{who}: orthogonality {orth:e}");
     let res = residual_error(t.n(), |x, y| t.matvec(x, y), lam, v, t.max_norm());
@@ -17,12 +20,20 @@ fn check_decomposition(t: &SymTridiag, lam: &[f64], v: &dcst::matrix::Matrix, to
 fn assert_same_values(a: &[f64], b: &[f64], scale: f64, who: &str) {
     assert_eq!(a.len(), b.len());
     for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        assert!((x - y).abs() <= 1e-11 * scale, "{who}: eigenvalue {i}: {x} vs {y}");
+        assert!(
+            (x - y).abs() <= 1e-11 * scale,
+            "{who}: eigenvalue {i}: {x} vs {y}"
+        );
     }
 }
 
 fn opts(threads: usize) -> DcOptions {
-    DcOptions { min_part: 24, nb: 32, threads, ..DcOptions::default() }
+    DcOptions {
+        min_part: 24,
+        nb: 32,
+        threads,
+        ..DcOptions::default()
+    }
 }
 
 #[test]
@@ -41,13 +52,20 @@ fn all_solvers_agree_on_every_matrix_type() {
             Box::new(LevelParallelDc::new(opts(2))),
             Box::new(TaskFlowDc::new(opts(2))),
         ] {
-            let eig = solver.solve(&t).unwrap_or_else(|e| panic!("{} on type {}: {e}", solver.name(), ty.index()));
+            let eig = solver
+                .solve(&t)
+                .unwrap_or_else(|e| panic!("{} on type {}: {e}", solver.name(), ty.index()));
             check_decomposition(&t, &eig.values, &eig.vectors, 1e-12, solver.name());
             assert_same_values(&reference.0, &eig.values, scale, solver.name());
         }
 
-        let mrrr = MrrrSolver::new(MrrrOptions { threads: 2, ..Default::default() });
-        let (lam, v) = mrrr.solve(&t).unwrap_or_else(|e| panic!("mrrr on type {}: {e}", ty.index()));
+        let mrrr = MrrrSolver::new(MrrrOptions {
+            threads: 2,
+            ..Default::default()
+        });
+        let (lam, v) = mrrr
+            .solve(&t)
+            .unwrap_or_else(|e| panic!("mrrr on type {}: {e}", ty.index()));
         check_decomposition(&t, &lam, &v, 1e-9, "mrrr");
         assert_same_values(&reference.0, &lam, scale, "mrrr");
     }
@@ -62,7 +80,12 @@ fn dc_is_more_accurate_than_mrrr_on_average() {
     for ty in MT::ALL {
         let t = ty.generate(n, 5);
         let eig = TaskFlowDc::new(opts(2)).solve(&t).unwrap();
-        let (lam, v) = MrrrSolver::new(MrrrOptions { threads: 2, ..Default::default() }).solve(&t).unwrap();
+        let (lam, v) = MrrrSolver::new(MrrrOptions {
+            threads: 2,
+            ..Default::default()
+        })
+        .solve(&t)
+        .unwrap();
         let o_dc = orthogonality_error(&eig.vectors);
         let o_mr = orthogonality_error(&v);
         let _ = lam;
@@ -71,7 +94,10 @@ fn dc_is_more_accurate_than_mrrr_on_average() {
         }
         cases += 1;
     }
-    assert!(dc_worse * 3 <= cases, "D&C worse on {dc_worse}/{cases} types");
+    assert!(
+        dc_worse * 3 <= cases,
+        "D&C worse on {dc_worse}/{cases} types"
+    );
 }
 
 #[test]
@@ -97,12 +123,24 @@ fn full_dense_pipeline_roundtrip() {
 #[test]
 fn large_min_part_and_tiny_min_part_agree() {
     let t = MT::Type3.generate(100, 12);
-    let big = TaskFlowDc::new(DcOptions { min_part: 100, nb: 16, threads: 2, extra_workspace: true, use_gatherv: true })
-        .solve(&t)
-        .unwrap();
-    let small = TaskFlowDc::new(DcOptions { min_part: 4, nb: 16, threads: 2, extra_workspace: true, use_gatherv: true })
-        .solve(&t)
-        .unwrap();
+    let big = TaskFlowDc::new(DcOptions {
+        min_part: 100,
+        nb: 16,
+        threads: 2,
+        extra_workspace: true,
+        use_gatherv: true,
+    })
+    .solve(&t)
+    .unwrap();
+    let small = TaskFlowDc::new(DcOptions {
+        min_part: 4,
+        nb: 16,
+        threads: 2,
+        extra_workspace: true,
+        use_gatherv: true,
+    })
+    .solve(&t)
+    .unwrap();
     for (a, b) in big.values.iter().zip(&small.values) {
         assert!((a - b).abs() < 1e-11);
     }
@@ -113,7 +151,12 @@ fn glued_wilkinson_all_solvers() {
     let t = dcst::tridiag::gen::glued_wilkinson(11, 4, 1e-10);
     let eig = TaskFlowDc::new(opts(2)).solve(&t).unwrap();
     check_decomposition(&t, &eig.values, &eig.vectors, 1e-12, "taskflow/glued");
-    let (lam, v) = MrrrSolver::new(MrrrOptions { threads: 2, ..Default::default() }).solve(&t).unwrap();
+    let (lam, v) = MrrrSolver::new(MrrrOptions {
+        threads: 2,
+        ..Default::default()
+    })
+    .solve(&t)
+    .unwrap();
     check_decomposition(&t, &lam, &v, 1e-8, "mrrr/glued");
     assert_same_values(&eig.values, &lam, t.max_norm(), "glued wilkinson");
 }

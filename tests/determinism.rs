@@ -3,7 +3,12 @@
 use dcst::prelude::*;
 
 fn opts() -> DcOptions {
-    DcOptions { min_part: 16, nb: 16, threads: 2, ..DcOptions::default() }
+    DcOptions {
+        min_part: 16,
+        nb: 16,
+        threads: 2,
+        ..DcOptions::default()
+    }
 }
 
 #[test]
@@ -16,7 +21,11 @@ fn taskflow_is_bitwise_deterministic_across_runs() {
     for _ in 0..3 {
         let b = solver.solve(&t).unwrap();
         assert_eq!(a.values, b.values, "eigenvalues bitwise equal");
-        assert_eq!(a.vectors.as_slice(), b.vectors.as_slice(), "vectors bitwise equal");
+        assert_eq!(
+            a.vectors.as_slice(),
+            b.vectors.as_slice(),
+            "vectors bitwise equal"
+        );
     }
 }
 
@@ -26,7 +35,12 @@ fn taskflow_matches_sequential_bitwise() {
     // single bit relative to the one-thread run.
     let t = MatrixType::Type6.generate(90, 13);
     let par = TaskFlowDc::new(opts()).solve(&t).unwrap();
-    let one = TaskFlowDc::new(DcOptions { threads: 1, ..opts() }).solve(&t).unwrap();
+    let one = TaskFlowDc::new(DcOptions {
+        threads: 1,
+        ..opts()
+    })
+    .solve(&t)
+    .unwrap();
     assert_eq!(par.values, one.values);
     assert_eq!(par.vectors.as_slice(), one.vectors.as_slice());
 }
@@ -55,15 +69,22 @@ fn solvers_are_shareable_across_threads() {
 #[test]
 fn generators_and_solver_roundtrip_is_reproducible() {
     // Full reproducibility chain: seed → matrix → spectrum.
-    let a = TaskFlowDc::new(opts()).solve(&MatrixType::Type5.generate(80, 5)).unwrap();
-    let b = TaskFlowDc::new(opts()).solve(&MatrixType::Type5.generate(80, 5)).unwrap();
+    let a = TaskFlowDc::new(opts())
+        .solve(&MatrixType::Type5.generate(80, 5))
+        .unwrap();
+    let b = TaskFlowDc::new(opts())
+        .solve(&MatrixType::Type5.generate(80, 5))
+        .unwrap();
     assert_eq!(a.values, b.values);
 }
 
 #[test]
 fn mrrr_deterministic_given_thread_count() {
     let t = MatrixType::Type4.generate(70, 31);
-    let s = MrrrSolver::new(dcst::mrrr::MrrrOptions { threads: 2, ..Default::default() });
+    let s = MrrrSolver::new(dcst::mrrr::MrrrOptions {
+        threads: 2,
+        ..Default::default()
+    });
     let (v1, m1) = s.solve(&t).unwrap();
     let (v2, m2) = s.solve(&t).unwrap();
     assert_eq!(v1, v2);

@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` API subset this workspace uses:
+//! `Criterion`, `benchmark_group` with `sample_size`/`throughput`/
+//! `bench_with_input`/`bench_function`/`finish`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! It measures wall-clock medians over a calibrated iteration count and
+//! prints one line per benchmark (plus element throughput when declared).
+//! No HTML reports, statistics, or baseline comparison — enough to run
+//! `cargo bench` offline and read relative numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identity function that defeats constant-propagation of its argument.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct Criterion {
+    /// Target time per benchmark; kept modest so full suites finish offline.
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+            sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let report = run_bench(self.measurement_time, self.sample_size, &mut f);
+        print_report(&id.to_string(), None, &report);
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let report = run_bench(self.criterion.measurement_time, samples, &mut f);
+        print_report(&format!("{}/{}", self.name, id), self.throughput, &report);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_with_large_drop<O, F: FnMut() -> O>(&mut self, routine: F) {
+        self.iter(routine)
+    }
+}
+
+struct Report {
+    median_ns: f64,
+}
+
+/// Calibrate an iteration count against the time budget, then take
+/// `samples` timed runs and report the median.
+fn run_bench<F: FnMut(&mut Bencher)>(budget: Duration, samples: usize, f: &mut F) -> Report {
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_sample = budget.as_secs_f64() / samples.max(1) as f64;
+        if b.elapsed.as_secs_f64() >= per_sample.min(0.05) || iters >= 1 << 24 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let mut per_iter: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    Report {
+        median_ns: per_iter[per_iter.len() / 2],
+    }
+}
+
+fn print_report(name: &str, throughput: Option<Throughput>, report: &Report) {
+    let time = if report.median_ns < 1e3 {
+        format!("{:.1} ns", report.median_ns)
+    } else if report.median_ns < 1e6 {
+        format!("{:.2} µs", report.median_ns / 1e3)
+    } else if report.median_ns < 1e9 {
+        format!("{:.2} ms", report.median_ns / 1e6)
+    } else {
+        format!("{:.3} s", report.median_ns / 1e9)
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (report.median_ns * 1e-9);
+            println!("{name:<40} {time:>12}  {:.3} Gelem/s", rate / 1e9);
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (report.median_ns * 1e-9);
+            println!(
+                "{name:<40} {time:>12}  {:.3} GiB/s",
+                rate / (1u64 << 30) as f64
+            );
+        }
+        None => println!("{name:<40} {time:>12}"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            sample_size: 3,
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn bencher_records_elapsed() {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| black_box(21u64 * 2));
+        assert!(b.elapsed > Duration::ZERO || b.iters == 10);
+    }
+}

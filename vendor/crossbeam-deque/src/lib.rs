@@ -1,0 +1,209 @@
+//! Offline stand-in for `crossbeam-deque`: [`Worker`], [`Stealer`],
+//! [`Injector`], [`Steal`] with the semantics the runtime's work-stealing
+//! pool relies on. Built on mutex-protected `VecDeque`s instead of the
+//! lock-free Chase–Lev deque — the same observable behaviour (FIFO local
+//! queue, batched injector steals, per-worker stealers) at a contention
+//! cost that is irrelevant at this workspace's task granularity.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    Empty,
+    Success(T),
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+        match self {
+            Steal::Empty => f(),
+            other => other,
+        }
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// First success wins; otherwise `Retry` if any source needs a retry.
+impl<T> FromIterator<Steal<T>> for Steal<T> {
+    fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+        let mut retry = false;
+        for s in iter {
+            match s {
+                Steal::Success(v) => return Steal::Success(v),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if retry {
+            Steal::Retry
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+/// A worker's local queue. `new_fifo` gives FIFO pop order (matching the
+/// runtime's submission-order fairness expectations).
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    pub fn new_fifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    pub fn push(&self, value: T) {
+        self.queue.lock().unwrap().push_back(value);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+/// Handle stealing single items from another worker's queue.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().unwrap().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// Global injector queue shared by all workers.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, value: T) {
+        self.queue.lock().unwrap().push_back(value);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().unwrap().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Pop one task and move a batch of follow-ons to `dest` (half the
+    /// queue, capped like crossbeam's batch limit).
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = self.queue.lock().unwrap();
+        let first = match q.pop_front() {
+            Some(v) => v,
+            None => return Steal::Empty,
+        };
+        let batch = (q.len() / 2).min(16);
+        if batch > 0 {
+            let mut d = dest.queue.lock().unwrap();
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(v) => d.push_back(v),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_via_injector_batches() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        let mut got = Vec::new();
+        while let Steal::Success(v) = inj.steal_batch_and_pop(&w) {
+            got.push(v);
+            while let Some(v) = w.pop() {
+                got.push(v);
+            }
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_prefers_success() {
+        let steals = vec![Steal::Empty, Steal::Retry, Steal::Success(7)];
+        let s: Steal<i32> = steals.into_iter().collect();
+        assert_eq!(s, Steal::Success(7));
+        let s: Steal<i32> = vec![Steal::Empty, Steal::Retry].into_iter().collect();
+        assert_eq!(s, Steal::Retry);
+        let s: Steal<i32> = vec![Steal::Empty::<i32>].into_iter().collect();
+        assert_eq!(s, Steal::Empty);
+    }
+
+    #[test]
+    fn stealers_drain_worker() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty::<i32>);
+    }
+}
