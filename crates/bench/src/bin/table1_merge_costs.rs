@@ -1,17 +1,134 @@
-//! Table I: operation costs of the merge steps.
+//! Table I: operation costs of the merge steps, plus the merge-phase
+//! perf trajectory for the SIMD secular kernels.
 //!
 //! Runs the task-flow solver on a low-deflation matrix, prints the paper's
 //! cost model instantiated per merge (columns of Table I) next to the
-//! measured per-kernel times from the execution trace, and with `--tree`
-//! also prints the merge tree of Figure 1.
+//! measured per-kernel times from the execution trace, folds the trace
+//! into the six merge buckets (deflate / LAED4 / local-W / assemble /
+//! GEMM / copy), and micro-benchmarks the dispatched secular kernels
+//! against their retained scalar oracles at `k ≈ 1024`. Writes
+//! `BENCH_merge.json` (override with `--out`); with `--tree` also prints
+//! the merge tree of Figure 1.
 //!
 //! ```text
 //! cargo run --release -p dcst-bench --bin table1_merge_costs -- --n 1000
 //! ```
 
-use dcst_bench::{Args, Table};
+use dcst_bench::{fmt_s, Args, Table};
 use dcst_core::{merge_cost_model, DcOptions, PartitionTree, TaskFlowDc};
 use dcst_tridiag::gen::MatrixType;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Merge bucket of a traced kernel (None for out-of-merge work).
+fn bucket_of(kernel: &str) -> Option<&'static str> {
+    match kernel {
+        "ComputeDeflation" => Some("deflate"),
+        "LAED4" => Some("laed4"),
+        "ComputeLocalW" | "ReduceW" => Some("local_w"),
+        "ComputeVect" => Some("assemble"),
+        "UpdateVect" => Some("gemm"),
+        "PermuteV" | "CopyBackDeflated" | "SortEigenvalues" | "SortCopy" | "SortCopyBack" => {
+            Some("copy")
+        }
+        _ => None,
+    }
+}
+
+const BUCKETS: [&str; 6] = ["deflate", "laed4", "local_w", "assemble", "gemm", "copy"];
+
+/// Best-of-`reps` wall-clock seconds for one kernel invocation.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: faults pages, settles the SIMD dispatch
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// SIMD-vs-scalar micro-bench of the three secular hot loops on one
+/// synthetic k-pole problem. Returns (label, simd_s, scalar_s) triples in
+/// bucket order (LAED4, local-W, assemble).
+fn bench_secular_kernels(k: usize, reps: usize) -> Vec<(&'static str, f64, f64)> {
+    // Strictly ascending poles with irregular gaps, unit-norm w.
+    let dlamda: Vec<f64> = (0..k)
+        .map(|i| i as f64 + 0.3 * ((i * 7 % 13) as f64) / 13.0)
+        .collect();
+    let w = vec![(1.0 / k as f64).sqrt(); k];
+    let rho = 1.0;
+
+    let mut deltas = vec![0.0f64; k * k];
+    let mut lam = vec![0.0f64; k];
+
+    let solve_all = |scalar: bool, deltas: &mut [f64], lam: &mut [f64]| {
+        for j in 0..k {
+            let col = &mut deltas[j * k..(j + 1) * k];
+            lam[j] = if scalar {
+                dcst_secular::solve_secular_root_scalar(j, &dlamda, &w, rho, col)
+            } else {
+                dcst_secular::solve_secular_root(j, &dlamda, &w, rho, col)
+            }
+            .expect("secular root failed");
+        }
+    };
+
+    let laed4_simd = best_of(reps, || solve_all(false, &mut deltas, &mut lam));
+    let laed4_scalar = best_of(reps, || solve_all(true, &mut deltas, &mut lam));
+
+    // Re-solve with the dispatched path so downstream kernels see the
+    // deltas the real solver would produce.
+    solve_all(false, &mut deltas, &mut lam);
+
+    let lw_simd = best_of(reps, || {
+        std::hint::black_box(dcst_secular::local_w_products(&dlamda, &deltas, k, 0, 0..k));
+    });
+    let lw_scalar = best_of(reps, || {
+        std::hint::black_box(dcst_secular::local_w_products_scalar(
+            &dlamda,
+            &deltas,
+            k,
+            0,
+            0..k,
+        ));
+    });
+
+    let partials = vec![dcst_secular::local_w_products(&dlamda, &deltas, k, 0, 0..k)];
+    let zhat = dcst_secular::reduce_w(&w, &partials);
+    let ident: Vec<usize> = (0..k).collect();
+    // assemble_vectors overwrites the delta columns, so each timed run
+    // restores them first; the restore cost is measured separately and
+    // subtracted from both paths.
+    let pristine = deltas.clone();
+    let restore = best_of(reps, || {
+        deltas.copy_from_slice(&pristine);
+        std::hint::black_box(&deltas);
+    });
+    let asm_simd = best_of(reps, || {
+        deltas.copy_from_slice(&pristine);
+        dcst_secular::assemble_vectors(&zhat, &mut deltas, k, 0, 0..k, &ident);
+    }) - restore;
+    let asm_scalar = best_of(reps, || {
+        deltas.copy_from_slice(&pristine);
+        dcst_secular::assemble_vectors_scalar(&zhat, &mut deltas, k, 0, 0..k, &ident);
+    }) - restore;
+
+    vec![
+        ("LAED4 (all k roots)", laed4_simd, laed4_scalar),
+        (
+            "local-W (k columns)",
+            lw_simd.max(1e-9),
+            lw_scalar.max(1e-9),
+        ),
+        (
+            "assemble (k columns)",
+            asm_simd.max(1e-9),
+            asm_scalar.max(1e-9),
+        ),
+    ]
+}
 
 fn main() {
     let args = Args::parse();
@@ -19,6 +136,9 @@ fn main() {
     let min_part = args.usize_or("--min-part", 300);
     let nb = args.usize_or("--nb", 128);
     let threads = args.usize_or("--threads", dcst_bench::max_threads());
+    let ksec = args.usize_or("--k", 1024);
+    let reps = args.usize_or("--reps", 3);
+    let out_path = args.value("--out").unwrap_or("BENCH_merge.json");
 
     if args.flag("--tree") {
         let tree = PartitionTree::build(n, min_part);
@@ -90,9 +210,9 @@ fn main() {
 
     println!("\nMeasured kernel totals (execution trace, {threads} threads):");
     let mut meas = Table::new(&["kernel", "tasks", "total time (us)", "share"]);
-    let stats = trace.kernel_stats();
-    let total: u64 = stats.iter().map(|k| k.total_us).sum();
-    for k in &stats {
+    let kstats = trace.kernel_stats();
+    let total: u64 = kstats.iter().map(|k| k.total_us).sum();
+    for k in &kstats {
         meas.row(vec![
             k.name.to_string(),
             k.count.to_string(),
@@ -101,4 +221,80 @@ fn main() {
         ]);
     }
     meas.print();
+
+    // ---- merge buckets.
+    let mut bucket_us = std::collections::BTreeMap::new();
+    for b in BUCKETS {
+        bucket_us.insert(b, 0u64);
+    }
+    for k in &kstats {
+        if let Some(b) = bucket_of(k.name) {
+            *bucket_us.get_mut(b).unwrap() += k.total_us;
+        }
+    }
+    let merge_total: u64 = bucket_us.values().sum();
+    println!("\nMerge-phase buckets:");
+    let mut btab = Table::new(&["bucket", "total time (us)", "share of merge"]);
+    for b in BUCKETS {
+        let us = bucket_us[b];
+        btab.row(vec![
+            b.to_string(),
+            us.to_string(),
+            format!("{:.1}%", 100.0 * us as f64 / merge_total.max(1) as f64),
+        ]);
+    }
+    btab.print();
+
+    // ---- SIMD-vs-scalar secular kernels at k ≈ 1024.
+    let level = dcst_matrix::simd_level();
+    println!("\nSecular kernels, SIMD ({level:?}) vs scalar oracle at k = {ksec}:");
+    let kernels = bench_secular_kernels(ksec, reps);
+    let mut stab = Table::new(&["kernel", "simd", "scalar", "speedup"]);
+    let (mut simd_sum, mut scalar_sum) = (0.0f64, 0.0f64);
+    for &(name, simd, scalar) in &kernels {
+        simd_sum += simd;
+        scalar_sum += scalar;
+        stab.row(vec![
+            name.to_string(),
+            fmt_s(simd),
+            fmt_s(scalar),
+            format!("{:.2}x", scalar / simd),
+        ]);
+    }
+    let combined = scalar_sum / simd_sum;
+    stab.row(vec![
+        "combined".to_string(),
+        fmt_s(simd_sum),
+        fmt_s(scalar_sum),
+        format!("{combined:.2}x"),
+    ]);
+    stab.print();
+
+    // ---- JSON output.
+    let mut json = String::from("{\n  \"bench\": \"table1_merge_costs\",\n");
+    write!(
+        json,
+        "  \"n\": {n},\n  \"threads\": {threads},\n  \"simd_level\": \"{level:?}\",\n"
+    )
+    .unwrap();
+    json.push_str("  \"merge_buckets_us\": {");
+    for (i, b) in BUCKETS.iter().enumerate() {
+        let sep = if i + 1 < BUCKETS.len() { ", " } else { "" };
+        write!(json, "\"{b}\": {}{sep}", bucket_us[b]).unwrap();
+    }
+    json.push_str("},\n");
+    write!(json, "  \"secular_kernels\": {{\n    \"k\": {ksec},\n").unwrap();
+    let labels = ["laed4", "local_w", "assemble"];
+    for (label, &(_, simd, scalar)) in labels.iter().zip(&kernels) {
+        writeln!(
+            json,
+            "    \"{label}_simd_s\": {simd:.6}, \"{label}_scalar_s\": {scalar:.6}, \
+             \"{label}_speedup\": {:.3},",
+            scalar / simd
+        )
+        .unwrap();
+    }
+    write!(json, "    \"combined_speedup\": {combined:.3}\n  }}\n}}\n").unwrap();
+    std::fs::write(out_path, &json).expect("write BENCH_merge.json");
+    println!("\nwrote {out_path}");
 }

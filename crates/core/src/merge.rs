@@ -113,6 +113,13 @@ fn slot_rows(t: SlotType, nm: usize, n1: usize) -> (usize, usize) {
 /// `PermuteV`: copy source columns into the compressed workspace for the
 /// storage slots in `slots`. `v_block` starts at `(off, off)`; `ws_cols`
 /// starts at `(off, off + slots.start)`.
+///
+/// When the block spans the full column height (`ld == nm`, i.e. the root
+/// merge, where half the total copy traffic lives) runs of full-height
+/// slots with consecutive source columns collapse into single spanning
+/// `copy_from_slice` calls instead of per-column slicing. With `ld > nm`
+/// the rows between columns belong to other blocks, so a spanning copy
+/// would clobber them — those blocks keep the per-slot row-span copies.
 pub(crate) fn permute_slots(
     v_block: &[f64],
     ws_cols: &mut [f64],
@@ -122,10 +129,35 @@ pub(crate) fn permute_slots(
     defl: &Deflation,
     slots: std::ops::Range<usize>,
 ) {
+    let s0 = slots.start;
+    if ld == nm {
+        let mut s = slots.start;
+        while s < slots.end {
+            let src = defl.perm[s];
+            let (r0, r1) = slot_rows(defl.slot_type[s], nm, n1);
+            if (r0, r1) == (0, nm) {
+                let mut len = 1;
+                while s + len < slots.end
+                    && defl.perm[s + len] == src + len
+                    && slot_rows(defl.slot_type[s + len], nm, n1) == (0, nm)
+                {
+                    len += 1;
+                }
+                ws_cols[(s - s0) * ld..(s - s0 + len) * ld]
+                    .copy_from_slice(&v_block[src * ld..(src + len) * ld]);
+                s += len;
+            } else {
+                ws_cols[(s - s0) * ld + r0..(s - s0) * ld + r1]
+                    .copy_from_slice(&v_block[src * ld + r0..src * ld + r1]);
+                s += 1;
+            }
+        }
+        return;
+    }
     for s in slots.clone() {
         let src = defl.perm[s];
         let (r0, r1) = slot_rows(defl.slot_type[s], nm, n1);
-        let dst = &mut ws_cols[(s - slots.start) * ld + r0..(s - slots.start) * ld + r1];
+        let dst = &mut ws_cols[(s - s0) * ld + r0..(s - s0) * ld + r1];
         dst.copy_from_slice(&v_block[src * ld + r0..src * ld + r1]);
     }
 }
@@ -258,6 +290,11 @@ pub(crate) fn update_vect_panel(
 /// `CopyBackDeflated`: copy deflated workspace columns back into V.
 /// Both slices start at `(off, off + slot0)`; `count` columns are copied
 /// over the full block height.
+///
+/// With `ld == nm` (root merge) the columns are contiguous and the whole
+/// panel moves in one `copy_from_slice`; smaller blocks keep the strided
+/// per-column copies so the rows owned by neighbouring blocks stay
+/// untouched.
 pub(crate) fn copy_back_panel(
     ws_cols: &[f64],
     v_cols: &mut [f64],
@@ -265,6 +302,10 @@ pub(crate) fn copy_back_panel(
     nm: usize,
     count: usize,
 ) {
+    if ld == nm {
+        v_cols[..count * ld].copy_from_slice(&ws_cols[..count * ld]);
+        return;
+    }
     for s in 0..count {
         v_cols[s * ld..s * ld + nm].copy_from_slice(&ws_cols[s * ld..s * ld + nm]);
     }
@@ -397,9 +438,19 @@ pub(crate) fn apply_final_sort(
     let dtmp = &mut scratch.dtmp;
     dtmp.clear();
     dtmp.resize(n, 0.0);
-    for (r, &src) in idxq.iter().enumerate() {
-        dtmp[r] = d[src];
-        ws[r * ld..r * ld + ld].copy_from_slice(&v[src * ld..src * ld + ld]);
+    // Columns are full height, so a run of consecutive sources in idxq
+    // (common: deflation leaves long already-sorted stretches) moves as
+    // one spanning copy instead of per-column slicing.
+    let mut r = 0;
+    while r < n {
+        let src = idxq[r];
+        let mut len = 1;
+        while r + len < n && idxq[r + len] == src + len {
+            len += 1;
+        }
+        dtmp[r..r + len].copy_from_slice(&d[src..src + len]);
+        ws[r * ld..(r + len) * ld].copy_from_slice(&v[src * ld..(src + len) * ld]);
+        r += len;
     }
     d[..n].copy_from_slice(dtmp);
     v[..n * ld].copy_from_slice(&ws[..n * ld]);

@@ -168,20 +168,23 @@ impl TaskFlowDc {
         {
             let (d, e) = (d.clone(), e.clone());
             let cuts = cuts.clone();
-            rt.task("Scale").write(key_scale).spawn(move || {
-                // SAFETY: first task to touch d/e; leaves wait on the key.
-                let ds = unsafe { d.slice_mut() };
-                let es = unsafe { e.slice_mut() };
-                if scale != 1.0 {
-                    ds.iter_mut().for_each(|v| *v *= scale);
-                    es.iter_mut().for_each(|v| *v *= scale);
-                }
-                for &c in &cuts {
-                    let b = es[c - 1].abs();
-                    ds[c - 1] -= b;
-                    ds[c] -= b;
-                }
-            });
+            rt.task("Scale")
+                .high_priority()
+                .write(key_scale)
+                .spawn(move || {
+                    // SAFETY: first task to touch d/e; leaves wait on the key.
+                    let ds = unsafe { d.slice_mut() };
+                    let es = unsafe { e.slice_mut() };
+                    if scale != 1.0 {
+                        ds.iter_mut().for_each(|v| *v *= scale);
+                        es.iter_mut().for_each(|v| *v *= scale);
+                    }
+                    for &c in &cuts {
+                        let b = es[c - 1].abs();
+                        ds[c - 1] -= b;
+                        ds[c] -= b;
+                    }
+                });
         }
 
         // ---- leaves: STEDC (QR iteration) into the diagonal block of V.
@@ -191,6 +194,7 @@ impl TaskFlowDc {
             let (d, e, v) = (d.clone(), e.clone(), v.clone());
             let cells = cells.clone();
             rt.task("STEDC")
+                .high_priority()
                 .read(key_scale)
                 .write(key_node(l))
                 .spawn(move || {
@@ -227,7 +231,11 @@ impl TaskFlowDc {
             {
                 let (d, v) = (d.clone(), v.clone());
                 let cells = cells.clone();
+                // The merge spine (deflation → … → ReduceW) gates every
+                // panel task of this node and of all ancestors: schedule it
+                // through the runtime's priority lane.
                 rt.task("ComputeDeflation")
+                    .high_priority()
                     .read(key_node(lc))
                     .read(key_node(rc))
                     .read_write(key_node(m))
@@ -329,27 +337,30 @@ impl TaskFlowDc {
             {
                 let (d, lam) = (d.clone(), lam.clone());
                 let cells = cells.clone();
-                rt.task("ReduceW").read_write(key_node(m)).spawn(move || {
-                    let defl = cells[m].defl();
-                    let k = defl.k;
-                    if k > 0 {
-                        let parts: Vec<Vec<f64>> = cells[m]
-                            .partials
-                            .lock()
-                            .unwrap()
-                            .iter_mut()
-                            .filter_map(|p| p.take())
-                            .collect();
-                        let zhat = dcst_secular::reduce_w(&defl.w, &parts);
-                        *cells[m].zhat.lock().unwrap() = Some(Arc::new(zhat));
-                    }
-                    // SAFETY: epoch-exclusive d block; lam is read-only now.
-                    let db = unsafe { d.range_mut(off..off + nm) };
-                    let ls = unsafe { lam.range(off..off + k) };
-                    let idxq = finalize_d(&defl, ls, db);
-                    *cells[m].idxq.lock().unwrap() = Some(Arc::new(idxq));
-                    *cells[m].stat.lock().unwrap() = Some(MergeStat { n: nm, n1, k });
-                });
+                rt.task("ReduceW")
+                    .high_priority()
+                    .read_write(key_node(m))
+                    .spawn(move || {
+                        let defl = cells[m].defl();
+                        let k = defl.k;
+                        if k > 0 {
+                            let parts: Vec<Vec<f64>> = cells[m]
+                                .partials
+                                .lock()
+                                .unwrap()
+                                .iter_mut()
+                                .filter_map(|p| p.take())
+                                .collect();
+                            let zhat = dcst_secular::reduce_w(&defl.w, &parts);
+                            *cells[m].zhat.lock().unwrap() = Some(Arc::new(zhat));
+                        }
+                        // SAFETY: epoch-exclusive d block; lam is read-only now.
+                        let db = unsafe { d.range_mut(off..off + nm) };
+                        let ls = unsafe { lam.range(off..off + k) };
+                        let idxq = finalize_d(&defl, ls, db);
+                        *cells[m].idxq.lock().unwrap() = Some(Arc::new(idxq));
+                        *cells[m].stat.lock().unwrap() = Some(MergeStat { n: nm, n1, k });
+                    });
             }
 
             // Phase 2 panels.
@@ -439,6 +450,7 @@ impl TaskFlowDc {
                 let d = d.clone();
                 let cells = cells.clone();
                 rt.task("SortEigenvalues")
+                    .high_priority()
                     .read_write(key_node(root))
                     .spawn(move || {
                         let idxq = cells[root].idxq();
@@ -459,12 +471,23 @@ impl TaskFlowDc {
                     // exclusive per panel.
                     let vs = unsafe { v.slice() };
                     let wt = unsafe { ws.range_mut(r0 * n..r1 * n) };
-                    for (t, &src) in idxq[r0..r1].iter().enumerate() {
-                        wt[t * n..(t + 1) * n].copy_from_slice(&vs[src * n..(src + 1) * n]);
+                    // Full-height columns: batch runs of consecutive
+                    // sources into single spanning copies.
+                    let cols = r1 - r0;
+                    let mut t = 0;
+                    while t < cols {
+                        let src = idxq[r0 + t];
+                        let mut len = 1;
+                        while t + len < cols && idxq[r0 + t + len] == src + len {
+                            len += 1;
+                        }
+                        wt[t * n..(t + len) * n].copy_from_slice(&vs[src * n..(src + len) * n]);
+                        t += len;
                     }
                 });
             }
             rt.task("SortBarrier")
+                .high_priority()
                 .read_write(key_node(root))
                 .spawn(|| {});
             for p in 0..nroot_panels {
@@ -482,6 +505,7 @@ impl TaskFlowDc {
         {
             let d = d.clone();
             rt.task("ScaleBack")
+                .high_priority()
                 .read_write(key_node(root))
                 .spawn(move || {
                     if scale != 1.0 {

@@ -187,31 +187,15 @@ unsafe fn microkernel_avx512<const MR_P: usize>(
     microkernel_body::<MR_P>(kc, alpha, ap, bp, c, ldc, mr, nr)
 }
 
-/// Pick the widest micro-kernel the CPU supports (detected once).
+/// Pick the widest micro-kernel the CPU supports, through the shared
+/// workspace dispatcher (one detection, one `DCST_FORCE_SCALAR` knob).
 fn select_microkernel<const MR_P: usize>() -> MicroFn {
     #[cfg(target_arch = "x86_64")]
     {
-        use std::sync::atomic::{AtomicU8, Ordering};
-        static LEVEL: AtomicU8 = AtomicU8::new(0);
-        let mut level = LEVEL.load(Ordering::Relaxed);
-        if level == 0 {
-            level = if std::arch::is_x86_feature_detected!("avx512f")
-                && std::arch::is_x86_feature_detected!("fma")
-            {
-                3
-            } else if std::arch::is_x86_feature_detected!("avx2")
-                && std::arch::is_x86_feature_detected!("fma")
-            {
-                2
-            } else {
-                1
-            };
-            LEVEL.store(level, Ordering::Relaxed);
-        }
-        match level {
-            3 => microkernel_avx512::<MR_P>,
-            2 => microkernel_avx2::<MR_P>,
-            _ => microkernel_generic::<MR_P>,
+        match crate::simd::simd_level() {
+            crate::simd::SimdLevel::Avx512 => microkernel_avx512::<MR_P>,
+            crate::simd::SimdLevel::Avx2 => microkernel_avx2::<MR_P>,
+            crate::simd::SimdLevel::Scalar => microkernel_generic::<MR_P>,
         }
     }
     #[cfg(not(target_arch = "x86_64"))]

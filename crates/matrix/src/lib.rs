@@ -15,6 +15,7 @@ mod kernel;
 mod matrix;
 mod merge;
 mod pool;
+pub mod simd;
 pub mod util;
 mod workspace;
 
@@ -24,4 +25,5 @@ pub use kernel::{KC, MC, MR, MR_SMALL, NC, NR};
 pub use matrix::Matrix;
 pub use merge::merge_perm;
 pub use pool::pool_workers;
+pub use simd::{simd_level, SimdLevel};
 pub use workspace::workspace_growth_events;

@@ -12,8 +12,19 @@ pub struct DataKey(pub u64);
 
 impl DataKey {
     /// Compose a key from an object id and an index within the object
-    /// (e.g. a panel number). 2^24 indices per object.
+    /// (e.g. a panel number). 2^24 indices per object; 2^40 objects.
+    ///
+    /// Out-of-range components would silently alias another region's key
+    /// and corrupt the inferred DAG, so debug builds fail loudly instead.
     pub const fn new(object: u64, index: u64) -> Self {
+        debug_assert!(
+            index <= 0xff_ffff,
+            "DataKey index exceeds 24 bits and would collide with another panel"
+        );
+        debug_assert!(
+            object <= 0xff_ffff_ffff,
+            "DataKey object id exceeds 40 bits and would collide with another object"
+        );
         DataKey((object << 24) | (index & 0xff_ffff))
     }
 }
@@ -212,5 +223,21 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a, DataKey::new(3, 7));
+        // The full 24-bit index range stays collision-free.
+        assert_ne!(DataKey::new(3, 0xff_ffff), DataKey::new(4, 0));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds 24 bits")]
+    fn datakey_index_overflow_panics_in_debug() {
+        let _ = DataKey::new(3, 1 << 24);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds 40 bits")]
+    fn datakey_object_overflow_panics_in_debug() {
+        let _ = DataKey::new(1 << 40, 0);
     }
 }

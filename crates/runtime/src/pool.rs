@@ -4,7 +4,16 @@
 //! inferred by [`DepTracker`](crate::deps) and encoded as edges between
 //! nodes. A node becomes *ready* when its last unfinished predecessor
 //! completes, at which point it is pushed to a crossbeam injector that the
-//! worker threads drain (local deque first, then injector, then stealing).
+//! worker threads drain (local LIFO deque first, then the priority
+//! injector, then the regular injector, then stealing).
+//!
+//! The scheduler is critical-path-aware: tasks marked
+//! [`TaskBuilder::high_priority`] (the merge phase's serial spine —
+//! deflation, the ReduceW join, leaf STEDC) land in a dedicated priority
+//! lane that every worker polls ahead of the commuting panel tasks, so a
+//! ready join never queues behind a wall of panel work. Local deques pop
+//! LIFO to keep a worker on the cache-hot chain it just unlocked; stealers
+//! still take the oldest task, preserving breadth for load balance.
 
 use crate::dag::DagRecorder;
 use crate::deps::{Access, AccessMode, DataKey, DepTracker};
@@ -47,15 +56,23 @@ struct NodeBody {
 struct Node {
     id: usize,
     name: &'static str,
+    /// Critical-path task: scheduled through the priority lane.
+    high: bool,
     pending: AtomicUsize,
     body: Mutex<NodeBody>,
 }
 
 struct Shared {
     injector: Injector<Arc<Node>>,
+    /// Priority lane polled ahead of `injector` by every worker.
+    hi_injector: Injector<Arc<Node>>,
     stealers: Vec<Stealer<Arc<Node>>>,
     /// Tasks submitted but not yet finished.
     outstanding: AtomicUsize,
+    /// Workers currently parked on `idle_cv` (incremented under
+    /// `idle_lock` before the final queue re-check, so a pusher that reads
+    /// 0 is guaranteed the worker will still see its push).
+    idle_workers: AtomicUsize,
     /// Signals workers to exit.
     stop: AtomicBool,
     /// True while a trace buffer is installed (cheap pre-check).
@@ -71,8 +88,19 @@ struct Shared {
 
 impl Shared {
     fn push_ready(&self, node: Arc<Node>) {
-        self.injector.push(node);
-        self.idle_cv.notify_one();
+        if node.high {
+            self.hi_injector.push(node);
+        } else {
+            self.injector.push(node);
+        }
+        // Skip the notify syscall when nobody is parked (the common case
+        // while the pool is saturated). The counter is raised under
+        // `idle_lock` before the parking worker's final emptiness check, so
+        // reading 0 here means that worker will observe this push.
+        if self.idle_workers.load(Ordering::SeqCst) > 0 {
+            let _g = self.idle_lock.lock();
+            self.idle_cv.notify_one();
+        }
     }
 
     fn execute(&self, node: Arc<Node>, worker_id: usize) {
@@ -123,9 +151,15 @@ impl Shared {
 
 fn find_task(shared: &Shared, local: &WorkerDeque<Arc<Node>>) -> Option<Arc<Node>> {
     local.pop().or_else(|| loop {
+        // Priority lane first: a ready critical-path task (deflation,
+        // ReduceW, STEDC) must not queue behind commuting panel tasks.
+        // These are popped singly — they are rare and serial by nature, so
+        // batching them into one worker's local deque would only delay a
+        // sibling's chance to pick one up.
         let steal = shared
-            .injector
-            .steal_batch_and_pop(local)
+            .hi_injector
+            .steal()
+            .or_else(|| shared.injector.steal_batch_and_pop(local))
             .or_else(|| shared.stealers.iter().map(|s| s.steal()).collect());
         match steal {
             Steal::Success(node) => return Some(node),
@@ -144,13 +178,22 @@ fn worker_loop(shared: Arc<Shared>, local: WorkerDeque<Arc<Node>>, worker_id: us
                     return;
                 }
                 let mut guard = shared.idle_lock.lock();
-                // Re-check under the lock so a push between the failed pop
-                // and this park cannot be missed (pushers notify under it).
-                if shared.injector.is_empty() && !shared.stop.load(Ordering::Acquire) {
+                // Publish idleness, then re-check under the lock: a pusher
+                // either sees the raised counter (and notifies under this
+                // same lock, which we hold until the wait releases it) or
+                // pushed early enough for this emptiness check to see the
+                // task. Either way no wakeup is lost, so the timeout is
+                // only a backstop against bugs, not part of the protocol.
+                shared.idle_workers.fetch_add(1, Ordering::SeqCst);
+                if shared.hi_injector.is_empty()
+                    && shared.injector.is_empty()
+                    && !shared.stop.load(Ordering::Acquire)
+                {
                     shared
                         .idle_cv
-                        .wait_for(&mut guard, std::time::Duration::from_millis(50));
+                        .wait_for(&mut guard, std::time::Duration::from_secs(1));
                 }
+                shared.idle_workers.fetch_sub(1, Ordering::SeqCst);
             }
         }
     }
@@ -176,12 +219,18 @@ impl Runtime {
     /// Spawn a pool of `num_threads` workers (at least 1).
     pub fn new(num_threads: usize) -> Self {
         let num_threads = num_threads.max(1);
-        let deques: Vec<_> = (0..num_threads).map(|_| WorkerDeque::new_fifo()).collect();
+        // LIFO locals: of the batch a worker pulls from the injector it
+        // runs the most recently released task first (the one whose inputs
+        // are most likely still in cache), while stealers take from the
+        // opposite (oldest) end to preserve breadth.
+        let deques: Vec<_> = (0..num_threads).map(|_| WorkerDeque::new_lifo()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
         let shared = Arc::new(Shared {
             injector: Injector::new(),
+            hi_injector: Injector::new(),
             stealers,
             outstanding: AtomicUsize::new(0),
+            idle_workers: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             tracing: AtomicBool::new(false),
             idle_lock: Mutex::new(()),
@@ -227,6 +276,7 @@ impl Runtime {
             rt: self,
             name,
             accesses: Vec::new(),
+            high: false,
         }
     }
 
@@ -255,7 +305,12 @@ impl Runtime {
         self.submit.lock().dag.take()
     }
 
-    fn submit_task(&self, name: &'static str, accesses: Vec<Access>, f: TaskFn) {
+    fn submit_task(&self, name: &'static str, accesses: Vec<Access>, high: bool, f: TaskFn) {
+        // Under the submission lock: allocate the id, infer dependencies,
+        // and resolve predecessor ids to live nodes. The per-predecessor
+        // edge wiring (which takes each predecessor's body lock and can
+        // contend with finishing workers) happens after the lock drops, so
+        // a long dependency list no longer serializes other submitters.
         let mut st = self.submit.lock();
         let id = st.next_id;
         st.next_id += 1;
@@ -267,6 +322,7 @@ impl Runtime {
         let node = Arc::new(Node {
             id,
             name,
+            high,
             pending: AtomicUsize::new(1),
             body: Mutex::new(NodeBody {
                 closure: Some(f),
@@ -275,17 +331,21 @@ impl Runtime {
             }),
         });
         self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
-        for &d in &deps {
-            if let Some(pred) = st.nodes.get(&d) {
-                let mut body = pred.body.lock();
-                if !body.finished {
-                    node.pending.fetch_add(1, Ordering::AcqRel);
-                    body.successors.push(node.clone());
-                }
-            }
-        }
+        let preds: Vec<Arc<Node>> = deps
+            .iter()
+            .filter_map(|d| st.nodes.get(d).cloned())
+            .collect();
         st.nodes.insert(node.id, node.clone());
         drop(st);
+        // The Arc clones keep predecessors alive across `wait`'s GC; each
+        // body lock decides finished-vs-pending race per predecessor.
+        for pred in preds {
+            let mut body = pred.body.lock();
+            if !body.finished {
+                node.pending.fetch_add(1, Ordering::AcqRel);
+                body.successors.push(node.clone());
+            }
+        }
         if node.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             self.shared.push_ready(node);
         }
@@ -295,10 +355,14 @@ impl Runtime {
     /// task panic, if any (the panic slot is then cleared for reuse).
     pub fn wait(&self) -> Result<(), RuntimeError> {
         let mut guard = self.shared.done_lock.lock();
+        // The finishing worker notifies `done_cv` under `done_lock` when
+        // `outstanding` reaches zero, and this re-check holds the same
+        // lock, so the wakeup cannot be missed; the timeout is a safety
+        // backstop, not a polling interval.
         while self.shared.outstanding.load(Ordering::Acquire) != 0 {
             self.shared
                 .done_cv
-                .wait_for(&mut guard, std::time::Duration::from_millis(50));
+                .wait_for(&mut guard, std::time::Duration::from_secs(1));
         }
         drop(guard);
         // Completed nodes are no longer needed for edge wiring.
@@ -332,9 +396,17 @@ pub struct TaskBuilder<'rt> {
     rt: &'rt Runtime,
     name: &'static str,
     accesses: Vec<Access>,
+    high: bool,
 }
 
 impl TaskBuilder<'_> {
+    /// Mark this task as critical-path: when ready it enters the priority
+    /// lane and is scheduled ahead of any queued normal-priority task.
+    pub fn high_priority(mut self) -> Self {
+        self.high = true;
+        self
+    }
+
     /// Declare an `INPUT` access.
     pub fn read(mut self, key: DataKey) -> Self {
         self.accesses.push(Access {
@@ -373,7 +445,8 @@ impl TaskBuilder<'_> {
 
     /// Submit the task. It runs as soon as its dependencies are satisfied.
     pub fn spawn(self, f: impl FnOnce() + Send + 'static) {
-        self.rt.submit_task(self.name, self.accesses, Box::new(f));
+        self.rt
+            .submit_task(self.name, self.accesses, self.high, Box::new(f));
     }
 }
 
@@ -495,6 +568,49 @@ mod tests {
             .records
             .iter()
             .all(|r| r.name == "traced" && r.end_us >= r.start_us));
+    }
+
+    #[test]
+    fn priority_tasks_overtake_queued_work() {
+        // One worker, held busy by a gate task while panel tasks queue up
+        // in the injector; a high-priority join submitted last must still
+        // run before every queued panel task.
+        let rt = Runtime::new(1);
+        let started = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let log: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let (s, r, log) = (started.clone(), release.clone(), log.clone());
+            rt.task("gate").spawn(move || {
+                s.store(true, Ordering::SeqCst);
+                while !r.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+                log.lock().push("gate");
+            });
+        }
+        // Ensure the worker is inside the gate (so the panels below stay
+        // in the injector rather than being batched into its local deque).
+        while !started.load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+        }
+        for _ in 0..8 {
+            let log = log.clone();
+            rt.task("panel").spawn(move || log.lock().push("panel"));
+        }
+        let l = log.clone();
+        rt.task("join")
+            .high_priority()
+            .spawn(move || l.lock().push("join"));
+        release.store(true, Ordering::SeqCst);
+        rt.wait().unwrap();
+        let got = log.lock().clone();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0], "gate");
+        assert_eq!(
+            got[1], "join",
+            "priority task must overtake queued panels: {got:?}"
+        );
     }
 
     #[test]

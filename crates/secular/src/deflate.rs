@@ -124,8 +124,8 @@ pub fn deflate(input: &DeflationInput<'_>) -> Deflation {
     // sorted[t] = physical index of the t-th smallest diagonal entry.
     let sorted: Vec<usize> = merged.iter().map(|&r| input.idxq[r]).collect();
 
-    let zmax = z.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
-    let dmax = d.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+    let zmax = crate::simd::max_abs(&z);
+    let dmax = crate::simd::max_abs(&d);
     let tol = 8.0 * EPS * zmax.max(dmax);
 
     let block_of = |p: usize| {

@@ -16,11 +16,21 @@
 //!
 //! Everything here is sequential by design: the *parallelism* lives in
 //! `dcst-core`, which calls these kernels from panel tasks.
+//!
+//! The O(k²) inner loops (secular sweeps, local-W column products, vector
+//! normalization) are vectorized in [`simd`] with runtime AVX2/FMA dispatch
+//! through the workspace-wide `dcst_matrix::simd_level` detector; the
+//! `*_scalar` entry points pin the original scalar bodies and serve as
+//! test oracles and as the `DCST_FORCE_SCALAR=1` comparison baseline.
 
 mod deflate;
 mod roots;
+mod simd;
 mod vectors;
 
 pub use deflate::{deflate, Deflation, DeflationInput, GivensRot, SlotType};
-pub use roots::{secular_function, solve_secular_root, SecularError};
-pub use vectors::{assemble_vectors, local_w_products, reduce_w};
+pub use roots::{secular_function, solve_secular_root, solve_secular_root_scalar, SecularError};
+pub use simd::{max_abs, max_abs_scalar};
+pub use vectors::{
+    assemble_vectors, assemble_vectors_scalar, local_w_products, local_w_products_scalar, reduce_w,
+};

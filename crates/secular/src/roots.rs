@@ -13,6 +13,7 @@
 //! `delta[i] = d_i − λ` are computed as `(d_i − d_K) − μ` without
 //! cancellation — the property eigenvector orthogonality rests on.
 
+use crate::simd;
 use dcst_matrix::util::EPS;
 
 /// Failure of the root finder.
@@ -65,12 +66,40 @@ fn eval_shifted(z: &[f64], rho: f64, delta: &[f64]) -> (f64, f64) {
 ///
 /// On success returns `λ_j`; `delta` (length k) is filled with the
 /// accurately-computed distances `d_i − λ_j`.
+///
+/// The per-iteration k-term sweeps run through the runtime-dispatched
+/// SIMD kernels in [`crate::simd`]; [`solve_secular_root_scalar`] pins the
+/// scalar bodies and serves as the oracle.
 pub fn solve_secular_root(
     j: usize,
     d: &[f64],
     z: &[f64],
     rho: f64,
     delta: &mut [f64],
+) -> Result<f64, SecularError> {
+    solve_root_impl(j, d, z, rho, delta, !simd::use_simd())
+}
+
+/// [`solve_secular_root`] forced onto the scalar kernel bodies — the seed
+/// implementation, bit for bit. Retained as the property-test oracle and
+/// for SIMD-vs-scalar benchmarking within one process.
+pub fn solve_secular_root_scalar(
+    j: usize,
+    d: &[f64],
+    z: &[f64],
+    rho: f64,
+    delta: &mut [f64],
+) -> Result<f64, SecularError> {
+    solve_root_impl(j, d, z, rho, delta, true)
+}
+
+fn solve_root_impl(
+    j: usize,
+    d: &[f64],
+    z: &[f64],
+    rho: f64,
+    delta: &mut [f64],
+    scalar: bool,
 ) -> Result<f64, SecularError> {
     let k = d.len();
     assert!(j < k && z.len() == k && delta.len() == k);
@@ -106,10 +135,7 @@ pub fn solve_secular_root(
         let gap = d[j + 1] - d[j];
         // f at the midpoint, evaluated in shifted coords around d_j.
         let mid = 0.5 * gap;
-        for (i, de) in delta.iter_mut().enumerate() {
-            *de = (d[i] - d[j]) - mid;
-        }
-        let (fmid, _) = eval_shifted(z, rho, delta);
+        let fmid = 1.0 + rho * simd::secular_probe(scalar, d, d[j], mid, z, delta);
         if fmid >= 0.0 {
             // Root in the lower half: origin d_j, μ ∈ (0, gap/2].
             origin = j;
@@ -137,12 +163,15 @@ pub fn solve_secular_root(
         mu = lo + 0.25 * (hi - lo);
     }
 
+    let split = if last { k - 1 } else { j + 1 };
     let mut converged = false;
     for _ in 0..100 {
-        for (de, &dki) in delta.iter_mut().zip(&dk) {
-            *de = dki - mu;
-        }
-        let (f, fabs) = eval_shifted(z, rho, delta);
+        // Fused sweep: fill delta[i] = dk[i] − μ and accumulate the secular
+        // sum, its absolute-value companion, and both side-wise derivative
+        // sums in one dispatched pass over the k terms.
+        let sums = simd::secular_sweep(scalar, &dk, mu, z, split, delta);
+        let f = 1.0 + rho * sums.val;
+        let fabs = 1.0 + rho * sums.abs;
         let tol = 8.0 * EPS * (k as f64) * fabs;
         if f.abs() <= tol {
             converged = true;
@@ -158,17 +187,7 @@ pub fn solve_secular_root(
         // the side-wise derivatives ψ′/φ′.
         let s1 = dk[p1] - mu;
         let s2 = dk[p2] - mu;
-        let (mut psi_p, mut phi_p) = (0.0, 0.0);
-        let split = if last { k - 1 } else { j + 1 };
-        for i in 0..k {
-            let t = z[i] * z[i] / delta[i];
-            let tp = t / delta[i];
-            if i < split {
-                psi_p += tp;
-            } else {
-                phi_p += tp;
-            }
-        }
+        let (psi_p, phi_p) = (sums.psi_p, sums.phi_p);
         // Guard the split so each model pole owns its own side.
         let (a_side, b_side) = if p1 < split { (s1, s2) } else { (s2, s1) };
         let a_coef = rho * psi_p * a_side * a_side;

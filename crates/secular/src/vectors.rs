@@ -13,6 +13,7 @@
 //! splits into independent per-panel partial products: exactly the paper's
 //! `ComputeLocalW` (panel) and `ReduceW` (join) tasks.
 
+use crate::simd;
 use dcst_matrix::util::sign;
 use std::ops::Range;
 
@@ -34,18 +35,36 @@ pub fn local_w_products(
     col0: usize,
     jrange: Range<usize>,
 ) -> Vec<f64> {
+    local_w_impl(dlamda, deltas, ld, col0, jrange, !simd::use_simd())
+}
+
+/// [`local_w_products`] forced onto the scalar kernel body (the test
+/// oracle). The SIMD path performs the identical element-wise operations,
+/// so both variants return bit-identical products.
+pub fn local_w_products_scalar(
+    dlamda: &[f64],
+    deltas: &[f64],
+    ld: usize,
+    col0: usize,
+    jrange: Range<usize>,
+) -> Vec<f64> {
+    local_w_impl(dlamda, deltas, ld, col0, jrange, true)
+}
+
+fn local_w_impl(
+    dlamda: &[f64],
+    deltas: &[f64],
+    ld: usize,
+    col0: usize,
+    jrange: Range<usize>,
+    scalar: bool,
+) -> Vec<f64> {
     let k = dlamda.len();
     debug_assert!(ld >= k);
     let mut out = vec![1.0f64; k];
     for j in jrange {
         let col = &deltas[(j - col0) * ld..(j - col0) * ld + k];
-        for i in 0..k {
-            if i == j {
-                out[i] *= col[i];
-            } else {
-                out[i] *= col[i] / (dlamda[i] - dlamda[j]);
-            }
-        }
+        simd::local_w_col(scalar, dlamda, col, j, &mut out);
     }
     out
 }
@@ -81,19 +100,51 @@ pub fn assemble_vectors(
     jrange: Range<usize>,
     sec_to_slot: &[usize],
 ) {
+    assemble_impl(
+        zhat,
+        deltas,
+        ld,
+        col0,
+        jrange,
+        sec_to_slot,
+        !simd::use_simd(),
+    )
+}
+
+/// [`assemble_vectors`] forced onto the scalar kernel body (the test
+/// oracle). The SIMD path vectorizes the division and the norm
+/// accumulation, so normalized columns can differ by rounding-order noise
+/// within a few ulps.
+pub fn assemble_vectors_scalar(
+    zhat: &[f64],
+    deltas: &mut [f64],
+    ld: usize,
+    col0: usize,
+    jrange: Range<usize>,
+    sec_to_slot: &[usize],
+) {
+    assemble_impl(zhat, deltas, ld, col0, jrange, sec_to_slot, true)
+}
+
+fn assemble_impl(
+    zhat: &[f64],
+    deltas: &mut [f64],
+    ld: usize,
+    col0: usize,
+    jrange: Range<usize>,
+    sec_to_slot: &[usize],
+    scalar: bool,
+) {
     let k = zhat.len();
     debug_assert!(ld >= k);
     debug_assert_eq!(sec_to_slot.len(), k);
     let mut tmp = vec![0.0f64; k];
     for j in jrange {
         let col = &mut deltas[(j - col0) * ld..(j - col0) * ld + k];
-        let mut nrm2 = 0.0f64;
-        for i in 0..k {
-            let x = zhat[i] / col[i];
-            tmp[i] = x;
-            nrm2 += x * x;
-        }
+        let nrm2 = simd::assemble_col(scalar, zhat, col, &mut tmp);
         let inv = 1.0 / nrm2.sqrt();
+        // Scatter through the slot permutation stays scalar: the indices
+        // are arbitrary, and k writes are cheap next to the k divisions.
         for i in 0..k {
             col[sec_to_slot[i]] = tmp[i] * inv;
         }

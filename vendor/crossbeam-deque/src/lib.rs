@@ -1,9 +1,10 @@
 //! Offline stand-in for `crossbeam-deque`: [`Worker`], [`Stealer`],
 //! [`Injector`], [`Steal`] with the semantics the runtime's work-stealing
 //! pool relies on. Built on mutex-protected `VecDeque`s instead of the
-//! lock-free Chase–Lev deque — the same observable behaviour (FIFO local
-//! queue, batched injector steals, per-worker stealers) at a contention
-//! cost that is irrelevant at this workspace's task granularity.
+//! lock-free Chase–Lev deque — the same observable behaviour (FIFO or LIFO
+//! local queue, batched injector steals, per-worker stealers stealing from
+//! the opposite end) at a contention cost that is irrelevant at this
+//! workspace's task granularity.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -55,16 +56,27 @@ impl<T> FromIterator<Steal<T>> for Steal<T> {
     }
 }
 
-/// A worker's local queue. `new_fifo` gives FIFO pop order (matching the
-/// runtime's submission-order fairness expectations).
+/// A worker's local queue. `new_fifo` gives FIFO pop order (submission
+/// fairness); `new_lifo` pops the most recently pushed task (cache-hot
+/// chains). Stealers always take from the front — the end LIFO owners pop
+/// from last, matching crossbeam's flavor semantics.
 pub struct Worker<T> {
     queue: Arc<Mutex<VecDeque<T>>>,
+    lifo: bool,
 }
 
 impl<T> Worker<T> {
     pub fn new_fifo() -> Self {
         Worker {
             queue: Arc::new(Mutex::new(VecDeque::new())),
+            lifo: false,
+        }
+    }
+
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            lifo: true,
         }
     }
 
@@ -73,7 +85,12 @@ impl<T> Worker<T> {
     }
 
     pub fn pop(&self) -> Option<T> {
-        self.queue.lock().unwrap().pop_front()
+        let mut q = self.queue.lock().unwrap();
+        if self.lifo {
+            q.pop_back()
+        } else {
+            q.pop_front()
+        }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -205,5 +222,18 @@ mod tests {
         assert_eq!(s.steal(), Steal::Success(1));
         assert_eq!(w.pop(), Some(2));
         assert_eq!(s.steal(), Steal::Empty::<i32>);
+    }
+
+    #[test]
+    fn lifo_owner_pops_newest_stealer_takes_oldest() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
     }
 }
