@@ -163,6 +163,24 @@ impl TaskFlowDc {
         let key_x = |col: usize| DataKey::new(OBJ_X, col as u64);
         let key_scale = DataKey::new(OBJ_SCALE, 0);
 
+        // Bind each buffer to the keys tasks declare when touching it, so
+        // the `access-check` shadow tracker can validate every borrow in
+        // the graph below against the declared footprint.
+        #[cfg(feature = "access-check")]
+        {
+            let node_keys: Vec<DataKey> = (0..tree.nodes.len()).map(key_node).collect();
+            let mut scale_and_nodes = vec![key_scale];
+            scale_and_nodes.extend_from_slice(&node_keys);
+            d.bind_keys(&scale_and_nodes);
+            e.bind_keys(&scale_and_nodes);
+            v.bind_keys(&node_keys);
+            ws.bind_keys(&node_keys);
+            let mut cols_and_nodes: Vec<DataKey> = (0..n).map(key_x).collect();
+            cols_and_nodes.extend_from_slice(&node_keys);
+            x.bind_keys(&cols_and_nodes);
+            lam.bind_keys(&cols_and_nodes);
+        }
+
         // ---- Scale T: bring the matrix to unit max-norm and apply the
         // rank-one tears at every cut.
         {

@@ -163,6 +163,10 @@ pub fn gemm(
     debug_assert!(n == 0 || k == 0 || b.len() >= (n - 1) * ldb + k);
     debug_assert!(m == 0 || n == 0 || c.len() >= (n - 1) * ldc + m);
     debug_assert!(ldc >= m.max(1));
+    // SAFETY: `c` is an exclusive slice covering (n-1)*ldc + m elements
+    // (asserted above), so every column the kernel writes through the raw
+    // pointer stays inside the borrow; a/b are only read within the
+    // extents implied by (m, n, k, lda, ldb).
     unsafe {
         crate::kernel::gemm_packed_raw(m, n, k, alpha, a, lda, b, ldb, beta, c.as_mut_ptr(), ldc)
     }
@@ -235,7 +239,11 @@ pub fn gemm_axpy_ref(
 /// pool tile its disjoint sub-block of C.
 #[derive(Clone, Copy)]
 struct SendPtr(*mut f64);
+// SAFETY: SendPtr is only a conveyance — every dereference happens inside
+// a tile whose (i, j) block is disjoint from all other tiles', under the
+// caller's exclusive borrow of C (see run_tiles' safety comment below).
 unsafe impl Send for SendPtr {}
+// SAFETY: as above; shared access never dereferences overlapping regions.
 unsafe impl Sync for SendPtr {}
 
 impl SendPtr {
@@ -302,7 +310,7 @@ pub fn gemm_par(
         let i1 = m.min(i0 + tile_m);
         let j0 = bj * tile_n;
         let j1 = n.min(j0 + tile_n);
-        // Safety: tiles cover disjoint element sets of C, the caller's
+        // SAFETY: tiles cover disjoint element sets of C, the caller's
         // exclusive borrow of `c` outlives run_tiles, and each tile's
         // writes stay inside its (i0..i1) x (j0..j1) block.
         unsafe {

@@ -418,6 +418,8 @@ mod tests {
         let bp = [3.0, 4.0, 5.0, 0.0];
         let ldc = 3;
         let mut c = vec![10.0; ldc * 4];
+        // SAFETY: packed panels hold kc*MR / kc*NR elements and c spans
+        // ldc*4 >= (nr-1)*ldc + mr, the extent the micro-kernel writes.
         unsafe { microkernel_generic::<4>(1, 1.0, &ap, &bp, c.as_mut_ptr(), ldc, 2, 3) };
         assert_eq!(c[0], 13.0);
         assert_eq!(c[1], 16.0);

@@ -33,7 +33,12 @@ struct Job {
     done_cv: Condvar,
 }
 
+// SAFETY: the `f` pointee is kept alive by run_tiles until every tile has
+// retired (`pending` reaches zero before run_tiles returns), and the
+// pointee itself is `Sync`, so concurrent `&*f` calls are sound.
 unsafe impl Send for Job {}
+// SAFETY: all mutable state in Job is atomics or lock-protected; `f` is
+// only dereferenced shared (see Send justification above).
 unsafe impl Sync for Job {}
 
 impl Job {
@@ -48,6 +53,8 @@ impl Job {
             if t >= self.total {
                 return;
             }
+            // SAFETY: run_tiles blocks until `pending` hits zero, so the
+            // closure behind `f` outlives every dereference made here.
             let f = unsafe { &*self.f };
             if catch_unwind(AssertUnwindSafe(|| f(t))).is_err() {
                 self.panicked.store(true, Ordering::Relaxed);
@@ -127,7 +134,9 @@ pub(crate) fn run_tiles(tiles: usize, f: &(dyn Fn(usize) + Sync)) {
         return;
     }
     let shared = pool();
-    // Erase the borrow lifetime; see the safety argument on `Job::f`.
+    // SAFETY: erases the borrow lifetime of `f`. Sound because this
+    // function does not return until every tile finished (`wait_done`
+    // below), so the 'static-pretending pointer never outlives the borrow.
     let f_static: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
         std::mem::transmute::<
             *const (dyn Fn(usize) + Sync + '_),

@@ -15,13 +15,15 @@ impl DataKey {
     /// (e.g. a panel number). 2^24 indices per object; 2^40 objects.
     ///
     /// Out-of-range components would silently alias another region's key
-    /// and corrupt the inferred DAG, so debug builds fail loudly instead.
+    /// and corrupt the inferred DAG, so overflow is a hard error in every
+    /// build profile — a miscomputed dependency graph is a data race, not
+    /// a performance bug.
     pub const fn new(object: u64, index: u64) -> Self {
-        debug_assert!(
+        assert!(
             index <= 0xff_ffff,
             "DataKey index exceeds 24 bits and would collide with another panel"
         );
-        debug_assert!(
+        assert!(
             object <= 0xff_ffff_ffff,
             "DataKey object id exceeds 40 bits and would collide with another object"
         );
@@ -227,17 +229,48 @@ mod tests {
         assert_ne!(DataKey::new(3, 0xff_ffff), DataKey::new(4, 0));
     }
 
-    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "exceeds 24 bits")]
-    fn datakey_index_overflow_panics_in_debug() {
+    fn datakey_index_overflow_panics() {
         let _ = DataKey::new(3, 1 << 24);
     }
 
-    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "exceeds 40 bits")]
-    fn datakey_object_overflow_panics_in_debug() {
+    fn datakey_object_overflow_panics() {
         let _ = DataKey::new(1 << 40, 0);
+    }
+
+    #[test]
+    fn gatherv_chains_reopen_after_read() {
+        // W(0) → R(1) → {G(2), G(3)} → R(4) → {G(5), G(6)} → RW(7):
+        // each GatherV group commutes internally, orders against the
+        // preceding epoch (writers + readers), and a Read between groups
+        // splits them into separately-ordered epochs.
+        let mut t = DepTracker::default();
+        t.submit(0, &[acc(1, AccessMode::Write)]);
+        assert_eq!(t.submit(1, &[acc(1, AccessMode::Read)]), vec![0]);
+        assert_eq!(t.submit(2, &[acc(1, AccessMode::GatherV)]), vec![0, 1]);
+        assert_eq!(t.submit(3, &[acc(1, AccessMode::GatherV)]), vec![0, 1]);
+        assert_eq!(t.submit(4, &[acc(1, AccessMode::Read)]), vec![2, 3]);
+        // The second group orders against the first group AND the read.
+        assert_eq!(t.submit(5, &[acc(1, AccessMode::GatherV)]), vec![2, 3, 4]);
+        assert_eq!(t.submit(6, &[acc(1, AccessMode::GatherV)]), vec![2, 3, 4]);
+        // The join waits only for the second (current) group.
+        assert_eq!(t.submit(7, &[acc(1, AccessMode::ReadWrite)]), vec![5, 6]);
+    }
+
+    #[test]
+    fn read_between_gatherv_writers_splits_groups() {
+        // A Read landing in the middle of what the submitter thinks of as
+        // one scatter phase MUST split it: later GatherV writers order
+        // after both the earlier writers and the read.
+        let mut t = DepTracker::default();
+        assert!(t.submit(0, &[acc(1, AccessMode::GatherV)]).is_empty());
+        assert_eq!(t.submit(1, &[acc(1, AccessMode::Read)]), vec![0]);
+        assert_eq!(t.submit(2, &[acc(1, AccessMode::GatherV)]), vec![0, 1]);
+        assert_eq!(t.submit(3, &[acc(1, AccessMode::GatherV)]), vec![0, 1]);
+        // A second read sees only the post-split group as the writer epoch.
+        assert_eq!(t.submit(4, &[acc(1, AccessMode::Read)]), vec![2, 3]);
     }
 }

@@ -38,7 +38,10 @@
 //! rt.wait().unwrap();
 //! ```
 
+#[cfg(feature = "access-check")]
+mod check;
 mod dag;
+mod dcst_sync;
 mod deps;
 mod pool;
 mod share;

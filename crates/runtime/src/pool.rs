@@ -16,13 +16,13 @@
 //! still take the oldest task, preserving breadth for load balance.
 
 use crate::dag::DagRecorder;
+use crate::dcst_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::dcst_sync::deque::{Injector, Steal, Stealer, Worker as WorkerDeque};
+use crate::dcst_sync::{spawn_worker, Condvar, Mutex, WorkerHandle};
 use crate::deps::{Access, AccessMode, DataKey, DepTracker};
 use crate::trace::{TaskRecord, Trace};
-use crossbeam_deque::{Injector, Steal, Stealer, Worker as WorkerDeque};
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -60,6 +60,10 @@ struct Node {
     high: bool,
     pending: AtomicUsize,
     body: Mutex<NodeBody>,
+    /// Declared accesses, kept past submission so the executing worker can
+    /// install the shadow tracker's task context.
+    #[cfg(feature = "access-check")]
+    accesses: Vec<Access>,
 }
 
 struct Shared {
@@ -107,7 +111,16 @@ impl Shared {
         let closure = node.body.lock().closure.take();
         let start = self.epoch.elapsed();
         if let Some(f) = closure {
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+            // The task context must be installed before the closure's first
+            // SharedData borrow and cleared (even on panic) before
+            // successors are released, so a successor's borrows are never
+            // checked against this task's already-retired ones.
+            #[cfg(feature = "access-check")]
+            crate::check::install_task_ctx(node.id, node.name, node.accesses.clone());
+            let result = catch_unwind(AssertUnwindSafe(f));
+            #[cfg(feature = "access-check")]
+            crate::check::clear_task_ctx();
+            if let Err(payload) = result {
                 let message = payload
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
@@ -210,9 +223,13 @@ struct SubmitState {
 /// The sequential-task-flow runtime. See the crate docs for the model.
 pub struct Runtime {
     shared: Arc<Shared>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    threads: Vec<WorkerHandle>,
     submit: Mutex<SubmitState>,
     num_threads: usize,
+    /// Model-check only: reintroduce the pre-sentinel successor-wiring
+    /// race so the model checker can demonstrate it catches the bug.
+    #[cfg(dcst_model_check)]
+    buggy_wiring: bool,
 }
 
 impl Runtime {
@@ -246,10 +263,7 @@ impl Runtime {
             .enumerate()
             .map(|(i, d)| {
                 let sh = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("dcst-worker-{i}"))
-                    .spawn(move || worker_loop(sh, d, i))
-                    .expect("failed to spawn worker thread")
+                spawn_worker(format!("dcst-worker-{i}"), move || worker_loop(sh, d, i))
             })
             .collect();
         Runtime {
@@ -262,7 +276,20 @@ impl Runtime {
                 dag: None,
             }),
             num_threads,
+            #[cfg(dcst_model_check)]
+            buggy_wiring: false,
         }
+    }
+
+    /// Model-check only: a runtime whose successor wiring re-creates the
+    /// unsynchronized finished-check/push window the +1 pending sentinel
+    /// fixed. Exists so `tests/model.rs` can prove the checker detects
+    /// that bug class (a lost successor release deadlocks the model).
+    #[cfg(dcst_model_check)]
+    pub fn new_with_buggy_wiring(num_threads: usize) -> Self {
+        let mut rt = Self::new(num_threads);
+        rt.buggy_wiring = true;
+        rt
     }
 
     /// Number of worker threads.
@@ -329,6 +356,8 @@ impl Runtime {
                 successors: Vec::new(),
                 finished: false,
             }),
+            #[cfg(feature = "access-check")]
+            accesses,
         });
         self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
         let preds: Vec<Arc<Node>> = deps
@@ -337,6 +366,24 @@ impl Runtime {
             .collect();
         st.nodes.insert(node.id, node.clone());
         drop(st);
+        #[cfg(dcst_model_check)]
+        if self.buggy_wiring {
+            // The pre-sentinel bug under model test: the finished check and
+            // the successor push happen under two separate body locks, so a
+            // predecessor finishing in the window drains its successor list
+            // without this node in it — `pending` never reaches zero.
+            for pred in &preds {
+                let finished = pred.body.lock().finished;
+                if !finished {
+                    node.pending.fetch_add(1, Ordering::AcqRel);
+                    pred.body.lock().successors.push(node.clone());
+                }
+            }
+            if node.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.shared.push_ready(node);
+            }
+            return;
+        }
         // The Arc clones keep predecessors alive across `wait`'s GC; each
         // body lock decides finished-vs-pending race per predecessor.
         for pred in preds {
@@ -453,6 +500,8 @@ impl TaskBuilder<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    // Test bookkeeping only, never a pool primitive; the model checker
+    // does not need to instrument it. xtask-lint: allow(pool-sync)
     use std::sync::atomic::AtomicU64;
 
     #[test]

@@ -29,6 +29,10 @@ use std::sync::Arc;
 struct Inner<T> {
     ptr: *mut T,
     len: usize,
+    /// Shadow state for the `access-check` feature; set once by
+    /// [`SharedData::bind_keys`], shared by all clones of the handle.
+    #[cfg(feature = "access-check")]
+    tracker: std::sync::OnceLock<std::sync::Arc<crate::check::BufferTracker>>,
 }
 
 // SAFETY: access is only possible through `unsafe fn`s whose contract
@@ -68,9 +72,30 @@ impl<T: Send> SharedData<T> {
         let len = boxed.len();
         let ptr = Box::into_raw(boxed) as *mut T;
         SharedData {
-            inner: Arc::new(Inner { ptr, len }),
+            inner: Arc::new(Inner {
+                ptr,
+                len,
+                #[cfg(feature = "access-check")]
+                tracker: std::sync::OnceLock::new(),
+            }),
         }
     }
+
+    /// Bind this buffer to the [`DataKey`](crate::DataKey)s tasks use when
+    /// declaring accesses to it. With the `access-check` feature enabled,
+    /// every subsequent task borrow of this buffer is validated against the
+    /// executing task's declared accesses and all concurrently live
+    /// borrows; without the feature this is a no-op. Binding twice keeps
+    /// the first key set.
+    #[cfg(feature = "access-check")]
+    pub fn bind_keys(&self, keys: &[crate::DataKey]) {
+        let _ = self.inner.tracker.set(crate::check::new_tracker(keys));
+    }
+
+    /// No-op without the `access-check` feature (see the gated variant).
+    #[cfg(not(feature = "access-check"))]
+    #[inline(always)]
+    pub fn bind_keys(&self, _keys: &[crate::DataKey]) {}
 
     /// Number of elements (fixed at construction).
     pub fn len(&self) -> usize {
@@ -86,7 +111,17 @@ impl<T: Send> SharedData<T> {
     /// # Safety
     /// No live mutable reference may overlap `range` (module contract).
     pub unsafe fn range(&self, range: Range<usize>) -> &[T] {
-        debug_assert!(range.start <= range.end && range.end <= self.inner.len);
+        assert!(
+            range.start <= range.end && range.end <= self.inner.len,
+            "SharedData::range {}..{} out of bounds (len {})",
+            range.start,
+            range.end,
+            self.inner.len
+        );
+        #[cfg(feature = "access-check")]
+        if let Some(tracker) = self.inner.tracker.get() {
+            crate::check::on_borrow(tracker, range.start, range.end, false);
+        }
         std::slice::from_raw_parts(self.inner.ptr.add(range.start), range.len())
     }
 
@@ -98,7 +133,17 @@ impl<T: Send> SharedData<T> {
     /// different tasks simultaneously — that is the GatherV pattern.
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn range_mut(&self, range: Range<usize>) -> &mut [T] {
-        debug_assert!(range.start <= range.end && range.end <= self.inner.len);
+        assert!(
+            range.start <= range.end && range.end <= self.inner.len,
+            "SharedData::range_mut {}..{} out of bounds (len {})",
+            range.start,
+            range.end,
+            self.inner.len
+        );
+        #[cfg(feature = "access-check")]
+        if let Some(tracker) = self.inner.tracker.get() {
+            crate::check::on_borrow(tracker, range.start, range.end, true);
+        }
         std::slice::from_raw_parts_mut(self.inner.ptr.add(range.start), range.len())
     }
 

@@ -1,0 +1,175 @@
+//! Instrumented work-stealing deque mirroring the `crossbeam-deque` API
+//! subset the pool uses. Built on the model [`Mutex`], so every queue
+//! operation is a schedule point and steal/pop races are explored.
+
+use crate::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    Empty,
+    Success(T),
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+        match self {
+            Steal::Empty => f(),
+            other => other,
+        }
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// First success wins; otherwise `Retry` if any source needs a retry.
+impl<T> FromIterator<Steal<T>> for Steal<T> {
+    fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+        let mut retry = false;
+        for s in iter {
+            match s {
+                Steal::Success(v) => return Steal::Success(v),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if retry {
+            Steal::Retry
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+/// A worker's local queue; owners pop LIFO or FIFO by flavor, stealers
+/// always take the oldest item.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+    lifo: bool,
+}
+
+impl<T> Worker<T> {
+    pub fn new_fifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            lifo: false,
+        }
+    }
+
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            lifo: true,
+        }
+    }
+
+    pub fn push(&self, value: T) {
+        self.queue.lock().push_back(value);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.queue.lock();
+        if self.lifo {
+            q.pop_back()
+        } else {
+            q.pop_front()
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// Global injector queue shared by all workers.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, value: T) {
+        self.queue.lock().push_back(value);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Pop one task and move a batch of follow-ons to `dest` (half the
+    /// queue, capped like crossbeam's batch limit).
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = self.queue.lock();
+        let first = match q.pop_front() {
+            Some(v) => v,
+            None => return Steal::Empty,
+        };
+        let batch = (q.len() / 2).min(16);
+        if batch > 0 {
+            let mut d = dest.queue.lock();
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(v) => d.push_back(v),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}

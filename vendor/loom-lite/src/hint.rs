@@ -1,0 +1,7 @@
+//! Spin-loop hint: under the model a spin is just a schedule point, so
+//! spin-wait loops make progress instead of monopolizing the one active
+//! virtual thread.
+
+pub fn spin_loop() {
+    crate::rt::yield_if_ctx();
+}

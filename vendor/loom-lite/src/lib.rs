@@ -1,0 +1,366 @@
+//! A minimal deterministic-interleaving model checker, loom-inspired.
+//!
+//! The real `loom` reimplements every `std::sync` primitive atop a
+//! permutation-exploring scheduler and a C11 memory-model simulator. This
+//! crate keeps the part that finds the bugs our pool can actually have —
+//! lost wakeups, drained-successor races, steal/pop interleavings — and
+//! drops the rest:
+//!
+//! * **Serialized execution on real OS threads.** Each virtual thread is an
+//!   OS thread, but a cooperative scheduler lets exactly one run at a time;
+//!   every instrumented operation (mutex lock/unlock, condvar wait/notify,
+//!   atomic access, deque op) is a *schedule point* where the scheduler may
+//!   switch threads. Code between schedule points runs atomically, exactly
+//!   as in loom.
+//! * **Sequentially consistent memory only.** Because execution is
+//!   serialized, every atomic op is globally ordered; weak-memory
+//!   reorderings are not explored. The pool's protocols are designed to be
+//!   correct under SC plus acquire/release pairs that SC subsumes, so SC
+//!   exploration still falsifies the protocol-level races we care about.
+//! * **Bounded exhaustive + randomized search.** A DFS over scheduling
+//!   choices explores the interleaving tree (each decision records
+//!   `(chosen, alternatives)`; backtracking replays the prefix with the
+//!   last branchable choice bumped), capped at a configurable execution
+//!   count, then a seeded SplitMix64 scheduler samples random
+//!   interleavings. Same seed, same schedule: failures are reproducible.
+//! * **Deadlocks are failures.** `Condvar::wait_for` is modeled as a plain
+//!   `wait` (timeouts never fire), so a protocol whose liveness depends on
+//!   a timeout backstop — i.e. one that can lose a wakeup — deadlocks
+//!   under the model and is reported with its schedule trace. A failing
+//!   execution is abandoned in place: its OS threads stay parked forever
+//!   (a bounded leak, one execution's worth, since exploration stops at
+//!   the first failure).
+//! * **No spurious condvar wakeups.** Waiters wake only via notify. This
+//!   under-approximates std semantics but keeps traces short; the pool
+//!   must not *rely* on spurious wakeups for liveness anyway.
+//!
+//! Entry points: [`model`] (assert no failure) and [`Builder::check`]
+//! (returns a [`Report`]). Test bodies must route all synchronization
+//! through [`sync`], [`thread`], and [`deque`]; bookkeeping inside a model
+//! body should use plain `std` atomics (never hold an uninstrumented lock
+//! across an instrumented op — the scheduler cannot see it).
+
+pub mod deque;
+pub mod hint;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use rt::{Choice, Execution, Mode};
+
+/// Exploration budget and seed for one [`Builder::check`] run.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Cap on depth-first (systematic) executions before switching to
+    /// random exploration. The DFS is exhaustive iff it completes below
+    /// this cap.
+    pub max_dfs_executions: usize,
+    /// Number of randomly scheduled executions after the DFS phase.
+    pub random_iterations: usize,
+    /// Seed for the random phase's SplitMix64 schedule generator.
+    pub seed: u64,
+    /// Per-execution schedule-point budget; exceeding it is reported as a
+    /// livelock.
+    pub max_yields: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_dfs_executions: 1000,
+            random_iterations: 1000,
+            seed: 0x5eed_1e55_u64,
+            max_yields: 100_000,
+        }
+    }
+}
+
+/// Outcome of a [`Builder::check`] run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Total interleavings executed (DFS + random).
+    pub executions: usize,
+    /// First failure found (deadlock, livelock, or panic), with its
+    /// schedule trace; `None` when every explored interleaving passed.
+    pub failure: Option<String>,
+    /// True when the DFS visited the *entire* interleaving tree below the
+    /// cap — the absence of failures is then a proof under this model,
+    /// not a sample.
+    pub exhausted: bool,
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explore interleavings of `f`, which is re-run once per execution.
+    pub fn check<F: Fn() + Send + Sync + 'static>(&self, f: F) -> Report {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut executions = 0usize;
+        let mut prefix: Vec<Choice> = Vec::new();
+        while executions < self.max_dfs_executions {
+            let (failure, choices) = run_one(
+                &f,
+                Mode::Dfs {
+                    prefix: std::mem::take(&mut prefix),
+                },
+                self.max_yields,
+            );
+            executions += 1;
+            if failure.is_some() {
+                return Report {
+                    executions,
+                    failure,
+                    exhausted: false,
+                };
+            }
+            match next_prefix(choices) {
+                Some(p) => prefix = p,
+                None => {
+                    return Report {
+                        executions,
+                        failure: None,
+                        exhausted: true,
+                    }
+                }
+            }
+        }
+        let mut seed = self.seed;
+        for _ in 0..self.random_iterations {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let (failure, _) = run_one(&f, Mode::Random { state: seed }, self.max_yields);
+            executions += 1;
+            if failure.is_some() {
+                return Report {
+                    executions,
+                    failure,
+                    exhausted: false,
+                };
+            }
+        }
+        Report {
+            executions,
+            failure: None,
+            exhausted: false,
+        }
+    }
+}
+
+/// Explore with default budgets and panic on the first failing
+/// interleaving (the loom-style entry point).
+pub fn model<F: Fn() + Send + Sync + 'static>(f: F) -> Report {
+    let report = Builder::default().check(f);
+    if let Some(failure) = &report.failure {
+        panic!("loom-lite: failing interleaving found: {failure}");
+    }
+    report
+}
+
+/// DFS backtrack: bump the deepest choice that still has an untried
+/// alternative, dropping everything after it.
+fn next_prefix(mut choices: Vec<Choice>) -> Option<Vec<Choice>> {
+    while let Some(last) = choices.last().copied() {
+        if last.chosen + 1 < last.alts {
+            choices.last_mut().expect("non-empty").chosen += 1;
+            return Some(choices);
+        }
+        choices.pop();
+    }
+    None
+}
+
+/// Run one execution of `f` under `mode`; returns (failure, choice trace).
+fn run_one(
+    f: &Arc<dyn Fn() + Send + Sync>,
+    mode: Mode,
+    max_yields: usize,
+) -> (Option<String>, Vec<Choice>) {
+    let exec = Execution::new(mode, max_yields);
+    let tid0 = exec.register_thread();
+    debug_assert_eq!(tid0, 0);
+    let body_exec = exec.clone();
+    let body = f.clone();
+    std::thread::Builder::new()
+        .name("loom-lite-main".into())
+        .spawn(move || {
+            rt::set_current(body_exec.clone(), 0);
+            body_exec.wait_turn(0);
+            match catch_unwind(AssertUnwindSafe(|| body())) {
+                Ok(()) => body_exec.finish_thread(0),
+                Err(payload) => body_exec.fail_panic(payload),
+            }
+        })
+        .expect("spawn loom-lite main thread");
+    exec.wait_outcome()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::atomic::{AtomicUsize, Ordering};
+    use crate::sync::{Condvar, Mutex};
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::atomic::Ordering as StdOrdering;
+
+    #[test]
+    fn counter_increments_race_free_with_atomics() {
+        let report = model(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = c.clone();
+            let h = thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+        });
+        assert!(report.executions >= 2, "must explore both orders");
+    }
+
+    #[test]
+    fn small_spaces_are_exhausted() {
+        let report = Builder::default().check(|| {
+            let m = Arc::new(Mutex::new(0usize));
+            let m2 = m.clone();
+            let h = thread::spawn(move || {
+                *m2.lock() += 1;
+            });
+            *m.lock() += 1;
+            h.join().unwrap();
+            assert_eq!(*m.lock(), 2);
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(report.exhausted, "two-thread mutex space is tiny");
+    }
+
+    #[test]
+    fn lost_wakeup_is_detected_as_deadlock() {
+        // Classic unsynchronized flag + condvar: the waiter can check the
+        // flag, then the notifier sets it and notifies *before* the waiter
+        // blocks — a lost wakeup. The model must find that interleaving.
+        struct Cell {
+            flag: StdAtomicUsize,
+            lock: Mutex<()>,
+            cv: Condvar,
+        }
+        let report = Builder::default().check(|| {
+            let c = Arc::new(Cell {
+                flag: StdAtomicUsize::new(0),
+                lock: Mutex::new(()),
+                cv: Condvar::new(),
+            });
+            let c2 = c.clone();
+            let h = thread::spawn(move || {
+                c2.flag.store(1, StdOrdering::SeqCst);
+                let _g = c2.lock.lock();
+                c2.cv.notify_all();
+            });
+            // BUG under test: the flag check is outside the lock, so the
+            // store+notify can land between the check and the wait.
+            if c.flag.load(StdOrdering::SeqCst) == 0 {
+                let mut g = c.lock.lock();
+                c.cv.wait(&mut g);
+            }
+            drop(h);
+        });
+        let failure = report.failure.expect("lost wakeup must deadlock");
+        assert!(failure.contains("deadlock"), "{failure}");
+    }
+
+    #[test]
+    fn correct_wait_protocol_passes() {
+        struct Cell {
+            flag: Mutex<bool>,
+            cv: Condvar,
+        }
+        let report = Builder::default().check(|| {
+            let c = Arc::new(Cell {
+                flag: Mutex::new(false),
+                cv: Condvar::new(),
+            });
+            let c2 = c.clone();
+            let h = thread::spawn(move || {
+                *c2.flag.lock() = true;
+                c2.cv.notify_all();
+            });
+            let mut g = c.flag.lock();
+            while !*g {
+                c.cv.wait(&mut g);
+            }
+            drop(g);
+            h.join().unwrap();
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+    }
+
+    #[test]
+    fn child_panic_fails_the_execution() {
+        let report = Builder {
+            max_dfs_executions: 8,
+            random_iterations: 0,
+            ..Builder::default()
+        }
+        .check(|| {
+            let h = thread::spawn(|| panic!("child boom"));
+            let _ = h.join();
+        });
+        let failure = report.failure.expect("child panic must be reported");
+        assert!(failure.contains("child boom"), "{failure}");
+    }
+
+    #[test]
+    fn deque_steal_and_pop_agree() {
+        let report = Builder {
+            max_dfs_executions: 400,
+            random_iterations: 100,
+            ..Builder::default()
+        }
+        .check(|| {
+            let w = deque::Worker::new_lifo();
+            w.push(1usize);
+            w.push(2);
+            let s = w.stealer();
+            let seen = Arc::new(StdAtomicUsize::new(0));
+            let seen2 = seen.clone();
+            let h = thread::spawn(move || {
+                if let deque::Steal::Success(v) = s.steal() {
+                    seen2.fetch_add(v, StdOrdering::SeqCst);
+                }
+            });
+            while let Some(v) = w.pop() {
+                seen.fetch_add(v, StdOrdering::SeqCst);
+            }
+            h.join().unwrap();
+            assert_eq!(seen.load(StdOrdering::SeqCst), 3, "every item exactly once");
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+    }
+
+    #[test]
+    fn random_mode_is_deterministic_per_seed() {
+        let run = || {
+            Builder {
+                max_dfs_executions: 0,
+                random_iterations: 50,
+                seed: 42,
+                ..Builder::default()
+            }
+            .check(|| {
+                let c = Arc::new(AtomicUsize::new(0));
+                let c2 = c.clone();
+                let h = thread::spawn(move || {
+                    c2.fetch_add(1, Ordering::SeqCst);
+                });
+                c.fetch_add(1, Ordering::SeqCst);
+                h.join().unwrap();
+            })
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.executions, b.executions);
+        assert_eq!(a.failure.is_some(), b.failure.is_some());
+    }
+}

@@ -1,0 +1,329 @@
+//! The cooperative scheduler: one OS thread per virtual thread, exactly one
+//! runnable at a time, every instrumented operation a schedule point.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex};
+
+/// One recorded scheduling decision: index `chosen` out of `alts` runnable
+/// threads. Only decision points with more than one alternative are
+/// recorded, so the DFS tree contains no trivial nodes.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    pub chosen: usize,
+    pub alts: usize,
+}
+
+/// How the scheduler resolves multi-way decision points.
+pub(crate) enum Mode {
+    /// Replay `prefix`, then always pick the first runnable thread
+    /// (depth-first systematic exploration).
+    Dfs { prefix: Vec<Choice> },
+    /// SplitMix64-driven random choice; same state, same schedule.
+    Random { state: u64 },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+struct Inner {
+    states: Vec<TState>,
+    /// The single virtual thread allowed to run right now.
+    active: usize,
+    /// Decision trace of this execution (branching points only).
+    choices: Vec<Choice>,
+    replay_pos: usize,
+    mode: Mode,
+    yields: usize,
+    max_yields: usize,
+    failure: Option<String>,
+    /// Set on failure: every thread parks forever at its next schedule
+    /// point instead of continuing a broken execution.
+    abandoned: bool,
+    /// Set when every registered thread finished.
+    complete: bool,
+    /// Threads blocked in `join` on the indexed thread.
+    join_waiters: Vec<Vec<usize>>,
+}
+
+/// Shared state of one execution. Virtual threads and the monitor all hold
+/// an `Arc` to it; the `OsCondvar` is the only real blocking primitive in
+/// the whole model.
+pub(crate) struct Execution {
+    inner: OsMutex<Inner>,
+    cv: OsCondvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The executing virtual thread's (execution, tid), if any. `None` outside
+/// a model run — instrumented types then fall back to plain behaviour.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(exec: Arc<Execution>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+/// Schedule point for the current thread, if one exists.
+pub(crate) fn yield_if_ctx() {
+    if let Some((exec, tid)) = current() {
+        exec.yield_point(tid);
+    }
+}
+
+fn park_forever() -> ! {
+    loop {
+        std::thread::park();
+    }
+}
+
+fn lock_inner(exec: &Execution) -> std::sync::MutexGuard<'_, Inner> {
+    // A virtual thread can only panic outside `inner`'s critical sections,
+    // so poisoning here means a bug in the scheduler itself.
+    exec.inner.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Execution {
+    pub fn new(mode: Mode, max_yields: usize) -> Arc<Self> {
+        Arc::new(Execution {
+            inner: OsMutex::new(Inner {
+                states: Vec::new(),
+                active: 0,
+                choices: Vec::new(),
+                replay_pos: 0,
+                mode,
+                yields: 0,
+                max_yields,
+                failure: None,
+                abandoned: false,
+                complete: false,
+                join_waiters: Vec::new(),
+            }),
+            cv: OsCondvar::new(),
+        })
+    }
+
+    /// Register a new virtual thread; returns its tid. The thread starts
+    /// `Runnable` but must [`wait_turn`](Self::wait_turn) before touching
+    /// anything.
+    pub fn register_thread(&self) -> usize {
+        let mut g = lock_inner(self);
+        g.states.push(TState::Runnable);
+        g.join_waiters.push(Vec::new());
+        g.states.len() - 1
+    }
+
+    /// Block until this thread is the active one.
+    pub fn wait_turn(&self, tid: usize) {
+        let mut g = lock_inner(self);
+        loop {
+            if g.abandoned {
+                drop(g);
+                park_forever();
+            }
+            if g.active == tid && g.states[tid] == TState::Runnable {
+                return;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A schedule point: hand the scheduler the chance to switch threads,
+    /// then wait until this thread is (again) the active one.
+    pub fn yield_point(&self, tid: usize) {
+        let mut g = lock_inner(self);
+        if g.abandoned {
+            drop(g);
+            park_forever();
+        }
+        g.yields += 1;
+        if g.yields > g.max_yields {
+            let yields = g.yields;
+            self.fail_locked(
+                &mut g,
+                format!("livelock: schedule-point budget ({yields}) exceeded"),
+            );
+            drop(g);
+            park_forever();
+        }
+        self.pick_next(&mut g);
+        loop {
+            if g.abandoned {
+                drop(g);
+                park_forever();
+            }
+            if g.active == tid && g.states[tid] == TState::Runnable {
+                return;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Mark this thread blocked and schedule someone else; returns once a
+    /// wakeup ([`set_runnable`](Self::set_runnable)) made it active again.
+    ///
+    /// Because execution is serialized, the caller may deregister from
+    /// whatever wait-list it joined *before* calling this — no other
+    /// thread runs in between.
+    pub fn block_self(&self, tid: usize) {
+        let mut g = lock_inner(self);
+        if g.abandoned {
+            drop(g);
+            park_forever();
+        }
+        g.states[tid] = TState::Blocked;
+        self.pick_next(&mut g);
+        loop {
+            if g.abandoned {
+                drop(g);
+                park_forever();
+            }
+            if g.active == tid && g.states[tid] == TState::Runnable {
+                return;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Wake a blocked thread (it becomes schedulable, not active).
+    pub fn set_runnable(&self, tid: usize) {
+        let mut g = lock_inner(self);
+        if g.states[tid] == TState::Blocked {
+            g.states[tid] = TState::Runnable;
+        }
+    }
+
+    pub fn is_finished(&self, tid: usize) -> bool {
+        lock_inner(self).states[tid] == TState::Finished
+    }
+
+    /// Block the current thread (`me`) until `target` finishes. Returns
+    /// immediately if it already has.
+    pub fn block_on_join(&self, me: usize, target: usize) {
+        {
+            let mut g = lock_inner(self);
+            if g.states[target] == TState::Finished {
+                return;
+            }
+            g.join_waiters[target].push(me);
+        }
+        self.block_self(me);
+    }
+
+    /// Mark this thread finished, wake its joiners, and either complete
+    /// the execution or schedule a survivor.
+    pub fn finish_thread(&self, tid: usize) {
+        let mut g = lock_inner(self);
+        if g.abandoned {
+            // Don't park: a finished thread has nothing left to corrupt,
+            // let its OS thread exit.
+            return;
+        }
+        g.states[tid] = TState::Finished;
+        let joiners = std::mem::take(&mut g.join_waiters[tid]);
+        for j in joiners {
+            if g.states[j] == TState::Blocked {
+                g.states[j] = TState::Runnable;
+            }
+        }
+        if g.states.iter().all(|s| *s == TState::Finished) {
+            g.complete = true;
+            self.cv.notify_all();
+        } else {
+            self.pick_next(&mut g);
+        }
+    }
+
+    /// Record a panic that escaped a virtual thread as the execution's
+    /// failure and abandon the execution.
+    pub fn fail_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        let mut g = lock_inner(self);
+        self.fail_locked(&mut g, format!("panic: {message}"));
+    }
+
+    /// Monitor side: wait for the execution to complete or fail.
+    pub fn wait_outcome(&self) -> (Option<String>, Vec<Choice>) {
+        let mut g = lock_inner(self);
+        while !g.complete && g.failure.is_none() {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        (g.failure.clone(), g.choices.clone())
+    }
+
+    fn fail_locked(&self, g: &mut Inner, message: String) {
+        if g.failure.is_none() {
+            let trace: Vec<usize> = g.choices.iter().map(|c| c.chosen).collect();
+            g.failure = Some(format!(
+                "{message} (after {} schedule points; choice trace {:?})",
+                g.yields, trace
+            ));
+        }
+        g.abandoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Pick the next active thread among the runnable ones, recording the
+    /// decision when there is a real choice. No runnable threads means the
+    /// execution either completed or deadlocked.
+    fn pick_next(&self, g: &mut Inner) {
+        let runnable: Vec<usize> = (0..g.states.len())
+            .filter(|&t| g.states[t] == TState::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            if g.states.iter().all(|s| *s == TState::Finished) {
+                g.complete = true;
+                self.cv.notify_all();
+            } else {
+                let blocked = g.states.iter().filter(|s| **s == TState::Blocked).count();
+                self.fail_locked(
+                    g,
+                    format!("deadlock: {blocked} live thread(s) blocked, none runnable"),
+                );
+            }
+            return;
+        }
+        let idx = if runnable.len() == 1 {
+            0
+        } else {
+            let n = runnable.len();
+            let chosen = match &mut g.mode {
+                Mode::Dfs { prefix } => {
+                    if g.replay_pos < prefix.len() {
+                        let c = prefix[g.replay_pos];
+                        g.replay_pos += 1;
+                        // Replays are deterministic, so the recorded branch
+                        // width must match; clamp defensively in release.
+                        debug_assert_eq!(c.alts, n, "non-deterministic replay");
+                        c.chosen.min(n - 1)
+                    } else {
+                        0
+                    }
+                }
+                Mode::Random { state } => {
+                    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut z = *state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    z ^= z >> 31;
+                    (z % n as u64) as usize
+                }
+            };
+            g.choices.push(Choice { chosen, alts: n });
+            chosen
+        };
+        g.active = runnable[idx];
+        self.cv.notify_all();
+    }
+}

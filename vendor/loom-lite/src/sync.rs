@@ -1,0 +1,269 @@
+//! Instrumented `Mutex`, `Condvar`, and atomics, mirroring the
+//! `parking_lot` / `std::sync::atomic` API subset the pool uses.
+
+use crate::rt;
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex as OsMutex;
+
+struct MState {
+    locked: bool,
+    /// Tids blocked in `lock`; all are woken on unlock and barge.
+    waiters: Vec<usize>,
+}
+
+/// Model mutex with the `parking_lot` shape: `lock()` returns the guard
+/// directly, no poisoning.
+pub struct Mutex<T> {
+    state: OsMutex<MState>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: `data` is only reachable through a `MutexGuard`, and `acquire`
+// grants the guard to one thread at a time (the `state` lock makes the
+// locked-flag handoff atomic even outside a model run).
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above; `&Mutex<T>` only exposes `T` behind the exclusion
+// protocol, so sharing the handle across threads is sound for `T: Send`.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            state: OsMutex::new(MState {
+                locked: false,
+                waiters: Vec::new(),
+            }),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.acquire();
+        MutexGuard { mutex: self }
+    }
+
+    fn acquire(&self) {
+        match rt::current() {
+            Some((exec, tid)) => loop {
+                exec.yield_point(tid);
+                let mut st = self.state.lock().expect("model mutex state");
+                if !st.locked {
+                    st.locked = true;
+                    return;
+                }
+                st.waiters.push(tid);
+                drop(st);
+                // Serialized execution: nobody can release (and wake us)
+                // between the registration above and this block.
+                exec.block_self(tid);
+            },
+            // Outside a model run: plain mutual exclusion via the state
+            // lock, spinning on contention (only ever hit by misuse, but
+            // must stay sound).
+            None => loop {
+                let mut st = self.state.lock().expect("model mutex state");
+                if !st.locked {
+                    st.locked = true;
+                    return;
+                }
+                drop(st);
+                std::thread::yield_now();
+            },
+        }
+    }
+
+    fn release(&self) {
+        self.release_raw();
+        if let Some((exec, tid)) = rt::current() {
+            // Unlock is a schedule point too: a woken waiter may barge in
+            // before this thread's next operation.
+            exec.yield_point(tid);
+        }
+    }
+
+    /// Unlock and wake waiters WITHOUT a schedule point. Needed by
+    /// [`Condvar::wait`]: between its waiter registration and its block
+    /// nothing else may run, or a notify landing in that window would be
+    /// lost and misreported as a deadlock.
+    fn release_raw(&self) {
+        let woken = {
+            let mut st = self.state.lock().expect("model mutex state");
+            st.locked = false;
+            std::mem::take(&mut st.waiters)
+        };
+        if let Some((exec, _)) = rt::current() {
+            for w in woken {
+                exec.set_runnable(w);
+            }
+        }
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves this thread holds the exclusion flag.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`; `&mut self` gives unique guard access.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.release();
+    }
+}
+
+/// Mirror of `parking_lot::WaitTimeoutResult`; the model never times out.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(());
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        false
+    }
+}
+
+/// Model condvar: no spurious wakeups, `wait_for` never times out. A
+/// protocol that needs the timeout for liveness therefore deadlocks under
+/// the model — which is the point.
+pub struct Condvar {
+    waiters: OsMutex<Vec<usize>>,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar {
+            waiters: OsMutex::new(Vec::new()),
+        }
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let (exec, tid) = rt::current().expect("model Condvar used outside a model run");
+        self.waiters.lock().expect("model condvar state").push(tid);
+        // Atomic under serialization: register, release (no schedule
+        // point!), block. The next thread runs only once `block_self` has
+        // parked this one, so no notify can slip into the gap.
+        guard.mutex.release_raw();
+        exec.block_self(tid);
+        guard.mutex.acquire();
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        _timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        self.wait(guard);
+        WaitTimeoutResult(())
+    }
+
+    pub fn notify_one(&self) {
+        let woken = {
+            let mut w = self.waiters.lock().expect("model condvar state");
+            if w.is_empty() {
+                None
+            } else {
+                Some(w.remove(0))
+            }
+        };
+        if let Some((exec, _)) = rt::current() {
+            if let Some(w) = woken {
+                exec.set_runnable(w);
+            }
+        }
+    }
+
+    pub fn notify_all(&self) {
+        let woken = std::mem::take(&mut *self.waiters.lock().expect("model condvar state"));
+        if let Some((exec, _)) = rt::current() {
+            for w in woken {
+                exec.set_runnable(w);
+            }
+        }
+    }
+}
+
+pub mod atomic {
+    //! Instrumented atomics: every access is a schedule point; all
+    //! orderings execute as sequentially consistent (the scheduler
+    //! serializes everything anyway). Backed by real `std` atomics so the
+    //! types stay sound even outside a model run.
+
+    use crate::rt;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ty, $prim:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name {
+                v: $std,
+            }
+
+            impl $name {
+                pub const fn new(v: $prim) -> Self {
+                    Self { v: <$std>::new(v) }
+                }
+
+                pub fn load(&self, _order: Ordering) -> $prim {
+                    rt::yield_if_ctx();
+                    self.v.load(Ordering::SeqCst)
+                }
+
+                pub fn store(&self, val: $prim, _order: Ordering) {
+                    rt::yield_if_ctx();
+                    self.v.store(val, Ordering::SeqCst)
+                }
+
+                pub fn swap(&self, val: $prim, _order: Ordering) -> $prim {
+                    rt::yield_if_ctx();
+                    self.v.swap(val, Ordering::SeqCst)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    rt::yield_if_ctx();
+                    self.v
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    impl AtomicUsize {
+        pub fn fetch_add(&self, val: usize, _order: Ordering) -> usize {
+            rt::yield_if_ctx();
+            self.v.fetch_add(val, Ordering::SeqCst)
+        }
+
+        pub fn fetch_sub(&self, val: usize, _order: Ordering) -> usize {
+            rt::yield_if_ctx();
+            self.v.fetch_sub(val, Ordering::SeqCst)
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Virtual-thread spawn/join. Each virtual thread is a real OS thread that
+//! parks itself until the scheduler makes it active.
+
+use crate::rt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub struct JoinHandle {
+    tid: usize,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Spawn a virtual thread running `f`. Must be called from inside a model
+/// run. The spawn itself is a schedule point: the child may run before the
+/// parent's next operation.
+pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> JoinHandle {
+    let (exec, parent) = rt::current().expect("loom_lite::thread::spawn outside a model run");
+    let tid = exec.register_thread();
+    let child_exec = exec.clone();
+    let os = std::thread::Builder::new()
+        .name(format!("loom-lite-{tid}"))
+        .spawn(move || {
+            rt::set_current(child_exec.clone(), tid);
+            child_exec.wait_turn(tid);
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(()) => child_exec.finish_thread(tid),
+                Err(payload) => child_exec.fail_panic(payload),
+            }
+        })
+        .expect("spawn loom-lite virtual thread");
+    exec.yield_point(parent);
+    JoinHandle { tid, os: Some(os) }
+}
+
+impl JoinHandle {
+    /// Wait for the virtual thread to finish. Mirrors
+    /// `std::thread::JoinHandle::join`'s signature; a child panic fails the
+    /// whole execution before this ever returns an `Err`.
+    pub fn join(mut self) -> std::thread::Result<()> {
+        let (exec, me) = rt::current().expect("loom_lite join outside a model run");
+        loop {
+            exec.yield_point(me);
+            if exec.is_finished(self.tid) {
+                break;
+            }
+            exec.block_on_join(me, self.tid);
+        }
+        // The virtual thread has retired; reap the OS thread (it exits
+        // promptly after `finish_thread`).
+        match self.os.take() {
+            Some(os) => os.join(),
+            None => Ok(()),
+        }
+    }
+}
