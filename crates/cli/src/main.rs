@@ -9,9 +9,10 @@
 //! ```
 
 use dcst_core::{
-    DcOptions, ForkJoinDc, LevelParallelDc, SequentialDc, TaskFlowDc, TridiagEigensolver,
+    DcError, DcOptions, ForkJoinDc, LevelParallelDc, SequentialDc, TaskFlowDc, TridiagEigensolver,
 };
-use dcst_mrrr::{MrrrOptions, MrrrSolver};
+use dcst_mrrr::{MrrrError, MrrrOptions, MrrrSolver};
+use dcst_qriter::QrError;
 use dcst_tridiag::gen::MatrixType;
 use dcst_tridiag::io::{read_tridiag, write_tridiag};
 use dcst_tridiag::SymTridiag;
@@ -50,6 +51,39 @@ fn usage() -> ExitCode {
          dcst trace [--type K] [--n N] [--svg FILE] [--json FILE]"
     );
     ExitCode::from(2)
+}
+
+// Exit codes: 0 = success, 1 = input error (unreadable/unparsable file or a
+// matrix with NaN/Inf entries), 2 = usage error, 3 = numerical failure (a
+// solver gave up on a well-formed input). Scripts driving the benchmark
+// suite rely on 1-vs-3 to tell bad data from convergence problems.
+const EXIT_INPUT: u8 = 1;
+const EXIT_NUMERICAL: u8 = 3;
+
+fn fail<E: std::fmt::Display>(e: E, code: u8) -> ExitCode {
+    eprintln!("error: {e}");
+    ExitCode::from(code)
+}
+
+fn dc_code(e: &DcError) -> u8 {
+    match e {
+        DcError::NonFinite | DcError::Leaf(QrError::NonFinite) => EXIT_INPUT,
+        _ => EXIT_NUMERICAL,
+    }
+}
+
+fn qr_code(e: &QrError) -> u8 {
+    match e {
+        QrError::NonFinite => EXIT_INPUT,
+        QrError::NoConvergence { .. } => EXIT_NUMERICAL,
+    }
+}
+
+fn mrrr_code(e: &MrrrError) -> u8 {
+    match e {
+        MrrrError::NonFinite => EXIT_INPUT,
+        MrrrError::ClusterFailure { .. } => EXIT_NUMERICAL,
+    }
 }
 
 fn load(args: &Args) -> Result<SymTridiag, String> {
@@ -105,10 +139,7 @@ fn main() -> ExitCode {
         "info" => {
             let t = match load(&args) {
                 Ok(t) => t,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(e) => return fail(e, EXIT_INPUT),
             };
             let (gl, gu) = t.gershgorin_bounds();
             let splits = (0..t.n().saturating_sub(1))
@@ -128,10 +159,7 @@ fn main() -> ExitCode {
         "solve" => {
             let t = match load(&args) {
                 Ok(t) => t,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(e) => return fail(e, EXIT_INPUT),
             };
             let solver_name = args.value("--solver").unwrap_or("taskflow");
             let opts = DcOptions {
@@ -153,12 +181,21 @@ fn main() -> ExitCode {
                                 return ExitCode::from(2);
                             }
                         };
-                        solver.solve_range(&t, il, iu).expect("mrrr subset failed")
+                        match solver.solve_range(&t, il, iu) {
+                            Ok(r) => r,
+                            Err(e) => return fail(&e, mrrr_code(&e)),
+                        }
                     } else {
-                        solver.solve(&t).expect("mrrr failed")
+                        match solver.solve(&t) {
+                            Ok(r) => r,
+                            Err(e) => return fail(&e, mrrr_code(&e)),
+                        }
                     }
                 }
-                "qr" => dcst_qriter::steqr(&t).expect("qr failed"),
+                "qr" => match dcst_qriter::steqr(&t) {
+                    Ok(r) => r,
+                    Err(e) => return fail(&e, qr_code(&e)),
+                },
                 name => {
                     let solver: Box<dyn TridiagEigensolver> = match name {
                         "taskflow" => Box::new(TaskFlowDc::new(opts)),
@@ -170,7 +207,10 @@ fn main() -> ExitCode {
                             return ExitCode::from(2);
                         }
                     };
-                    let eig = solver.solve(&t).expect("solve failed");
+                    let eig = match solver.solve(&t) {
+                        Ok(eig) => eig,
+                        Err(e) => return fail(&e, dc_code(&e)),
+                    };
                     (eig.values, eig.vectors)
                 }
             };
@@ -207,7 +247,10 @@ fn main() -> ExitCode {
                 threads,
                 ..DcOptions::default()
             });
-            let (_, stats, trace) = solver.solve_traced(&t).expect("solve failed");
+            let (_, stats, trace) = match solver.solve_traced(&t) {
+                Ok(r) => r,
+                Err(e) => return fail(&e, dc_code(&e)),
+            };
             eprintln!(
                 "n = {n}, type {}: makespan {:.1} ms, idle {:.1}%, deflation {:.0}%",
                 ty.index(),

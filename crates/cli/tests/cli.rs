@@ -176,6 +176,67 @@ fn trace_writes_svg() {
 }
 
 #[test]
+fn non_finite_input_is_an_input_error() {
+    // NaN parses as a valid f64 token, so this reaches the solvers and must
+    // be rejected as bad *input* (exit 1), not a numerical failure (exit 3).
+    let path = tempfile("nan-input.txt");
+    std::fs::write(&path, "3\n1.0 NaN 2.0\n0.5 0.5\n").unwrap();
+    for solver in ["taskflow", "seq", "forkjoin", "levelpar", "mrrr", "qr"] {
+        let out = dcst()
+            .args(["solve", "--in", path.to_str().unwrap(), "--solver", solver])
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{solver}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A numerical failure (solver gave up on well-formed input) must exit with
+/// code 3, distinct from input errors. Genuinely non-convergent inputs are
+/// nearly impossible to construct now that the kernels carry rescue paths,
+/// so the failpoint build stands in: `DCST_FAIL=steqr:1` makes the first
+/// leaf solve report `NoConvergence` exactly as a stuck QR iteration would.
+#[cfg(feature = "failpoints")]
+#[test]
+fn numerical_failure_is_exit_code_3() {
+    let path = tempfile("nonconv.txt");
+    dcst()
+        .args([
+            "generate",
+            "--type",
+            "4",
+            "--n",
+            "64",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    for solver in ["taskflow", "seq", "forkjoin", "levelpar", "qr"] {
+        let out = dcst()
+            .env("DCST_FAIL", "steqr:1")
+            .args(["solve", "--in", path.to_str().unwrap(), "--solver", solver])
+            .output()
+            .unwrap();
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(3), "{solver}: {err}");
+        assert!(err.contains("converge"), "{solver}: {err}");
+    }
+    // Without the env var the same build and input solve cleanly.
+    let out = dcst()
+        .args(["solve", "--in", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let out = dcst().output().unwrap();
     assert_eq!(out.status.code(), Some(2));

@@ -98,7 +98,12 @@ pub enum DcError {
     Leaf(QrError),
     /// The secular-equation solver failed.
     Secular(SecularError),
-    /// A task panicked inside the runtime.
+    /// A kernel produced non-finite values mid-computation: `stage` names
+    /// the merge kernel that detected the corruption, `off` the global row
+    /// offset of the merge node it happened in.
+    Breakdown { stage: &'static str, off: usize },
+    /// A task failed inside the runtime in a way the solver could not
+    /// attribute to a numerical kernel (e.g. a panic).
     Task(RuntimeError),
 }
 
@@ -108,12 +113,28 @@ impl std::fmt::Display for DcError {
             DcError::NonFinite => write!(f, "matrix contains NaN or infinite entries"),
             DcError::Leaf(e) => write!(f, "leaf solver failed: {e}"),
             DcError::Secular(e) => write!(f, "secular solver failed: {e}"),
+            DcError::Breakdown { stage, off } => write!(
+                f,
+                "non-finite values mid-computation in '{stage}' at merge offset {off}"
+            ),
             DcError::Task(e) => write!(f, "task failure: {e}"),
         }
     }
 }
 
 impl std::error::Error for DcError {}
+
+impl DcError {
+    /// Translate block-local coordinates (leaf rows, merge root indices) to
+    /// global matrix coordinates by adding the node's row offset.
+    pub fn with_offset(self, off: usize) -> Self {
+        match self {
+            DcError::Leaf(e) => DcError::Leaf(e.with_offset(off)),
+            DcError::Secular(e) => DcError::Secular(e.with_offset(off)),
+            other => other,
+        }
+    }
+}
 
 impl From<QrError> for DcError {
     fn from(e: QrError) -> Self {
@@ -129,7 +150,14 @@ impl From<SecularError> for DcError {
 
 impl From<RuntimeError> for DcError {
     fn from(e: RuntimeError) -> Self {
-        DcError::Task(e)
+        // A task body that failed with a typed DcError (spawn_try in the
+        // task-flow driver) surfaces as that error, exactly as the
+        // sequential drivers would report it; anything else — a panic or a
+        // foreign error type — stays wrapped with the task name attached.
+        match e.downcast::<DcError>() {
+            Ok((_task, err)) => err,
+            Err(e) => DcError::Task(e),
+        }
     }
 }
 

@@ -80,6 +80,26 @@ pub(crate) struct MergeScratch {
     dtmp: Vec<f64>,
 }
 
+/// Validate the merge's numerical inputs (the block diagonal and the
+/// rank-one vector) before deflation. Leaves deliver finite data on
+/// success, so non-finite values here mean an upstream kernel broke down
+/// silently (e.g. overflow in a rotation) — report it as a typed
+/// breakdown instead of letting NaN propagate into a garbage `Eigen`.
+pub(crate) fn ensure_finite_merge_inputs(
+    d_block: &[f64],
+    z: &[f64],
+    off: usize,
+) -> Result<(), DcError> {
+    if d_block.iter().chain(z.iter()).all(|x| x.is_finite()) {
+        Ok(())
+    } else {
+        Err(DcError::Breakdown {
+            stage: "deflate",
+            off,
+        })
+    }
+}
+
 /// Apply the deflation Givens rotations to eigenvector columns (block rows
 /// only — columns are zero outside them). BLAS `drot` convention, matching
 /// [`GivensRot`]'s contract.
@@ -229,10 +249,16 @@ pub(crate) fn update_vect_panel(
     defl: &Deflation,
     jrange: std::ops::Range<usize>,
     threads: usize,
-) {
+) -> Result<(), DcError> {
     let ncols = jrange.len();
     if ncols == 0 {
-        return;
+        return Ok(());
+    }
+    if dcst_matrix::failpoints::fire("gemm") {
+        return Err(DcError::Breakdown {
+            stage: "gemm",
+            off: row_off,
+        });
     }
     let n2 = nm - n1;
     let c1 = defl.ctot[0];
@@ -285,6 +311,22 @@ pub(crate) fn update_vect_panel(
             }
         }
     }
+    // NaN-corruption site: models a GEMM that silently produced garbage.
+    dcst_matrix::failpoints::poke_nan("nan-gemm", &mut v_cols[row_off..]);
+    // Always-on finite scan of the freshly written block rows: O(nm·ncols)
+    // against the GEMMs' O(nm·ncols·k), so ~1/k of the kernel's cost. This
+    // is where mid-tree corruption (from any upstream kernel feeding the
+    // update) is converted into a typed error instead of a wrong answer.
+    for j in 0..ncols {
+        let col = &v_cols[j * ld + row_off..j * ld + row_off + nm];
+        if !col.iter().all(|x| x.is_finite()) {
+            return Err(DcError::Breakdown {
+                stage: "update-vect",
+                off: row_off,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// `CopyBackDeflated`: copy deflated workspace columns back into V.
@@ -359,6 +401,7 @@ pub(crate) fn merge_sequential(
         z, idxq, lam, x, ..
     } = scratch;
     build_z_into(z, &v_panel[vb0..], ld, nm, n1);
+    ensure_finite_merge_inputs(d_block, z, row_off)?;
     idxq.clear();
     idxq.extend_from_slice(idxq_l);
     idxq.extend(idxq_r.iter().map(|&r| r + n1));
@@ -392,7 +435,7 @@ pub(crate) fn merge_sequential(
             x.resize(k * k, 0.0);
         }
         let x = &mut x[..k * k];
-        solve_roots_panel(&defl, x, k, 0..k, lam)?;
+        solve_roots_panel(&defl, x, k, 0..k, lam).map_err(|e| e.with_offset(row_off))?;
         let partials = vec![local_w_panel(&defl, x, k, 0..k)];
         let zhat = reduce_w_panels(&defl, &partials);
         compute_vect_panel(&defl, &zhat, x, k, 0..k);
@@ -408,7 +451,7 @@ pub(crate) fn merge_sequential(
             &defl,
             0..k,
             gemm_threads,
-        );
+        )?;
     }
     if k < nm {
         copy_back_panel(

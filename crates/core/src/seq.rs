@@ -107,7 +107,11 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
         for (i, piece) in pieces.into_iter().enumerate() {
             buckets[i % nt].push(piece);
         }
-        let errs = std::sync::Mutex::new(Vec::new());
+        // Collected as (block offset, error): the report must be the
+        // failure with the lowest offset, not whichever worker lost the
+        // race to push last — otherwise the error a caller sees would
+        // depend on scheduling order.
+        let errs: std::sync::Mutex<Vec<(usize, DcError)>> = std::sync::Mutex::new(Vec::new());
         let eref = &e;
         std::thread::scope(|s| {
             for bucket in buckets {
@@ -116,14 +120,23 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
                     for (off, nm, dh, vh, _wh) in bucket {
                         let eslice: Vec<f64> = eref[off..off + nm - 1].to_vec();
                         if let Err(err) = solve_leaf(dh, eslice, vh, n, off, nm) {
-                            errs.lock().unwrap().push(err);
+                            errs.lock().unwrap().push((off, err));
                             return;
                         }
                     }
                 });
             }
         });
-        if let Some(err) = errs.into_inner().unwrap().pop() {
+        // Round-robin buckets keep each bucket's offsets ascending and a
+        // bucket stops at its first failure, so the bucket holding the
+        // globally lowest failing block always reports it: the min here is
+        // schedule-independent.
+        if let Some((_, err)) = errs
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .min_by_key(|(off, _)| *off)
+        {
             return Err(err);
         }
     } else {
@@ -184,7 +197,8 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
                 let per_merge_threads = (opts.threads.max(1) / level.len().max(1)).max(1);
                 let results: std::sync::Mutex<Vec<(usize, Vec<usize>, MergeStat)>> =
                     std::sync::Mutex::new(Vec::new());
-                let errs = std::sync::Mutex::new(Vec::new());
+                let errs: std::sync::Mutex<Vec<(usize, DcError)>> =
+                    std::sync::Mutex::new(Vec::new());
                 {
                     let pieces = split_level(&mut d, &mut v, &mut ws, n, &geom);
                     std::thread::scope(|s| {
@@ -218,14 +232,22 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
                                     Ok((idxq, stat)) => {
                                         results.lock().unwrap().push((m, idxq, stat))
                                     }
-                                    Err(err) => errs.lock().unwrap().push(err),
+                                    Err(err) => errs.lock().unwrap().push((off, err)),
                                 }
                                 scratch_pool.lock().unwrap().push(scratch);
                             });
                         }
                     });
                 }
-                if let Some(err) = errs.into_inner().unwrap().pop() {
+                // Every merge of the level ran to completion (one spawn
+                // each), so all failures were pushed: the min by offset is
+                // schedule-independent.
+                if let Some((_, err)) = errs
+                    .into_inner()
+                    .unwrap()
+                    .into_iter()
+                    .min_by_key(|(off, _)| *off)
+                {
                     return Err(err);
                 }
                 for (m, idxq, stat) in results.into_inner().unwrap() {
@@ -270,7 +292,7 @@ fn solve_leaf(
         ld,
         nrows: nm,
     };
-    steqr_mut(d, &mut e, Some(z))?;
+    steqr_mut(d, &mut e, Some(z)).map_err(|err| DcError::Leaf(err.with_offset(off)))?;
     Ok(())
 }
 

@@ -22,8 +22,8 @@
 //! `dcst_runtime::share` for the aliasing contract).
 
 use crate::merge::{
-    apply_givens, build_z, compute_vect_panel, copy_back_panel, finalize_d, local_w_panel,
-    permute_slots, solve_roots_panel, update_vect_panel, MergeStat,
+    apply_givens, build_z, compute_vect_panel, copy_back_panel, ensure_finite_merge_inputs,
+    finalize_d, local_w_panel, permute_slots, solve_roots_panel, update_vect_panel, MergeStat,
 };
 use crate::tree::PartitionTree;
 use crate::{DcError, DcOptions, DcStats, Eigen, TridiagEigensolver};
@@ -215,7 +215,7 @@ impl TaskFlowDc {
                 .high_priority()
                 .read(key_scale)
                 .write(key_node(l))
-                .spawn(move || {
+                .spawn_try(move || -> Result<(), DcError> {
                     // SAFETY: exclusive block ranges per leaf; ordered after
                     // Scale by the key and before the parent merge by N(l).
                     let db = unsafe { d.range_mut(off..off + nm) };
@@ -231,8 +231,9 @@ impl TaskFlowDc {
                         nrows: nm,
                     };
                     steqr_mut(db, eb, Some(z))
-                        .unwrap_or_else(|err| panic!("leaf solver failed: {err}"));
+                        .map_err(|err| DcError::Leaf(err.with_offset(off)))?;
                     *cells[l].idxq.lock().unwrap() = Some(Arc::new((0..nm).collect()));
+                    Ok(())
                 });
         }
 
@@ -257,11 +258,12 @@ impl TaskFlowDc {
                     .read(key_node(lc))
                     .read(key_node(rc))
                     .read_write(key_node(m))
-                    .spawn(move || {
+                    .spawn_try(move || -> Result<(), DcError> {
                         // SAFETY: epoch-exclusive access to the block.
                         let db = unsafe { d.range_mut(off..off + nm) };
                         let vb = unsafe { v.range_mut(off * n + off..block_end(nm)) };
                         let z = build_z(vb, n, nm, n1);
+                        ensure_finite_merge_inputs(db, &z, off)?;
                         let idxq_l = cells[lc].idxq();
                         let idxq_r = cells[rc].idxq();
                         let mut idxq: Vec<usize> = idxq_l.to_vec();
@@ -276,6 +278,7 @@ impl TaskFlowDc {
                         apply_givens(vb, n, nm, &defl.givens);
                         *cells[m].partials.lock().unwrap() = vec![None; npanels];
                         *cells[m].defl.lock().unwrap() = Some(Arc::new(defl));
+                        Ok(())
                     });
             }
 
@@ -310,13 +313,13 @@ impl TaskFlowDc {
                     let cells = cells.clone();
                     panel_task(rt, "LAED4", key_node(m), use_gatherv)
                         .write(key_x(off + s0))
-                        .spawn(move || {
+                        .spawn_try(move || {
                             let defl = cells[m].defl();
                             let k = defl.k;
                             let j0 = s0.min(k);
                             let j1 = s1.min(k);
                             if j0 >= j1 {
-                                return;
+                                return Ok(());
                             }
                             // SAFETY: exclusive column range of X and of lam.
                             let xc = unsafe {
@@ -324,7 +327,7 @@ impl TaskFlowDc {
                             };
                             let lo = unsafe { lam.range_mut(off + j0..off + j1) };
                             solve_roots_panel(&defl, xc, n, j0..j1, lo)
-                                .unwrap_or_else(|err| panic!("secular solver failed: {err}"));
+                                .map_err(|err| err.with_offset(off))
                         });
                 }
                 // ComputeLocalW
@@ -439,13 +442,13 @@ impl TaskFlowDc {
                     let cells = cells.clone();
                     panel_task(rt, "UpdateVect", key_node(m), use_gatherv)
                         .read(key_x(off + s0))
-                        .spawn(move || {
+                        .spawn_try(move || {
                             let defl = cells[m].defl();
                             let k = defl.k;
                             let j0 = s0.min(k);
                             let j1 = s1.min(k);
                             if j0 >= j1 {
-                                return;
+                                return Ok(());
                             }
                             // SAFETY: ws block is read-shared in this phase; V
                             // columns j0..j1 (full height) are exclusive.
@@ -454,7 +457,7 @@ impl TaskFlowDc {
                                 x.range((off + j0) * n + off..(off + j1 - 1) * n + off + k)
                             };
                             let vc = unsafe { v.range_mut((off + j0) * n..(off + j1) * n) };
-                            update_vect_panel(wb, xc, n, vc, n, off, nm, n1, &defl, j0..j1, 1);
+                            update_vect_panel(wb, xc, n, vc, n, off, nm, n1, &defl, j0..j1, 1)
                         });
                 }
             }

@@ -1,0 +1,290 @@
+//! Feature-gated fault-injection sites for the numerical kernels.
+//!
+//! A *failpoint* is a named site inside a kernel (`steqr`, `laed4`, `gemm`,
+//! plus the NaN-corruption variants `nan-steqr` / `nan-gemm`) that can be
+//! armed to fire on its N-th hit, either from the environment
+//! (`DCST_FAIL=laed4:3` — fire on the third LAED4 root solve;
+//! `DCST_FAIL=gemm:2+` — fire on every hit from the second on; multiple
+//! specs comma-separated) or programmatically from tests via [`arm`] /
+//! [`exclusive`]. When the `failpoints` feature is off, every function here
+//! compiles to a no-op and [`fire`] is a constant `false`, so call sites
+//! need no `cfg` of their own.
+//!
+//! The registry is process-global while Rust tests in one binary run on
+//! parallel threads, so arming tests must serialize against anything whose
+//! behaviour an armed site could corrupt: arm through [`exclusive`] (takes
+//! a write lock, disarms on drop) and have fragile-but-unarmed tests hold a
+//! [`quiet`] read guard.
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Once, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+    struct Site {
+        name: &'static str,
+        /// Times this site has been reached (armed or not).
+        hits: AtomicUsize,
+        /// 1-based hit index to fire on; 0 = disarmed.
+        trigger: AtomicUsize,
+        /// Fire on *every* hit >= trigger (the `N+` spec) instead of once.
+        every: AtomicBool,
+        /// Times this site has actually fired.
+        fired: AtomicUsize,
+    }
+
+    const fn site(name: &'static str) -> Site {
+        Site {
+            name,
+            hits: AtomicUsize::new(0),
+            trigger: AtomicUsize::new(0),
+            every: AtomicBool::new(false),
+            fired: AtomicUsize::new(0),
+        }
+    }
+
+    static SITES: [Site; 5] = [
+        site("steqr"),
+        site("laed4"),
+        site("gemm"),
+        site("nan-steqr"),
+        site("nan-gemm"),
+    ];
+
+    static ENV_INIT: Once = Once::new();
+    static REGISTRY_LOCK: RwLock<()> = RwLock::new(());
+
+    fn lookup(name: &str) -> &'static Site {
+        SITES
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("unknown failpoint site '{name}'"))
+    }
+
+    fn init_from_env() {
+        ENV_INIT.call_once(|| {
+            let Ok(spec) = std::env::var("DCST_FAIL") else {
+                return;
+            };
+            for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+                let Some((name, count)) = part.trim().split_once(':') else {
+                    panic!("malformed DCST_FAIL spec '{part}' (want site:N or site:N+)");
+                };
+                arm(name, count);
+            }
+        });
+    }
+
+    /// Hit the named site. Returns true when the site is armed and this hit
+    /// matches its trigger — the caller then injects its failure.
+    pub fn fire(name: &str) -> bool {
+        init_from_env();
+        let s = lookup(name);
+        let hit = s.hits.fetch_add(1, Ordering::SeqCst) + 1;
+        let trigger = s.trigger.load(Ordering::SeqCst);
+        if trigger == 0 {
+            return false;
+        }
+        let fire = if s.every.load(Ordering::SeqCst) {
+            hit >= trigger
+        } else {
+            hit == trigger
+        };
+        if fire {
+            s.fired.fetch_add(1, Ordering::SeqCst);
+        }
+        fire
+    }
+
+    /// Hit a NaN-corruption site: when it fires, poison `buf[0]` so the
+    /// corruption propagates through downstream arithmetic exactly like a
+    /// real mid-computation breakdown would.
+    pub fn poke_nan(name: &str, buf: &mut [f64]) {
+        if fire(name) {
+            if let Some(x) = buf.first_mut() {
+                *x = f64::NAN;
+            }
+        }
+    }
+
+    /// Arm `name` with spec `"N"` (fire once, on the N-th hit) or `"N+"`
+    /// (fire on every hit from the N-th on). Resets the site's counters.
+    pub fn arm(name: &str, spec: &str) {
+        let s = lookup(name);
+        let (count, every) = match spec.strip_suffix('+') {
+            Some(n) => (n, true),
+            None => (spec, false),
+        };
+        let count: usize = count
+            .parse()
+            .unwrap_or_else(|_| panic!("bad failpoint trigger '{spec}' for site '{name}'"));
+        assert!(count > 0, "failpoint trigger is 1-based");
+        s.hits.store(0, Ordering::SeqCst);
+        s.fired.store(0, Ordering::SeqCst);
+        s.every.store(every, Ordering::SeqCst);
+        s.trigger.store(count, Ordering::SeqCst);
+    }
+
+    /// Disarm every site and zero all counters.
+    pub fn disarm_all() {
+        for s in &SITES {
+            s.trigger.store(0, Ordering::SeqCst);
+            s.every.store(false, Ordering::SeqCst);
+            s.hits.store(0, Ordering::SeqCst);
+            s.fired.store(0, Ordering::SeqCst);
+        }
+    }
+
+    /// Times `name` has actually fired since it was last armed.
+    pub fn fired(name: &str) -> usize {
+        lookup(name).fired.load(Ordering::SeqCst)
+    }
+
+    /// Times `name` has been reached since it was last armed/reset.
+    pub fn hits(name: &str) -> usize {
+        lookup(name).hits.load(Ordering::SeqCst)
+    }
+
+    /// Exclusive-arming guard: holds the registry write lock with `name`
+    /// armed; disarms everything when dropped. Tests that arm sites MUST go
+    /// through this so parallel test threads never observe a stray arm.
+    pub struct Armed {
+        _guard: RwLockWriteGuard<'static, ()>,
+    }
+
+    impl Drop for Armed {
+        fn drop(&mut self) {
+            disarm_all();
+        }
+    }
+
+    /// Arm `name` with `spec` under the registry write lock.
+    pub fn exclusive(name: &str, spec: &str) -> Armed {
+        let guard = REGISTRY_LOCK.write().unwrap_or_else(|e| e.into_inner());
+        disarm_all();
+        arm(name, spec);
+        Armed { _guard: guard }
+    }
+
+    /// Shared no-failpoints guard for tests that would be corrupted by a
+    /// concurrently armed site: blocks while any [`exclusive`] arm is live.
+    pub struct Quiet {
+        _guard: RwLockReadGuard<'static, ()>,
+    }
+
+    /// Take a read guard on the registry (all sites disarmed while held).
+    pub fn quiet() -> Quiet {
+        Quiet {
+            _guard: REGISTRY_LOCK.read().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+mod imp {
+    //! No-op stand-ins: the optimizer erases every call site.
+
+    /// Always false when the `failpoints` feature is off.
+    #[inline(always)]
+    pub fn fire(_name: &str) -> bool {
+        false
+    }
+
+    /// No-op when the `failpoints` feature is off.
+    #[inline(always)]
+    pub fn poke_nan(_name: &str, _buf: &mut [f64]) {}
+
+    /// No-op when the `failpoints` feature is off.
+    #[inline(always)]
+    pub fn arm(_name: &str, _spec: &str) {}
+
+    /// No-op when the `failpoints` feature is off.
+    #[inline(always)]
+    pub fn disarm_all() {}
+
+    /// Always 0 when the `failpoints` feature is off.
+    #[inline(always)]
+    pub fn fired(_name: &str) -> usize {
+        0
+    }
+
+    /// Always 0 when the `failpoints` feature is off.
+    #[inline(always)]
+    pub fn hits(_name: &str) -> usize {
+        0
+    }
+
+    /// Zero-sized stand-in for the exclusive-arming guard.
+    pub struct Armed;
+
+    /// No-op guard when the `failpoints` feature is off.
+    #[inline(always)]
+    pub fn exclusive(_name: &str, _spec: &str) -> Armed {
+        Armed
+    }
+
+    /// Zero-sized stand-in for the quiet guard.
+    pub struct Quiet;
+
+    /// No-op guard when the `failpoints` feature is off.
+    #[inline(always)]
+    pub fn quiet() -> Quiet {
+        Quiet
+    }
+}
+
+pub use imp::*;
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_site_never_fires() {
+        let _x = exclusive("gemm", "1");
+        for _ in 0..10 {
+            assert!(!fire("steqr"));
+        }
+        assert_eq!(fired("steqr"), 0);
+    }
+
+    #[test]
+    fn fires_exactly_on_nth_hit() {
+        let _x = exclusive("laed4", "3");
+        assert!(!fire("laed4"));
+        assert!(!fire("laed4"));
+        assert!(fire("laed4"));
+        assert!(!fire("laed4"));
+        assert_eq!(fired("laed4"), 1);
+        assert_eq!(hits("laed4"), 4);
+    }
+
+    #[test]
+    fn plus_spec_fires_repeatedly() {
+        let _x = exclusive("gemm", "2+");
+        assert!(!fire("gemm"));
+        assert!(fire("gemm"));
+        assert!(fire("gemm"));
+        assert_eq!(fired("gemm"), 2);
+    }
+
+    #[test]
+    fn poke_nan_poisons_on_trigger_only() {
+        let _x = exclusive("nan-gemm", "2");
+        let mut buf = [1.0, 2.0];
+        poke_nan("nan-gemm", &mut buf);
+        assert!(buf[0].is_finite());
+        poke_nan("nan-gemm", &mut buf);
+        assert!(buf[0].is_nan());
+        assert_eq!(buf[1], 2.0);
+    }
+
+    #[test]
+    fn guard_drop_disarms() {
+        {
+            let _x = exclusive("steqr", "1");
+        }
+        let _q = quiet();
+        assert!(!fire("steqr"));
+    }
+}

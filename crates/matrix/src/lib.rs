@@ -11,6 +11,7 @@
 
 mod blas;
 mod check;
+pub mod failpoints;
 mod kernel;
 mod matrix;
 mod merge;

@@ -38,6 +38,23 @@ impl std::fmt::Display for QrError {
 
 impl std::error::Error for QrError {}
 
+impl QrError {
+    /// Translate a block-local failure to global matrix coordinates by
+    /// adding the leaf's row offset (drivers report errors in global rows).
+    pub fn with_offset(self, off: usize) -> Self {
+        match self {
+            QrError::NonFinite => QrError::NonFinite,
+            QrError::NoConvergence {
+                block_start,
+                block_end,
+            } => QrError::NoConvergence {
+                block_start: block_start + off,
+                block_end: block_end + off,
+            },
+        }
+    }
+}
+
 /// A column-major eigenvector block with leading dimension `ld`: the
 /// iteration updates `nrows` rows of columns `0..ncols` of `buf`.
 ///
@@ -133,7 +150,25 @@ fn negligible(e: f64, di: f64, di1: f64) -> bool {
 /// ascending and `e` is destroyed. If `z` is given, its columns are
 /// transformed by the accumulated rotations and permuted with the final
 /// sort — pass identity to obtain the eigenvectors of the tridiagonal.
-pub fn steqr_mut(d: &mut [f64], e: &mut [f64], mut z: Option<ZBlock<'_>>) -> Result<(), QrError> {
+///
+/// A block that exhausts its Wilkinson-shift sweep budget is retried once
+/// with a fresh budget under an exceptional-shift strategy (à la `dlahqr`)
+/// before `NoConvergence` is reported.
+pub fn steqr_mut(d: &mut [f64], e: &mut [f64], z: Option<ZBlock<'_>>) -> Result<(), QrError> {
+    steqr_mut_with_budget(d, e, z, MAXIT_PER_EIG, true)
+}
+
+/// Test hook: run the iteration with an explicit per-eigenvalue sweep
+/// budget and the rescue retry toggled, so starvation and rescue can be
+/// exercised without a pathological input.
+#[doc(hidden)]
+pub fn steqr_mut_with_budget(
+    d: &mut [f64],
+    e: &mut [f64],
+    mut z: Option<ZBlock<'_>>,
+    maxit_per_eig: usize,
+    rescue: bool,
+) -> Result<(), QrError> {
     let n = d.len();
     assert!(
         e.len() + 1 == n || (n == 0 && e.is_empty()),
@@ -147,6 +182,12 @@ pub fn steqr_mut(d: &mut [f64], e: &mut [f64], mut z: Option<ZBlock<'_>>) -> Res
     }
     if n <= 1 {
         return Ok(());
+    }
+    if dcst_matrix::failpoints::fire("steqr") {
+        return Err(QrError::NoConvergence {
+            block_start: 0,
+            block_end: n - 1,
+        });
     }
 
     // Global scaling keeps squared quantities representable.
@@ -167,8 +208,13 @@ pub fn steqr_mut(d: &mut [f64], e: &mut [f64], mut z: Option<ZBlock<'_>>) -> Res
         e.iter_mut().for_each(|x| *x *= scale);
     }
 
-    let maxit = MAXIT_PER_EIG * n;
+    let mut maxit = maxit_per_eig * n;
     let mut iters = 0usize;
+    // Once the Wilkinson budget is exhausted the block gets a single fresh
+    // budget under a different shift strategy: every fourth sweep uses an
+    // exceptional shift (a deliberate perturbation off the trailing 2×2's
+    // eigenvalue, as dlahqr does) to break shift-cycling stagnation.
+    let mut rescuing = false;
     let mut m = n - 1; // current active bottom index
     while m > 0 {
         // Deflate converged bottom eigenvalues.
@@ -183,13 +229,22 @@ pub fn steqr_mut(d: &mut [f64], e: &mut [f64], mut z: Option<ZBlock<'_>>) -> Res
             l -= 1;
         }
         if iters >= maxit {
-            return Err(QrError::NoConvergence {
-                block_start: l,
-                block_end: m,
-            });
+            if rescue && !rescuing {
+                rescuing = true;
+                maxit = iters + MAXIT_PER_EIG * n;
+            } else {
+                return Err(QrError::NoConvergence {
+                    block_start: l,
+                    block_end: m,
+                });
+            }
         }
         iters += 1;
-        let mu = wilkinson_shift(d[m - 1], e[m - 1], d[m]);
+        let mu = if rescuing && iters.is_multiple_of(4) {
+            d[m] - 0.75 * e[m - 1].abs()
+        } else {
+            wilkinson_shift(d[m - 1], e[m - 1], d[m])
+        };
         qr_sweep(d, e, l, m, mu, &mut z);
     }
 
@@ -214,6 +269,9 @@ pub fn steqr_mut(d: &mut [f64], e: &mut [f64], mut z: Option<ZBlock<'_>>) -> Res
             }
         }
     }
+    // NaN-corruption site: models a silent kernel breakdown that produces
+    // garbage instead of an error, for testing downstream detection.
+    dcst_matrix::failpoints::poke_nan("nan-steqr", d);
     Ok(())
 }
 
@@ -318,6 +376,61 @@ mod tests {
         for (a, b) in only.iter().zip(&lam) {
             assert!((a - b).abs() < 1e-12 * t.max_norm());
         }
+    }
+
+    #[test]
+    fn starved_budget_fails_without_rescue_but_recovers_with_it() {
+        let t = MatrixType::Type4.generate(40, 7);
+        // One sweep per eigenvalue is far too few for a dense-spectrum
+        // matrix: without the rescue path the block must report failure.
+        let mut d = t.d.clone();
+        let mut e = t.e.clone();
+        let err = steqr_mut_with_budget(&mut d, &mut e, None, 1, false).unwrap_err();
+        assert!(matches!(err, QrError::NoConvergence { .. }));
+        // The rescue grants a fresh budget under the exceptional-shift
+        // strategy and must converge to the same spectrum as the normal
+        // solver.
+        let mut d = t.d.clone();
+        let mut e = t.e.clone();
+        steqr_mut_with_budget(&mut d, &mut e, None, 1, true).unwrap();
+        let want = eigenvalues(&t).unwrap();
+        for (a, b) in d.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12 * t.max_norm(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rescue_preserves_eigenvectors() {
+        let t = MatrixType::Type5.generate(32, 11);
+        let n = t.n();
+        let mut d = t.d.clone();
+        let mut e = t.e.clone();
+        let mut v = Matrix::identity(n);
+        {
+            let z = ZBlock {
+                buf: v.as_mut_slice(),
+                ld: n,
+                nrows: n,
+            };
+            steqr_mut_with_budget(&mut d, &mut e, Some(z), 1, true).unwrap();
+        }
+        check_eigen(&t, &d, &v, 100.0);
+    }
+
+    #[test]
+    fn offset_translation_maps_block_coordinates() {
+        let err = QrError::NoConvergence {
+            block_start: 2,
+            block_end: 5,
+        };
+        assert_eq!(
+            err.with_offset(100),
+            QrError::NoConvergence {
+                block_start: 102,
+                block_end: 105,
+            }
+        );
+        assert_eq!(QrError::NonFinite.with_offset(7), QrError::NonFinite);
     }
 
     #[test]

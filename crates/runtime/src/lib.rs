@@ -49,6 +49,6 @@ mod trace;
 
 pub use dag::DagRecorder;
 pub use deps::{Access, AccessMode, DataKey};
-pub use pool::{Runtime, RuntimeError, TaskBuilder};
+pub use pool::{BoxError, FailureKind, Runtime, RuntimeError, TaskBuilder};
 pub use share::SharedData;
 pub use trace::{TaskRecord, Trace};

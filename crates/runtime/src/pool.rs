@@ -26,24 +26,85 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
-type TaskFn = Box<dyn FnOnce() + Send + 'static>;
+/// Boxed error type carried through the runtime's failure channel.
+pub type BoxError = Box<dyn std::error::Error + Send + Sync + 'static>;
 
-/// Error returned by [`Runtime::wait`] when a task panicked.
-#[derive(Debug, Clone, PartialEq, Eq)]
+type TaskFn = Box<dyn FnOnce() -> Result<(), BoxError> + Send + 'static>;
+
+/// How a task failed: a caught panic, or a typed error returned from a
+/// [`TaskBuilder::spawn_try`] body.
+#[derive(Debug)]
+pub enum FailureKind {
+    /// The task body panicked; the payload is rendered as text.
+    Panicked(String),
+    /// The task body returned a typed error.
+    Failed(BoxError),
+}
+
+/// Error returned by [`Runtime::wait`]: the first task failure (typed
+/// error or panic) of the waited phase, with the losing task's name.
+#[derive(Debug)]
 pub struct RuntimeError {
-    /// Name of the first task that panicked.
+    /// Name of the first task that failed.
     pub task: String,
-    /// Panic payload rendered as text.
-    pub message: String,
+    /// What happened inside that task.
+    pub kind: FailureKind,
+}
+
+impl RuntimeError {
+    /// The failure rendered as text (panic payload or error `Display`).
+    pub fn message(&self) -> String {
+        match &self.kind {
+            FailureKind::Panicked(m) => m.clone(),
+            FailureKind::Failed(e) => e.to_string(),
+        }
+    }
+
+    /// True when the task panicked (as opposed to returning a typed error).
+    pub fn is_panic(&self) -> bool {
+        matches!(self.kind, FailureKind::Panicked(_))
+    }
+
+    /// Recover the typed error a `spawn_try` body returned, together with
+    /// the failing task's name. Panics and foreign error types are handed
+    /// back unchanged in `Err`.
+    pub fn downcast<T>(self) -> Result<(String, T), Self>
+    where
+        T: std::error::Error + Send + Sync + 'static,
+    {
+        match self.kind {
+            FailureKind::Failed(b) => match b.downcast::<T>() {
+                Ok(t) => Ok((self.task, *t)),
+                Err(b) => Err(RuntimeError {
+                    task: self.task,
+                    kind: FailureKind::Failed(b),
+                }),
+            },
+            kind => Err(RuntimeError {
+                task: self.task,
+                kind,
+            }),
+        }
+    }
 }
 
 impl std::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "task '{}' panicked: {}", self.task, self.message)
+        match &self.kind {
+            FailureKind::Panicked(m) => write!(f, "task '{}' panicked: {m}", self.task),
+            FailureKind::Failed(e) => write!(f, "task '{}' failed: {e}", self.task),
+        }
     }
 }
 
-impl std::error::Error for RuntimeError {}
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            FailureKind::Failed(e) => Some(&**e),
+            FailureKind::Panicked(_) => None,
+        }
+    }
+}
 
 struct NodeBody {
     /// Taken by the executing worker.
@@ -85,7 +146,11 @@ struct Shared {
     idle_cv: Condvar,
     done_lock: Mutex<()>,
     done_cv: Condvar,
-    panic: Mutex<Option<RuntimeError>>,
+    /// First task failure (typed error or panic) of the current phase.
+    failure: Mutex<Option<RuntimeError>>,
+    /// Latched by the first failure; bodies of not-yet-started tasks are
+    /// skipped while set. Cleared by `wait()` so the runtime is reusable.
+    cancelled: AtomicBool,
     trace: Mutex<Vec<TaskRecord>>,
     epoch: Instant,
 }
@@ -107,31 +172,52 @@ impl Shared {
         }
     }
 
+    /// Record the first failure of the phase and latch cancellation. The
+    /// latch is raised *before* this task's successors are released (the
+    /// caller runs the release loop after `execute`'s body section), so a
+    /// successor made ready by a failing task never runs its body.
+    fn record_failure(&self, node: &Node, kind: FailureKind) {
+        let mut slot = self.failure.lock();
+        if slot.is_none() {
+            *slot = Some(RuntimeError {
+                task: node.name.to_string(),
+                kind,
+            });
+        }
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
     fn execute(&self, node: Arc<Node>, worker_id: usize) {
         let closure = node.body.lock().closure.take();
         let start = self.epoch.elapsed();
+        // After a failure latches, drop remaining bodies without running
+        // them; the successor bookkeeping below still runs so `outstanding`
+        // reaches zero and `Runtime::wait` terminates.
+        let skip = self.cancelled.load(Ordering::SeqCst);
         if let Some(f) = closure {
-            // The task context must be installed before the closure's first
-            // SharedData borrow and cleared (even on panic) before
-            // successors are released, so a successor's borrows are never
-            // checked against this task's already-retired ones.
-            #[cfg(feature = "access-check")]
-            crate::check::install_task_ctx(node.id, node.name, node.accesses.clone());
-            let result = catch_unwind(AssertUnwindSafe(f));
-            #[cfg(feature = "access-check")]
-            crate::check::clear_task_ctx();
-            if let Err(payload) = result {
-                let message = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".into());
-                let mut slot = self.panic.lock();
-                if slot.is_none() {
-                    *slot = Some(RuntimeError {
-                        task: node.name.to_string(),
-                        message,
-                    });
+            if skip {
+                drop(f);
+            } else {
+                // The task context must be installed before the closure's
+                // first SharedData borrow and cleared (even on panic) before
+                // successors are released, so a successor's borrows are never
+                // checked against this task's already-retired ones.
+                #[cfg(feature = "access-check")]
+                crate::check::install_task_ctx(node.id, node.name, node.accesses.clone());
+                let result = catch_unwind(AssertUnwindSafe(f));
+                #[cfg(feature = "access-check")]
+                crate::check::clear_task_ctx();
+                match result {
+                    Ok(Ok(())) => {}
+                    Ok(Err(err)) => self.record_failure(&node, FailureKind::Failed(err)),
+                    Err(payload) => {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        self.record_failure(&node, FailureKind::Panicked(message));
+                    }
                 }
             }
         }
@@ -254,7 +340,8 @@ impl Runtime {
             idle_cv: Condvar::new(),
             done_lock: Mutex::new(()),
             done_cv: Condvar::new(),
-            panic: Mutex::new(None),
+            failure: Mutex::new(None),
+            cancelled: AtomicBool::new(false),
             trace: Mutex::new(Vec::new()),
             epoch: Instant::now(),
         });
@@ -398,8 +485,10 @@ impl Runtime {
         }
     }
 
-    /// Block until every submitted task has finished. Returns the first
-    /// task panic, if any (the panic slot is then cleared for reuse).
+    /// Block until every submitted task has finished or been skipped.
+    /// Returns the first task failure of the phase — a typed error from a
+    /// [`TaskBuilder::spawn_try`] body or a caught panic — then clears the
+    /// failure slot and the cancellation latch so the runtime is reusable.
     pub fn wait(&self) -> Result<(), RuntimeError> {
         let mut guard = self.shared.done_lock.lock();
         // The finishing worker notifies `done_cv` under `done_lock` when
@@ -417,7 +506,12 @@ impl Runtime {
             .lock()
             .nodes
             .retain(|_, n| !n.body.lock().finished);
-        match self.shared.panic.lock().take() {
+        let failure = self.shared.failure.lock().take();
+        // Reset the latch only after the slot is drained: every task of the
+        // failed phase has finished (outstanding hit zero), so nothing can
+        // re-latch between these two lines for the *old* phase.
+        self.shared.cancelled.store(false, Ordering::SeqCst);
+        match failure {
             Some(e) => Err(e),
             None => Ok(()),
         }
@@ -426,7 +520,10 @@ impl Runtime {
 
 impl Drop for Runtime {
     fn drop(&mut self) {
-        let _ = self.wait();
+        // A forgotten `wait()` must never make a failure vanish silently.
+        if let Err(err) = self.wait() {
+            eprintln!("dcst-runtime: runtime dropped with unobserved task failure: {err}");
+        }
         self.shared.stop.store(true, Ordering::Release);
         {
             let _g = self.shared.idle_lock.lock();
@@ -492,8 +589,31 @@ impl TaskBuilder<'_> {
 
     /// Submit the task. It runs as soon as its dependencies are satisfied.
     pub fn spawn(self, f: impl FnOnce() + Send + 'static) {
-        self.rt
-            .submit_task(self.name, self.accesses, self.high, Box::new(f));
+        self.rt.submit_task(
+            self.name,
+            self.accesses,
+            self.high,
+            Box::new(move || {
+                f();
+                Ok(())
+            }),
+        );
+    }
+
+    /// Submit a fallible task. An `Err` return is recorded as the phase's
+    /// failure (first one wins), latches runtime-wide cancellation so
+    /// not-yet-started bodies are skipped, and is surfaced — typed — by
+    /// [`Runtime::wait`] with this task's name attached.
+    pub fn spawn_try<E>(self, f: impl FnOnce() -> Result<(), E> + Send + 'static)
+    where
+        E: std::error::Error + Send + Sync + 'static,
+    {
+        self.rt.submit_task(
+            self.name,
+            self.accesses,
+            self.high,
+            Box::new(move || f().map_err(|e| Box::new(e) as BoxError)),
+        );
     }
 }
 
@@ -581,10 +701,77 @@ mod tests {
         rt.task("boom").spawn(|| panic!("injected failure"));
         let err = rt.wait().unwrap_err();
         assert_eq!(err.task, "boom");
-        assert!(err.message.contains("injected failure"));
+        assert!(err.is_panic());
+        assert!(err.message().contains("injected failure"));
         // The runtime is reusable afterwards.
         rt.task("ok").spawn(|| {});
         rt.wait().unwrap();
+    }
+
+    #[test]
+    fn spawn_try_error_is_typed_and_downcastable() {
+        let rt = Runtime::new(2);
+        rt.task("flaky")
+            .spawn_try(|| Err::<(), _>(std::io::Error::other("disk on fire")));
+        let err = rt.wait().unwrap_err();
+        assert_eq!(err.task, "flaky");
+        assert!(!err.is_panic());
+        assert!(err.to_string().contains("failed: disk on fire"));
+        let (task, io) = err.downcast::<std::io::Error>().expect("typed recovery");
+        assert_eq!(task, "flaky");
+        assert_eq!(io.to_string(), "disk on fire");
+        // Reusable after a typed failure too.
+        rt.task("ok").spawn(|| {});
+        rt.wait().unwrap();
+    }
+
+    #[test]
+    fn failure_cancels_not_yet_started_successors() {
+        // Single worker: the chain behind the failing task is fully ordered,
+        // so every successor body must be skipped once the failure latches.
+        let rt = Runtime::new(1);
+        let k = DataKey::new(0, 7);
+        rt.task("fail")
+            .read_write(k)
+            .spawn_try(|| Err::<(), _>(std::io::Error::other("first")));
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let ran = ran.clone();
+            rt.task("after").read_write(k).spawn(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let err = rt.wait().unwrap_err();
+        assert_eq!(err.task, "fail");
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            0,
+            "no task body may start after cancellation latches"
+        );
+        // The latch is cleared by wait(): the next phase runs normally.
+        let hit = Arc::new(AtomicBool::new(false));
+        let h = hit.clone();
+        rt.task("next-phase")
+            .spawn(move || h.store(true, Ordering::SeqCst));
+        rt.wait().unwrap();
+        assert!(hit.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn first_failure_wins_over_later_ones() {
+        // One worker serializes the chain; the first submitted failure is
+        // the one reported, later failing bodies are skipped entirely.
+        let rt = Runtime::new(1);
+        let k = DataKey::new(0, 8);
+        rt.task("first")
+            .read_write(k)
+            .spawn_try(|| Err::<(), _>(std::io::Error::other("one")));
+        rt.task("second")
+            .read_write(k)
+            .spawn_try(|| Err::<(), _>(std::io::Error::other("two")));
+        let err = rt.wait().unwrap_err();
+        assert_eq!(err.task, "first");
+        assert_eq!(err.message(), "one");
     }
 
     #[test]

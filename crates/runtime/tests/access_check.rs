@@ -67,9 +67,9 @@ fn mutable_borrow_under_read_declaration_is_caught() {
     let err = rt.wait().unwrap_err();
     assert_eq!(err.task, "liar");
     assert!(
-        err.message.contains("access-check") && err.message.contains("mutable"),
+        err.message().contains("access-check") && err.message().contains("mutable"),
         "unexpected message: {}",
-        err.message
+        err.message()
     );
 }
 
@@ -91,9 +91,9 @@ fn borrow_of_undeclared_buffer_is_caught() {
     let err = rt.wait().unwrap_err();
     assert_eq!(err.task, "stray");
     assert!(
-        err.message.contains("declared no matching access"),
+        err.message().contains("declared no matching access"),
         "unexpected message: {}",
-        err.message
+        err.message()
     );
 }
 
@@ -156,9 +156,10 @@ fn overlapping_gatherv_writers_are_caught() {
     let err = rt.wait().unwrap_err();
     assert_eq!(err.task, "gatherB");
     assert!(
-        err.message.contains("overlapping concurrent borrows") && err.message.contains("gatherA"),
+        err.message().contains("overlapping concurrent borrows")
+            && err.message().contains("gatherA"),
         "unexpected message: {}",
-        err.message
+        err.message()
     );
 }
 
@@ -246,9 +247,9 @@ proptest! {
             let err = result.expect_err("misdeclaration went undetected");
             prop_assert_eq!(err.task.as_str(), "saboteur");
             prop_assert!(
-                err.message.contains("access-check"),
+                err.message().contains("access-check"),
                 "unexpected message: {}",
-                err.message
+                err.message()
             );
         } else {
             prop_assert!(result.is_ok(), "honest DAG rejected: {:?}", result.err());

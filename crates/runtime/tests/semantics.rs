@@ -72,8 +72,8 @@ fn alternating_gatherv_epochs_are_separated() {
 
 #[test]
 fn panicking_task_does_not_deadlock_successors() {
-    // A successor of a panicked task still runs (the runtime treats a
-    // panic as completion and reports it from wait()).
+    // A panic latches cancellation: successor bodies are skipped, but the
+    // bookkeeping still runs so wait() terminates and reports the panic.
     let rt = Runtime::new(2);
     let k = DataKey::new(4, 0);
     let ran = Arc::new(AtomicUsize::new(0));
@@ -84,7 +84,11 @@ fn panicking_task_does_not_deadlock_successors() {
     });
     let err = rt.wait().unwrap_err();
     assert_eq!(err.task, "boom");
-    assert_eq!(ran.load(Ordering::SeqCst), 1);
+    assert_eq!(
+        ran.load(Ordering::SeqCst),
+        0,
+        "successor body must be skipped once the failure latches"
+    );
 }
 
 #[test]
@@ -94,8 +98,69 @@ fn only_first_panic_is_reported() {
     rt.task("a").read_write(k).spawn(|| panic!("one"));
     rt.task("b").read_write(k).spawn(|| panic!("two"));
     let err = rt.wait().unwrap_err();
-    assert!(err.message == "one" || err.message == "two");
+    let msg = err.message();
+    assert!(msg == "one" || msg == "two");
     // Slot cleared afterwards.
+    rt.task("ok").spawn(|| {});
+    rt.wait().unwrap();
+}
+
+#[test]
+fn typed_failure_cancels_dag_and_runtime_stays_usable() {
+    #[derive(Debug)]
+    struct Unstable(usize);
+    impl std::fmt::Display for Unstable {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "kernel diverged at step {}", self.0)
+        }
+    }
+    impl std::error::Error for Unstable {}
+
+    let rt = Runtime::new(3);
+    let k = DataKey::new(4, 1);
+    let ran = Arc::new(AtomicUsize::new(0));
+    rt.task("diverge")
+        .write(k)
+        .spawn_try(|| Err::<(), _>(Unstable(17)));
+    for _ in 0..100 {
+        let r = ran.clone();
+        rt.task("dependent").read_write(k).spawn(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    let err = rt.wait().unwrap_err();
+    assert_eq!(err.task, "diverge");
+    let (_, e) = err.downcast::<Unstable>().expect("typed error survives");
+    assert_eq!(e.0, 17);
+    assert_eq!(ran.load(Ordering::SeqCst), 0, "all dependents skipped");
+    // Next phase is clean.
+    let c = ran.clone();
+    rt.task("fresh").spawn(move || {
+        c.fetch_add(1, Ordering::SeqCst);
+    });
+    rt.wait().unwrap();
+    assert_eq!(ran.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn independent_tasks_submitted_before_failure_may_still_be_skipped_safely() {
+    // Cancellation is a runtime-wide latch, not a reachability analysis:
+    // once any task fails, every not-yet-started body is skipped, even on
+    // unrelated keys. wait() must still terminate and count everything.
+    let rt = Runtime::new(1);
+    let gate = DataKey::new(4, 2);
+    rt.task("fail-first")
+        .write(gate)
+        .spawn_try(|| Err::<(), _>(std::io::Error::other("latch")));
+    for i in 0..64u64 {
+        rt.task("unrelated")
+            .write(DataKey::new(4, 10 + i))
+            .spawn(|| {});
+    }
+    let err = rt.wait().unwrap_err();
+    assert_eq!(err.task, "fail-first");
+    // All 65 tasks were accounted for (wait returned), and the runtime
+    // accepts new work.
     rt.task("ok").spawn(|| {});
     rt.wait().unwrap();
 }

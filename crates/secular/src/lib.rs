@@ -29,7 +29,10 @@ mod simd;
 mod vectors;
 
 pub use deflate::{deflate, Deflation, DeflationInput, GivensRot, SlotType};
-pub use roots::{secular_function, solve_secular_root, solve_secular_root_scalar, SecularError};
+pub use roots::{
+    secular_function, solve_secular_root, solve_secular_root_scalar, solve_secular_root_with_maxit,
+    SecularError,
+};
 pub use simd::{max_abs, max_abs_scalar};
 pub use vectors::{
     assemble_vectors, assemble_vectors_scalar, local_w_products, local_w_products_scalar, reduce_w,

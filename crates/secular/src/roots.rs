@@ -39,6 +39,19 @@ impl std::fmt::Display for SecularError {
 
 impl std::error::Error for SecularError {}
 
+impl SecularError {
+    /// Translate a merge-local root index to global coordinates by adding
+    /// the merge node's row offset (drivers report errors in global rows).
+    pub fn with_offset(self, off: usize) -> Self {
+        match self {
+            SecularError::NoConvergence { root } => {
+                SecularError::NoConvergence { root: root + off }
+            }
+            other => other,
+        }
+    }
+}
+
 /// Evaluate `f(λ)` directly (for tests and diagnostics; the solver itself
 /// works in shifted coordinates).
 pub fn secular_function(d: &[f64], z: &[f64], rho: f64, lambda: f64) -> f64 {
@@ -77,7 +90,22 @@ pub fn solve_secular_root(
     rho: f64,
     delta: &mut [f64],
 ) -> Result<f64, SecularError> {
-    solve_root_impl(j, d, z, rho, delta, !simd::use_simd())
+    solve_root_impl(j, d, z, rho, delta, !simd::use_simd(), MAXIT)
+}
+
+/// Test hook: run the root finder with an explicit rational-iteration
+/// budget, so the safeguarded-bisection rescue can be exercised directly
+/// (a zero budget skips the Newton phase entirely).
+#[doc(hidden)]
+pub fn solve_secular_root_with_maxit(
+    j: usize,
+    d: &[f64],
+    z: &[f64],
+    rho: f64,
+    delta: &mut [f64],
+    maxit: usize,
+) -> Result<f64, SecularError> {
+    solve_root_impl(j, d, z, rho, delta, !simd::use_simd(), maxit)
 }
 
 /// [`solve_secular_root`] forced onto the scalar kernel bodies — the seed
@@ -90,8 +118,12 @@ pub fn solve_secular_root_scalar(
     rho: f64,
     delta: &mut [f64],
 ) -> Result<f64, SecularError> {
-    solve_root_impl(j, d, z, rho, delta, true)
+    solve_root_impl(j, d, z, rho, delta, true, MAXIT)
 }
+
+/// Rational-model iterations before the safeguarded-bisection rescue
+/// takes over (LAPACK's dlaed4 uses 30; the bracket makes more harmless).
+const MAXIT: usize = 100;
 
 fn solve_root_impl(
     j: usize,
@@ -100,6 +132,7 @@ fn solve_root_impl(
     rho: f64,
     delta: &mut [f64],
     scalar: bool,
+    maxit: usize,
 ) -> Result<f64, SecularError> {
     let k = d.len();
     assert!(j < k && z.len() == k && delta.len() == k);
@@ -110,6 +143,9 @@ fn solve_root_impl(
         return Err(SecularError::InvalidInput(
             "poles must be strictly ascending",
         ));
+    }
+    if dcst_matrix::failpoints::fire("laed4") {
+        return Err(SecularError::NoConvergence { root: j });
     }
 
     if k == 1 {
@@ -165,7 +201,7 @@ fn solve_root_impl(
 
     let split = if last { k - 1 } else { j + 1 };
     let mut converged = false;
-    for _ in 0..100 {
+    for _ in 0..maxit {
         // Fused sweep: fill delta[i] = dk[i] − μ and accumulate the secular
         // sum, its absolute-value companion, and both side-wise derivative
         // sums in one dispatched pass over the k terms.
@@ -213,6 +249,37 @@ fn solve_root_impl(
         if hi - lo <= 2.0 * EPS * (lo.abs().max(hi.abs())) {
             converged = true;
             break;
+        }
+    }
+    if !converged {
+        // Safeguarded-bisection rescue: the rational model can stagnate on
+        // extreme pole configurations, but the sign-tested bracket [lo, hi]
+        // survives every iteration above, so bisecting it converges
+        // unconditionally (up to rounding) at ~1 bit per probe. This is the
+        // dlaed4 lineage's safeguard: failure should become reportable only
+        // when the bracket itself is numerically exhausted.
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if mid <= lo || mid >= hi {
+                break;
+            }
+            let sums = simd::secular_sweep(scalar, &dk, mid, z, split, delta);
+            mu = mid;
+            let f = 1.0 + rho * sums.val;
+            let fabs = 1.0 + rho * sums.abs;
+            if f.abs() <= 8.0 * EPS * (k as f64) * fabs {
+                converged = true;
+                break;
+            }
+            if f > 0.0 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            if hi - lo <= 2.0 * EPS * (lo.abs().max(hi.abs())) {
+                converged = true;
+                break;
+            }
         }
     }
     // Final delta refresh at the accepted μ.
@@ -395,6 +462,51 @@ mod tests {
             .sum();
         let want = d.iter().sum::<f64>() + rho * zn2;
         assert!((sum - want).abs() < 1e-10, "{sum} vs {want}");
+    }
+
+    #[test]
+    fn zero_newton_budget_is_rescued_by_bisection() {
+        // With no rational-model iterations at all, the safeguarded
+        // bisection must still land every root to reference accuracy.
+        let d = [-1.0, 0.0, 0.5, 3.0];
+        let z = [0.6, 0.2, 0.4, 0.3];
+        let rho = 2.0;
+        let mut delta = vec![0.0; 4];
+        for j in 0..4 {
+            let lam = solve_secular_root_with_maxit(j, &d, &z, rho, &mut delta, 0).unwrap();
+            let rref = reference_root(j, &d, &z, rho);
+            assert!((lam - rref).abs() < 1e-10, "root {j}: {lam} vs {rref}");
+            assert!(lam > d[j]);
+            if j + 1 < 4 {
+                assert!(lam < d[j + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn rescue_handles_clustered_poles() {
+        let d = [1.0, 1.0 + 1e-12, 1.0 + 2e-12, 2.0];
+        let z = [0.5, 0.5, 0.5, 0.5];
+        let mut delta = vec![0.0; 4];
+        for j in 0..4 {
+            let lam = solve_secular_root_with_maxit(j, &d, &z, 1.0, &mut delta, 0).unwrap();
+            assert!(lam > d[j]);
+            if j + 1 < 4 {
+                assert!(lam < d[j + 1]);
+            }
+            assert!(delta[j] < 0.0);
+        }
+    }
+
+    #[test]
+    fn offset_translation_maps_root_index() {
+        let err = SecularError::NoConvergence { root: 3 };
+        assert_eq!(
+            err.with_offset(40),
+            SecularError::NoConvergence { root: 43 }
+        );
+        let inv = SecularError::InvalidInput("x");
+        assert_eq!(inv.clone().with_offset(40), inv);
     }
 
     #[test]

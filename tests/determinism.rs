@@ -15,6 +15,7 @@ fn opts() -> DcOptions {
 fn taskflow_is_bitwise_deterministic_across_runs() {
     // Panel partials are combined in a fixed order, so the result must be
     // bitwise identical no matter how the scheduler interleaved the tasks.
+    let _q = dcst::matrix::failpoints::quiet();
     let t = MatrixType::Type3.generate(100, 77);
     let solver = TaskFlowDc::new(opts());
     let a = solver.solve(&t).unwrap();
@@ -33,6 +34,7 @@ fn taskflow_is_bitwise_deterministic_across_runs() {
 fn taskflow_matches_sequential_bitwise() {
     // Same kernels, same order ⇒ the parallel schedule cannot change a
     // single bit relative to the one-thread run.
+    let _q = dcst::matrix::failpoints::quiet();
     let t = MatrixType::Type6.generate(90, 13);
     let par = TaskFlowDc::new(opts()).solve(&t).unwrap();
     let one = TaskFlowDc::new(DcOptions {
@@ -69,6 +71,7 @@ fn solvers_are_shareable_across_threads() {
 #[test]
 fn generators_and_solver_roundtrip_is_reproducible() {
     // Full reproducibility chain: seed → matrix → spectrum.
+    let _q = dcst::matrix::failpoints::quiet();
     let a = TaskFlowDc::new(opts())
         .solve(&MatrixType::Type5.generate(80, 5))
         .unwrap();
@@ -76,6 +79,41 @@ fn generators_and_solver_roundtrip_is_reproducible() {
         .solve(&MatrixType::Type5.generate(80, 5))
         .unwrap();
     assert_eq!(a.values, b.values);
+}
+
+/// When *every* leaf fails (`steqr:1+`), the reported error must be the
+/// one with the lowest block offset — not whichever worker happened to
+/// push its failure last. Covers the drivers that collect failures from
+/// parallel workers (and the sequential one as the fixed point).
+#[cfg(feature = "failpoints")]
+#[test]
+fn multi_failure_reports_lowest_offset_block() {
+    use dcst::core::DcError;
+    use dcst::qriter::QrError;
+    let t = MatrixType::Type4.generate(96, 5);
+    let solvers: Vec<(&str, Box<dyn TridiagEigensolver>)> = vec![
+        (
+            "sequential",
+            Box::new(SequentialDc::new(DcOptions {
+                threads: 1,
+                ..opts()
+            })) as Box<_>,
+        ),
+        ("forkjoin", Box::new(ForkJoinDc::new(opts())) as Box<_>),
+        ("levelpar", Box::new(LevelParallelDc::new(opts())) as Box<_>),
+    ];
+    for (name, solver) in &solvers {
+        // Repeat: a scheduling-order-dependent report would flake here.
+        for run in 0..8 {
+            let _armed = dcst::matrix::failpoints::exclusive("steqr", "1+");
+            match solver.solve(&t) {
+                Err(DcError::Leaf(QrError::NoConvergence { block_start, .. })) => {
+                    assert_eq!(block_start, 0, "{name} run {run}: lowest-offset block");
+                }
+                other => panic!("{name} run {run}: expected Leaf(NoConvergence), got {other:?}"),
+            }
+        }
+    }
 }
 
 #[test]
