@@ -14,8 +14,11 @@
 //!
 //! Each stage prints makespan, idle fraction, a per-kernel breakdown, and
 //! an ASCII timeline (one row per worker). `--json <prefix>` additionally
-//! dumps the raw trace records and `--svg <prefix>` renders the colored
-//! timeline figures (the paper's actual Fig. 3/4 visualization).
+//! dumps the raw trace records, `--svg <prefix>` renders the colored
+//! timeline figures (the paper's actual Fig. 3/4 visualization), and
+//! `--chrome <prefix>` writes Chrome trace-event files (open in
+//! `chrome://tracing` or Perfetto for the interactive version with
+//! dependency-edge flow arrows).
 //!
 //! ```text
 //! cargo run --release -p dcst-bench --bin fig3_traces -- --n 2000
@@ -108,6 +111,15 @@ fn main() {
             let file = format!("{path}.{}.svg", label.chars().nth(1).unwrap());
             std::fs::write(&file, trace.to_svg(1200, 24)).expect("write trace svg");
             println!("    svg timeline written to {file}\n");
+        }
+        if let Some(path) = args.value("--chrome") {
+            let file = format!("{path}.{}.trace.json", label.chars().nth(1).unwrap());
+            std::fs::write(&file, trace.to_chrome_json()).expect("write chrome trace");
+            println!(
+                "    chrome trace written to {file} ({} tasks, {} edges)\n",
+                trace.records.len(),
+                trace.edges.len()
+            );
         }
     }
 }

@@ -1,0 +1,127 @@
+//! Overhead micro-bench for the observability layer.
+//!
+//! Measures the two paths the `metrics` feature touches:
+//!
+//! * a **task storm** through the work-stealing runtime with empty bodies,
+//!   so scheduler bookkeeping (where the per-worker counters live)
+//!   dominates — reported as ns/task;
+//! * a **taskflow solve** (type-4, n = 512) exercising the kernel-counter
+//!   sites in LAED4, steqr and the GEMM panels — reported as ms/solve.
+//!
+//! Build the baseline with the counters compiled out, then compare a
+//! default (counters-in) build against it:
+//!
+//! ```text
+//! cargo run --release -p dcst-bench --no-default-features \
+//!     --bin metrics_overhead -- --out base.json
+//! cargo run --release -p dcst-bench --bin metrics_overhead -- \
+//!     --baseline base.json --max-regress-pct 2
+//! ```
+//!
+//! With `--baseline` the process exits 1 if either measure regresses by
+//! more than `--max-regress-pct` (default 2 %) — the CI gate behind the
+//! "zero-cost when disabled" claim. Each measure is the best of `--reps`
+//! repetitions, which is the noise-robust statistic for a shared machine.
+
+use dcst_bench::Args;
+use dcst_core::{DcOptions, TaskFlowDc, TridiagEigensolver};
+use dcst_runtime::{jsonv, DataKey, Runtime};
+use dcst_tridiag::gen::MatrixType;
+use std::time::Instant;
+
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+/// ns/task for a storm of trivially-small tasks: rotating read/write/
+/// gatherv accesses over a ring of keys keeps the dependency machinery and
+/// both injector lanes busy without any kernel work.
+fn task_storm_ns(tasks: usize, threads: usize) -> f64 {
+    let rt = Runtime::new(threads);
+    let start = Instant::now();
+    for i in 0..tasks {
+        let key = DataKey::new(9, (i % 64) as u64);
+        let b = rt.task("storm");
+        let b = match i % 4 {
+            0 => b.read(key),
+            1 => b.write(key),
+            2 => b.gatherv(key),
+            _ => b.gatherv(key).high_priority(),
+        };
+        b.spawn(|| {});
+    }
+    rt.wait().unwrap();
+    start.elapsed().as_nanos() as f64 / tasks as f64
+}
+
+/// ms for one taskflow solve hitting the kernel-counter sites.
+fn solve_ms(n: usize, threads: usize) -> f64 {
+    let t = MatrixType::Type4.generate(n, 17);
+    let solver = TaskFlowDc::new(DcOptions {
+        min_part: 32,
+        nb: 64,
+        threads,
+        ..DcOptions::default()
+    });
+    let start = Instant::now();
+    let eig = solver.solve(&t).expect("solve");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(eig.values[0]);
+    ms
+}
+
+fn regress_pct(new: f64, base: f64) -> f64 {
+    100.0 * (new - base) / base
+}
+
+fn main() {
+    let args = Args::parse();
+    let tasks = args.usize_or("--tasks", 40_000);
+    let threads = args.usize_or("--threads", dcst_bench::max_threads().min(4));
+    let reps = args.usize_or("--reps", 5);
+    let n = args.usize_or("--n", 512);
+
+    let ns_per_task = best_of(reps, || task_storm_ns(tasks, threads));
+    let ms_per_solve = best_of(reps, || solve_ms(n, threads));
+    let compiled = cfg!(feature = "metrics");
+
+    println!(
+        "metrics compiled {}: task storm {ns_per_task:.1} ns/task, solve(n={n}) {ms_per_solve:.2} ms",
+        if compiled { "IN" } else { "OUT" },
+    );
+
+    if let Some(path) = args.value("--out") {
+        let json = format!(
+            "{{\n  \"metrics_compiled\": {compiled},\n  \"ns_per_task\": {ns_per_task},\n  \"ms_per_solve\": {ms_per_solve}\n}}",
+        );
+        std::fs::write(path, json).expect("write bench json");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = args.value("--baseline") {
+        let max_pct: f64 = args
+            .value("--max-regress-pct")
+            .map(|v| v.parse().expect("--max-regress-pct is a number"))
+            .unwrap_or(2.0);
+        let body = std::fs::read_to_string(path).expect("read baseline json");
+        let doc = jsonv::parse(&body).expect("baseline is valid JSON");
+        let base_ns = doc
+            .get("ns_per_task")
+            .and_then(|v| v.as_num())
+            .expect("baseline ns_per_task");
+        let base_ms = doc
+            .get("ms_per_solve")
+            .and_then(|v| v.as_num())
+            .expect("baseline ms_per_solve");
+        let d_ns = regress_pct(ns_per_task, base_ns);
+        let d_ms = regress_pct(ms_per_solve, base_ms);
+        println!(
+            "vs baseline {path}: task storm {d_ns:+.2}%, solve {d_ms:+.2}% (limit +{max_pct}%)"
+        );
+        if d_ns > max_pct || d_ms > max_pct {
+            eprintln!("FAIL: observability overhead exceeds {max_pct}%");
+            std::process::exit(1);
+        }
+        println!("OK: overhead within the {max_pct}% gate");
+    }
+}

@@ -4,15 +4,22 @@
 //! dcst generate --type 4 --n 1000 --seed 7 --out t.txt
 //! dcst info     --in t.txt
 //! dcst solve    --in t.txt [--solver taskflow|seq|forkjoin|levelpar|mrrr|qr]
-//!               [--subset il:iu] [--threads k] [--check]
+//!               [--subset il:iu] [--threads k] [--check] [--metrics]
 //! dcst trace    --type 4 --n 1000 --svg trace.svg [--json trace.json]
+//!               [--chrome trace.json]
 //! ```
+//!
+//! With `DCST_TRACE=out.json` in the environment, `solve --solver taskflow`
+//! additionally records the run and writes a Chrome trace-event file
+//! (loadable in `chrome://tracing` / Perfetto).
 
 use dcst_core::{
-    DcError, DcOptions, ForkJoinDc, LevelParallelDc, SequentialDc, TaskFlowDc, TridiagEigensolver,
+    DcError, DcOptions, DcStats, ForkJoinDc, LevelParallelDc, MetricsRecorder, SequentialDc,
+    TaskFlowDc,
 };
 use dcst_mrrr::{MrrrError, MrrrOptions, MrrrSolver};
 use dcst_qriter::QrError;
+use dcst_runtime::{RuntimeMetrics, Trace};
 use dcst_tridiag::gen::MatrixType;
 use dcst_tridiag::io::{read_tridiag, write_tridiag};
 use dcst_tridiag::SymTridiag;
@@ -47,8 +54,9 @@ fn usage() -> ExitCode {
         "usage:\n  dcst generate --type K --n N [--seed S] [--out FILE]\n  \
          dcst info --in FILE\n  \
          dcst solve --in FILE [--solver taskflow|seq|forkjoin|levelpar|mrrr|qr] \
-         [--subset il:iu] [--threads K] [--check]\n  \
-         dcst trace [--type K] [--n N] [--svg FILE] [--json FILE]"
+         [--subset il:iu] [--threads K] [--check] [--metrics]\n  \
+         dcst trace [--type K] [--n N] [--svg FILE] [--json FILE] [--chrome FILE]\n\
+         env: DCST_TRACE=FILE with 'solve --solver taskflow' writes a Chrome trace-event file"
     );
     ExitCode::from(2)
 }
@@ -166,60 +174,129 @@ fn main() -> ExitCode {
                 threads,
                 ..DcOptions::default()
             };
+            let trace_path = std::env::var("DCST_TRACE").ok();
+            // Bracket the solve with kernel-counter snapshots (no-op
+            // counters unless built with the `metrics` feature, which the
+            // CLI enables by default).
+            let recorder = args.flag("--metrics").then(MetricsRecorder::start);
+            let mut dc_stats: Option<DcStats> = None;
+            let mut observed: Option<(Trace, RuntimeMetrics)> = None;
             let start = Instant::now();
-            let (values, vectors) = match solver_name {
-                "mrrr" => {
-                    let solver = MrrrSolver::new(MrrrOptions {
-                        threads,
-                        ..Default::default()
-                    });
-                    if let Some(spec) = args.value("--subset") {
-                        let (il, iu) = match spec.split_once(':') {
-                            Some((a, b)) => (a.parse().unwrap_or(0), b.parse().unwrap_or(0)),
-                            None => {
-                                eprintln!("--subset wants il:iu");
-                                return ExitCode::from(2);
+            let (values, vectors) =
+                match solver_name {
+                    "mrrr" => {
+                        let solver = MrrrSolver::new(MrrrOptions {
+                            threads,
+                            ..Default::default()
+                        });
+                        if let Some(spec) = args.value("--subset") {
+                            let (il, iu) = match spec.split_once(':') {
+                                Some((a, b)) => (a.parse().unwrap_or(0), b.parse().unwrap_or(0)),
+                                None => {
+                                    eprintln!("--subset wants il:iu");
+                                    return ExitCode::from(2);
+                                }
+                            };
+                            match solver.solve_range(&t, il, iu) {
+                                Ok(r) => r,
+                                Err(e) => return fail(&e, mrrr_code(&e)),
                             }
-                        };
-                        match solver.solve_range(&t, il, iu) {
-                            Ok(r) => r,
-                            Err(e) => return fail(&e, mrrr_code(&e)),
-                        }
-                    } else {
-                        match solver.solve(&t) {
-                            Ok(r) => r,
-                            Err(e) => return fail(&e, mrrr_code(&e)),
+                        } else {
+                            match solver.solve(&t) {
+                                Ok(r) => r,
+                                Err(e) => return fail(&e, mrrr_code(&e)),
+                            }
                         }
                     }
-                }
-                "qr" => match dcst_qriter::steqr(&t) {
-                    Ok(r) => r,
-                    Err(e) => return fail(&e, qr_code(&e)),
-                },
-                name => {
-                    let solver: Box<dyn TridiagEigensolver> = match name {
-                        "taskflow" => Box::new(TaskFlowDc::new(opts)),
-                        "seq" => Box::new(SequentialDc::new(DcOptions { threads: 1, ..opts })),
-                        "forkjoin" => Box::new(ForkJoinDc::new(opts)),
-                        "levelpar" => Box::new(LevelParallelDc::new(opts)),
-                        other => {
-                            eprintln!("unknown solver '{other}'");
-                            return ExitCode::from(2);
-                        }
-                    };
-                    let eig = match solver.solve(&t) {
-                        Ok(eig) => eig,
-                        Err(e) => return fail(&e, dc_code(&e)),
-                    };
-                    (eig.values, eig.vectors)
-                }
-            };
+                    "qr" => match dcst_qriter::steqr(&t) {
+                        Ok(r) => r,
+                        Err(e) => return fail(&e, qr_code(&e)),
+                    },
+                    name => {
+                        // The D&C variants all expose solve_with_stats, so the
+                        // deflation statistics behind --metrics come for free;
+                        // the task-flow driver can additionally record the run
+                        // (trace + scheduler counters) for DCST_TRACE.
+                        let result =
+                            match name {
+                                "taskflow" => {
+                                    let solver = TaskFlowDc::new(opts);
+                                    if trace_path.is_some() || recorder.is_some() {
+                                        solver.solve_observed(&t).map(|(eig, stats, trace, rm)| {
+                                            dc_stats = Some(stats);
+                                            observed = Some((trace, rm));
+                                            eig
+                                        })
+                                    } else {
+                                        solver.solve_with_stats(&t).map(|(eig, stats)| {
+                                            dc_stats = Some(stats);
+                                            eig
+                                        })
+                                    }
+                                }
+                                "seq" => SequentialDc::new(DcOptions { threads: 1, ..opts })
+                                    .solve_with_stats(&t)
+                                    .map(|(eig, stats)| {
+                                        dc_stats = Some(stats);
+                                        eig
+                                    }),
+                                "forkjoin" => ForkJoinDc::new(opts).solve_with_stats(&t).map(
+                                    |(eig, stats)| {
+                                        dc_stats = Some(stats);
+                                        eig
+                                    },
+                                ),
+                                "levelpar" => LevelParallelDc::new(opts).solve_with_stats(&t).map(
+                                    |(eig, stats)| {
+                                        dc_stats = Some(stats);
+                                        eig
+                                    },
+                                ),
+                                other => {
+                                    eprintln!("unknown solver '{other}'");
+                                    return ExitCode::from(2);
+                                }
+                            };
+                        let eig = match result {
+                            Ok(eig) => eig,
+                            Err(e) => return fail(&e, dc_code(&e)),
+                        };
+                        (eig.values, eig.vectors)
+                    }
+                };
             let secs = start.elapsed().as_secs_f64();
             eprintln!(
                 "{solver_name}: {} eigenpairs in {:.3}s ({threads} threads)",
                 values.len(),
                 secs
             );
+            if let Some((trace, rm)) = &observed {
+                if let Some(path) = trace_path.as_deref() {
+                    std::fs::write(path, trace.to_chrome_json()).expect("write chrome trace");
+                    eprintln!(
+                        "chrome trace -> {path} ({} records, {} edges)",
+                        trace.records.len(),
+                        trace.edges.len()
+                    );
+                }
+                // Parseable reconciliation line: the trace records every
+                // retired task, so this always equals the record count
+                // (zeros without the `metrics` feature compiled in).
+                eprintln!("tasks executed = {}", rm.tasks_executed());
+            } else if trace_path.is_some() {
+                eprintln!("note: DCST_TRACE is only honored by --solver taskflow");
+            }
+            if let Some(rec) = recorder {
+                match &dc_stats {
+                    Some(stats) => {
+                        eprintln!("{}", rec.finish(stats).report());
+                        if let Some((_, rm)) = &observed {
+                            eprintln!("{}", rm.report());
+                        }
+                    }
+                    None => eprintln!("note: --metrics has no statistics for '{solver_name}'"),
+                }
+            }
             if args.flag("--check") && vectors.cols() == values.len() && vectors.cols() == t.n() {
                 let orth = dcst_matrix::orthogonality_error(&vectors);
                 let res = dcst_matrix::residual_error(
@@ -266,7 +343,14 @@ fn main() -> ExitCode {
                 std::fs::write(path, trace.to_json()).expect("write json");
                 eprintln!("json trace   -> {path}");
             }
-            if args.value("--svg").is_none() && args.value("--json").is_none() {
+            if let Some(path) = args.value("--chrome") {
+                std::fs::write(path, trace.to_chrome_json()).expect("write chrome trace");
+                eprintln!("chrome trace -> {path}");
+            }
+            if args.value("--svg").is_none()
+                && args.value("--json").is_none()
+                && args.value("--chrome").is_none()
+            {
                 println!("{}", trace.ascii_timeline(100));
             }
             ExitCode::SUCCESS

@@ -236,6 +236,182 @@ fn numerical_failure_is_exit_code_3() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// The acceptance run for the observability layer: a taskflow solve at
+/// n = 1024 with `DCST_TRACE` set must emit a Chrome trace-event file whose
+/// "X" (complete) events match the `tasks executed = N` counter reported on
+/// stderr, with worker-lane metadata and dependency flow events present.
+#[test]
+fn chrome_trace_reconciles_with_runtime_metrics() {
+    let input = tempfile("chrome-1024.txt");
+    let trace = tempfile("chrome-1024.trace.json");
+    dcst()
+        .args([
+            "generate",
+            "--type",
+            "4",
+            "--n",
+            "1024",
+            "--seed",
+            "11",
+            "--out",
+            input.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    let out = dcst()
+        .env("DCST_TRACE", trace.to_str().unwrap())
+        .args([
+            "solve",
+            "--in",
+            input.to_str().unwrap(),
+            "--solver",
+            "taskflow",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    let executed: usize = err
+        .lines()
+        .find_map(|l| l.strip_prefix("tasks executed = "))
+        .expect("stderr reports the executed-task counter")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(executed > 0);
+
+    let body = std::fs::read_to_string(&trace).unwrap();
+    let doc = dcst_runtime::jsonv::parse(&body).expect("trace file is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    let ph = |e: &dcst_runtime::jsonv::Json| {
+        e.get("ph")
+            .and_then(|p| p.as_str())
+            .unwrap_or("")
+            .to_string()
+    };
+    let complete: Vec<_> = events.iter().filter(|e| ph(e) == "X").collect();
+    assert_eq!(
+        complete.len(),
+        executed,
+        "every executed task has exactly one complete event"
+    );
+    // Worker lanes: one thread_name metadata event per worker thread.
+    let lanes = events.iter().filter(|e| ph(e) == "M").count();
+    assert_eq!(lanes, 2, "one worker-lane metadata event per thread");
+    // Dependency edges export as paired flow events.
+    let starts = events.iter().filter(|e| ph(e) == "s").count();
+    let finishes = events.iter().filter(|e| ph(e) == "f").count();
+    assert!(starts > 0, "flow events present");
+    assert_eq!(starts, finishes, "flow starts pair with flow finishes");
+    // Task names from the D&C merge phase appear on the complete events.
+    let names: Vec<_> = complete
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()).map(str::to_string))
+        .collect();
+    assert!(names.iter().any(|n| n == "LAED4"), "{names:?}");
+    assert!(names.iter().any(|n| n == "UpdateVect"), "{names:?}");
+    let _ = std::fs::remove_file(&input);
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn metrics_flag_reports_solver_and_runtime_counters() {
+    let path = tempfile("metrics.txt");
+    dcst()
+        .args([
+            "generate",
+            "--type",
+            "4",
+            "--n",
+            "200",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    let out = dcst()
+        .args([
+            "solve",
+            "--in",
+            path.to_str().unwrap(),
+            "--solver",
+            "taskflow",
+            "--threads",
+            "2",
+            "--metrics",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("overall deflation"), "{err}");
+    assert!(err.contains("root solves"), "{err}");
+    assert!(err.contains("gemm:"), "{err}");
+    // Runtime counter table follows the solver report for taskflow runs.
+    assert!(err.contains("max ready-queue depth"), "{err}");
+    // The counters are compiled in by default for the CLI, so real work
+    // must be visible in the report.
+    assert!(!err.contains("secular: 0 root solves"), "{err}");
+
+    // Sequential solvers still accept --metrics (deflation stats come from
+    // DcStats, which every D&C variant produces).
+    let out = dcst()
+        .args([
+            "solve",
+            "--in",
+            path.to_str().unwrap(),
+            "--solver",
+            "seq",
+            "--metrics",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("overall deflation"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn trace_subcommand_writes_chrome_json() {
+    let chrome = tempfile("trace.chrome.json");
+    let out = dcst()
+        .args([
+            "trace",
+            "--type",
+            "2",
+            "--n",
+            "128",
+            "--chrome",
+            chrome.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&chrome).unwrap();
+    let doc = dcst_runtime::jsonv::parse(&body).expect("valid JSON");
+    assert!(doc.get("traceEvents").is_some());
+    assert!(body.contains("STEDC"));
+    let _ = std::fs::remove_file(&chrome);
+}
+
 #[test]
 fn bad_usage_fails_cleanly() {
     let out = dcst().output().unwrap();

@@ -29,12 +29,14 @@
 //! ```
 
 mod merge;
+mod metrics;
 mod opcount;
 mod seq;
 mod taskflow;
 mod tree;
 
 pub use merge::MergeStat;
+pub use metrics::{MetricsRecorder, SolverMetrics};
 pub use opcount::{merge_cost_model, solve_cost_model, MergeCosts};
 pub use seq::{ForkJoinDc, LevelParallelDc, SequentialDc};
 pub use taskflow::TaskFlowDc;

@@ -264,9 +264,14 @@ pub(crate) fn update_vect_panel(
     let c1 = defl.ctot[0];
     let c2 = defl.ctot[1];
     let c3 = defl.ctot[2];
+    // GEMM volume for the metrics registry, batched into one update below.
+    let mut gemm_calls = 0u64;
+    let mut gemm_flops = 0u64;
     // Top rows: A = [Top | Full] columns (n1 × (c1+c2)).
     if n1 > 0 {
         if c1 + c2 > 0 {
+            gemm_calls += 1;
+            gemm_flops += 2 * (n1 * ncols * (c1 + c2)) as u64;
             gemm_par(
                 threads,
                 n1,
@@ -291,6 +296,8 @@ pub(crate) fn update_vect_panel(
     // workspace column c1, row n1; B rows start at c1.
     if n2 > 0 {
         if c2 + c3 > 0 {
+            gemm_calls += 1;
+            gemm_flops += 2 * (n2 * ncols * (c2 + c3)) as u64;
             gemm_par(
                 threads,
                 n2,
@@ -310,6 +317,10 @@ pub(crate) fn update_vect_panel(
                 v_cols[j * ld + row_off + n1..j * ld + row_off + nm].fill(0.0);
             }
         }
+    }
+    if gemm_calls > 0 {
+        dcst_matrix::metrics::add("gemm.calls", gemm_calls);
+        dcst_matrix::metrics::add("gemm.flops", gemm_flops);
     }
     // NaN-corruption site: models a GEMM that silently produced garbage.
     dcst_matrix::failpoints::poke_nan("nan-gemm", &mut v_cols[row_off..]);

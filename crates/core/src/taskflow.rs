@@ -29,7 +29,7 @@ use crate::tree::PartitionTree;
 use crate::{DcError, DcOptions, DcStats, Eigen, TridiagEigensolver};
 use dcst_matrix::Matrix;
 use dcst_qriter::{steqr_mut, ZBlock};
-use dcst_runtime::{DagRecorder, DataKey, Runtime, SharedData, TaskBuilder, Trace};
+use dcst_runtime::{DagRecorder, DataKey, Runtime, RuntimeMetrics, SharedData, TaskBuilder, Trace};
 use dcst_secular::Deflation;
 use dcst_tridiag::SymTridiag;
 use std::sync::{Arc, Mutex};
@@ -112,6 +112,23 @@ impl TaskFlowDc {
         rt.enable_tracing();
         let (eig, stats) = self.solve_inner(t, &rt)?;
         Ok((eig, stats, rt.take_trace()))
+    }
+
+    /// Solve with full observability: execution trace plus the pool's
+    /// scheduler counters, taken from the same run so the metrics
+    /// reconcile with the trace (executed-task count == record count;
+    /// counters are all zeros unless built with the `metrics` feature).
+    #[allow(clippy::type_complexity)]
+    pub fn solve_observed(
+        &self,
+        t: &SymTridiag,
+    ) -> Result<(Eigen, DcStats, Trace, RuntimeMetrics), DcError> {
+        let rt = Runtime::new(self.opts.threads);
+        rt.enable_tracing();
+        let (eig, stats) = self.solve_inner(t, &rt)?;
+        let trace = rt.take_trace();
+        let metrics = rt.runtime_metrics();
+        Ok((eig, stats, trace, metrics))
     }
 
     /// Solve while recording the task DAG (Figure 2).

@@ -15,6 +15,7 @@ pub mod failpoints;
 mod kernel;
 mod matrix;
 mod merge;
+pub mod metrics;
 mod pool;
 pub mod simd;
 pub mod util;

@@ -1,0 +1,174 @@
+//! Feature-gated global kernel counters for solver observability.
+//!
+//! A fixed set of named monotonic counters that the numerical kernels bump
+//! as they run (secular iterations, rescue-path activations, GEMM volume —
+//! the quantities behind the paper's Figures 5–6 deflation narrative and
+//! Table I cost model). Counters are process-global `AtomicU64`s with
+//! `Relaxed` increments: kernels batch their adds (one `add` per solve or
+//! per panel, never per inner-loop step), so the hot paths see at most a
+//! handful of uncontended atomic RMWs.
+//!
+//! When the `metrics` feature is off every function here compiles to a
+//! no-op ([`add`] is inlined away and [`snapshot`] returns zeros), so call
+//! sites need no `cfg` of their own — the same idiom as
+//! [`failpoints`](crate::failpoints).
+//!
+//! Counters are global while Rust tests run on parallel threads, so tests
+//! must only assert *monotonic* properties (value after ≥ value before +
+//! own contribution) — concurrent solves can only add, never subtract.
+
+/// The registered counter names, in snapshot order.
+pub const NAMES: [&str; 7] = [
+    "secular.root_solves",
+    "secular.iters",
+    "secular.bisection_rescues",
+    "steqr.sweeps",
+    "steqr.exceptional_rescues",
+    "gemm.calls",
+    "gemm.flops",
+];
+
+fn index_of(name: &str) -> usize {
+    NAMES
+        .iter()
+        .position(|n| *n == name)
+        .unwrap_or_else(|| panic!("unknown metrics counter '{name}'"))
+}
+
+/// Point-in-time copy of every counter. Obtained from [`snapshot`]; two
+/// snapshots bracket a region of interest and [`CounterSnapshot::delta`]
+/// isolates its contribution (other threads' increments still leak into a
+/// delta — see the module docs on monotonic assertions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    values: [u64; NAMES.len()],
+}
+
+impl CounterSnapshot {
+    /// Value of `name` in this snapshot.
+    pub fn get(&self, name: &str) -> u64 {
+        self.values[index_of(name)]
+    }
+
+    /// Counter-wise saturating difference `self − earlier`.
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut values = [0u64; NAMES.len()];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = self.values[i].saturating_sub(earlier.values[i]);
+        }
+        CounterSnapshot { values }
+    }
+
+    /// Iterate `(name, value)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        NAMES.iter().copied().zip(self.values.iter().copied())
+    }
+}
+
+#[cfg(feature = "metrics")]
+mod imp {
+    use super::{index_of, CounterSnapshot, NAMES};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    static VALUES: [AtomicU64; NAMES.len()] = [ZERO; NAMES.len()];
+
+    /// Add `v` to the named counter.
+    #[inline]
+    pub fn add(name: &str, v: u64) {
+        VALUES[index_of(name)].fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value of the named counter.
+    pub fn get(name: &str) -> u64 {
+        VALUES[index_of(name)].load(Ordering::Relaxed)
+    }
+
+    /// Copy every counter.
+    pub fn snapshot() -> CounterSnapshot {
+        let mut snap = CounterSnapshot::default();
+        for (slot, v) in snap.values.iter_mut().zip(VALUES.iter()) {
+            *slot = v.load(Ordering::Relaxed);
+        }
+        snap
+    }
+
+    /// Zero every counter. Intended for single-threaded contexts (a CLI
+    /// run, a bench); racing solves on other threads lose increments.
+    pub fn reset_all() {
+        for v in &VALUES {
+            v.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(not(feature = "metrics"))]
+mod imp {
+    //! No-op stand-ins: the optimizer erases every call site.
+    use super::{index_of, CounterSnapshot};
+
+    /// No-op when the `metrics` feature is off.
+    #[inline(always)]
+    pub fn add(_name: &str, _v: u64) {}
+
+    /// Always 0 when the `metrics` feature is off (still validates `name`).
+    #[inline]
+    pub fn get(name: &str) -> u64 {
+        let _ = index_of(name);
+        0
+    }
+
+    /// All zeros when the `metrics` feature is off.
+    #[inline]
+    pub fn snapshot() -> CounterSnapshot {
+        CounterSnapshot::default()
+    }
+
+    /// No-op when the `metrics` feature is off.
+    #[inline(always)]
+    pub fn reset_all() {}
+}
+
+pub use imp::*;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_lists_every_name() {
+        let snap = snapshot();
+        assert_eq!(snap.iter().count(), NAMES.len());
+        for (name, _) in snap.iter() {
+            assert!(NAMES.contains(&name));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown metrics counter")]
+    fn unknown_name_panics() {
+        get("no.such.counter");
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn add_is_visible_and_monotonic() {
+        let before = snapshot();
+        add("gemm.calls", 3);
+        add("gemm.flops", 1000);
+        let after = snapshot();
+        let d = after.delta(&before);
+        assert!(d.get("gemm.calls") >= 3);
+        assert!(d.get("gemm.flops") >= 1000);
+        assert!(after.get("gemm.calls") >= before.get("gemm.calls") + 3);
+    }
+
+    #[cfg(not(feature = "metrics"))]
+    #[test]
+    fn disabled_counters_stay_zero() {
+        add("gemm.calls", 7);
+        assert_eq!(get("gemm.calls"), 0);
+        assert_eq!(snapshot(), CounterSnapshot::default());
+    }
+}

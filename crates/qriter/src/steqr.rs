@@ -248,6 +248,12 @@ pub fn steqr_mut_with_budget(
         qr_sweep(d, e, l, m, mu, &mut z);
     }
 
+    // One batched registry update per successful call (never per sweep).
+    dcst_matrix::metrics::add("steqr.sweeps", iters as u64);
+    if rescuing {
+        dcst_matrix::metrics::add("steqr.exceptional_rescues", 1);
+    }
+
     if scale != 1.0 {
         let inv = 1.0 / scale;
         d.iter_mut().for_each(|x| *x *= inv);

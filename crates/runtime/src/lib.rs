@@ -43,12 +43,15 @@ mod check;
 mod dag;
 mod dcst_sync;
 mod deps;
+pub mod jsonv;
+mod metrics;
 mod pool;
 mod share;
 mod trace;
 
 pub use dag::DagRecorder;
 pub use deps::{Access, AccessMode, DataKey};
+pub use metrics::{RuntimeMetrics, WorkerMetrics};
 pub use pool::{BoxError, FailureKind, Runtime, RuntimeError, TaskBuilder};
 pub use share::SharedData;
-pub use trace::{TaskRecord, Trace};
+pub use trace::{KernelStat, TaskRecord, Trace, WorkerTimeline};

@@ -1,0 +1,328 @@
+//! Per-worker scheduler counters behind the `metrics` feature.
+//!
+//! Every worker owns one cache-line-aligned block of `AtomicU64` cells
+//! ([`PoolCounters`]), so the hot-path increments (task retired, steal
+//! sweep, priority-lane hit, park) are uncontended `Relaxed` RMWs on a
+//! line no other worker writes. The only pool-wide cells are the ready
+//! -queue depth gauge and its high-water mark, bumped once per task push
+//! and pop.
+//!
+//! [`RuntimeMetrics`] / [`WorkerMetrics`] are plain data and always
+//! present, so downstream code can consume snapshots without `cfg`; when
+//! the `metrics` feature is off, [`PoolCounters`] is a zero-sized no-op
+//! and snapshots are all zeros.
+//!
+//! Counter semantics (fixed, tests rely on them):
+//! - `executed` counts tasks *retired* through the pool's execute path,
+//!   including bodies skipped by cancellation — it always equals the
+//!   number of trace records an enabled trace would collect.
+//! - `steals_attempted` counts sweeps over the sibling deques (entered
+//!   only after both injectors came up empty); `steals_succeeded` counts
+//!   sweeps that yielded a task, so `succeeded ≤ attempted` and
+//!   `succeeded ≤ executed` per worker.
+//! - `priority_hits` counts tasks taken from the priority lane.
+//! - `parks` counts actual condvar waits (not idle-loop passes).
+//! - `max_queue_depth` is the high-water mark of tasks pushed ready but
+//!   not yet started, across the whole pool.
+
+/// Scheduler counters for one worker, as captured by a snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerMetrics {
+    /// Tasks retired through the execute path (includes cancelled skips).
+    pub executed: u64,
+    /// Sweeps over the sibling deques looking for work to steal.
+    pub steals_attempted: u64,
+    /// Steal sweeps that yielded a task.
+    pub steals_succeeded: u64,
+    /// Tasks taken from the priority lane.
+    pub priority_hits: u64,
+    /// Times the worker parked on the idle condvar.
+    pub parks: u64,
+}
+
+/// Pool-wide scheduler-counter snapshot ([`Runtime::runtime_metrics`]).
+///
+/// [`Runtime::runtime_metrics`]: crate::Runtime::runtime_metrics
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeMetrics {
+    /// One entry per worker, indexed by worker id.
+    pub workers: Vec<WorkerMetrics>,
+    /// High-water mark of ready-but-not-started tasks across the pool.
+    pub max_queue_depth: u64,
+}
+
+impl RuntimeMetrics {
+    /// Total tasks retired across all workers.
+    pub fn tasks_executed(&self) -> u64 {
+        self.workers.iter().map(|w| w.executed).sum()
+    }
+
+    /// Total steal sweeps attempted across all workers.
+    pub fn steals_attempted(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals_attempted).sum()
+    }
+
+    /// Total successful steal sweeps across all workers.
+    pub fn steals_succeeded(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals_succeeded).sum()
+    }
+
+    /// Total priority-lane hits across all workers.
+    pub fn priority_hits(&self) -> u64 {
+        self.workers.iter().map(|w| w.priority_hits).sum()
+    }
+
+    /// Total condvar parks across all workers.
+    pub fn parks(&self) -> u64 {
+        self.workers.iter().map(|w| w.parks).sum()
+    }
+
+    /// Human-readable multi-line report (one row per worker plus totals).
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:>6} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            "worker", "executed", "steal-try", "steal-ok", "prio-hit", "parks"
+        )
+        .unwrap();
+        for (i, w) in self.workers.iter().enumerate() {
+            writeln!(
+                out,
+                "{i:>6} {:>9} {:>9} {:>9} {:>9} {:>7}",
+                w.executed, w.steals_attempted, w.steals_succeeded, w.priority_hits, w.parks
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "{:>6} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            "total",
+            self.tasks_executed(),
+            self.steals_attempted(),
+            self.steals_succeeded(),
+            self.priority_hits(),
+            self.parks()
+        )
+        .unwrap();
+        write!(out, "max ready-queue depth: {}", self.max_queue_depth).unwrap();
+        out
+    }
+}
+
+#[cfg(feature = "metrics")]
+mod imp {
+    use super::{RuntimeMetrics, WorkerMetrics};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// One worker's counters, padded to a cache line so neighbouring
+    /// workers' increments never false-share.
+    #[repr(align(64))]
+    #[derive(Default)]
+    struct WorkerCells {
+        executed: AtomicU64,
+        steals_attempted: AtomicU64,
+        steals_succeeded: AtomicU64,
+        priority_hits: AtomicU64,
+        parks: AtomicU64,
+    }
+
+    /// Live counter cells owned by the pool (`Shared.metrics`).
+    pub struct PoolCounters {
+        workers: Box<[WorkerCells]>,
+        depth: AtomicU64,
+        max_depth: AtomicU64,
+    }
+
+    impl PoolCounters {
+        pub fn new(num_workers: usize) -> Self {
+            PoolCounters {
+                workers: (0..num_workers).map(|_| WorkerCells::default()).collect(),
+                depth: AtomicU64::new(0),
+                max_depth: AtomicU64::new(0),
+            }
+        }
+
+        #[inline]
+        pub fn executed(&self, worker: usize) {
+            self.workers[worker]
+                .executed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn steal_attempt(&self, worker: usize) {
+            self.workers[worker]
+                .steals_attempted
+                .fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn steal_success(&self, worker: usize) {
+            self.workers[worker]
+                .steals_succeeded
+                .fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn priority_hit(&self, worker: usize) {
+            self.workers[worker]
+                .priority_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn park(&self, worker: usize) {
+            self.workers[worker].parks.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// A task became ready: raise the depth gauge and fold it into the
+        /// high-water mark.
+        #[inline]
+        pub fn depth_inc(&self) {
+            let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+            self.max_depth.fetch_max(d, Ordering::Relaxed);
+        }
+
+        /// A ready task started executing: lower the depth gauge.
+        #[inline]
+        pub fn depth_dec(&self) {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+        }
+
+        /// Copy every counter into a plain-data snapshot.
+        pub fn snapshot(&self) -> RuntimeMetrics {
+            RuntimeMetrics {
+                workers: self
+                    .workers
+                    .iter()
+                    .map(|w| WorkerMetrics {
+                        executed: w.executed.load(Ordering::Relaxed),
+                        steals_attempted: w.steals_attempted.load(Ordering::Relaxed),
+                        steals_succeeded: w.steals_succeeded.load(Ordering::Relaxed),
+                        priority_hits: w.priority_hits.load(Ordering::Relaxed),
+                        parks: w.parks.load(Ordering::Relaxed),
+                    })
+                    .collect(),
+                max_queue_depth: self.max_depth.load(Ordering::Relaxed),
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "metrics"))]
+mod imp {
+    //! Zero-sized no-op stand-in: every increment inlines to nothing and a
+    //! snapshot is all zeros.
+    use super::{RuntimeMetrics, WorkerMetrics};
+
+    pub struct PoolCounters {
+        num_workers: usize,
+    }
+
+    impl PoolCounters {
+        #[inline]
+        pub fn new(num_workers: usize) -> Self {
+            PoolCounters { num_workers }
+        }
+
+        #[inline(always)]
+        pub fn executed(&self, _worker: usize) {}
+
+        #[inline(always)]
+        pub fn steal_attempt(&self, _worker: usize) {}
+
+        #[inline(always)]
+        pub fn steal_success(&self, _worker: usize) {}
+
+        #[inline(always)]
+        pub fn priority_hit(&self, _worker: usize) {}
+
+        #[inline(always)]
+        pub fn park(&self, _worker: usize) {}
+
+        #[inline(always)]
+        pub fn depth_inc(&self) {}
+
+        #[inline(always)]
+        pub fn depth_dec(&self) {}
+
+        pub fn snapshot(&self) -> RuntimeMetrics {
+            RuntimeMetrics {
+                workers: vec![WorkerMetrics::default(); self.num_workers],
+                max_queue_depth: 0,
+            }
+        }
+    }
+}
+
+pub(crate) use imp::PoolCounters;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_workers() {
+        let m = RuntimeMetrics {
+            workers: vec![
+                WorkerMetrics {
+                    executed: 3,
+                    steals_attempted: 5,
+                    steals_succeeded: 2,
+                    priority_hits: 1,
+                    parks: 4,
+                },
+                WorkerMetrics {
+                    executed: 7,
+                    steals_attempted: 1,
+                    steals_succeeded: 1,
+                    priority_hits: 0,
+                    parks: 2,
+                },
+            ],
+            max_queue_depth: 9,
+        };
+        assert_eq!(m.tasks_executed(), 10);
+        assert_eq!(m.steals_attempted(), 6);
+        assert_eq!(m.steals_succeeded(), 3);
+        assert_eq!(m.priority_hits(), 1);
+        assert_eq!(m.parks(), 6);
+        let rep = m.report();
+        assert!(rep.contains("max ready-queue depth: 9"));
+        assert_eq!(rep.lines().count(), 1 + 2 + 1 + 1);
+    }
+
+    #[test]
+    fn pool_counters_snapshot_shape() {
+        let c = PoolCounters::new(3);
+        c.executed(0);
+        c.executed(0);
+        c.steal_attempt(1);
+        c.steal_success(1);
+        c.priority_hit(2);
+        c.park(2);
+        c.depth_inc();
+        c.depth_inc();
+        c.depth_dec();
+        let snap = c.snapshot();
+        assert_eq!(snap.workers.len(), 3);
+        if cfg!(feature = "metrics") {
+            assert_eq!(snap.workers[0].executed, 2);
+            assert_eq!(snap.workers[1].steals_attempted, 1);
+            assert_eq!(snap.workers[1].steals_succeeded, 1);
+            assert_eq!(snap.workers[2].priority_hits, 1);
+            assert_eq!(snap.workers[2].parks, 1);
+            assert_eq!(snap.max_queue_depth, 2);
+        } else {
+            assert_eq!(
+                snap,
+                RuntimeMetrics {
+                    workers: vec![WorkerMetrics::default(); 3],
+                    max_queue_depth: 0,
+                }
+            );
+        }
+    }
+}

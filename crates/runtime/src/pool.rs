@@ -20,6 +20,7 @@ use crate::dcst_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use crate::dcst_sync::deque::{Injector, Steal, Stealer, Worker as WorkerDeque};
 use crate::dcst_sync::{spawn_worker, Condvar, Mutex, WorkerHandle};
 use crate::deps::{Access, AccessMode, DataKey, DepTracker};
+use crate::metrics::{PoolCounters, RuntimeMetrics};
 use crate::trace::{TaskRecord, Trace};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -152,11 +153,17 @@ struct Shared {
     /// skipped while set. Cleared by `wait()` so the runtime is reusable.
     cancelled: AtomicBool,
     trace: Mutex<Vec<TaskRecord>>,
+    /// Dependency edges observed at submission while tracing is enabled.
+    trace_edges: Mutex<Vec<(usize, usize)>>,
+    /// Per-worker scheduler counters (no-op unless the `metrics` feature
+    /// is on; see `crate::metrics` for the exact counter semantics).
+    metrics: PoolCounters,
     epoch: Instant,
 }
 
 impl Shared {
     fn push_ready(&self, node: Arc<Node>) {
+        self.metrics.depth_inc();
         if node.high {
             self.hi_injector.push(node);
         } else {
@@ -188,6 +195,10 @@ impl Shared {
     }
 
     fn execute(&self, node: Arc<Node>, worker_id: usize) {
+        // Counted unconditionally — cancelled skips included — so the
+        // executed counter always matches an enabled trace's record count.
+        self.metrics.depth_dec();
+        self.metrics.executed(worker_id);
         let closure = node.body.lock().closure.take();
         let start = self.epoch.elapsed();
         // After a failure latches, drop remaining bodies without running
@@ -224,6 +235,7 @@ impl Shared {
         if self.tracing.load(Ordering::Relaxed) {
             let end = self.epoch.elapsed();
             self.trace.lock().push(TaskRecord {
+                id: node.id,
                 name: node.name,
                 worker: worker_id,
                 start_us: start.as_micros() as u64,
@@ -248,29 +260,50 @@ impl Shared {
     }
 }
 
-fn find_task(shared: &Shared, local: &WorkerDeque<Arc<Node>>) -> Option<Arc<Node>> {
-    local.pop().or_else(|| loop {
+fn find_task(
+    shared: &Shared,
+    local: &WorkerDeque<Arc<Node>>,
+    worker_id: usize,
+) -> Option<Arc<Node>> {
+    if let Some(node) = local.pop() {
+        return Some(node);
+    }
+    loop {
         // Priority lane first: a ready critical-path task (deflation,
         // ReduceW, STEDC) must not queue behind commuting panel tasks.
         // These are popped singly — they are rare and serial by nature, so
         // batching them into one worker's local deque would only delay a
         // sibling's chance to pick one up.
-        let steal = shared
-            .hi_injector
-            .steal()
-            .or_else(|| shared.injector.steal_batch_and_pop(local))
-            .or_else(|| shared.stealers.iter().map(|s| s.steal()).collect());
-        match steal {
+        match shared.hi_injector.steal() {
+            Steal::Success(node) => {
+                shared.metrics.priority_hit(worker_id);
+                return Some(node);
+            }
+            Steal::Retry => continue,
+            Steal::Empty => {}
+        }
+        match shared.injector.steal_batch_and_pop(local) {
             Steal::Success(node) => return Some(node),
+            Steal::Retry => continue,
+            Steal::Empty => {}
+        }
+        // Both injectors empty: sweep the sibling deques. One sweep is one
+        // steal attempt for the metrics, successful or not.
+        shared.metrics.steal_attempt(worker_id);
+        match shared.stealers.iter().map(|s| s.steal()).collect() {
+            Steal::Success(node) => {
+                shared.metrics.steal_success(worker_id);
+                return Some(node);
+            }
             Steal::Empty => return None,
             Steal::Retry => continue,
         }
-    })
+    }
 }
 
 fn worker_loop(shared: Arc<Shared>, local: WorkerDeque<Arc<Node>>, worker_id: usize) {
     loop {
-        match find_task(&shared, &local) {
+        match find_task(&shared, &local, worker_id) {
             Some(node) => shared.execute(node, worker_id),
             None => {
                 if shared.stop.load(Ordering::Acquire) {
@@ -288,6 +321,7 @@ fn worker_loop(shared: Arc<Shared>, local: WorkerDeque<Arc<Node>>, worker_id: us
                     && shared.injector.is_empty()
                     && !shared.stop.load(Ordering::Acquire)
                 {
+                    shared.metrics.park(worker_id);
                     shared
                         .idle_cv
                         .wait_for(&mut guard, std::time::Duration::from_secs(1));
@@ -343,6 +377,8 @@ impl Runtime {
             failure: Mutex::new(None),
             cancelled: AtomicBool::new(false),
             trace: Mutex::new(Vec::new()),
+            trace_edges: Mutex::new(Vec::new()),
+            metrics: PoolCounters::new(num_threads),
             epoch: Instant::now(),
         });
         let threads = deques
@@ -394,19 +430,29 @@ impl Runtime {
         }
     }
 
-    /// Start recording per-task timing. Any previous trace is discarded.
+    /// Start recording per-task timing and dependency edges. Any previous
+    /// trace is discarded.
     pub fn enable_tracing(&self) {
         *self.shared.trace.lock() = Vec::new();
+        *self.shared.trace_edges.lock() = Vec::new();
         self.shared.tracing.store(true, Ordering::Relaxed);
     }
 
-    /// Stop tracing and return the records collected so far.
+    /// Stop tracing and return the records and edges collected so far.
     pub fn take_trace(&self) -> Trace {
         self.shared.tracing.store(false, Ordering::Relaxed);
         Trace {
             records: std::mem::take(&mut *self.shared.trace.lock()),
+            edges: std::mem::take(&mut *self.shared.trace_edges.lock()),
             num_workers: self.num_threads,
         }
+    }
+
+    /// Snapshot the scheduler counters accumulated since the pool started
+    /// (all zeros unless built with the `metrics` feature). Counters are
+    /// cumulative across phases; diff two snapshots to isolate one phase.
+    pub fn runtime_metrics(&self) -> RuntimeMetrics {
+        self.shared.metrics.snapshot()
     }
 
     /// Start recording the task DAG (names + dependency edges).
@@ -431,6 +477,10 @@ impl Runtime {
         let deps = st.tracker.submit(id, &accesses);
         if let Some(dag) = st.dag.as_mut() {
             dag.record(id, name, &deps);
+        }
+        if !deps.is_empty() && self.shared.tracing.load(Ordering::Relaxed) {
+            let mut edges = self.shared.trace_edges.lock();
+            edges.extend(deps.iter().map(|&d| (d, id)));
         }
         // The +1 sentinel keeps the task from firing while edges are wired.
         let node = Arc::new(Node {

@@ -1,8 +1,17 @@
 //! Execution traces: one record per executed task (Figures 3 and 4).
+//!
+//! A [`Trace`] is the flat record list plus the dependency edges observed
+//! at submission time, with exporters for the paper-style SVG timeline,
+//! an ASCII stand-in, a plain JSON dump, and the Chrome trace-event
+//! format ([`Trace::to_chrome_json`]) that `chrome://tracing` and
+//! Perfetto load directly — tasks as complete events on one lane per
+//! worker, dependency edges as flow arrows.
 
 /// Timing record for one executed task.
 #[derive(Clone, Copy, Debug)]
 pub struct TaskRecord {
+    /// Submission id of the task (matches [`Trace::edges`] endpoints).
+    pub id: usize,
     /// Kernel name as given at submission (`LAED4`, `UpdateVect`, ...).
     pub name: &'static str,
     /// Worker thread that executed the task.
@@ -17,6 +26,9 @@ pub struct TaskRecord {
 #[derive(Clone, Debug)]
 pub struct Trace {
     pub records: Vec<TaskRecord>,
+    /// Dependency edges `(predecessor id, successor id)` inferred at
+    /// submission while tracing was enabled.
+    pub edges: Vec<(usize, usize)>,
     pub num_workers: usize,
 }
 
@@ -26,6 +38,24 @@ pub struct KernelStat {
     pub name: &'static str,
     pub count: usize,
     pub total_us: u64,
+}
+
+/// One worker's activity profile inside the traced span
+/// ([`Trace::worker_timelines`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerTimeline {
+    /// Worker id (lane index).
+    pub worker: usize,
+    /// Tasks this worker executed.
+    pub tasks: usize,
+    /// Time spent inside task bodies, in microseconds.
+    pub busy_us: u64,
+    /// Idle time inside the traced span (makespan − busy), in microseconds.
+    pub idle_us: u64,
+    /// Idle gaps: before the first task, between tasks, after the last.
+    pub gaps: usize,
+    /// Longest single idle gap, in microseconds.
+    pub largest_gap_us: u64,
 }
 
 impl Trace {
@@ -41,13 +71,16 @@ impl Trace {
         self.records.iter().map(|r| r.end_us - r.start_us).sum()
     }
 
-    /// Fraction of worker time spent idle inside the traced span, in [0, 1].
+    /// Fraction of worker time spent idle inside the traced span, clamped
+    /// to [0, 1]: microsecond rounding of `start_us`/`end_us` can push the
+    /// summed busy time past `makespan × workers`, which would otherwise
+    /// surface as a (nonsense) negative idle fraction.
     pub fn idle_fraction(&self) -> f64 {
         let span = self.makespan_us() * self.num_workers as u64;
         if span == 0 {
             return 0.0;
         }
-        1.0 - self.busy_us() as f64 / span as f64
+        (1.0 - self.busy_us() as f64 / span as f64).clamp(0.0, 1.0)
     }
 
     /// Per-kernel totals, sorted by descending total time.
@@ -70,9 +103,55 @@ impl Trace {
         out
     }
 
-    /// Serialize the full trace to JSON (one object; `records` array
-    /// inside), pretty-printed with two-space indentation. Task names are
-    /// static identifiers, so no string escaping is required.
+    /// Per-worker busy/idle profile over the traced span: task count, busy
+    /// and idle totals, and the idle gaps (leading, between-task, and
+    /// trailing) with the largest one called out — the "where does the 35%
+    /// idle time live" question Figures 3–4 answer visually.
+    pub fn worker_timelines(&self) -> Vec<WorkerTimeline> {
+        let t0 = self.records.iter().map(|r| r.start_us).min().unwrap_or(0);
+        let t1 = self.records.iter().map(|r| r.end_us).max().unwrap_or(0);
+        let mut lanes: Vec<Vec<&TaskRecord>> = vec![Vec::new(); self.num_workers];
+        for r in &self.records {
+            if r.worker < lanes.len() {
+                lanes[r.worker].push(r);
+            }
+        }
+        lanes
+            .iter_mut()
+            .enumerate()
+            .map(|(worker, lane)| {
+                lane.sort_by_key(|r| (r.start_us, r.end_us));
+                let busy_us: u64 = lane.iter().map(|r| r.end_us - r.start_us).sum();
+                let mut gaps = 0usize;
+                let mut largest_gap_us = 0u64;
+                // `cursor` walks the lane; each jump forward is an idle gap.
+                let mut cursor = t0;
+                for r in lane.iter() {
+                    if r.start_us > cursor {
+                        gaps += 1;
+                        largest_gap_us = largest_gap_us.max(r.start_us - cursor);
+                    }
+                    cursor = cursor.max(r.end_us);
+                }
+                if t1 > cursor {
+                    gaps += 1;
+                    largest_gap_us = largest_gap_us.max(t1 - cursor);
+                }
+                WorkerTimeline {
+                    worker,
+                    tasks: lane.len(),
+                    busy_us,
+                    idle_us: (t1 - t0).saturating_sub(busy_us),
+                    gaps,
+                    largest_gap_us,
+                }
+            })
+            .collect()
+    }
+
+    /// Serialize the full trace to JSON (one object; `records` and `edges`
+    /// arrays inside), pretty-printed with two-space indentation. Task
+    /// names are static identifiers, so no string escaping is required.
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
         let mut out = String::from("{\n  \"records\": [");
@@ -80,9 +159,9 @@ impl Trace {
             let sep = if i + 1 < self.records.len() { "," } else { "" };
             write!(
                 out,
-                "\n    {{\n      \"name\": \"{}\",\n      \"worker\": {},\n      \
+                "\n    {{\n      \"id\": {},\n      \"name\": \"{}\",\n      \"worker\": {},\n      \
                  \"start_us\": {},\n      \"end_us\": {}\n    }}{sep}",
-                r.name, r.worker, r.start_us, r.end_us
+                r.id, r.name, r.worker, r.start_us, r.end_us
             )
             .unwrap();
         }
@@ -91,7 +170,85 @@ impl Trace {
         } else {
             out.push_str("\n  ],\n");
         }
+        out.push_str("  \"edges\": [");
+        for (i, (from, to)) in self.edges.iter().enumerate() {
+            let sep = if i + 1 < self.edges.len() { "," } else { "" };
+            write!(out, "[{from}, {to}]{sep}").unwrap();
+        }
+        out.push_str("],\n");
         write!(out, "  \"num_workers\": {}\n}}", self.num_workers).unwrap();
+        out
+    }
+
+    /// Export in the Chrome trace-event format (the `{"traceEvents": [...]}`
+    /// object form) consumed by `chrome://tracing` and Perfetto: one
+    /// metadata event naming each worker lane, one "X" (complete) event per
+    /// task with its submission id in `args`, and an "s"/"f" flow-event
+    /// pair per dependency edge whose two endpoints both executed, drawn
+    /// from the predecessor's end to the successor's start. Timestamps are
+    /// the trace's native microseconds.
+    pub fn to_chrome_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |out: &mut String, event: std::fmt::Arguments<'_>| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n  ");
+            out.write_fmt(event).unwrap();
+        };
+        for worker in 0..self.num_workers {
+            push(
+                &mut out,
+                format_args!(
+                    "{{\"ph\":\"M\",\"pid\":0,\"tid\":{worker},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"worker-{worker}\"}}}}"
+                ),
+            );
+        }
+        for r in &self.records {
+            push(
+                &mut out,
+                format_args!(
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\
+                     \"name\":\"{}\",\"cat\":\"task\",\"args\":{{\"id\":{}}}}}",
+                    r.worker,
+                    r.start_us,
+                    r.end_us - r.start_us,
+                    r.name,
+                    r.id
+                ),
+            );
+        }
+        let by_id: std::collections::HashMap<usize, &TaskRecord> =
+            self.records.iter().map(|r| (r.id, r)).collect();
+        for (i, (from, to)) in self.edges.iter().enumerate() {
+            let (Some(src), Some(dst)) = (by_id.get(from), by_id.get(to)) else {
+                continue;
+            };
+            push(
+                &mut out,
+                format_args!(
+                    "{{\"ph\":\"s\",\"pid\":0,\"tid\":{},\"ts\":{},\"id\":{i},\
+                     \"name\":\"dep\",\"cat\":\"dep\"}}",
+                    src.worker, src.end_us
+                ),
+            );
+            // bp:"e" binds the arrow head to the enclosing slice rather
+            // than the next event on the lane.
+            push(
+                &mut out,
+                format_args!(
+                    "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":{},\"ts\":{},\"id\":{i},\
+                     \"name\":\"dep\",\"cat\":\"dep\"}}",
+                    dst.worker,
+                    dst.start_us.max(src.end_us)
+                ),
+            );
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
         out
     }
 
@@ -202,29 +359,34 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::jsonv;
 
     fn sample() -> Trace {
         Trace {
             records: vec![
                 TaskRecord {
+                    id: 0,
                     name: "LAED4",
                     worker: 0,
                     start_us: 0,
                     end_us: 10,
                 },
                 TaskRecord {
+                    id: 1,
                     name: "LAED4",
                     worker: 1,
                     start_us: 0,
                     end_us: 10,
                 },
                 TaskRecord {
+                    id: 2,
                     name: "UpdateVect",
                     worker: 0,
                     start_us: 10,
                     end_us: 35,
                 },
             ],
+            edges: vec![(0, 2), (1, 2)],
             num_workers: 2,
         }
     }
@@ -236,6 +398,37 @@ mod tests {
         assert_eq!(t.busy_us(), 45);
         let idle = t.idle_fraction();
         assert!((idle - (1.0 - 45.0 / 70.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_fraction_clamps_rounding_overshoot() {
+        // Microsecond rounding can make per-record durations sum past the
+        // makespan (start rounded down, end rounded up): busy 12us over a
+        // 10us span on one worker used to yield idle_fraction == -0.2.
+        let t = Trace {
+            records: vec![
+                TaskRecord {
+                    id: 0,
+                    name: "A",
+                    worker: 0,
+                    start_us: 0,
+                    end_us: 6,
+                },
+                TaskRecord {
+                    id: 1,
+                    name: "B",
+                    worker: 0,
+                    start_us: 4,
+                    end_us: 10,
+                },
+            ],
+            edges: vec![],
+            num_workers: 1,
+        };
+        assert!(t.busy_us() > t.makespan_us() * t.num_workers as u64);
+        assert_eq!(t.idle_fraction(), 0.0);
+        let full = sample().idle_fraction();
+        assert!((0.0..=1.0).contains(&full));
     }
 
     #[test]
@@ -256,6 +449,68 @@ mod tests {
         let json = t.to_json();
         assert!(json.contains("UpdateVect"));
         assert!(json.contains("\"num_workers\": 2"));
+        let doc = jsonv::parse(&json).expect("to_json output must parse");
+        assert_eq!(doc.get("records").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(doc.get("edges").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn chrome_export_structure() {
+        let t = sample();
+        let doc = jsonv::parse(&t.to_chrome_json()).expect("chrome export must be valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let ph = |p: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some(p))
+                .count()
+        };
+        assert_eq!(ph("M"), 2, "one thread_name metadata event per worker");
+        assert_eq!(ph("X"), 3, "one complete event per record");
+        assert_eq!(ph("s"), 2, "one flow start per edge");
+        assert_eq!(ph("f"), 2, "one flow finish per edge");
+        // The UpdateVect slice carries its submission id and lane.
+        let x = events
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("UpdateVect"))
+            .unwrap();
+        assert_eq!(x.get("tid").unwrap().as_num(), Some(0.0));
+        assert_eq!(x.get("dur").unwrap().as_num(), Some(25.0));
+        assert_eq!(
+            x.get("args").unwrap().get("id").unwrap().as_num(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn chrome_export_skips_edges_without_records() {
+        let mut t = sample();
+        t.edges.push((0, 99)); // successor never executed (e.g. cancelled)
+        let doc = jsonv::parse(&t.to_chrome_json()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let flows = events
+            .iter()
+            .filter(|e| matches!(e.get("ph").and_then(|v| v.as_str()), Some("s" | "f")))
+            .count();
+        assert_eq!(flows, 4, "dangling edge must not emit flow events");
+    }
+
+    #[test]
+    fn worker_timelines_account_gaps() {
+        let t = sample();
+        let lanes = t.worker_timelines();
+        assert_eq!(lanes.len(), 2);
+        // Worker 0: LAED4 0-10, UpdateVect 10-35 — fully busy, no gaps.
+        assert_eq!(lanes[0].tasks, 2);
+        assert_eq!(lanes[0].busy_us, 35);
+        assert_eq!(lanes[0].idle_us, 0);
+        assert_eq!(lanes[0].gaps, 0);
+        // Worker 1: LAED4 0-10, then idle until 35.
+        assert_eq!(lanes[1].tasks, 1);
+        assert_eq!(lanes[1].busy_us, 10);
+        assert_eq!(lanes[1].idle_us, 25);
+        assert_eq!(lanes[1].gaps, 1);
+        assert_eq!(lanes[1].largest_gap_us, 25);
     }
 
     #[test]
@@ -285,6 +540,7 @@ mod tests {
     fn svg_of_empty_trace_is_valid() {
         let t = Trace {
             records: vec![],
+            edges: vec![],
             num_workers: 2,
         };
         let svg = t.to_svg(100, 10);
@@ -295,10 +551,14 @@ mod tests {
     fn empty_trace_is_benign() {
         let t = Trace {
             records: vec![],
+            edges: vec![],
             num_workers: 4,
         };
         assert_eq!(t.makespan_us(), 0);
         assert_eq!(t.idle_fraction(), 0.0);
         assert!(t.ascii_timeline(10).is_empty());
+        assert!(jsonv::parse(&t.to_json()).is_ok());
+        assert!(jsonv::parse(&t.to_chrome_json()).is_ok());
+        assert_eq!(t.worker_timelines().len(), 4);
     }
 }

@@ -14,6 +14,7 @@
 //! cancellation — the property eigenvector orthogonality rests on.
 
 use crate::simd;
+use dcst_matrix::metrics;
 use dcst_matrix::util::EPS;
 
 /// Failure of the root finder.
@@ -201,7 +202,9 @@ fn solve_root_impl(
 
     let split = if last { k - 1 } else { j + 1 };
     let mut converged = false;
+    let mut iters = 0u64;
     for _ in 0..maxit {
+        iters += 1;
         // Fused sweep: fill delta[i] = dk[i] − μ and accumulate the secular
         // sum, its absolute-value companion, and both side-wise derivative
         // sums in one dispatched pass over the k terms.
@@ -251,6 +254,7 @@ fn solve_root_impl(
             break;
         }
     }
+    let rescued = !converged;
     if !converged {
         // Safeguarded-bisection rescue: the rational model can stagnate on
         // extreme pole configurations, but the sign-tested bracket [lo, hi]
@@ -281,6 +285,12 @@ fn solve_root_impl(
                 break;
             }
         }
+    }
+    // One batched registry update per root solve (never per iteration).
+    metrics::add("secular.root_solves", 1);
+    metrics::add("secular.iters", iters);
+    if rescued {
+        metrics::add("secular.bisection_rescues", 1);
     }
     // Final delta refresh at the accepted μ.
     for (de, &dki) in delta.iter_mut().zip(&dk) {

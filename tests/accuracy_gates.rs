@@ -1,0 +1,118 @@
+//! DMPV accuracy gates: the normalized accuracy metrics of the paper's
+//! Figure 9 expressed in units of machine epsilon, asserted below a shared
+//! threshold for **every** generator in `dcst_tridiag::gen` and **every**
+//! D&C solver variant.
+//!
+//! The gated quantities are the LAPACK testing conventions
+//!
+//! * orthogonality  `‖VᵀV − I‖_max / (n·ε)`
+//! * residual       `max_i ‖T v_i − λ_i v_i‖₂ / (‖T‖·n·ε)`
+//!
+//! which [`orthogonality_error`] / [`residual_error`] already compute up to
+//! the `1/ε` factor. A healthy solver sits at O(1) in these units; the gate
+//! is deliberately roomy at 50 so it only trips on genuine accuracy
+//! regressions (a lost digit is a factor ~10), never on noise.
+
+use dcst::prelude::*;
+use dcst::tridiag::gen::{application_suite, glued_wilkinson};
+use dcst::tridiag::MatrixType as MT;
+
+/// Shared gate for both metrics, in units of ε (see module docs).
+const GATE: f64 = 50.0;
+
+const EPS: f64 = f64::EPSILON;
+
+fn opts(threads: usize) -> DcOptions {
+    DcOptions {
+        min_part: 16,
+        nb: 24,
+        threads,
+        ..DcOptions::default()
+    }
+}
+
+/// All four D&C variants, freshly constructed (the sequential variant is
+/// pinned to one thread by construction).
+fn solvers() -> Vec<Box<dyn TridiagEigensolver>> {
+    vec![
+        Box::new(SequentialDc::new(opts(1))),
+        Box::new(ForkJoinDc::new(opts(2))),
+        Box::new(LevelParallelDc::new(opts(2))),
+        Box::new(TaskFlowDc::new(opts(2))),
+    ]
+}
+
+/// Assert both DMPV gates for one (matrix, solver) pair.
+fn assert_gates(t: &SymTridiag, solver: &dyn TridiagEigensolver, who: &str) {
+    let n = t.n() as f64;
+    let eig = solver
+        .solve(t)
+        .unwrap_or_else(|e| panic!("{who}: solve failed: {e}"));
+    // orthogonality_error = ‖VᵀV − I‖_max / n, so ÷ε gives the gated form.
+    let orth = orthogonality_error(&eig.vectors) / EPS;
+    assert!(
+        orth < GATE,
+        "{who}: orthogonality gate: {orth:.1} eps (limit {GATE})"
+    );
+    // residual_error = max_i ‖Tv−λv‖₂ / (‖T‖·n), so ÷ε gives the gated form.
+    let res = residual_error(
+        t.n(),
+        |x, y| t.matvec(x, y),
+        &eig.values,
+        &eig.vectors,
+        t.max_norm(),
+    ) / EPS;
+    assert!(
+        res < GATE,
+        "{who}: residual gate: {res:.1} eps (limit {GATE})"
+    );
+    let _ = n;
+}
+
+#[test]
+fn table_iii_types_pass_the_gates_on_every_solver() {
+    let n = 96;
+    for ty in MT::ALL {
+        let t = ty.generate(n, 42);
+        for solver in solvers() {
+            let who = format!("type {} / {}", ty.index(), solver.name());
+            assert_gates(&t, solver.as_ref(), &who);
+        }
+    }
+}
+
+#[test]
+fn application_matrices_pass_the_gates_on_every_solver() {
+    for app in application_suite(&[72]) {
+        for solver in solvers() {
+            let who = format!("{} / {}", app.name, solver.name());
+            assert_gates(&app.matrix, solver.as_ref(), &who);
+        }
+    }
+}
+
+#[test]
+fn glued_wilkinson_passes_the_gates_on_every_solver() {
+    // Clustered spectrum with near-reducible glue: the classic stress case
+    // for eigenvector orthogonality.
+    let t = glued_wilkinson(11, 5, 1e-9);
+    for solver in solvers() {
+        let who = format!("glued-wilkinson / {}", solver.name());
+        assert_gates(&t, solver.as_ref(), &who);
+    }
+}
+
+#[test]
+fn gates_are_scale_invariant() {
+    // The normalized metrics must not move when the matrix is scaled: gate
+    // a badly-scaled copy of a prescribed-spectrum type.
+    let t = MT::Type4.generate(64, 7);
+    let scaled = SymTridiag::new(
+        t.d.iter().map(|x| x * 1e150).collect(),
+        t.e.iter().map(|x| x * 1e150).collect(),
+    );
+    for solver in solvers() {
+        let who = format!("scaled type 4 / {}", solver.name());
+        assert_gates(&scaled, solver.as_ref(), &who);
+    }
+}
