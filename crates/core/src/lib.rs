@@ -32,6 +32,7 @@ mod merge;
 mod metrics;
 mod opcount;
 mod seq;
+mod structured;
 mod taskflow;
 mod tree;
 

@@ -450,19 +450,29 @@ pub(crate) fn merge_sequential(
         let partials = vec![local_w_panel(&defl, x, k, 0..k)];
         let zhat = reduce_w_panels(&defl, &partials);
         compute_vect_panel(&defl, &zhat, x, k, 0..k);
-        update_vect_panel(
-            &ws_panel[vb0..],
-            x,
-            k,
-            v_panel,
-            ld,
-            row_off,
-            nm,
-            n1,
-            &defl,
-            0..k,
-            gemm_threads,
-        )?;
+        // Auto-switch: rank-probe the secular matrix and take the
+        // compressed multiply when it is strictly cheaper than the dense
+        // oracle (see crate::structured); the dense two-GEMM path stays
+        // the default and the fallback.
+        match crate::structured::plan_update(&ws_panel[vb0..], x, k, ld, nm, n1, &defl, ld) {
+            Some(su) => {
+                su.compute_all_bases(gemm_threads);
+                su.update_panel(v_panel, ld, row_off, nm, 0..k, gemm_threads)?;
+            }
+            None => update_vect_panel(
+                &ws_panel[vb0..],
+                x,
+                k,
+                v_panel,
+                ld,
+                row_off,
+                nm,
+                n1,
+                &defl,
+                0..k,
+                gemm_threads,
+            )?,
+        }
     }
     if k < nm {
         copy_back_panel(

@@ -42,6 +42,14 @@ pub struct SolverMetrics {
     pub gemm_calls: u64,
     /// Floating-point operations issued by those GEMMs (`2·m·n·k` each).
     pub gemm_flops: u64,
+    /// Merges whose eigenvector update ran the rank-structured path.
+    pub structured_merges: u64,
+    /// ACA-compressed off-diagonal tiles across those merges.
+    pub structured_blocks: u64,
+    /// Sum of achieved ranks over the compressed tiles.
+    pub structured_rank: u64,
+    /// Flops the structured path saved versus the dense oracle (planned).
+    pub structured_flops_saved: u64,
 }
 
 impl SolverMetrics {
@@ -81,11 +89,20 @@ impl SolverMetrics {
             self.steqr_sweeps, self.steqr_exceptional_rescues
         )
         .unwrap();
-        write!(
+        writeln!(
             out,
             "gemm: {} calls, {:.3} Gflop",
             self.gemm_calls,
             self.gemm_flops as f64 / 1e9
+        )
+        .unwrap();
+        write!(
+            out,
+            "structured: {} merges, {} compressed blocks (total rank {}), {:.3} Gflop saved",
+            self.structured_merges,
+            self.structured_blocks,
+            self.structured_rank,
+            self.structured_flops_saved as f64 / 1e9
         )
         .unwrap();
         out
@@ -129,7 +146,16 @@ impl SolverMetrics {
         )
         .unwrap();
         writeln!(out, "  \"gemm_calls\": {},", self.gemm_calls).unwrap();
-        writeln!(out, "  \"gemm_flops\": {}", self.gemm_flops).unwrap();
+        writeln!(out, "  \"gemm_flops\": {},", self.gemm_flops).unwrap();
+        writeln!(out, "  \"structured_merges\": {},", self.structured_merges).unwrap();
+        writeln!(out, "  \"structured_blocks\": {},", self.structured_blocks).unwrap();
+        writeln!(out, "  \"structured_rank\": {},", self.structured_rank).unwrap();
+        writeln!(
+            out,
+            "  \"structured_flops_saved\": {}",
+            self.structured_flops_saved
+        )
+        .unwrap();
         out.push('}');
         out
     }
@@ -167,6 +193,10 @@ impl MetricsRecorder {
             steqr_exceptional_rescues: d.get("steqr.exceptional_rescues"),
             gemm_calls: d.get("gemm.calls"),
             gemm_flops: d.get("gemm.flops"),
+            structured_merges: d.get("update.structured_merges"),
+            structured_blocks: d.get("update.structured_blocks"),
+            structured_rank: d.get("update.structured_rank"),
+            structured_flops_saved: d.get("update.flops_saved"),
         }
     }
 }
@@ -235,6 +265,7 @@ mod tests {
         }
         let rep = m.report();
         assert!(rep.contains("root solves"));
+        assert!(rep.contains("compressed blocks"));
         assert!(dcst_runtime::jsonv::parse(&m.to_json()).is_ok());
     }
 
@@ -247,5 +278,11 @@ mod tests {
             doc.get("merge_deflation").unwrap().as_arr().unwrap().len(),
             2
         );
+        assert!(doc.get("structured_merges").unwrap().as_num().is_some());
+        assert!(doc
+            .get("structured_flops_saved")
+            .unwrap()
+            .as_num()
+            .is_some());
     }
 }

@@ -64,6 +64,10 @@ struct NodeCell {
     idxq: Mutex<Option<Arc<Vec<usize>>>>,
     partials: Mutex<Vec<Option<Vec<f64>>>>,
     stat: Mutex<Option<MergeStat>>,
+    /// Rank-structured update plan for this merge; `None` means the dense
+    /// path (either the auto-switch chose it or `CompressW` hasn't run —
+    /// the node-key epochs guarantee the latter never races `UpdateVect`).
+    structured: Mutex<Option<Arc<crate::structured::StructuredUpdate>>>,
 }
 
 impl NodeCell {
@@ -401,7 +405,7 @@ impl TaskFlowDc {
                     });
             }
 
-            // Phase 2 panels.
+            // Phase 2a panels (CopyBackDeflated + ComputeVect).
             for p in 0..npanels {
                 let s0 = p * nb;
                 let s1 = ((p + 1) * nb).min(nm);
@@ -453,7 +457,65 @@ impl TaskFlowDc {
                             compute_vect_panel(&defl, &zhat, xc, n, j0..j1);
                         });
                 }
-                // UpdateVect (both structured GEMMs for this panel).
+            }
+
+            // CompressW: once every ComputeVect epoch retires, rank-probe
+            // the secular matrix and build the compressed operands +
+            // gathered Q when the structured path wins (crate::structured).
+            // The INOUT access on the node key orders it after the phase-2a
+            // GATHERV writers and before the UpdateVect group; its borrows
+            // (whole ws/X block, read) are covered by the node key the
+            // buffers are bound to, so the access-check tracker validates
+            // the footprint.
+            {
+                let (ws, x) = (ws.clone(), x.clone());
+                let cells = cells.clone();
+                rt.task("CompressW")
+                    .high_priority()
+                    .read_write(key_node(m))
+                    .spawn(move || {
+                        let defl = cells[m].defl();
+                        let k = defl.k;
+                        if k == 0 {
+                            return;
+                        }
+                        // SAFETY: node-key epoch excludes every writer of
+                        // the block; ws and X are read-shared here.
+                        let wb = unsafe { ws.range(off * n + off..block_end(k)) };
+                        let xb = unsafe { x.range(off * n + off..block_end(k)) };
+                        let plan = crate::structured::plan_update(wb, xb, n, n, nm, n1, &defl, n);
+                        if let Some(su) = plan {
+                            *cells[m].structured.lock().unwrap() = Some(Arc::new(su));
+                        }
+                    });
+            }
+            // StructBasis: the per-tile Q·U products, fanned out
+            // round-robin over a fixed panel-count of commuting tasks (the
+            // DAG stays matrix-independent; each is a no-op on dense
+            // merges). They touch only plan-owned buffers, so the node key
+            // is their whole footprint.
+            for p in 0..npanels {
+                let cells = cells.clone();
+                panel_task(rt, "StructBasis", key_node(m), use_gatherv).spawn(move || {
+                    let su = cells[m].structured.lock().unwrap().clone();
+                    if let Some(su) = su {
+                        su.compute_basis_chunk(p, npanels, 1);
+                    }
+                });
+            }
+            // StructJoin: epoch barrier so every basis product is in place
+            // before the first UpdateVect reads them.
+            rt.task("StructJoin")
+                .high_priority()
+                .read_write(key_node(m))
+                .spawn(|| {});
+
+            // Phase 2b panels: the eigenvector update itself.
+            for p in 0..npanels {
+                let s0 = p * nb;
+                let s1 = ((p + 1) * nb).min(nm);
+                // UpdateVect (dense: both structured GEMMs for this panel;
+                // structured: the compressed multiply for its columns).
                 {
                     let (v, ws, x) = (v.clone(), ws.clone(), x.clone());
                     let cells = cells.clone();
@@ -466,6 +528,16 @@ impl TaskFlowDc {
                             let j1 = s1.min(k);
                             if j0 >= j1 {
                                 return Ok(());
+                            }
+                            if let Some(su) = cells[m].structured.lock().unwrap().clone() {
+                                // Relabel this record so traces show the
+                                // structured and dense variants distinctly.
+                                dcst_runtime::set_task_trace_name("UpdateVectStructured");
+                                // SAFETY: V columns j0..j1 (full height)
+                                // are exclusive to this panel; the plan
+                                // owns its operands.
+                                let vc = unsafe { v.range_mut((off + j0) * n..(off + j1) * n) };
+                                return su.update_panel(vc, n, off, nm, j0..j1, 1);
                             }
                             // SAFETY: ws block is read-shared in this phase; V
                             // columns j0..j1 (full height) are exclusive.
@@ -674,11 +746,16 @@ mod tests {
             "ReduceW",
             "CopyBackDeflated",
             "ComputeVect",
-            "UpdateVect",
             "ScaleBack",
         ] {
             assert!(names.contains(expect), "missing kernel {expect}");
         }
+        // The update shows up under its dense name or, when the policy
+        // picks the compressed path, the structured rename.
+        assert!(
+            names.contains("UpdateVect") || names.contains("UpdateVectStructured"),
+            "missing kernel UpdateVect(Structured)"
+        );
     }
 
     #[test]

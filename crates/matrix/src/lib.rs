@@ -13,6 +13,7 @@ mod blas;
 mod check;
 pub mod failpoints;
 mod kernel;
+pub mod lowrank;
 mod matrix;
 mod merge;
 pub mod metrics;
@@ -24,6 +25,7 @@ mod workspace;
 pub use blas::{axpy, dot, gemm, gemm_axpy_ref, gemm_par, gemv, nrm2, scal};
 pub use check::{orthogonality_error, residual_error, symmetric_residual_error};
 pub use kernel::{KC, MC, MR, MR_SMALL, NC, NR};
+pub use lowrank::{set_update_policy, update_policy, UpdatePolicy};
 pub use matrix::Matrix;
 pub use merge::merge_perm;
 pub use pool::pool_workers;

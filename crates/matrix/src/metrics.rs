@@ -18,7 +18,7 @@
 //! own contribution) — concurrent solves can only add, never subtract.
 
 /// The registered counter names, in snapshot order.
-pub const NAMES: [&str; 7] = [
+pub const NAMES: [&str; 11] = [
     "secular.root_solves",
     "secular.iters",
     "secular.bisection_rescues",
@@ -26,6 +26,10 @@ pub const NAMES: [&str; 7] = [
     "steqr.exceptional_rescues",
     "gemm.calls",
     "gemm.flops",
+    "update.structured_merges",
+    "update.structured_blocks",
+    "update.structured_rank",
+    "update.flops_saved",
 ];
 
 fn index_of(name: &str) -> usize {

@@ -30,6 +30,25 @@ use std::time::Instant;
 /// Boxed error type carried through the runtime's failure channel.
 pub type BoxError = Box<dyn std::error::Error + Send + Sync + 'static>;
 
+std::thread_local! {
+    /// Trace-name override for the task currently executing on this
+    /// worker; consumed (and cleared) when its record is written.
+    static TRACE_NAME_OVERRIDE: std::cell::Cell<Option<&'static str>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Rename the currently executing task in the execution trace.
+///
+/// Task names are fixed at submission time, but some task bodies choose a
+/// variant at run time (e.g. `UpdateVect` picking the rank-structured
+/// multiply); calling this from inside the body relabels this execution's
+/// trace record so profiles show the variants distinctly. A no-op outside
+/// a task or with tracing disabled; the override never leaks to the next
+/// task on the worker.
+pub fn set_task_trace_name(name: &'static str) {
+    TRACE_NAME_OVERRIDE.with(|c| c.set(Some(name)));
+}
+
 type TaskFn = Box<dyn FnOnce() -> Result<(), BoxError> + Send + 'static>;
 
 /// How a task failed: a caught panic, or a typed error returned from a
@@ -232,11 +251,14 @@ impl Shared {
                 }
             }
         }
+        // Always drained, traced or not, so an override set by this body
+        // can never label a later task on the same worker.
+        let renamed = TRACE_NAME_OVERRIDE.with(|c| c.take());
         if self.tracing.load(Ordering::Relaxed) {
             let end = self.epoch.elapsed();
             self.trace.lock().push(TaskRecord {
                 id: node.id,
-                name: node.name,
+                name: renamed.unwrap_or(node.name),
                 worker: worker_id,
                 start_us: start.as_micros() as u64,
                 end_us: end.as_micros() as u64,

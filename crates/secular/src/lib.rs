@@ -26,6 +26,7 @@
 mod deflate;
 mod roots;
 mod simd;
+pub mod structured;
 mod vectors;
 
 pub use deflate::{deflate, Deflation, DeflationInput, GivensRot, SlotType};
@@ -34,6 +35,9 @@ pub use roots::{
     SecularError,
 };
 pub use simd::{max_abs, max_abs_scalar};
+pub use structured::{
+    compress_secular_x, estimate_offdiag_rank, leaf_size, rank_tolerance, StructuredX,
+};
 pub use vectors::{
     assemble_vectors, assemble_vectors_scalar, local_w_products, local_w_products_scalar, reduce_w,
 };

@@ -1,0 +1,390 @@
+//! Rank-structured view of the secular eigenvector matrix.
+//!
+//! In ascending-pole (secular) order the eigenvector matrix of
+//! `D + ρzzᵀ` is Cauchy-like,
+//!
+//! ```text
+//! x̃_ij = (ẑᵢ / (dᵢ − λⱼ)) / ‖·‖ⱼ ,
+//! ```
+//!
+//! and interlacing (`dᵢ < λᵢ < dᵢ₊₁`) confines the singular band to
+//! `i ≈ j`: off-diagonal blocks are smooth and admit low-rank compression
+//! (Li–Liao–Liu–Jiang, arXiv:1510.04591). The workspace stores `X` with
+//! rows *slot-permuted* (Top|Full|Bottom grouping), which scrambles that
+//! structure, so everything here reads `X` through the secular-ordered
+//! view `x̃[i][j] = x[j·ld + sec_to_slot[i]]`.
+//!
+//! This module owns the secular-specific policy pieces:
+//!
+//! * [`rank_tolerance`] — compression tolerance derived from the DMPV
+//!   accuracy budget (residual + orthogonality < 50 nε);
+//! * [`estimate_offdiag_rank`] — a cheap sampled-ACA probe of the level-1
+//!   off-diagonal block, used by the per-merge auto-switch;
+//! * [`compress_secular_x`] — HSS-style two-level (recursing further for
+//!   large merges) block partitioning into a top and a bottom
+//!   [`StructuredMatrix`] that mirror the dense path's two GEMMs: the top
+//!   operand holds the Top∪Full rows, the bottom operand the Full∪Bottom
+//!   rows, each in ascending secular order with diagonal tiles dense and
+//!   off-diagonal tiles ACA-compressed (falling back to dense tiles when
+//!   a block refuses to compress).
+
+use crate::deflate::{Deflation, SlotType};
+use dcst_matrix::lowrank::{aca, materialize, StructuredMatrix, Tile, TileKind};
+
+/// Compression tolerance for a merge of size `k` inside a global problem
+/// of size `n`.
+///
+/// The accuracy gates bound `‖VᵀV − I‖_max / (nε)` and the scaled residual
+/// by 50. A per-tile relative Frobenius tolerance `τ` perturbs the secular
+/// eigenvector matrix by `‖E‖_F ≤ τ·‖X̃‖_F = τ·√k` (X̃ has orthonormal
+/// columns), and the update multiplies by an orthogonal `Q`, so the
+/// vectors move by at most `τ·√k` — keeping `τ·√k ≤ 4nε` leaves the gates
+/// an order of magnitude of headroom above the dense baseline.
+pub fn rank_tolerance(n: usize, k: usize) -> f64 {
+    (4.0 * n as f64 * f64::EPSILON / (k.max(1) as f64).sqrt()).max(1e-15)
+}
+
+/// Sampled-ACA probe of the level-1 off-diagonal block (secular rows
+/// `0..k/2` × columns `k/2..k`) on a strided `sample × sample` subgrid.
+/// Returns the achieved rank of the sample, or `sample` when even the
+/// subgrid refuses to compress — the auto-switch treats that as "high
+/// rank, stay dense". Cost: O(sample²·r) entry reads.
+pub fn estimate_offdiag_rank(
+    x: &[f64],
+    ld: usize,
+    k: usize,
+    sec_to_slot: &[usize],
+    tol: f64,
+) -> usize {
+    let half = k / 2;
+    let sample = half.min(40);
+    if sample == 0 {
+        return 0;
+    }
+    let mut entry = |a: usize, b: usize| {
+        let i = a * half / sample; // row in 0..half
+        let j = half + b * (k - half) / sample; // col in half..k
+        x[j * ld + sec_to_slot[i]]
+    };
+    match aca(sample, sample, &mut entry, tol, sample) {
+        Some(lr) => lr.rank,
+        None => sample,
+    }
+}
+
+/// The compressed secular eigenvector matrix, split the way the dense
+/// update splits its two GEMMs.
+pub struct StructuredX {
+    /// Top∪Full rows (`ctot[0]+ctot[1]` of them) × k columns.
+    pub top: StructuredMatrix,
+    /// Full∪Bottom rows (`ctot[1]+ctot[2]` of them) × k columns.
+    pub bot: StructuredMatrix,
+    /// Storage slot of each top row, ascending secular order — the column
+    /// of the workspace block to gather for that row of the top operand.
+    pub top_slots: Vec<usize>,
+    /// Storage slot of each bottom row, ascending secular order.
+    pub bot_slots: Vec<usize>,
+}
+
+impl StructuredX {
+    /// Compressed (low-rank) tiles across both operands.
+    pub fn compressed_tiles(&self) -> usize {
+        self.top.compressed_tiles() + self.bot.compressed_tiles()
+    }
+
+    /// Sum of achieved ranks across both operands.
+    pub fn total_rank(&self) -> usize {
+        self.top.total_rank() + self.bot.total_rank()
+    }
+
+    /// Flops of the structured update for top/bottom output heights
+    /// `n1` / `n2` (including the `Q·U` basis products).
+    pub fn multiply_flops(&self, n1: usize, n2: usize) -> u64 {
+        self.top.multiply_flops(n1) + self.bot.multiply_flops(n2)
+    }
+}
+
+/// Hierarchically tile and compress one row-subset operand of the secular
+/// matrix.
+///
+/// `rows_sec[a]` is the (ascending) secular index of operand row `a` and
+/// `slots[a]` its storage slot; entries are read as
+/// `x[(col)·ld + slots[a]]`. Columns are split at their midpoint, rows at
+/// the matching secular value, recursively while both sides exceed
+/// `leaf`; the two off-diagonal blocks of every split are ACA-compressed
+/// (dense fallback when the rank cap `min(dims)/2` trips), diagonal
+/// leaves are materialized dense.
+pub fn compress_rows(
+    x: &[f64],
+    ld: usize,
+    k: usize,
+    slots: &[usize],
+    rows_sec: &[usize],
+    tol: f64,
+    leaf: usize,
+) -> StructuredMatrix {
+    debug_assert_eq!(slots.len(), rows_sec.len());
+    let mut tiles = Vec::new();
+    build_tiles(
+        x,
+        ld,
+        slots,
+        rows_sec,
+        0,
+        slots.len(),
+        0,
+        k,
+        tol,
+        leaf.max(2),
+        &mut tiles,
+    );
+    StructuredMatrix {
+        rows: slots.len(),
+        cols: k,
+        tiles,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_tiles(
+    x: &[f64],
+    ld: usize,
+    slots: &[usize],
+    rows_sec: &[usize],
+    a0: usize,
+    a1: usize,
+    c0: usize,
+    c1: usize,
+    tol: f64,
+    leaf: usize,
+    tiles: &mut Vec<Tile>,
+) {
+    if a0 == a1 || c0 == c1 {
+        return;
+    }
+    let (tr, tc) = (a1 - a0, c1 - c0);
+    let mut entry = |i: usize, j: usize| x[(c0 + j) * ld + slots[a0 + i]];
+    // Recursion depth is governed by the column span (the row span of a
+    // split operand is roughly half of it, since only every other secular
+    // row survives into the top/bottom subset); a near-empty row strip is
+    // cheapest dense.
+    if tc <= 2 * leaf || tr <= 8 {
+        tiles.push(Tile {
+            r0: a0,
+            r1: a1,
+            c0,
+            c1,
+            kind: TileKind::Dense(materialize(tr, tc, &mut entry)),
+        });
+        return;
+    }
+    let cmid = (c0 + c1) / 2;
+    let amid = a0 + rows_sec[a0..a1].partition_point(|&s| s < cmid);
+    // The two off-diagonal blocks of this split: smooth Cauchy-like
+    // regions, compressed (or kept dense if the cap trips).
+    for (r0, r1, cc0, cc1) in [(a0, amid, cmid, c1), (amid, a1, c0, cmid)] {
+        if r0 == r1 || cc0 == cc1 {
+            continue;
+        }
+        let (br, bc) = (r1 - r0, cc1 - cc0);
+        let mut bentry = |i: usize, j: usize| x[(cc0 + j) * ld + slots[r0 + i]];
+        let cap = (br.min(bc) / 2).max(1);
+        let kind = match aca(br, bc, &mut bentry, tol, cap) {
+            Some(lr) => TileKind::LowRank(lr),
+            None => TileKind::Dense(materialize(br, bc, &mut bentry)),
+        };
+        tiles.push(Tile {
+            r0,
+            r1,
+            c0: cc0,
+            c1: cc1,
+            kind,
+        });
+    }
+    // Recurse on the two diagonal blocks.
+    build_tiles(x, ld, slots, rows_sec, a0, amid, c0, cmid, tol, leaf, tiles);
+    build_tiles(x, ld, slots, rows_sec, amid, a1, cmid, c1, tol, leaf, tiles);
+}
+
+/// Compress the full secular eigenvector matrix of one merge into the
+/// top/bottom operand pair of the structured update. `x` is the k-column
+/// workspace block produced by vector assembly (rows slot-permuted), `ld`
+/// its leading dimension.
+pub fn compress_secular_x(
+    x: &[f64],
+    ld: usize,
+    defl: &Deflation,
+    tol: f64,
+    leaf: usize,
+) -> StructuredX {
+    let k = defl.k;
+    let full_lo = defl.ctot[0];
+    let full_hi = defl.ctot[0] + defl.ctot[1];
+    let mut top_slots = Vec::with_capacity(full_hi);
+    let mut top_sec = Vec::with_capacity(full_hi);
+    let mut bot_slots = Vec::with_capacity(defl.ctot[1] + defl.ctot[2]);
+    let mut bot_sec = Vec::with_capacity(defl.ctot[1] + defl.ctot[2]);
+    for i in 0..k {
+        let slot = defl.sec_to_slot[i];
+        debug_assert!(matches!(
+            defl.slot_type[slot],
+            SlotType::Top | SlotType::Full | SlotType::Bottom
+        ));
+        if slot < full_hi {
+            top_slots.push(slot);
+            top_sec.push(i);
+        }
+        if slot >= full_lo {
+            bot_slots.push(slot);
+            bot_sec.push(i);
+        }
+    }
+    let top = compress_rows(x, ld, k, &top_slots, &top_sec, tol, leaf);
+    let bot = compress_rows(x, ld, k, &bot_slots, &bot_sec, tol, leaf);
+    StructuredX {
+        top,
+        bot,
+        top_slots,
+        bot_slots,
+    }
+}
+
+/// Leaf size for the hierarchical partition: an eighth of the merge,
+/// clamped so leaves stay big enough to hit the packed GEMM's efficient
+/// regime but small enough that dense diagonal work shrinks. The `force`
+/// variant (gate testing on tiny merges) splits much finer so even k≈16
+/// exercises compressed tiles.
+pub fn leaf_size(k: usize, force: bool) -> usize {
+    if force {
+        (k / 16).max(2)
+    } else {
+        (k / 16).clamp(32, 128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{local_w_products, reduce_w, solve_secular_root};
+    use dcst_matrix::lowrank::reconstruct;
+
+    /// Solve a k×k secular problem with well-interlaced poles and return
+    /// (x in secular row order, k).
+    fn secular_x(k: usize) -> Vec<f64> {
+        let d: Vec<f64> = (0..k)
+            .map(|i| i as f64 + 0.3 * ((i * 7 % 5) as f64) / 5.0)
+            .collect();
+        let mut z: Vec<f64> = (0..k).map(|i| 0.5 + ((i * 13 % 7) as f64) / 7.0).collect();
+        let n: f64 = z.iter().map(|x| x * x).sum::<f64>().sqrt();
+        z.iter_mut().for_each(|x| *x /= n);
+        let rho = 1.0;
+        let mut deltas = vec![0.0; k * k];
+        for j in 0..k {
+            solve_secular_root(j, &d, &z, rho, &mut deltas[j * k..(j + 1) * k]).unwrap();
+        }
+        let zhat = reduce_w(&z, &[local_w_products(&d, &deltas, k, 0, 0..k)]);
+        let ident: Vec<usize> = (0..k).collect();
+        crate::assemble_vectors(&zhat, &mut deltas, k, 0, 0..k, &ident);
+        deltas
+    }
+
+    #[test]
+    #[ignore = "manual profiling helper"]
+    fn profile_compress_k1000() {
+        let k = 1000;
+        let x = secular_x(k);
+        let ident: Vec<usize> = (0..k).collect();
+        let tol = rank_tolerance(k, k);
+        let leaf = leaf_size(k, false);
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            let sm = compress_rows(&x, k, k, &ident, &ident, tol, leaf);
+            let dt = t0.elapsed();
+            let dense_entries: usize = sm
+                .tiles
+                .iter()
+                .filter(|t| matches!(t.kind, TileKind::Dense(_)))
+                .map(|t| (t.r1 - t.r0) * (t.c1 - t.c0))
+                .sum();
+            eprintln!(
+                "compress_rows k={k}: {:?} tiles={} lowrank={} rank={} dense_entries={}",
+                dt,
+                sm.tiles.len(),
+                sm.compressed_tiles(),
+                sm.total_rank(),
+                dense_entries
+            );
+            let t1 = std::time::Instant::now();
+            let est = estimate_offdiag_rank(&x, k, k, &ident, tol);
+            eprintln!("probe: {:?} est={est}", t1.elapsed());
+        }
+    }
+
+    #[test]
+    fn tolerance_scales_with_budget() {
+        assert!(rank_tolerance(1000, 1000) < 1e-12);
+        assert!(rank_tolerance(1000, 1000) > 1e-15);
+        assert!(rank_tolerance(100, 100) >= 1e-15);
+    }
+
+    #[test]
+    fn offdiag_rank_is_low_for_interlaced_poles() {
+        let k = 96;
+        let x = secular_x(k);
+        let ident: Vec<usize> = (0..k).collect();
+        let tol = rank_tolerance(k, k);
+        let est = estimate_offdiag_rank(&x, k, k, &ident, tol);
+        assert!(est > 0 && est < 24, "estimated rank {est}");
+    }
+
+    #[test]
+    fn compress_rows_reconstructs_x() {
+        let k = 96;
+        let x = secular_x(k);
+        let ident: Vec<usize> = (0..k).collect();
+        let tol = rank_tolerance(k, k);
+        let sm = compress_rows(&x, k, k, &ident, &ident, tol, 12);
+        assert!(sm.compressed_tiles() > 0, "expected compressed tiles");
+        // Every entry covered exactly once and accurately.
+        let a = reconstruct(&sm);
+        let mut worst = 0.0f64;
+        for j in 0..k {
+            for i in 0..k {
+                worst = worst.max((a[j * k + i] - x[j * k + i]).abs());
+            }
+        }
+        assert!(worst < 1e-11, "worst reconstruction error {worst}");
+        // The compression must actually save multiply flops.
+        assert!(sm.multiply_flops(k) < 2 * (k * k * k) as u64);
+    }
+
+    #[test]
+    fn scrambled_rows_are_recovered_through_slot_map() {
+        // Store x with permuted rows, read through slots: reconstruction
+        // must match the secular-ordered matrix.
+        let k = 64;
+        let x = secular_x(k);
+        let mut perm: Vec<usize> = (0..k).collect();
+        // Deterministic scramble.
+        for i in 0..k {
+            perm.swap(i, (i * 37 + 11) % k);
+        }
+        let mut scrambled = vec![0.0; k * k];
+        for j in 0..k {
+            for i in 0..k {
+                scrambled[j * k + perm[i]] = x[j * k + i];
+            }
+        }
+        let rows_sec: Vec<usize> = (0..k).collect();
+        let sm = compress_rows(&scrambled, k, k, &perm, &rows_sec, 1e-13, 8);
+        let a = reconstruct(&sm);
+        for j in 0..k {
+            for i in 0..k {
+                assert!(
+                    (a[j * k + i] - x[j * k + i]).abs() < 1e-11,
+                    "entry ({i},{j})"
+                );
+            }
+        }
+    }
+}

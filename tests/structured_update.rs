@@ -1,0 +1,212 @@
+//! Oracle suite for the rank-structured eigenvector update: the dense
+//! `UpdateVect` path is the pinned oracle, and the ACA-compressed path must
+//! agree with it through the DMPV accuracy gates — across the fifteen
+//! Table III generators, the glued-Wilkinson stress case, random
+//! tridiagonals (proptest), and every D&C solver variant.
+//!
+//! The update policy knob is process-global, so every test here serializes
+//! on one mutex; tests never leave a forced policy behind.
+
+use dcst::matrix::{set_update_policy, UpdatePolicy};
+use dcst::prelude::*;
+use dcst::secular;
+use dcst::tridiag::gen::glued_wilkinson;
+use dcst::tridiag::MatrixType as MT;
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+/// Shared DMPV gate in units of ε (see tests/accuracy_gates.rs).
+const GATE: f64 = 50.0;
+const EPS: f64 = f64::EPSILON;
+
+/// Serializes every test in this binary around the global policy knob and
+/// restores `Auto` when the guard drops.
+struct PolicyLock {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl PolicyLock {
+    fn take(p: UpdatePolicy) -> Self {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_update_policy(p);
+        PolicyLock { _guard: guard }
+    }
+}
+
+impl Drop for PolicyLock {
+    fn drop(&mut self) {
+        set_update_policy(UpdatePolicy::Auto);
+    }
+}
+
+fn opts(threads: usize) -> DcOptions {
+    DcOptions {
+        min_part: 16,
+        nb: 24,
+        threads,
+        ..DcOptions::default()
+    }
+}
+
+fn solvers() -> Vec<Box<dyn TridiagEigensolver>> {
+    vec![
+        Box::new(SequentialDc::new(opts(1))),
+        Box::new(ForkJoinDc::new(opts(2))),
+        Box::new(LevelParallelDc::new(opts(2))),
+        Box::new(TaskFlowDc::new(opts(2))),
+    ]
+}
+
+/// Solve under the already-set policy and assert both DMPV gates.
+fn gated_solve(t: &SymTridiag, solver: &dyn TridiagEigensolver, who: &str) -> Eigen {
+    let eig = solver
+        .solve(t)
+        .unwrap_or_else(|e| panic!("{who}: solve failed: {e}"));
+    let orth = orthogonality_error(&eig.vectors) / EPS;
+    assert!(
+        orth < GATE,
+        "{who}: orthogonality gate: {orth:.1} eps (limit {GATE})"
+    );
+    let res = residual_error(
+        t.n(),
+        |x, y| t.matvec(x, y),
+        &eig.values,
+        &eig.vectors,
+        t.max_norm(),
+    ) / EPS;
+    assert!(
+        res < GATE,
+        "{who}: residual gate: {res:.1} eps (limit {GATE})"
+    );
+    eig
+}
+
+/// Forced-structured and forced-dense solves must both pass the gates and
+/// agree on the spectrum to rounding.
+fn assert_structured_matches_dense(t: &SymTridiag, solver: &dyn TridiagEigensolver, who: &str) {
+    let dense = {
+        let _p = PolicyLock::take(UpdatePolicy::ForceDense);
+        gated_solve(t, solver, &format!("{who} [dense]"))
+    };
+    let structured = {
+        let _p = PolicyLock::take(UpdatePolicy::ForceStructured);
+        gated_solve(t, solver, &format!("{who} [structured]"))
+    };
+    let scale = t.max_norm().max(1.0);
+    for (i, (a, b)) in dense.values.iter().zip(&structured.values).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-11 * scale,
+            "{who}: eigenvalue {i} diverges: dense {a} vs structured {b}"
+        );
+    }
+}
+
+#[test]
+fn table_iii_types_agree_with_dense_oracle() {
+    let n = 72;
+    for ty in MT::ALL {
+        let t = ty.generate(n, 42);
+        for solver in solvers() {
+            let who = format!("type {} / {}", ty.index(), solver.name());
+            assert_structured_matches_dense(&t, solver.as_ref(), &who);
+        }
+    }
+}
+
+#[test]
+fn glued_wilkinson_agrees_with_dense_oracle() {
+    let t = glued_wilkinson(11, 5, 1e-9);
+    for solver in solvers() {
+        let who = format!("glued-wilkinson / {}", solver.name());
+        assert_structured_matches_dense(&t, solver.as_ref(), &who);
+    }
+}
+
+/// A full-rank block must drive the sampled ACA probe to its cap, which
+/// the auto-switch rule (`2·rank > k/2` → dense) then rejects: the
+/// "clustered spectrum, zero deflation, maximal rank" adversary can never
+/// route through the compressed path.
+#[test]
+fn full_rank_block_trips_the_auto_switch_to_dense() {
+    let k = 128;
+    // A deterministic full-rank "X": decaying diagonal dominance plus a
+    // dense pseudo-random tail — no off-diagonal decay for ACA to exploit.
+    let mut x = vec![0.0f64; k * k];
+    let mut state = 0x9e3779b97f4a7c15u64;
+    for j in 0..k {
+        for i in 0..k {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let noise = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            x[j * k + i] = noise + if i == j { 2.0 } else { 0.0 };
+        }
+    }
+    let ident: Vec<usize> = (0..k).collect();
+    let tol = secular::rank_tolerance(k, k);
+    let est = secular::estimate_offdiag_rank(&x, k, k, &ident, tol);
+    assert!(
+        2 * est > k / 2,
+        "full-rank block estimated at rank {est}: the auto switch would wrongly compress"
+    );
+}
+
+/// End-to-end guard on the cost rule: a clustered-spectrum, essentially
+/// undeflated matrix whose merges are all below the auto threshold must
+/// never plan a structured update — the compressed counters stay flat
+/// while the dense path solves it through the gates.
+#[test]
+fn small_zero_deflation_merges_never_structure_under_auto() {
+    let _p = PolicyLock::take(UpdatePolicy::Auto);
+    // Glued Wilkinson blocks: tightly clustered eigenvalue pairs, glue
+    // small enough to keep the spectrum clustered but large enough that
+    // nothing deflates. n = 5·17 = 85 keeps every merge below the k = 96
+    // auto threshold, where tiling can only lose.
+    let t = glued_wilkinson(17, 5, 1e-4);
+    let before = dcst::matrix::metrics::snapshot();
+    for solver in solvers() {
+        let who = format!("auto clustered / {}", solver.name());
+        gated_solve(&t, solver.as_ref(), &who);
+    }
+    let delta = dcst::matrix::metrics::snapshot().delta(&before);
+    assert_eq!(
+        delta.get("update.structured_merges"),
+        0,
+        "auto policy structured a merge whose estimated cost exceeds dense"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Random tridiagonals: the structured update agrees with the dense
+    /// oracle on the spectrum and passes both gates on the task-flow
+    /// solver (forced structured exercises compressed tiles from k = 16).
+    #[test]
+    fn random_tridiagonals_agree_with_dense_oracle(
+        n in 24usize..96,
+        seed in 0u64..1u64 << 16,
+    ) {
+        let d: Vec<f64> = (0..n)
+            .map(|i| ((seed.wrapping_mul(i as u64 + 1) % 1000) as f64) / 100.0 - 5.0)
+            .collect();
+        let e: Vec<f64> = (0..n - 1)
+            .map(|i| ((seed.wrapping_mul(2 * i as u64 + 3) % 900) as f64) / 100.0 - 4.5)
+            .collect();
+        let t = SymTridiag::new(d, e);
+        let solver = TaskFlowDc::new(opts(2));
+        let dense = {
+            let _p = PolicyLock::take(UpdatePolicy::ForceDense);
+            gated_solve(&t, &solver, "proptest [dense]")
+        };
+        let structured = {
+            let _p = PolicyLock::take(UpdatePolicy::ForceStructured);
+            gated_solve(&t, &solver, "proptest [structured]")
+        };
+        let scale = t.max_norm().max(1.0);
+        for (a, b) in dense.values.iter().zip(&structured.values) {
+            prop_assert!((a - b).abs() < 1e-11 * scale, "{a} vs {b}");
+        }
+    }
+}
