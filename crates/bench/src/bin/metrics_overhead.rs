@@ -22,7 +22,32 @@
 //! more than `--max-regress-pct` (default 2 %) — the CI gate behind the
 //! "zero-cost when disabled" claim. Each measure is the best of `--reps`
 //! repetitions, which is the noise-robust statistic for a shared machine.
+//!
+//! # Scheduler-contention mode (`--sched`)
+//!
+//! `--sched` switches the binary to the task-storm contention benchmark
+//! behind `BENCH_sched.json`: a raw fork-join storm of no-op tasks
+//! (`dcst_bench::sched`) run at 1/4/8/16 workers against both the
+//! production lock-free Chase–Lev deque and the `Mutex<VecDeque>`
+//! baseline, plus one end-to-end taskflow solve (type 4, `--sched-n`,
+//! default 2000). Per worker count it reports ns/task for both backends,
+//! their ratio (the lock-free speedup) and the steal-success rates.
+//!
+//! ```text
+//! cargo run --release -p dcst-bench --bin metrics_overhead -- \
+//!     --sched --sched-out BENCH_sched.json
+//! cargo run --release -p dcst-bench --bin metrics_overhead -- \
+//!     --sched --sched-baseline BENCH_sched.json \
+//!     --require-speedup 2.0 --max-regress-pct 25
+//! ```
+//!
+//! With `--sched-baseline` the process exits 1 unless (a) the lock-free
+//! deque is at least `--require-speedup` (default 2×) faster than the
+//! mutexed baseline at every measured worker count ≥ 8, and (b) the e2e
+//! solve is no slower than the committed baseline by more than
+//! `--max-regress-pct` (default 10 %).
 
+use dcst_bench::sched::{self, LockFree, Mutexed};
 use dcst_bench::Args;
 use dcst_core::{DcOptions, TaskFlowDc, TridiagEigensolver};
 use dcst_runtime::{jsonv, DataKey, Runtime};
@@ -74,8 +99,127 @@ fn regress_pct(new: f64, base: f64) -> f64 {
     100.0 * (new - base) / base
 }
 
+/// The `--sched` contention benchmark: storm both deque backends at each
+/// worker count, solve one n=`--sched-n` system end-to-end, emit/gate
+/// `BENCH_sched.json`. Exits the process (0 or 1) when gating.
+fn sched_mode(args: &Args) -> ! {
+    let reps = args.usize_or("--reps", 3);
+    let roots = args.usize_or("--roots", 64);
+    let depth = args.usize_or("--depth", 9) as u32;
+    let n = args.usize_or("--sched-n", 2000);
+    let worker_counts: Vec<usize> = match args.value("--workers") {
+        Some(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
+        None => vec![1, 4, 8, 16],
+    };
+
+    let mut lf_ns = Vec::new();
+    let mut mx_ns = Vec::new();
+    let mut lf_rate = Vec::new();
+    let mut mx_rate = Vec::new();
+    let mut speedups = Vec::new();
+    for &w in &worker_counts {
+        // Best-of for the timing, but steal rates from the last rep (any
+        // rep is representative; rates are a property of the schedule).
+        let mut lf_best = f64::INFINITY;
+        let mut mx_best = f64::INFINITY;
+        let mut lf_last = None;
+        let mut mx_last = None;
+        for _ in 0..reps {
+            let lf = sched::storm::<LockFree>(w, roots, depth);
+            let mx = sched::storm::<Mutexed>(w, roots, depth);
+            lf_best = lf_best.min(lf.ns_per_task);
+            mx_best = mx_best.min(mx.ns_per_task);
+            lf_last = Some(lf);
+            mx_last = Some(mx);
+        }
+        let (lf, mx) = (lf_last.unwrap(), mx_last.unwrap());
+        let speedup = mx_best / lf_best;
+        println!(
+            "workers {w:>2}: lockfree {lf_best:>8.1} ns/task (steal ok {:>5.1}%)   \
+             mutexed {mx_best:>8.1} ns/task (steal ok {:>5.1}%)   speedup {speedup:.2}x",
+            100.0 * lf.steal_success_rate(),
+            100.0 * mx.steal_success_rate(),
+        );
+        lf_ns.push(lf_best);
+        mx_ns.push(mx_best);
+        lf_rate.push(lf.steal_success_rate());
+        mx_rate.push(mx.steal_success_rate());
+        speedups.push(speedup);
+    }
+
+    let threads = args.usize_or("--threads", dcst_bench::max_threads().min(4));
+    let e2e_ms = best_of(reps, || solve_ms(n, threads));
+    println!("e2e taskflow solve(n={n}, {threads} threads): {e2e_ms:.1} ms");
+
+    let join = |v: &[f64]| {
+        v.iter()
+            .map(|x| format!("{x:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let json = format!(
+        "{{\n  \"workers\": [{}],\n  \"tasks\": {},\n  \
+         \"lockfree_ns_per_task\": [{}],\n  \"mutexed_ns_per_task\": [{}],\n  \
+         \"lockfree_steal_success_rate\": [{}],\n  \"mutexed_steal_success_rate\": [{}],\n  \
+         \"speedup\": [{}],\n  \"solve_n\": {n},\n  \"solve_ms\": {e2e_ms:.4}\n}}\n",
+        worker_counts
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        roots as u64 * ((1u64 << (depth + 1)) - 1),
+        join(&lf_ns),
+        join(&mx_ns),
+        join(&lf_rate),
+        join(&mx_rate),
+        join(&speedups),
+    );
+    if let Some(path) = args.value("--sched-out") {
+        std::fs::write(path, &json).expect("write sched bench json");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = args.value("--sched-baseline") {
+        let require: f64 = args
+            .value("--require-speedup")
+            .map(|v| v.parse().expect("--require-speedup is a number"))
+            .unwrap_or(2.0);
+        let max_pct: f64 = args
+            .value("--max-regress-pct")
+            .map(|v| v.parse().expect("--max-regress-pct is a number"))
+            .unwrap_or(10.0);
+        let mut failed = false;
+        for (&w, &s) in worker_counts.iter().zip(&speedups) {
+            if w >= 8 && s < require {
+                eprintln!("FAIL: at {w} workers lock-free speedup {s:.2}x < required {require}x");
+                failed = true;
+            }
+        }
+        let body = std::fs::read_to_string(path).expect("read sched baseline json");
+        let doc = jsonv::parse(&body).expect("sched baseline is valid JSON");
+        let base_ms = doc
+            .get("solve_ms")
+            .and_then(|v| v.as_num())
+            .expect("baseline solve_ms");
+        let d_ms = regress_pct(e2e_ms, base_ms);
+        println!("e2e solve vs baseline {path}: {d_ms:+.2}% (limit +{max_pct}%)");
+        if d_ms > max_pct {
+            eprintln!("FAIL: e2e solve regressed {d_ms:.2}% > {max_pct}%");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("OK: lock-free >= {require}x at 8+ workers, e2e within {max_pct}%");
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = Args::parse();
+    if args.flag("--sched") {
+        sched_mode(&args);
+    }
     let tasks = args.usize_or("--tasks", 40_000);
     let threads = args.usize_or("--threads", dcst_bench::max_threads().min(4));
     let reps = args.usize_or("--reps", 5);

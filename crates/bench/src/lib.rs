@@ -1,6 +1,8 @@
 //! Shared harness for the figure/table regenerators (one binary per
 //! experiment in `src/bin/`) and the Criterion micro-benches.
 
+pub mod sched;
+
 use dcst_core::{
     DcOptions, DcStats, Eigen, ForkJoinDc, LevelParallelDc, SequentialDc, TaskFlowDc,
     TridiagEigensolver,

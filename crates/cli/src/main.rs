@@ -272,7 +272,10 @@ fn main() -> ExitCode {
             );
             if let Some((trace, rm)) = &observed {
                 if let Some(path) = trace_path.as_deref() {
-                    std::fs::write(path, trace.to_chrome_json()).expect("write chrome trace");
+                    // Scheduler counters ride along as per-lane metadata so
+                    // the trace viewer shows the contention story too.
+                    std::fs::write(path, trace.to_chrome_json_with_metrics(Some(rm)))
+                        .expect("write chrome trace");
                     eprintln!(
                         "chrome trace -> {path} ({} records, {} edges)",
                         trace.records.len(),

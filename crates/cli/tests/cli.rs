@@ -304,9 +304,30 @@ fn chrome_trace_reconciles_with_runtime_metrics() {
         executed,
         "every executed task has exactly one complete event"
     );
-    // Worker lanes: one thread_name metadata event per worker thread.
-    let lanes = events.iter().filter(|e| ph(e) == "M").count();
-    assert_eq!(lanes, 2, "one worker-lane metadata event per thread");
+    // Worker lanes: one thread_name metadata event per worker thread,
+    // plus one scheduler-counter metadata event per lane and one
+    // pool-level entry (DCST_TRACE exports carry the counters along).
+    let meta_named = |name: &str| {
+        events
+            .iter()
+            .filter(|e| ph(e) == "M" && e.get("name").and_then(|n| n.as_str()) == Some(name))
+            .count()
+    };
+    assert_eq!(
+        meta_named("thread_name"),
+        2,
+        "one worker-lane metadata event per thread"
+    );
+    assert_eq!(
+        meta_named("dcst_sched_counters"),
+        2,
+        "one scheduler-counter metadata event per lane"
+    );
+    assert_eq!(
+        meta_named("dcst_sched_pool"),
+        1,
+        "pool-level metadata event"
+    );
     // Dependency edges export as paired flow events.
     let starts = events.iter().filter(|e| ph(e) == "s").count();
     let finishes = events.iter().filter(|e| ph(e) == "f").count();

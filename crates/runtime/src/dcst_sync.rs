@@ -41,7 +41,13 @@ mod imp {
     }
 
     pub mod deque {
-        pub use loom_lite::deque::{Injector, Steal, Stealer, Worker};
+        // Since PR 7 the lock-free Chase–Lev deque and segment-list
+        // injector route their own atomics through loom-lite when built
+        // under this cfg (vendor/crossbeam-deque/src/sys.rs), so the model
+        // explores the REAL protocol — CAS races, growth, block handoff —
+        // rather than loom-lite's mutex-based deque mirror (which remains
+        // only in loom-lite's self-tests).
+        pub use crossbeam_deque::{Injector, Steal, Stealer, Worker};
     }
 
     pub type WorkerHandle = loom_lite::thread::JoinHandle;

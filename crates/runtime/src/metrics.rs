@@ -20,8 +20,16 @@
 //!   only after both injectors came up empty); `steals_succeeded` counts
 //!   sweeps that yielded a task, so `succeeded ≤ attempted` and
 //!   `succeeded ≤ executed` per worker.
+//! - `steal_retries` counts lock-free CAS contention observed while
+//!   acquiring work: `Steal::Retry` outcomes from the priority lane, the
+//!   injector batch-pop, and the sibling sweep. A retry means some *other*
+//!   worker won the contended index — it measures contention, not loss.
 //! - `priority_hits` counts tasks taken from the priority lane.
 //! - `parks` counts actual condvar waits (not idle-loop passes).
+//! - `deque_grows` counts buffer doublings of the worker's Chase–Lev
+//!   deque. Tracked inside the deque itself (one relaxed RMW per grow,
+//!   amortized over `cap` pushes) and folded into snapshots by
+//!   `Runtime::runtime_metrics`.
 //! - `max_queue_depth` is the high-water mark of tasks pushed ready but
 //!   not yet started, across the whole pool.
 
@@ -34,10 +42,14 @@ pub struct WorkerMetrics {
     pub steals_attempted: u64,
     /// Steal sweeps that yielded a task.
     pub steals_succeeded: u64,
+    /// `Steal::Retry` outcomes (lost CAS races) across all work sources.
+    pub steal_retries: u64,
     /// Tasks taken from the priority lane.
     pub priority_hits: u64,
     /// Times the worker parked on the idle condvar.
     pub parks: u64,
+    /// Buffer doublings of this worker's Chase–Lev deque.
+    pub deque_grows: u64,
 }
 
 /// Pool-wide scheduler-counter snapshot ([`Runtime::runtime_metrics`]).
@@ -67,6 +79,16 @@ impl RuntimeMetrics {
         self.workers.iter().map(|w| w.steals_succeeded).sum()
     }
 
+    /// Total lost CAS races (`Steal::Retry`) across all workers.
+    pub fn steal_retries(&self) -> u64 {
+        self.workers.iter().map(|w| w.steal_retries).sum()
+    }
+
+    /// Total deque buffer doublings across all workers.
+    pub fn deque_grows(&self) -> u64 {
+        self.workers.iter().map(|w| w.deque_grows).sum()
+    }
+
     /// Total priority-lane hits across all workers.
     pub fn priority_hits(&self) -> u64 {
         self.workers.iter().map(|w| w.priority_hits).sum()
@@ -83,27 +105,42 @@ impl RuntimeMetrics {
         let mut out = String::new();
         writeln!(
             out,
-            "{:>6} {:>9} {:>9} {:>9} {:>9} {:>7}",
-            "worker", "executed", "steal-try", "steal-ok", "prio-hit", "parks"
+            "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6}",
+            "worker",
+            "executed",
+            "steal-try",
+            "steal-ok",
+            "steal-rty",
+            "prio-hit",
+            "parks",
+            "grows"
         )
         .unwrap();
         for (i, w) in self.workers.iter().enumerate() {
             writeln!(
                 out,
-                "{i:>6} {:>9} {:>9} {:>9} {:>9} {:>7}",
-                w.executed, w.steals_attempted, w.steals_succeeded, w.priority_hits, w.parks
+                "{i:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6}",
+                w.executed,
+                w.steals_attempted,
+                w.steals_succeeded,
+                w.steal_retries,
+                w.priority_hits,
+                w.parks,
+                w.deque_grows
             )
             .unwrap();
         }
         writeln!(
             out,
-            "{:>6} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6}",
             "total",
             self.tasks_executed(),
             self.steals_attempted(),
             self.steals_succeeded(),
+            self.steal_retries(),
             self.priority_hits(),
-            self.parks()
+            self.parks(),
+            self.deque_grows()
         )
         .unwrap();
         write!(out, "max ready-queue depth: {}", self.max_queue_depth).unwrap();
@@ -124,6 +161,7 @@ mod imp {
         executed: AtomicU64,
         steals_attempted: AtomicU64,
         steals_succeeded: AtomicU64,
+        steal_retries: AtomicU64,
         priority_hits: AtomicU64,
         parks: AtomicU64,
     }
@@ -166,6 +204,13 @@ mod imp {
         }
 
         #[inline]
+        pub fn steal_retry(&self, worker: usize) {
+            self.workers[worker]
+                .steal_retries
+                .fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
         pub fn priority_hit(&self, worker: usize) {
             self.workers[worker]
                 .priority_hits
@@ -201,8 +246,11 @@ mod imp {
                         executed: w.executed.load(Ordering::Relaxed),
                         steals_attempted: w.steals_attempted.load(Ordering::Relaxed),
                         steals_succeeded: w.steals_succeeded.load(Ordering::Relaxed),
+                        steal_retries: w.steal_retries.load(Ordering::Relaxed),
                         priority_hits: w.priority_hits.load(Ordering::Relaxed),
                         parks: w.parks.load(Ordering::Relaxed),
+                        // Filled from the deques by Runtime::runtime_metrics.
+                        deque_grows: 0,
                     })
                     .collect(),
                 max_queue_depth: self.max_depth.load(Ordering::Relaxed),
@@ -235,6 +283,9 @@ mod imp {
 
         #[inline(always)]
         pub fn steal_success(&self, _worker: usize) {}
+
+        #[inline(always)]
+        pub fn steal_retry(&self, _worker: usize) {}
 
         #[inline(always)]
         pub fn priority_hit(&self, _worker: usize) {}
@@ -271,15 +322,19 @@ mod tests {
                     executed: 3,
                     steals_attempted: 5,
                     steals_succeeded: 2,
+                    steal_retries: 6,
                     priority_hits: 1,
                     parks: 4,
+                    deque_grows: 1,
                 },
                 WorkerMetrics {
                     executed: 7,
                     steals_attempted: 1,
                     steals_succeeded: 1,
+                    steal_retries: 2,
                     priority_hits: 0,
                     parks: 2,
+                    deque_grows: 0,
                 },
             ],
             max_queue_depth: 9,
@@ -287,10 +342,13 @@ mod tests {
         assert_eq!(m.tasks_executed(), 10);
         assert_eq!(m.steals_attempted(), 6);
         assert_eq!(m.steals_succeeded(), 3);
+        assert_eq!(m.steal_retries(), 8);
         assert_eq!(m.priority_hits(), 1);
         assert_eq!(m.parks(), 6);
+        assert_eq!(m.deque_grows(), 1);
         let rep = m.report();
         assert!(rep.contains("max ready-queue depth: 9"));
+        assert!(rep.contains("steal-rty") && rep.contains("grows"));
         assert_eq!(rep.lines().count(), 1 + 2 + 1 + 1);
     }
 
@@ -301,6 +359,9 @@ mod tests {
         c.executed(0);
         c.steal_attempt(1);
         c.steal_success(1);
+        c.steal_retry(1);
+        c.steal_retry(1);
+        c.steal_retry(1);
         c.priority_hit(2);
         c.park(2);
         c.depth_inc();
@@ -312,6 +373,7 @@ mod tests {
             assert_eq!(snap.workers[0].executed, 2);
             assert_eq!(snap.workers[1].steals_attempted, 1);
             assert_eq!(snap.workers[1].steals_succeeded, 1);
+            assert_eq!(snap.workers[1].steal_retries, 3);
             assert_eq!(snap.workers[2].priority_hits, 1);
             assert_eq!(snap.workers[2].parks, 1);
             assert_eq!(snap.max_queue_depth, 2);

@@ -301,12 +301,18 @@ fn find_task(
                 shared.metrics.priority_hit(worker_id);
                 return Some(node);
             }
-            Steal::Retry => continue,
+            Steal::Retry => {
+                shared.metrics.steal_retry(worker_id);
+                continue;
+            }
             Steal::Empty => {}
         }
         match shared.injector.steal_batch_and_pop(local) {
             Steal::Success(node) => return Some(node),
-            Steal::Retry => continue,
+            Steal::Retry => {
+                shared.metrics.steal_retry(worker_id);
+                continue;
+            }
             Steal::Empty => {}
         }
         // Both injectors empty: sweep the sibling deques. One sweep is one
@@ -318,7 +324,10 @@ fn find_task(
                 return Some(node);
             }
             Steal::Empty => return None,
-            Steal::Retry => continue,
+            Steal::Retry => {
+                shared.metrics.steal_retry(worker_id);
+                continue;
+            }
         }
     }
 }
@@ -332,15 +341,35 @@ fn worker_loop(shared: Arc<Shared>, local: WorkerDeque<Arc<Node>>, worker_id: us
                     return;
                 }
                 let mut guard = shared.idle_lock.lock();
-                // Publish idleness, then re-check under the lock: a pusher
-                // either sees the raised counter (and notifies under this
-                // same lock, which we hold until the wait releases it) or
-                // pushed early enough for this emptiness check to see the
-                // task. Either way no wakeup is lost, so the timeout is
-                // only a backstop against bugs, not part of the protocol.
+                // Publish idleness, then re-check under the lock. The
+                // argument has two halves, stated against the atomic deque:
+                //
+                // * Injectors (correctness): every newly *released* task
+                //   lands in an injector via `push_ready`, whose pusher
+                //   either sees the raised idle counter (and notifies under
+                //   this same lock, which we hold until the wait releases
+                //   it) or pushed early enough for the `is_empty` re-check
+                //   below to observe the push — the injector's push CAS on
+                //   the tail index is ordered before `is_empty`'s SeqCst
+                //   index loads. Either way no wakeup is lost.
+                //
+                // * Sibling deques (latency only): work can also sit in
+                //   another worker's local deque — batched there by
+                //   `steal_batch_and_pop` after our sweep looked, never
+                //   notified because only `push_ready` notifies. The owner
+                //   is awake and will drain it, so parking here is *safe*;
+                //   it just forfeits parallelism until the next release.
+                //   `Stealer::is_empty` is a racy hint (top/bottom loads,
+                //   no CAS), which is exactly enough for a heuristic
+                //   re-check: a false "empty" restores the status quo ante
+                //   (owner drains it), a false "non-empty" costs one more
+                //   find_task sweep. The 1 s `wait_for` backstop below
+                //   stays as insurance against bugs, not as part of either
+                //   argument — the model suite runs with untimed waits.
                 shared.idle_workers.fetch_add(1, Ordering::SeqCst);
                 if shared.hi_injector.is_empty()
                     && shared.injector.is_empty()
+                    && shared.stealers.iter().all(|s| s.is_empty())
                     && !shared.stop.load(Ordering::Acquire)
                 {
                     shared.metrics.park(worker_id);
@@ -474,7 +503,21 @@ impl Runtime {
     /// (all zeros unless built with the `metrics` feature). Counters are
     /// cumulative across phases; diff two snapshots to isolate one phase.
     pub fn runtime_metrics(&self) -> RuntimeMetrics {
-        self.shared.metrics.snapshot()
+        let snap = self.shared.metrics.snapshot();
+        // Growth is counted inside each deque (the owner bumps a plain
+        // relaxed counter per doubling); fold it in here rather than in
+        // PoolCounters so the hot push path carries no extra probe. Gated
+        // like every other counter to keep the feature-off snapshot
+        // all-zeros.
+        #[cfg(feature = "metrics")]
+        let snap = {
+            let mut snap = snap;
+            for (w, s) in snap.workers.iter_mut().zip(self.shared.stealers.iter()) {
+                w.deque_grows = s.grow_count();
+            }
+            snap
+        };
+        snap
     }
 
     /// Start recording the task DAG (names + dependency edges).

@@ -188,6 +188,17 @@ impl Trace {
     /// from the predecessor's end to the successor's start. Timestamps are
     /// the trace's native microseconds.
     pub fn to_chrome_json(&self) -> String {
+        self.to_chrome_json_with_metrics(None)
+    }
+
+    /// [`to_chrome_json`](Self::to_chrome_json) plus, when scheduler
+    /// metrics are supplied, one `dcst_sched_counters` metadata event per
+    /// worker lane carrying that worker's counters (tasks executed, steal
+    /// attempts/hits/retries, priority-lane hits, parks, deque growths)
+    /// and one pool-level `dcst_sched_pool` event with the peak ready-queue
+    /// depth, so a trace viewed in Perfetto carries the contention story
+    /// alongside the timeline.
+    pub fn to_chrome_json_with_metrics(&self, metrics: Option<&crate::RuntimeMetrics>) -> String {
         use std::fmt::Write;
         let mut out = String::from("{\"traceEvents\":[");
         let mut first = true;
@@ -205,6 +216,35 @@ impl Trace {
                 format_args!(
                     "{{\"ph\":\"M\",\"pid\":0,\"tid\":{worker},\"name\":\"thread_name\",\
                      \"args\":{{\"name\":\"worker-{worker}\"}}}}"
+                ),
+            );
+        }
+        if let Some(rm) = metrics {
+            for (worker, w) in rm.workers.iter().enumerate() {
+                push(
+                    &mut out,
+                    format_args!(
+                        "{{\"ph\":\"M\",\"pid\":0,\"tid\":{worker},\
+                         \"name\":\"dcst_sched_counters\",\"args\":{{\
+                         \"executed\":{},\"steals_attempted\":{},\
+                         \"steals_succeeded\":{},\"steal_retries\":{},\
+                         \"priority_hits\":{},\"parks\":{},\"deque_grows\":{}}}}}",
+                        w.executed,
+                        w.steals_attempted,
+                        w.steals_succeeded,
+                        w.steal_retries,
+                        w.priority_hits,
+                        w.parks,
+                        w.deque_grows
+                    ),
+                );
+            }
+            push(
+                &mut out,
+                format_args!(
+                    "{{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"dcst_sched_pool\",\
+                     \"args\":{{\"max_queue_depth\":{}}}}}",
+                    rm.max_queue_depth
                 ),
             );
         }
@@ -480,6 +520,60 @@ mod tests {
             x.get("args").unwrap().get("id").unwrap().as_num(),
             Some(2.0)
         );
+    }
+
+    #[test]
+    fn chrome_export_with_metrics_adds_counter_metadata() {
+        let t = sample();
+        let rm = crate::RuntimeMetrics {
+            workers: vec![
+                crate::WorkerMetrics {
+                    executed: 5,
+                    steals_attempted: 3,
+                    steals_succeeded: 2,
+                    steal_retries: 1,
+                    priority_hits: 4,
+                    parks: 6,
+                    deque_grows: 1,
+                },
+                crate::WorkerMetrics::default(),
+            ],
+            max_queue_depth: 9,
+        };
+        let doc = jsonv::parse(&t.to_chrome_json_with_metrics(Some(&rm)))
+            .expect("chrome export with metrics must be valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|v| v.as_str()) == Some("dcst_sched_counters"))
+            .collect();
+        assert_eq!(counters.len(), 2, "one counter event per worker");
+        let args = counters[0].get("args").unwrap();
+        assert_eq!(args.get("executed").unwrap().as_num(), Some(5.0));
+        assert_eq!(args.get("steal_retries").unwrap().as_num(), Some(1.0));
+        assert_eq!(args.get("deque_grows").unwrap().as_num(), Some(1.0));
+        let pool = events
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("dcst_sched_pool"))
+            .expect("pool-level metadata event");
+        assert_eq!(
+            pool.get("args")
+                .unwrap()
+                .get("max_queue_depth")
+                .unwrap()
+                .as_num(),
+            Some(9.0)
+        );
+        // The plain export stays metrics-free so viewers and the mirror
+        // tests above see the same event set as before.
+        let plain = jsonv::parse(&t.to_chrome_json()).unwrap();
+        assert!(!plain
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .any(|e| e.get("name").and_then(|v| v.as_str()) == Some("dcst_sched_counters")));
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! The Chase–Lev lock-free work-stealing deque.
+//!
+//! One owner thread pushes and pops at the *bottom*; any number of thieves
+//! steal from the *top*. Two monotonically increasing `AtomicIsize` indices
+//! delimit the live window `[top, bottom)` inside a power-of-two circular
+//! buffer, so the same index is never reused for two different items and the
+//! classic ABA problem cannot arise on the `top` CAS.
+//!
+//! Memory-ordering sketch (the full argument lives in DESIGN.md):
+//!
+//! * `push` publishes the slot write with a `Release` store of `bottom`; a
+//!   thief's `Acquire` load of `bottom` therefore sees the item it is about
+//!   to read.
+//! * `pop` decrements `bottom`, then issues a `SeqCst` fence before reading
+//!   `top`; `steal` reads `top`, then issues a `SeqCst` fence before reading
+//!   `bottom`. The two fences order the owner's decrement against the
+//!   thief's claim so both sides cannot conclude they own the same last
+//!   element.
+//! * The only decision point under contention is a single CAS on `top` —
+//!   the owner runs it for the final element, thieves run it on every
+//!   steal. Exactly one contender wins each index.
+//!
+//! Reclamation is epoch-free: `grow` retires the old buffer onto an
+//! owner-only list instead of freeing it, so a thief holding a stale buffer
+//! pointer can still read its (immutable at index ≥ `top`) slots. Retired
+//! buffers are freed when the last handle drops. Because capacity doubles,
+//! total retired memory stays below the final buffer's size.
+
+use crate::sys::{fence, AtomicIsize, AtomicPtr, Ordering};
+use crate::Steal;
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Default initial capacity of a worker deque (power of two).
+const MIN_CAP: usize = 64;
+
+/// A fixed-capacity circular slot array. Logical index `i` lives at
+/// physical slot `i & (cap - 1)`.
+struct Buffer<T> {
+    ptr: *mut MaybeUninit<T>,
+    cap: usize,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> *mut Buffer<T> {
+        debug_assert!(cap.is_power_of_two());
+        let mut slots: Vec<MaybeUninit<T>> = Vec::with_capacity(cap);
+        // SAFETY: `MaybeUninit<T>` requires no initialization and the Vec
+        // was allocated with capacity `cap`, so setting the length only
+        // exposes uninitialized-but-valid MaybeUninit slots.
+        unsafe { slots.set_len(cap) };
+        let ptr = Box::into_raw(slots.into_boxed_slice()) as *mut MaybeUninit<T>;
+        Box::into_raw(Box::new(Buffer { ptr, cap }))
+    }
+
+    /// Frees a buffer allocated by [`Buffer::alloc`]. Slot *contents* are
+    /// not dropped here — live items are drained by `Inner::drop` first.
+    ///
+    /// # Safety
+    /// `buf` must come from `Buffer::alloc` and must not be freed twice.
+    unsafe fn dealloc(buf: *mut Buffer<T>) {
+        // SAFETY: per the contract above, both raw pointers were produced
+        // by Box::into_raw with exactly these types and lengths.
+        unsafe {
+            let b = Box::from_raw(buf);
+            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                b.ptr, b.cap,
+            )));
+        }
+    }
+
+    /// Pointer to the physical slot for logical index `index`.
+    ///
+    /// # Safety
+    /// The buffer must be alive; reading the slot additionally requires the
+    /// Chase–Lev protocol to guarantee it holds an initialized item.
+    unsafe fn slot(&self, index: isize) -> *mut MaybeUninit<T> {
+        // SAFETY: the mask keeps the offset within the allocation.
+        unsafe { self.ptr.add(index as usize & (self.cap - 1)) }
+    }
+}
+
+/// State shared between the owner [`Worker`] and its [`Stealer`]s.
+struct Inner<T> {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers retired by `grow`; freed only on drop (owner-only access —
+    /// guarded by `Worker` being `!Sync` and `grow` being owner-only).
+    retired: UnsafeCell<Vec<*mut Buffer<T>>>,
+    /// Number of buffer growths. Plain std atomic on purpose: bookkeeping
+    /// for `RuntimeMetrics`, never a schedule point under the model
+    /// checker.
+    grows: AtomicU64,
+    /// Model-check-only mutation switch: the single-element `pop` claims
+    /// `top` with a plain store instead of the CAS, reintroducing the
+    /// double-delivery race the checker must catch.
+    #[cfg(dcst_model_check)]
+    buggy_pop: bool,
+}
+
+// SAFETY: Inner owns its items (drained on drop) and every shared field is
+// accessed through atomics; `retired` is confined to the owner thread by
+// the protocol documented on the field. Items cross threads via steal,
+// hence the `T: Send` bound.
+unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: as above — concurrent access goes through the Chase–Lev
+// protocol's atomics only.
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Sole remaining handle: plain loads are exact and no concurrent
+        // operations are possible.
+        let top = self.top.load(Ordering::Relaxed);
+        let bottom = self.bottom.load(Ordering::Relaxed);
+        let buf = self.buffer.load(Ordering::Relaxed);
+        let mut i = top;
+        while i != bottom {
+            // SAFETY: slots in [top, bottom) hold initialized items that no
+            // other handle can reach any more.
+            unsafe { drop((*buf).slot(i).read().assume_init()) };
+            i = i.wrapping_add(1);
+        }
+        // SAFETY: the current buffer and every retired buffer were created
+        // by Buffer::alloc and are freed exactly once, here.
+        unsafe {
+            Buffer::dealloc(buf);
+            for old in std::mem::take(&mut *self.retired.get()) {
+                Buffer::dealloc(old);
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    /// `pop` takes the newest item (owner end).
+    Lifo,
+    /// `pop` takes the oldest item (steals from its own top).
+    Fifo,
+}
+
+/// The owner handle: single-threaded `push`/`pop` at the bottom end.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    flavor: Flavor,
+    /// `*mut ()` suppresses `Sync`: push/pop are owner-only by contract.
+    _marker: PhantomData<*mut ()>,
+}
+
+// SAFETY: the handle may migrate to another thread as a whole (T: Send);
+// PhantomData<*mut ()> keeps it !Sync so two threads can never share one.
+unsafe impl<T: Send> Send for Worker<T> {}
+
+impl<T> Worker<T> {
+    fn with_flavor(flavor: Flavor, cap: usize) -> Worker<T> {
+        let cap = cap.next_power_of_two().max(2);
+        Worker {
+            inner: Arc::new(Inner {
+                top: AtomicIsize::new(0),
+                bottom: AtomicIsize::new(0),
+                buffer: AtomicPtr::new(Buffer::alloc(cap)),
+                retired: UnsafeCell::new(Vec::new()),
+                grows: AtomicU64::new(0),
+                #[cfg(dcst_model_check)]
+                buggy_pop: false,
+            }),
+            flavor,
+            _marker: PhantomData,
+        }
+    }
+
+    /// FIFO worker: `pop` returns items in push order.
+    pub fn new_fifo() -> Worker<T> {
+        Worker::with_flavor(Flavor::Fifo, MIN_CAP)
+    }
+
+    /// LIFO worker: `pop` returns the most recently pushed item.
+    pub fn new_lifo() -> Worker<T> {
+        Worker::with_flavor(Flavor::Lifo, MIN_CAP)
+    }
+
+    /// LIFO worker with an explicit initial capacity (rounded up to a power
+    /// of two). Exists so growth paths can be exercised deterministically
+    /// by tests and benches; the real crate sizes buffers internally.
+    pub fn new_lifo_with_capacity(cap: usize) -> Worker<T> {
+        Worker::with_flavor(Flavor::Lifo, cap)
+    }
+
+    /// LIFO worker whose single-element `pop` skips the top CAS — the
+    /// seeded mutation for the model-check suite. Never compiled into
+    /// normal builds.
+    #[cfg(dcst_model_check)]
+    pub fn new_lifo_with_buggy_pop() -> Worker<T> {
+        let mut w = Worker::with_flavor(Flavor::Lifo, MIN_CAP);
+        Arc::get_mut(&mut w.inner)
+            .expect("fresh worker has a unique Inner")
+            .buggy_pop = true;
+        w
+    }
+
+    /// A stealer handle sharing this deque. Cloneable, usable from any
+    /// thread.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Owner-side emptiness check (exact at the linearization point).
+    pub fn is_empty(&self) -> bool {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Acquire);
+        b.wrapping_sub(t) <= 0
+    }
+
+    /// Number of items currently in the deque (owner-side snapshot).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Acquire);
+        b.wrapping_sub(t).max(0) as usize
+    }
+
+    /// How many times this deque's buffer has grown.
+    pub fn grow_count(&self) -> u64 {
+        self.inner.grows.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Doubles the buffer, copying the live window `[top, bottom)`. Owner
+    /// only; the old buffer is retired, not freed, so in-flight stealers
+    /// keep reading valid memory.
+    fn grow(&self, old: *mut Buffer<T>, top: isize, bottom: isize) -> *mut Buffer<T> {
+        // SAFETY: `old` is the current buffer (owner observed it under the
+        // protocol); slots in [top, bottom) are initialized and copying
+        // MaybeUninit bytes to the new buffer transfers them verbatim.
+        let new = unsafe {
+            let new = Buffer::alloc((*old).cap * 2);
+            let mut i = top;
+            while i != bottom {
+                std::ptr::copy_nonoverlapping((*old).slot(i), (*new).slot(i), 1);
+                i = i.wrapping_add(1);
+            }
+            new
+        };
+        self.inner.buffer.store(new, Ordering::Release);
+        // SAFETY: `retired` is owner-only (Worker is !Sync); no concurrent
+        // access is possible.
+        unsafe { (*self.inner.retired.get()).push(old) };
+        self.inner
+            .grows
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        new
+    }
+
+    /// Pushes an item onto the bottom end. Wait-free for the owner apart
+    /// from occasional (amortized O(1)) buffer growth.
+    pub fn push(&self, value: T) {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Acquire);
+        let mut buf = self.inner.buffer.load(Ordering::Relaxed);
+
+        // SAFETY: cap is only written at construction/grow by the owner.
+        let cap = unsafe { (*buf).cap };
+        if b.wrapping_sub(t) >= cap as isize {
+            buf = self.grow(buf, t, b);
+        }
+
+        // SAFETY: slot `b` is outside the live window [t, b), so no thief
+        // reads it; the Release store below publishes the write.
+        unsafe { (*buf).slot(b).write(MaybeUninit::new(value)) };
+        self.inner
+            .bottom
+            .store(b.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Pops an item: the newest for LIFO workers, the oldest for FIFO.
+    pub fn pop(&self) -> Option<T> {
+        match self.flavor {
+            Flavor::Lifo => self.pop_lifo(),
+            Flavor::Fifo => self.pop_fifo(),
+        }
+    }
+
+    fn pop_lifo(&self) -> Option<T> {
+        let b = self.inner.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        self.inner.bottom.store(b, Ordering::Relaxed);
+        // Publish the decrement before inspecting `top`: pairs with the
+        // fence in `Stealer::steal` (see module docs / DESIGN.md).
+        fence(Ordering::SeqCst);
+        let t = self.inner.top.load(Ordering::Relaxed);
+
+        let len = b.wrapping_sub(t);
+        if len < 0 {
+            // Deque was empty; restore bottom.
+            self.inner
+                .bottom
+                .store(b.wrapping_add(1), Ordering::Relaxed);
+            return None;
+        }
+
+        let buf = self.inner.buffer.load(Ordering::Relaxed);
+        if len > 0 {
+            // At least two items were present: slot `b` cannot be touched
+            // by thieves (they contend on `top` < `b`).
+            // SAFETY: slot b holds the initialized item just excluded from
+            // the live window by the bottom decrement.
+            return Some(unsafe { (*buf).slot(b).read().assume_init() });
+        }
+
+        // Exactly one item left: race thieves for it via the top CAS.
+        #[cfg(dcst_model_check)]
+        if self.inner.buggy_pop {
+            // MUTATION (model check only): plain store instead of CAS. A
+            // concurrent thief whose CAS also succeeds on `t` now receives
+            // the same item — the checker must flag the double delivery.
+            // SAFETY: mutation under test; mirrors the read below.
+            let value = unsafe { (*buf).slot(b).read().assume_init() };
+            self.inner.top.store(t.wrapping_add(1), Ordering::SeqCst);
+            self.inner
+                .bottom
+                .store(b.wrapping_add(1), Ordering::Relaxed);
+            return Some(value);
+        }
+
+        let won = self
+            .inner
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok();
+        // Either way the deque is now empty at bottom = b + 1 = top.
+        self.inner
+            .bottom
+            .store(b.wrapping_add(1), Ordering::Relaxed);
+        if won {
+            // SAFETY: winning the CAS grants exclusive ownership of slot b
+            // (== slot t); thieves that lost will not read it.
+            Some(unsafe { (*buf).slot(b).read().assume_init() })
+        } else {
+            None
+        }
+    }
+
+    fn pop_fifo(&self) -> Option<T> {
+        // FIFO pop takes from the top end, i.e. the owner competes like a
+        // thief against real thieves. Retry on CAS contention: each retry
+        // means some thief made progress, so this terminates.
+        loop {
+            match steal_from(&self.inner) {
+                Steal::Success(v) => return Some(v),
+                Steal::Empty => return None,
+                Steal::Retry => crate::sys::spin_hint(),
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Worker { .. }")
+    }
+}
+
+/// A thief handle: lock-free `steal` from the top end, any thread.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Racy emptiness hint: may be stale by the time the caller acts on
+    /// it, so it must only ever gate heuristics (e.g. the pool's pre-park
+    /// re-check), never correctness.
+    pub fn is_empty(&self) -> bool {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        b.wrapping_sub(t) <= 0
+    }
+
+    /// How many times the owner has grown this deque's buffer.
+    pub fn grow_count(&self) -> u64 {
+        self.inner.grows.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Attempts to steal the oldest item.
+    pub fn steal(&self) -> Steal<T> {
+        steal_from(&self.inner)
+    }
+}
+
+impl<T> std::fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Stealer { .. }")
+    }
+}
+
+/// The steal protocol, shared by `Stealer::steal` and FIFO `Worker::pop`.
+fn steal_from<T>(inner: &Inner<T>) -> Steal<T> {
+    let t = inner.top.load(Ordering::Acquire);
+    // Order the `top` read before the `bottom` read: pairs with the fence
+    // in `pop_lifo` so a concurrent owner pop of the last item is not
+    // missed by both sides.
+    fence(Ordering::SeqCst);
+    let b = inner.bottom.load(Ordering::Acquire);
+
+    if b.wrapping_sub(t) <= 0 {
+        return Steal::Empty;
+    }
+
+    // Load the buffer only after `top`: even if the owner grows (and
+    // retires this buffer) concurrently, retired buffers stay allocated
+    // until drop and slot `t` of an older buffer still holds the item
+    // copied from it, so the speculative read below stays sound.
+    let buf = inner.buffer.load(Ordering::Acquire);
+    // SAFETY: speculative read of slot t as MaybeUninit bytes; it is only
+    // materialized as a T after winning the CAS below. The allocation is
+    // alive (retired buffers are not freed until drop).
+    let value = unsafe { (*buf).slot(t).read() };
+
+    if inner
+        .top
+        .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+        .is_err()
+    {
+        // Lost the race for index t — the bytes read above are abandoned
+        // without materializing a T, so no double drop can occur.
+        return Steal::Retry;
+    }
+
+    // SAFETY: winning the CAS on `top` transfers ownership of index t to
+    // this thief exclusively.
+    Steal::Success(unsafe { value.assume_init() })
+}

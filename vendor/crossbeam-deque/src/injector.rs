@@ -1,0 +1,359 @@
+//! Lock-free MPMC injector queue (segment list).
+//!
+//! A singly linked list of fixed-size blocks, in the style of crossbeam's
+//! `SegQueue`: producers claim slots by CAS on the tail index, consumers by
+//! CAS on the head index, and the producer that claims the last slot of a
+//! block installs the next block. Indices advance by `1 << SHIFT` so bit 0
+//! of the head index can carry the `HAS_NEXT` hint ("head block is not the
+//! tail block"), and each 32-index lap maps to the 31 slots of one block
+//! plus one phantom index used for the block handoff.
+//!
+//! Reclamation is epoch-free: a block can only be freed after all of its
+//! slots have been read, which consumers coordinate through per-slot
+//! `READ`/`DESTROY` state bits — the *last* reader of a block (in either
+//! role) frees it. No reader can hold a pointer to a freed block because it
+//! must have claimed its slot index before the block became fully read.
+
+use crate::sys::{fence, spin_hint, AtomicPtr, AtomicUsize, Ordering};
+use crate::{Steal, Worker};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+
+/// Indices per lap: one block's slots plus the phantom handoff index.
+const LAP: usize = 32;
+/// Slots per block.
+const BLOCK_CAP: usize = LAP - 1;
+/// Indices advance in steps of `1 << SHIFT`, freeing bit 0 for `HAS_NEXT`.
+const SHIFT: usize = 1;
+/// Head-index bit: set when the head block is known not to be the tail
+/// block (skips the emptiness check on the steal fast path).
+const HAS_NEXT: usize = 1;
+
+/// Slot state bit: the producer has finished writing the value.
+const WRITE: usize = 1;
+/// Slot state bit: the consumer has finished reading the value.
+const READ: usize = 2;
+/// Slot state bit: the block is being destroyed; the in-flight reader of
+/// this slot takes over the destruction cascade.
+const DESTROY: usize = 4;
+
+/// Batch cap for [`Injector::steal_batch_and_pop`], matching the real
+/// crate's flush limit.
+const MAX_BATCH: usize = 16;
+
+struct Slot<T> {
+    value: UnsafeCell<MaybeUninit<T>>,
+    state: AtomicUsize,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Slot<T> {
+        Slot {
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+            state: AtomicUsize::new(0),
+        }
+    }
+
+    /// Spins until the producer that claimed this slot has written its
+    /// value. Bounded: the producer already won its index CAS, so the wait
+    /// is for a store that is always coming.
+    fn wait_write(&self) {
+        while self.state.load(Ordering::Acquire) & WRITE == 0 {
+            spin_hint();
+        }
+    }
+}
+
+struct Block<T> {
+    next: AtomicPtr<Block<T>>,
+    slots: [Slot<T>; BLOCK_CAP],
+}
+
+impl<T> Block<T> {
+    fn alloc() -> *mut Block<T> {
+        Box::into_raw(Box::new(Block {
+            next: AtomicPtr::new(ptr::null_mut()),
+            slots: std::array::from_fn(|_| Slot::new()),
+        }))
+    }
+
+    /// Spins until the next block is installed by the producer that claimed
+    /// the last slot of this one. Bounded for the same reason as
+    /// `wait_write`.
+    fn wait_next(&self) -> *mut Block<T> {
+        loop {
+            let next = self.next.load(Ordering::Acquire);
+            if !next.is_null() {
+                return next;
+            }
+            spin_hint();
+        }
+    }
+
+    /// Marks slots `[start, BLOCK_CAP - 1)` as destroyed and frees the
+    /// block once no reader is still inside it. The reader of the final
+    /// slot starts the cascade with `start = 0`; a reader that observes
+    /// `DESTROY` on its own slot continues it from the next slot.
+    ///
+    /// # Safety
+    /// `this` must be a block whose every slot has been claimed by a
+    /// consumer, and the cascade must be entered per the protocol above.
+    unsafe fn destroy(this: *mut Block<T>, start: usize) {
+        for i in start..BLOCK_CAP - 1 {
+            // SAFETY: `this` is alive — the cascade only reaches slot i
+            // after every reader before it has checked out.
+            let slot = unsafe { &(*this).slots[i] };
+            if slot.state.load(Ordering::Acquire) & READ == 0
+                && slot.state.fetch_or(DESTROY, Ordering::AcqRel) & READ == 0
+            {
+                // A reader is still mid-read in this slot; it observed the
+                // DESTROY bit and takes over from slot i + 1.
+                return;
+            }
+        }
+        // Every slot has been read: the block can go.
+        // SAFETY: last participant out frees the block exactly once.
+        unsafe { drop(Box::from_raw(this)) };
+    }
+}
+
+/// One end of the queue: an index plus the block it points into, kept on
+/// its own cache line so producers and consumers do not false-share.
+#[repr(align(64))]
+struct Position<T> {
+    index: AtomicUsize,
+    block: AtomicPtr<Block<T>>,
+}
+
+/// The global FIFO injection queue: lock-free MPMC push and steal.
+pub struct Injector<T> {
+    head: Position<T>,
+    tail: Position<T>,
+}
+
+// SAFETY: items are handed between threads through the slot-state protocol
+// (WRITE published with Release, consumed after an Acquire check); all
+// queue structure is atomics.
+unsafe impl<T: Send> Send for Injector<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send> Sync for Injector<T> {}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector (first block allocated eagerly).
+    pub fn new() -> Injector<T> {
+        let first = Block::<T>::alloc();
+        Injector {
+            head: Position {
+                index: AtomicUsize::new(0),
+                block: AtomicPtr::new(first),
+            },
+            tail: Position {
+                index: AtomicUsize::new(0),
+                block: AtomicPtr::new(first),
+            },
+        }
+    }
+
+    /// Pushes an item onto the tail. Lock-free: the only wait is the
+    /// bounded spin for a racing producer's block install.
+    pub fn push(&self, value: T) {
+        let mut tail = self.tail.index.load(Ordering::Acquire);
+        let mut block = self.tail.block.load(Ordering::Acquire);
+
+        loop {
+            let offset = (tail >> SHIFT) % LAP;
+            if offset == BLOCK_CAP {
+                // Phantom index: the producer that claimed the last slot is
+                // installing the next block; wait for the index to move.
+                spin_hint();
+                tail = self.tail.index.load(Ordering::Acquire);
+                block = self.tail.block.load(Ordering::Acquire);
+                continue;
+            }
+
+            let new_tail = tail + (1 << SHIFT);
+            match self.tail.index.compare_exchange(
+                tail,
+                new_tail,
+                Ordering::SeqCst,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    if offset + 1 == BLOCK_CAP {
+                        // Claimed the last slot: install the next block and
+                        // move the tail index across the phantom slot.
+                        let next = Block::<T>::alloc();
+                        let next_index = new_tail.wrapping_add(1 << SHIFT);
+                        self.tail.block.store(next, Ordering::Release);
+                        self.tail.index.store(next_index, Ordering::Release);
+                        // SAFETY: `block` cannot be freed while its last
+                        // slot (ours) has not been written and read.
+                        unsafe { (*block).next.store(next, Ordering::Release) };
+                    }
+                    // SAFETY: the index CAS gave this producer exclusive
+                    // write access to `slot`; WRITE below publishes it.
+                    unsafe {
+                        let slot = &(*block).slots[offset];
+                        slot.value.get().write(MaybeUninit::new(value));
+                        slot.state.fetch_or(WRITE, Ordering::Release);
+                    }
+                    return;
+                }
+                Err(t) => {
+                    tail = t;
+                    block = self.tail.block.load(Ordering::Acquire);
+                }
+            }
+        }
+    }
+
+    /// Racy emptiness hint (exact only when the queue is quiescent).
+    pub fn is_empty(&self) -> bool {
+        let head = self.head.index.load(Ordering::SeqCst);
+        let tail = self.tail.index.load(Ordering::SeqCst);
+        head >> SHIFT == tail >> SHIFT
+    }
+
+    /// Approximate queue length; used only to size steal batches.
+    fn len_hint(&self) -> usize {
+        let tail = self.tail.index.load(Ordering::Acquire) >> SHIFT;
+        let head = (self.head.index.load(Ordering::Acquire) & !HAS_NEXT) >> SHIFT;
+        // Includes up to one phantom index per lap — fine for a hint.
+        tail.saturating_sub(head)
+    }
+
+    /// Attempts to steal the item at the head.
+    pub fn steal(&self) -> Steal<T> {
+        let mut head = self.head.index.load(Ordering::Acquire);
+        let mut block = self.head.block.load(Ordering::Acquire);
+
+        loop {
+            let offset = (head >> SHIFT) % LAP;
+            if offset == BLOCK_CAP {
+                // Phantom index: a consumer is moving head to the next
+                // block; wait for the move.
+                spin_hint();
+                head = self.head.index.load(Ordering::Acquire);
+                block = self.head.block.load(Ordering::Acquire);
+                continue;
+            }
+
+            let mut new_head = head + (1 << SHIFT);
+            if new_head & HAS_NEXT == 0 {
+                // Order the head read before the tail read so a racing
+                // push's index CAS is observed (mirrors SegQueue::pop).
+                fence(Ordering::SeqCst);
+                let tail = self.tail.index.load(Ordering::Relaxed);
+                if head >> SHIFT == tail >> SHIFT {
+                    return Steal::Empty;
+                }
+                if (head >> SHIFT) / LAP != (tail >> SHIFT) / LAP {
+                    new_head |= HAS_NEXT;
+                }
+            }
+
+            match self.head.index.compare_exchange(
+                head,
+                new_head,
+                Ordering::SeqCst,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    // SAFETY: the head CAS gave this consumer exclusive
+                    // read access to slot `offset` of `block`, which stays
+                    // alive until the destroy cascade — entered only after
+                    // this reader checks out below.
+                    unsafe {
+                        if offset + 1 == BLOCK_CAP {
+                            // Claimed the last slot: move head across the
+                            // phantom index into the next block.
+                            let next = (*block).wait_next();
+                            let mut next_index = (new_head & !HAS_NEXT).wrapping_add(1 << SHIFT);
+                            if !(*next).next.load(Ordering::Relaxed).is_null() {
+                                next_index |= HAS_NEXT;
+                            }
+                            self.head.block.store(next, Ordering::Release);
+                            self.head.index.store(next_index, Ordering::Release);
+                        }
+
+                        let slot = &(*block).slots[offset];
+                        slot.wait_write();
+                        let value = slot.value.get().read().assume_init();
+
+                        if offset + 1 == BLOCK_CAP {
+                            // Last reader of the block starts the cascade.
+                            Block::destroy(block, 0);
+                        } else if slot.state.fetch_or(READ, Ordering::AcqRel) & DESTROY != 0 {
+                            // Destruction already started; take it over.
+                            Block::destroy(block, offset + 1);
+                        }
+                        return Steal::Success(value);
+                    }
+                }
+                Err(_) => return Steal::Retry,
+            }
+        }
+    }
+
+    /// Steals one item and moves up to half the remaining queue (capped at
+    /// `MAX_BATCH`) into `dest`'s local deque.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let first = match self.steal() {
+            Steal::Success(v) => v,
+            other => return other,
+        };
+        let batch = (self.len_hint() / 2).min(MAX_BATCH);
+        for _ in 0..batch {
+            match self.steal() {
+                Steal::Success(v) => dest.push(v),
+                // Empty: done. Retry: keep the guaranteed `first` rather
+                // than spinning — the pool re-polls on its next pass.
+                _ => break,
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+impl<T> Drop for Injector<T> {
+    fn drop(&mut self) {
+        // Sole owner now: drain unread items and free the remaining block
+        // chain (blocks before `head.block` were freed by the cascade).
+        let mut head = self.head.index.load(Ordering::Relaxed) & !HAS_NEXT;
+        let tail = self.tail.index.load(Ordering::Relaxed);
+        let mut block = self.head.block.load(Ordering::Relaxed);
+        // SAFETY: no other handles exist; indices delimit exactly the
+        // written-but-unread slots, and each block is freed exactly once as
+        // head crosses its phantom index.
+        unsafe {
+            while head >> SHIFT != tail >> SHIFT {
+                let offset = (head >> SHIFT) % LAP;
+                if offset < BLOCK_CAP {
+                    let slot = &(*block).slots[offset];
+                    drop(slot.value.get().read().assume_init());
+                } else {
+                    let next = (*block).next.load(Ordering::Relaxed);
+                    drop(Box::from_raw(block));
+                    block = next;
+                }
+                head = head.wrapping_add(1 << SHIFT);
+            }
+            if !block.is_null() {
+                drop(Box::from_raw(block));
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Injector<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Injector { .. }")
+    }
+}

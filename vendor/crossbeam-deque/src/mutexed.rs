@@ -1,0 +1,137 @@
+//! The original mutex-based stand-in, kept as the contention baseline for
+//! the scheduler task-storm bench (`metrics_overhead --sched-out`): same
+//! observable semantics as the lock-free [`crate::Worker`] /
+//! [`crate::Injector`] (FIFO/LIFO local queue, front-stealing, batched
+//! injector steals), but every operation takes a lock. Not used by the
+//! runtime.
+
+use crate::Steal;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Mutexed worker queue. `new_fifo` pops in push order, `new_lifo` pops the
+/// most recent push; stealers always take from the front.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+    lifo: bool,
+}
+
+impl<T> Worker<T> {
+    pub fn new_fifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            lifo: false,
+        }
+    }
+
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            lifo: true,
+        }
+    }
+
+    pub fn push(&self, value: T) {
+        self.queue.lock().unwrap().push_back(value);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.queue.lock().unwrap();
+        if self.lifo {
+            q.pop_back()
+        } else {
+            q.pop_front()
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+/// Handle stealing single items from the front of a mutexed worker queue.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().unwrap().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+}
+
+/// Mutexed global injection queue.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, value: T) {
+        self.queue.lock().unwrap().push_back(value);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().unwrap().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Pop one task and move a batch of follow-ons to `dest` (half the
+    /// queue, capped like crossbeam's batch limit).
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = self.queue.lock().unwrap();
+        let first = match q.pop_front() {
+            Some(v) => v,
+            None => return Steal::Empty,
+        };
+        let batch = (q.len() / 2).min(16);
+        if batch > 0 {
+            let mut d = dest.queue.lock().unwrap();
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(v) => d.push_back(v),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}

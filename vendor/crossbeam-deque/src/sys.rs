@@ -1,0 +1,27 @@
+//! Atomic alias layer for the lock-free structures.
+//!
+//! Normal builds re-export `std::sync::atomic`; under
+//! `RUSTFLAGS="--cfg dcst_model_check"` every atomic access and fence
+//! resolves to `loom-lite`'s instrumented equivalents, making each one a
+//! schedule point so the model checker can drive the pop/steal CAS races,
+//! buffer growth, and the injector's block handoff through exhaustively
+//! explored interleavings. `spin_hint` maps to the model's deprioritizing
+//! yield so bounded spin-waits (slot-write, next-block install) cannot be
+//! misreported as livelocks.
+
+#[cfg(not(dcst_model_check))]
+pub use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+
+#[cfg(not(dcst_model_check))]
+#[inline]
+pub fn spin_hint() {
+    std::hint::spin_loop();
+}
+
+#[cfg(dcst_model_check)]
+pub use loom_lite::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+
+#[cfg(dcst_model_check)]
+pub fn spin_hint() {
+    loom_lite::hint::spin_loop();
+}

@@ -1,6 +1,13 @@
 //! Instrumented work-stealing deque mirroring the `crossbeam-deque` API
 //! subset the pool uses. Built on the model [`Mutex`], so every queue
 //! operation is a schedule point and steal/pop races are explored.
+//!
+//! Since PR 7 the runtime's `dcst_sync` no longer routes through this
+//! module: the real `crossbeam-deque` (lock-free Chase–Lev + segment-list
+//! injector) swaps its own atomics to this crate's instrumented ones under
+//! `--cfg dcst_model_check`, so the pool-level model suite explores the
+//! actual protocol. This mutex-based mirror stays as a known-good oracle
+//! for loom-lite's self-tests.
 
 use crate::sync::Mutex;
 use std::collections::VecDeque;

@@ -1,7 +1,14 @@
-//! Spin-loop hint: under the model a spin is just a schedule point, so
-//! spin-wait loops make progress instead of monopolizing the one active
-//! virtual thread.
+//! Spin-loop hint: under the model a spin iteration is a *deprioritizing*
+//! schedule point (`rt::Execution::yield_spin`) — the scheduler runs some
+//! other thread before the spinner's next iteration, so bounded spin-waits
+//! (a claimed slot whose writer hasn't stored yet, a next-block install)
+//! terminate under DFS instead of unrolling into false livelock reports.
+//! Outside a model run it is a plain no-op.
+
+use crate::rt;
 
 pub fn spin_loop() {
-    crate::rt::yield_if_ctx();
+    if let Some((exec, tid)) = rt::current() {
+        exec.yield_spin(tid);
+    }
 }

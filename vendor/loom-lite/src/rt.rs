@@ -25,6 +25,15 @@ pub(crate) enum Mode {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum TState {
     Runnable,
+    /// Parked by [`Execution::yield_spin`]: runnable in principle, but
+    /// deprioritized until another thread has been scheduled. Spinning
+    /// twice in a row with no intervening step by anyone else is
+    /// stutter-equivalent to spinning once (the spinner re-reads unchanged
+    /// state), so excluding the spinner from the very next decision loses
+    /// no interleavings — and it keeps the DFS from unrolling bounded
+    /// spin-waits (slot-write waits, next-block installs in the lock-free
+    /// queues) into false livelock reports.
+    Yielded,
     Blocked,
     Finished,
 }
@@ -166,6 +175,45 @@ impl Execution {
         }
     }
 
+    /// Schedule point for one spin-wait iteration: like
+    /// [`yield_point`](Self::yield_point), but the caller is deprioritized
+    /// (state [`TState::Yielded`]) so another runnable thread — one that
+    /// can actually change the state the spinner is waiting on — runs
+    /// before the spinner's next iteration. The spinner re-enters the
+    /// candidate set at the next decision point, so both spin-first and
+    /// progress-first orders are still explored; spin iterations still
+    /// consume the schedule-point budget, so genuine livelocks (spinners
+    /// waiting on each other) are still reported.
+    pub fn yield_spin(&self, tid: usize) {
+        let mut g = lock_inner(self);
+        if g.abandoned {
+            drop(g);
+            park_forever();
+        }
+        g.yields += 1;
+        if g.yields > g.max_yields {
+            let yields = g.yields;
+            self.fail_locked(
+                &mut g,
+                format!("livelock: schedule-point budget ({yields}) exceeded"),
+            );
+            drop(g);
+            park_forever();
+        }
+        g.states[tid] = TState::Yielded;
+        self.pick_next(&mut g);
+        loop {
+            if g.abandoned {
+                drop(g);
+                park_forever();
+            }
+            if g.active == tid && g.states[tid] == TState::Runnable {
+                return;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
     /// Mark this thread blocked and schedule someone else; returns once a
     /// wakeup ([`set_runnable`](Self::set_runnable)) made it active again.
     ///
@@ -278,9 +326,22 @@ impl Execution {
     /// decision when there is a real choice. No runnable threads means the
     /// execution either completed or deadlocked.
     fn pick_next(&self, g: &mut Inner) {
-        let runnable: Vec<usize> = (0..g.states.len())
+        let mut runnable: Vec<usize> = (0..g.states.len())
             .filter(|&t| g.states[t] == TState::Runnable)
             .collect();
+        if runnable.is_empty() {
+            // Only spinners left: promote them — a spin loop may
+            // legitimately be the only live work (e.g. everyone waits on
+            // one slow writer that just got blocked on a model mutex).
+            for s in g.states.iter_mut() {
+                if *s == TState::Yielded {
+                    *s = TState::Runnable;
+                }
+            }
+            runnable = (0..g.states.len())
+                .filter(|&t| g.states[t] == TState::Runnable)
+                .collect();
+        }
         if runnable.is_empty() {
             if g.states.iter().all(|s| *s == TState::Finished) {
                 g.complete = true;
@@ -324,6 +385,14 @@ impl Execution {
             chosen
         };
         g.active = runnable[idx];
+        // A choice has been made: every spinner re-enters the candidate set
+        // at the next decision point (it never runs twice in a row while a
+        // non-spinner is runnable, which is what bounds spin-waits).
+        for s in g.states.iter_mut() {
+            if *s == TState::Yielded {
+                *s = TState::Runnable;
+            }
+        }
         self.cv.notify_all();
     }
 }

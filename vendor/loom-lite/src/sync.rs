@@ -254,6 +254,7 @@ pub mod atomic {
 
     model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
     model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    model_atomic!(AtomicIsize, std::sync::atomic::AtomicIsize, isize);
 
     impl AtomicUsize {
         pub fn fetch_add(&self, val: usize, _order: Ordering) -> usize {
@@ -265,5 +266,73 @@ pub mod atomic {
             rt::yield_if_ctx();
             self.v.fetch_sub(val, Ordering::SeqCst)
         }
+
+        pub fn fetch_or(&self, val: usize, _order: Ordering) -> usize {
+            rt::yield_if_ctx();
+            self.v.fetch_or(val, Ordering::SeqCst)
+        }
+    }
+
+    impl AtomicIsize {
+        pub fn fetch_add(&self, val: isize, _order: Ordering) -> isize {
+            rt::yield_if_ctx();
+            self.v.fetch_add(val, Ordering::SeqCst)
+        }
+
+        pub fn fetch_sub(&self, val: isize, _order: Ordering) -> isize {
+            rt::yield_if_ctx();
+            self.v.fetch_sub(val, Ordering::SeqCst)
+        }
+    }
+
+    /// Instrumented `AtomicPtr`: same shape as the macro-generated atomics,
+    /// written out by hand because of the generic parameter.
+    #[derive(Debug, Default)]
+    pub struct AtomicPtr<T> {
+        v: std::sync::atomic::AtomicPtr<T>,
+    }
+
+    impl<T> AtomicPtr<T> {
+        pub const fn new(p: *mut T) -> Self {
+            Self {
+                v: std::sync::atomic::AtomicPtr::new(p),
+            }
+        }
+
+        pub fn load(&self, _order: Ordering) -> *mut T {
+            rt::yield_if_ctx();
+            self.v.load(Ordering::SeqCst)
+        }
+
+        pub fn store(&self, p: *mut T, _order: Ordering) {
+            rt::yield_if_ctx();
+            self.v.store(p, Ordering::SeqCst)
+        }
+
+        pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
+            rt::yield_if_ctx();
+            self.v.swap(p, Ordering::SeqCst)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            rt::yield_if_ctx();
+            self.v
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        }
+    }
+
+    /// Instrumented memory fence: a schedule point plus a real fence. The
+    /// model executes everything sequentially consistent anyway, so the
+    /// schedule point (exploring what runs between the fenced accesses) is
+    /// the part that matters.
+    pub fn fence(order: Ordering) {
+        rt::yield_if_ctx();
+        std::sync::atomic::fence(order);
     }
 }
