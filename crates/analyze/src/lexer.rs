@@ -1,0 +1,552 @@
+//! Hand-rolled lossless Rust lexer.
+//!
+//! The whole static-analysis subsystem sits on this one pass: the token
+//! stream is *lossless* (concatenating every token's text reproduces the
+//! input byte-for-byte), every token carries the 1-based line of its first
+//! character, and malformed input never panics — an unterminated literal
+//! or comment simply extends to end-of-input. Those three properties are
+//! what the rest of the crate (stripper, parser, rules) and the proptest
+//! suite rely on.
+//!
+//! The tricky corners the previous regex-era stripper got wrong are
+//! handled structurally here:
+//!
+//! * raw / byte / C strings with any number of `#`s (`r"…"`, `r#"…"#`,
+//!   `br##"…"##`, `c"…"`), including the raw-identifier form `r#match`;
+//! * nested block comments (`/* /* */ */` — depth-counted like rustc);
+//! * char literals vs lifetimes (`'a'` vs `'a`), including escaped-quote
+//!   chars (`'\''`) and multibyte scalar contents (`'é'`);
+//! * multibyte characters adjacent to literal prefixes — the old stripper
+//!   byte-truncated `char as u8` in its identifier guard, so an ident
+//!   ending in a non-ASCII char (e.g. `ér"…"`) could flip a cooked string
+//!   into a raw-string parse and desynchronize the rest of the file.
+
+/// What a token is. `text(src)` on any kind returns the exact source slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Spaces, tabs, newlines, any `char::is_whitespace` run.
+    Whitespace,
+    /// `// …` up to (not including) the newline.
+    LineComment,
+    /// `/* … */`, nesting-aware; unterminated runs to end-of-input.
+    BlockComment,
+    /// Identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// `'label` / `'static` — the tick plus the identifier.
+    Lifetime,
+    /// Cooked string (`"…"`, `b"…"`, `c"…"`) with escapes.
+    Str,
+    /// Raw string (`r"…"`, `br#"…"#`, `cr##"…"##`), no escapes.
+    RawStr,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// Any other single character (`+`, `::` is two tokens, …).
+    Punct,
+}
+
+impl TokKind {
+    /// Kinds whose contents must never influence keyword/pattern scans.
+    pub fn is_opaque(self) -> bool {
+        matches!(
+            self,
+            TokKind::LineComment
+                | TokKind::BlockComment
+                | TokKind::Str
+                | TokKind::RawStr
+                | TokKind::Char
+        )
+    }
+
+    /// Comment kinds (skipped by the parser, kept for marker scans).
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Kinds the parser skips entirely.
+    pub fn is_trivia(self) -> bool {
+        self.is_comment() || self == TokKind::Whitespace
+    }
+}
+
+/// One token: a kind plus a byte range into the source and the 1-based
+/// line its first byte sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Cursor<'s> {
+    src: &'s str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_while(&mut self, f: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&f) {
+            self.bump();
+        }
+    }
+}
+
+/// Lex `src` into a lossless token stream: the tokens tile `[0, src.len())`
+/// exactly, so `tokens.iter().map(|t| t.text(src)).collect::<String>()`
+/// equals `src`. Never panics, for any input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src,
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = next_kind(&mut cur, c);
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+        });
+    }
+    out
+}
+
+fn next_kind(cur: &mut Cursor<'_>, c: char) -> TokKind {
+    if c.is_whitespace() {
+        cur.bump_while(char::is_whitespace);
+        return TokKind::Whitespace;
+    }
+    if c == '/' {
+        match cur.peek_at(1) {
+            Some('/') => {
+                cur.bump_while(|c| c != '\n');
+                return TokKind::LineComment;
+            }
+            Some('*') => {
+                lex_block_comment(cur);
+                return TokKind::BlockComment;
+            }
+            _ => {
+                cur.bump();
+                return TokKind::Punct;
+            }
+        }
+    }
+    if c == '\'' {
+        return lex_tick(cur);
+    }
+    if c == '"' {
+        lex_cooked_string(cur);
+        return TokKind::Str;
+    }
+    if c.is_ascii_digit() {
+        lex_number(cur);
+        return TokKind::Number;
+    }
+    if is_ident_start(c) {
+        return lex_ident_or_prefixed(cur);
+    }
+    cur.bump();
+    TokKind::Punct
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break, // unterminated: runs to EOF
+        }
+    }
+}
+
+/// `'` starts either a lifetime or a char literal. Disambiguation follows
+/// rustc: `'ident` not followed by a closing `'` is a lifetime; anything
+/// else is a char literal.
+fn lex_tick(cur: &mut Cursor<'_>) -> TokKind {
+    cur.bump(); // '\''
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume the escape, then scan for the
+            // closing quote (stopping at a newline keeps truncated input
+            // from swallowing line structure — the old stripper's bug).
+            cur.bump();
+            if matches!(cur.peek(), None | Some('\n')) {
+                return TokKind::Char; // truncated `'\` — leave the newline
+            }
+            cur.bump(); // the escaped char ('\'' included — it cannot close)
+            while let Some(c) = cur.peek() {
+                if c == '\n' {
+                    break;
+                }
+                let done = c == '\'';
+                cur.bump();
+                if done {
+                    break;
+                }
+            }
+            TokKind::Char
+        }
+        Some(c) if is_ident_start(c) && cur.peek_at(1) != Some('\'') => {
+            cur.bump_while(is_ident_continue);
+            TokKind::Lifetime
+        }
+        Some('\'') | None => TokKind::Char, // `''` or lone trailing tick
+        Some(_) => {
+            cur.bump(); // the content char (any scalar, multibyte fine)
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            TokKind::Char
+        }
+    }
+}
+
+/// Cooked string body (after any prefix): escapes, multi-line, runs to EOF
+/// when unterminated.
+fn lex_cooked_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening '"'
+    while let Some(c) = cur.peek() {
+        cur.bump();
+        match c {
+            '\\' => {
+                cur.bump(); // skip escaped char (incl. `\"` and `\\`)
+            }
+            '"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Raw string body: `#`s were already counted; scan for `"` + that many
+/// `#`s. No escapes exist in raw strings.
+fn lex_raw_string(cur: &mut Cursor<'_>, hashes: usize) {
+    cur.bump(); // opening '"'
+    'scan: while let Some(c) = cur.peek() {
+        cur.bump();
+        if c == '"' {
+            for _ in 0..hashes {
+                if cur.peek() != Some('#') {
+                    continue 'scan;
+                }
+                cur.bump();
+            }
+            return;
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) {
+    cur.bump();
+    loop {
+        cur.bump_while(is_ident_continue);
+        // Exponent sign: `1e+10` / `2E-3`.
+        let last = cur.src[..cur.pos].chars().next_back();
+        if matches!(last, Some('e' | 'E'))
+            && matches!(cur.peek(), Some('+' | '-'))
+            && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            cur.bump();
+            continue;
+        }
+        // Float dot: consume `.` only when followed by a digit (leaves
+        // `0..n` ranges and `1.max(2)` method calls intact).
+        if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            cur.bump();
+            continue;
+        }
+        return;
+    }
+}
+
+/// An identifier, or a literal-prefix identifier (`r` / `b` / `c` / `br` /
+/// `cr`) that actually opens a string, or a raw identifier `r#ident`.
+fn lex_ident_or_prefixed(cur: &mut Cursor<'_>) -> TokKind {
+    let start = cur.pos;
+    cur.bump_while(is_ident_continue);
+    let ident = &cur.src[start..cur.pos];
+    let raw_capable = matches!(ident, "r" | "br" | "cr");
+    let cooked_prefix = matches!(ident, "b" | "c");
+    match cur.peek() {
+        Some('"') if raw_capable => {
+            lex_raw_string(cur, 0);
+            TokKind::RawStr
+        }
+        Some('"') if cooked_prefix => {
+            lex_cooked_string(cur);
+            TokKind::Str
+        }
+        Some('\'') if ident == "b" => {
+            // Byte-char literal b'x'. Reuse the tick logic; a byte char is
+            // never a lifetime, but lex_tick only yields Lifetime for
+            // `'ident`-without-close, which can't follow `b` in valid code
+            // — and on invalid code either answer strips fine.
+            lex_tick(cur);
+            TokKind::Char
+        }
+        Some('#') if raw_capable => {
+            let mut probe = 0usize;
+            while cur.peek_at(probe) == Some('#') {
+                probe += 1;
+            }
+            match cur.peek_at(probe) {
+                Some('"') => {
+                    for _ in 0..probe {
+                        cur.bump();
+                    }
+                    lex_raw_string(cur, probe);
+                    TokKind::RawStr
+                }
+                Some(c2) if ident == "r" && probe == 1 && is_ident_start(c2) => {
+                    cur.bump(); // '#'
+                    cur.bump_while(is_ident_continue);
+                    TokKind::Ident // raw identifier r#match
+                }
+                _ => TokKind::Ident,
+            }
+        }
+        _ => TokKind::Ident,
+    }
+}
+
+/// Replace the contents of comments and string/char literals with spaces,
+/// preserving line structure, so keyword and pattern scans never match
+/// inside text. Lifetimes are kept verbatim (so `&'static mut` cannot be
+/// mistaken for a `static mut` item downstream).
+///
+/// Line semantics mirror `str::lines()`: the returned `Vec` always has
+/// exactly `src.lines().count()` entries, for any input — including
+/// truncated literals and unterminated comments.
+pub fn strip_source(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur_line = String::new();
+    for tok in lex(src) {
+        let blank = tok.kind.is_opaque();
+        for c in tok.text(src).chars() {
+            if c == '\n' {
+                out.push(std::mem::take(&mut cur_line));
+            } else if blank {
+                cur_line.push(' ');
+            } else {
+                cur_line.push(c);
+            }
+        }
+    }
+    if !cur_line.is_empty() {
+        out.push(cur_line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rejoin(src: &str) -> String {
+        lex(src).iter().map(|t| t.text(src)).collect()
+    }
+
+    fn strip_str(src: &str) -> String {
+        strip_source(src).join("\n")
+    }
+
+    #[test]
+    fn round_trips_basic_source() {
+        let src = "fn main() { let x = 1 + 2; }\n";
+        assert_eq!(rejoin(src), src);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_round_trip_and_strip() {
+        for src in [
+            "let a = r\"un\\safe\";",
+            "let b = r#\"quote \" inside\"#;",
+            "let c = r##\"ends with \"# inside\"##;",
+            "let d = br#\"bytes \" here\"#;",
+            "let e = cr\"c string\";",
+        ] {
+            assert_eq!(rejoin(src), src);
+            let s = strip_str(src);
+            assert!(!s.contains("safe") && !s.contains("inside") && !s.contains("here"));
+            assert!(s.starts_with("let "));
+        }
+    }
+
+    #[test]
+    fn raw_string_content_never_confuses_rules() {
+        let src = "let s = r#\"unsafe { static mut } \"#; let t = 1;";
+        let s = strip_str(src);
+        assert!(!s.contains("unsafe") && !s.contains("static"));
+        assert!(s.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let src = "let r#match = r#fn; let s = \"x\";";
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text(src) == "r#match"));
+        assert!(strip_str(src).contains("r#match"));
+    }
+
+    #[test]
+    fn nested_block_comments_strip_fully() {
+        let src = "let a = /* unsafe /* nested */ still */ 1; /* /*/ */ */ let b = 2;";
+        let s = strip_str(src);
+        assert!(!s.contains("unsafe") && !s.contains("nested") && !s.contains("still"));
+        assert!(s.contains("let a =") && s.contains("1;") && s.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn char_literals_including_quote_and_escape() {
+        // `'"'` must not open a string state; `'\''` must not leave a
+        // stray tick that re-synchronizes wrongly.
+        let src = "let a = '\"'; let b = '\\''; let c = unsafe { g() };";
+        let s = strip_str(src);
+        assert!(
+            s.contains("unsafe"),
+            "code after char literals must survive: {s}"
+        );
+        assert!(!s.contains('"'));
+    }
+
+    #[test]
+    fn lifetimes_survive_stripping() {
+        let src = "fn f(x: &'static mut u32, y: &'a str) {}";
+        let s = strip_str(src);
+        assert!(s.contains("&'static mut"));
+        assert!(s.contains("&'a str"));
+    }
+
+    #[test]
+    fn multibyte_adjacent_to_prefix_stays_cooked() {
+        // Old stripper bug: `chars[k-1] as u8` truncated 'é' (U+00E9) to a
+        // non-ident byte, so the guard passed and `r"…"` semantics were
+        // applied mid-identifier. The lexer scans the full identifier
+        // (`ér`) first, so the following quote is a plain cooked string.
+        let src = "let \u{e9}r = 1; let s = \"static mut\"; let u = unsafe { g() };";
+        assert_eq!(rejoin(src), src);
+        let s = strip_str(src);
+        assert!(!s.contains("static"));
+        assert!(s.contains("unsafe"));
+    }
+
+    #[test]
+    fn truncated_escape_keeps_line_structure() {
+        // Old stripper bug: an unterminated `'\` escape scan swallowed the
+        // newline, desynchronizing the stripped line count from the raw
+        // one (which the lint asserts on). Three lines in, three out.
+        let src = "let a = '\\\nstatic mut X: u32 = 0;\nlet b = 1;";
+        let stripped = strip_source(src);
+        assert_eq!(stripped.len(), src.lines().count());
+        assert!(stripped[1].contains("static mut"), "line 2 must stay code");
+    }
+
+    #[test]
+    fn line_counts_match_for_edge_inputs() {
+        for src in [
+            "",
+            "\n",
+            "a",
+            "a\n",
+            "a\n\n",
+            "\"unterminated\nacross lines",
+            "/* unterminated\ncomment",
+            "r#\"unterminated raw\nstring",
+            "'\\",
+            "b'",
+        ] {
+            assert_eq!(rejoin(src), src, "lossless on {src:?}");
+            assert_eq!(
+                strip_source(src).len(),
+                src.lines().count(),
+                "line count on {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let src = "let a = 0..5; let b = 1.max(2); let c = 1.5e-3; let d = 0x1f_u32;";
+        assert_eq!(rejoin(src), src);
+        let toks = lex(src);
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text(src))
+            .collect();
+        assert!(nums.contains(&"1.5e-3"));
+        assert!(nums.contains(&"0x1f_u32"));
+        assert!(nums.contains(&"0") && nums.contains(&"5"));
+    }
+
+    #[test]
+    fn token_lines_are_accurate() {
+        let src = "a\nb /* c\nd */ e\nf";
+        let toks = lex(src);
+        let line_of = |text: &str| {
+            toks.iter()
+                .find(|t| t.text(src) == text)
+                .map(|t| t.line)
+                .unwrap_or(0)
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 2);
+        assert_eq!(line_of("e"), 3);
+        assert_eq!(line_of("f"), 4);
+    }
+}

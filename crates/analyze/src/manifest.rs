@@ -1,0 +1,181 @@
+//! Minimal TOML-subset reader for `specs/orderings.toml`.
+//!
+//! The manifest is an array of `[[site]]` tables with string/integer
+//! values — the only TOML this parser understands, because that is the
+//! only TOML the workspace contains (no external deps, by constraint).
+//! Unknown constructs are hard errors rather than silent skips: a
+//! manifest that cannot be read completely must fail the analysis run,
+//! not weaken it.
+
+/// One classified atomic site (or group of identical sites).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Site {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// Qualified fn (`Owner::name` or bare `name`; `-` = outside any fn).
+    pub func: String,
+    /// Trailing field path of the atomic (`top`, `head.index`, `-` for fences).
+    pub atomic: String,
+    /// `load` / `store` / `compare_exchange` / `fetch_add` / … / `fence`.
+    pub op: String,
+    /// Comma-joined ordering list as written (`SeqCst`, `SeqCst,Relaxed`).
+    pub order: String,
+    /// How many identical sites this entry covers (default 1).
+    pub count: usize,
+    /// One-line justification; must be non-empty and non-placeholder.
+    pub why: String,
+    /// Line in the manifest (for error reporting).
+    pub line: u32,
+}
+
+impl Site {
+    /// Identity under which real sites are grouped and matched.
+    pub fn key(&self) -> (String, String, String, String, String) {
+        (
+            self.file.clone(),
+            self.func.clone(),
+            self.atomic.clone(),
+            self.op.clone(),
+            self.order.clone(),
+        )
+    }
+}
+
+/// Parse the manifest text. Returns the sites or a line-tagged error.
+pub fn parse(text: &str) -> Result<Vec<Site>, String> {
+    let mut sites: Vec<Site> = Vec::new();
+    let mut in_site = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[site]]" {
+            sites.push(Site {
+                count: 1,
+                line: lineno,
+                ..Site::default()
+            });
+            in_site = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {lineno}: unsupported table `{line}` (only [[site]] is allowed)"
+            ));
+        }
+        if !in_site {
+            return Err(format!("line {lineno}: key outside any [[site]] table"));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "line {lineno}: expected `key = value`, got `{line}`"
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let site = sites.last_mut().expect("in_site implies a current site");
+        match key {
+            "file" => site.file = parse_string(value, lineno)?,
+            "fn" => site.func = parse_string(value, lineno)?,
+            "atomic" => site.atomic = parse_string(value, lineno)?,
+            "op" => site.op = parse_string(value, lineno)?,
+            "order" => site.order = parse_string(value, lineno)?,
+            "why" => site.why = parse_string(value, lineno)?,
+            "count" => {
+                site.count = value.parse().map_err(|_| {
+                    format!("line {lineno}: `count` must be a plain integer, got `{value}`")
+                })?;
+            }
+            other => return Err(format!("line {lineno}: unknown key `{other}`")),
+        }
+    }
+    for s in &sites {
+        for (name, v) in [
+            ("file", &s.file),
+            ("fn", &s.func),
+            ("atomic", &s.atomic),
+            ("op", &s.op),
+            ("order", &s.order),
+        ] {
+            if v.is_empty() {
+                return Err(format!(
+                    "site at line {}: missing required key `{name}`",
+                    s.line
+                ));
+            }
+        }
+    }
+    Ok(sites)
+}
+
+fn parse_string(value: &str, lineno: u32) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("line {lineno}: expected a double-quoted string, got `{value}`"))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    return Err(format!("line {lineno}: unsupported escape `\\{other}`"))
+                }
+                None => return Err(format!("line {lineno}: dangling escape")),
+            }
+        } else if c == '"' {
+            return Err(format!("line {lineno}: unescaped quote inside string"));
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sites_with_defaults() {
+        let text = r#"
+# comment
+[[site]]
+file = "crates/runtime/src/pool.rs"
+fn = "Pool::wait"
+atomic = "outstanding"
+op = "load"
+order = "Acquire"
+why = "pairs with the AcqRel fetch_sub in execute"
+
+[[site]]
+file = "vendor/crossbeam-deque/src/chase_lev.rs"
+fn = "Worker::pop_lifo"
+atomic = "bottom"
+op = "store"
+order = "Relaxed"
+count = 3
+why = "owner-only field; the SeqCst fence orders it against steals"
+"#;
+        let sites = parse(text).unwrap();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].count, 1);
+        assert_eq!(sites[1].count, 3);
+        assert_eq!(sites[1].func, "Worker::pop_lifo");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("[site]\n").is_err());
+        assert!(parse("file = \"x\"\n").is_err());
+        assert!(parse("[[site]]\nfile = unquoted\n").is_err());
+        assert!(parse("[[site]]\ncount = \"three\"\n").is_err());
+        assert!(parse("[[site]]\nfile = \"f\"\n").is_err(), "missing keys");
+    }
+}

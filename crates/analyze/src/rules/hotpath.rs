@@ -1,0 +1,401 @@
+//! Hot-path purity: a fn carrying a `// dcst-hot` marker (GEMM
+//! micro-kernels, secular SIMD sweeps, deque `push`/`pop`/`steal`) must be
+//! transitively free of `unwrap` / `expect` / `panic!` / `vec!` /
+//! `Box::new` / `format!` within its crate's call graph — no allocation,
+//! formatting, or panic machinery on the paths the paper's speedup rests
+//! on.
+//!
+//! The call graph is name-level and crate-local: `f(…)` edges to free fns
+//! named `f`, `Q::f(…)` prefers methods owned by `Q` then free fns, and
+//! `.f(…)` edges to every method named `f` in the crate — deliberately
+//! over-approximate (a lint must not miss paths), with `xtask-lint:
+//! allow(hot-path)` as the escape hatch. Unlike the other rules, a
+//! suppression here must carry a justification after the marker, e.g.
+//! `// xtask-lint: allow(hot-path) — init-once cold path`.
+
+use super::{allow_justification, Violation};
+use crate::lexer::TokKind;
+use crate::workspace::Workspace;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+pub const RULE: &str = "hot-path";
+
+const BANNED_MACROS: &[&str] = &["panic", "vec", "format", "todo", "unimplemented"];
+const BANNED_METHODS: &[&str] = &["unwrap", "expect"];
+const KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "move", "in", "as", "fn", "let", "else",
+];
+
+/// (file index, fn index) — one node of a crate's call graph.
+type FnRef = (usize, usize);
+
+pub fn check(ws: &Workspace) -> Vec<Violation> {
+    let mut crates: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        if f.is_test_file() {
+            continue;
+        }
+        crates.entry(crate_of(&f.rel)).or_default().push(fi);
+    }
+    let mut out = Vec::new();
+    for files in crates.values() {
+        check_crate(ws, files, &mut out);
+    }
+    out
+}
+
+/// Crate grouping key: `crates/<name>` / `vendor/<name>`, else the first
+/// path segment (`xtask`).
+fn crate_of(rel: &str) -> String {
+    let mut segs = rel.split('/');
+    match (segs.next(), segs.next()) {
+        (Some(a @ ("crates" | "vendor")), Some(b)) => format!("{a}/{b}"),
+        (Some(a), _) => a.to_string(),
+        _ => rel.to_string(),
+    }
+}
+
+struct CrateIndex {
+    /// All non-test fns: (file idx, fn idx) → qualified name.
+    qualified: HashMap<FnRef, String>,
+    free_by_name: HashMap<String, Vec<FnRef>>,
+    methods_by_name: HashMap<String, Vec<FnRef>>,
+    owned: HashMap<(String, String), Vec<FnRef>>,
+}
+
+fn index_crate(ws: &Workspace, files: &[usize]) -> CrateIndex {
+    let mut ix = CrateIndex {
+        qualified: HashMap::new(),
+        free_by_name: HashMap::new(),
+        methods_by_name: HashMap::new(),
+        owned: HashMap::new(),
+    };
+    for &fi in files {
+        let pf = &ws.files[fi].parsed;
+        for (fj, f) in pf.fns.iter().enumerate() {
+            if pf.fn_in_test(f) || f.body.is_none() {
+                continue;
+            }
+            let r = (fi, fj);
+            match &f.owner {
+                None => {
+                    ix.qualified.insert(r, f.name.clone());
+                    ix.free_by_name.entry(f.name.clone()).or_default().push(r);
+                }
+                Some(o) => {
+                    ix.qualified.insert(r, format!("{o}::{}", f.name));
+                    ix.methods_by_name
+                        .entry(f.name.clone())
+                        .or_default()
+                        .push(r);
+                    ix.owned
+                        .entry((o.clone(), f.name.clone()))
+                        .or_default()
+                        .push(r);
+                }
+            }
+        }
+    }
+    ix
+}
+
+fn check_crate(ws: &Workspace, files: &[usize], out: &mut Vec<Violation>) {
+    let ix = index_crate(ws, files);
+    let roots: Vec<FnRef> = ix
+        .qualified
+        .keys()
+        .copied()
+        .filter(|&(fi, fj)| ws.files[fi].parsed.fns[fj].hot)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+
+    // BFS over the name-level call graph, remembering one parent per node
+    // so findings can print the chain back to the hot root.
+    let mut parent: HashMap<FnRef, FnRef> = HashMap::new();
+    let mut seen: HashSet<FnRef> = roots.iter().copied().collect();
+    let mut queue: VecDeque<FnRef> = roots.iter().copied().collect();
+    while let Some(r) = queue.pop_front() {
+        for callee in callees(ws, &ix, r) {
+            if seen.insert(callee) {
+                parent.insert(callee, r);
+                queue.push_back(callee);
+            }
+        }
+    }
+
+    let mut ordered: Vec<FnRef> = seen.into_iter().collect();
+    ordered.sort();
+    for r in ordered {
+        scan_banned(ws, &ix, r, &parent, out);
+    }
+}
+
+/// Call edges out of one fn's body.
+fn callees(ws: &Workspace, ix: &CrateIndex, (fi, fj): FnRef) -> Vec<FnRef> {
+    let pf = &ws.files[fi].parsed;
+    let Some((open, close)) = pf.fns[fj].body else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for i in open + 1..close {
+        if pf.kind(i) != TokKind::Ident || i + 1 >= pf.sig.len() || pf.text(i + 1) != "(" {
+            continue;
+        }
+        let name = pf.text(i);
+        let prev = if i > 0 { pf.text(i - 1) } else { "" };
+        if prev == "." {
+            // Method call: every method with that name in the crate.
+            if let Some(ms) = ix.methods_by_name.get(name) {
+                out.extend(ms.iter().copied());
+            }
+        } else if prev == ":" && i >= 3 && pf.text(i - 2) == ":" {
+            // Qualified call `Q::name(…)`: prefer Q's methods, else free.
+            let q = pf.text(i - 3);
+            if let Some(ms) = ix.owned.get(&(q.to_string(), name.to_string())) {
+                out.extend(ms.iter().copied());
+            } else if let Some(fs) = ix.free_by_name.get(name) {
+                out.extend(fs.iter().copied());
+            }
+        } else if prev != "fn" && !KEYWORDS.contains(&name) {
+            // Bare call: free fns only (methods need a receiver).
+            if let Some(fs) = ix.free_by_name.get(name) {
+                out.extend(fs.iter().copied());
+            }
+        }
+    }
+    out
+}
+
+fn scan_banned(
+    ws: &Workspace,
+    ix: &CrateIndex,
+    r: FnRef,
+    parent: &HashMap<FnRef, FnRef>,
+    out: &mut Vec<Violation>,
+) {
+    let (fi, fj) = r;
+    let file = &ws.files[fi];
+    let pf = &file.parsed;
+    let Some((open, close)) = pf.fns[fj].body else {
+        return;
+    };
+    let n = pf.sig.len();
+    for i in open + 1..close {
+        let pat: Option<String> = if pf.text(i) == "."
+            && i + 2 < n
+            && BANNED_METHODS.contains(&pf.text(i + 1))
+            && pf.text(i + 2) == "("
+        {
+            Some(format!(".{}()", pf.text(i + 1)))
+        } else if pf.kind(i) == TokKind::Ident
+            && BANNED_MACROS.contains(&pf.text(i))
+            && i + 1 < n
+            && pf.text(i + 1) == "!"
+        {
+            Some(format!("{}!", pf.text(i)))
+        } else if pf.text(i) == "Box"
+            && i + 3 < n
+            && pf.text(i + 1) == ":"
+            && pf.text(i + 2) == ":"
+            && pf.text(i + 3) == "new"
+            && i + 4 < n
+            && pf.text(i + 4) == "("
+        {
+            Some("Box::new".to_string())
+        } else {
+            None
+        };
+        let Some(pat) = pat else { continue };
+        let line = pf.line(i);
+        match allow_justification(&pf.raw_lines, RULE, line) {
+            Some(just) if just.len() >= 8 => continue, // justified suppression
+            Some(_) => out.push(Violation {
+                file: file.rel.clone(),
+                line,
+                rule: RULE,
+                message: format!(
+                    "`{pat}` suppression needs a justification after the marker, e.g. \
+                     `xtask-lint: allow(hot-path) — init-once cold path`"
+                ),
+            }),
+            None => out.push(Violation {
+                file: file.rel.clone(),
+                line,
+                rule: RULE,
+                message: format!(
+                    "`{pat}` on a hot path: {} (hot paths must stay panic- and \
+                     allocation-free; restructure, or suppress with a justified \
+                     `xtask-lint: allow(hot-path)`)",
+                    chain_to_root(ws, ix, r, parent),
+                ),
+            }),
+        }
+    }
+}
+
+/// `reachable from dcst-hot `root` via a → b → c`, or `marked dcst-hot`
+/// when the finding is in the root itself.
+fn chain_to_root(
+    ws: &Workspace,
+    ix: &CrateIndex,
+    r: FnRef,
+    parent: &HashMap<FnRef, FnRef>,
+) -> String {
+    let name = |r: &FnRef| {
+        ix.qualified
+            .get(r)
+            .cloned()
+            .unwrap_or_else(|| format!("{}:{}", ws.files[r.0].rel, r.1))
+    };
+    let mut chain = vec![name(&r)];
+    let mut cur = r;
+    while let Some(&p) = parent.get(&cur) {
+        chain.push(name(&p));
+        cur = p;
+    }
+    chain.reverse();
+    if chain.len() == 1 {
+        format!("`{}` is marked dcst-hot", chain[0])
+    } else {
+        format!(
+            "reachable from dcst-hot `{}` via {}",
+            chain[0],
+            chain
+                .iter()
+                .map(|c| format!("`{c}`"))
+                .collect::<Vec<_>>()
+                .join(" → ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_direct_violation_in_hot_fn() {
+        // Seeded violation: an unwrap inside a dcst-hot fn must be caught
+        // with file, line, and rule name.
+        let src = "\
+// dcst-hot
+pub fn kernel(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+";
+        let ws = Workspace::from_sources(&[("crates/matrix/src/kernel.rs", src)]);
+        let vs = check(&ws);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "hot-path");
+        assert_eq!(vs[0].file, "crates/matrix/src/kernel.rs");
+        assert_eq!(vs[0].line, 3);
+        assert!(vs[0].message.contains("marked dcst-hot"));
+    }
+
+    #[test]
+    fn mutation_transitive_violation_reports_the_chain() {
+        let src = "\
+// dcst-hot
+pub fn push(&self) { self.grow(); }
+struct W;
+impl W {
+    fn grow(&self) { alloc_buf(); }
+}
+fn alloc_buf() -> Box<u32> { Box::new(0) }
+fn unrelated() { let v = vec![1]; }
+";
+        let ws = Workspace::from_sources(&[("vendor/crossbeam-deque/src/d.rs", src)]);
+        let vs = check(&ws);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].line, 7);
+        assert!(
+            vs[0].message.contains("`push` → `W::grow` → `alloc_buf`"),
+            "{}",
+            vs[0].message
+        );
+    }
+
+    #[test]
+    fn all_banned_constructs_are_caught() {
+        let src = "\
+// dcst-hot
+fn hot() {
+    a.expect(\"x\");
+    panic!(\"y\");
+    let v = vec![0u8; 4];
+    let s = format!(\"z\");
+    let b = Box::new(1);
+}
+";
+        let ws = Workspace::from_sources(&[("crates/x/src/lib.rs", src)]);
+        let pats: Vec<String> = check(&ws).iter().map(|v| v.line.to_string()).collect();
+        assert_eq!(pats, vec!["3", "4", "5", "6", "7"]);
+    }
+
+    #[test]
+    fn suppression_requires_justification() {
+        let bare = "\
+// dcst-hot
+fn hot() {
+    // xtask-lint: allow(hot-path)
+    a.expect(\"x\");
+}
+";
+        let ws = Workspace::from_sources(&[("crates/x/src/lib.rs", bare)]);
+        let vs = check(&ws);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].message.contains("needs a justification"));
+
+        let justified = "\
+// dcst-hot
+fn hot() {
+    // xtask-lint: allow(hot-path) — init-once cold path, never per-element
+    a.expect(\"x\");
+}
+";
+        let ws = Workspace::from_sources(&[("crates/x/src/lib.rs", justified)]);
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap_and_cold_fns_are_free() {
+        let src = "\
+// dcst-hot
+fn hot(m: &Mutex<u32>) { lock(m); }
+fn lock(m: &Mutex<u32>) { m.lock().unwrap_or_else(|e| e.into_inner()); }
+fn cold() { let v = vec![1, 2]; v.first().unwrap(); }
+";
+        let ws = Workspace::from_sources(&[("crates/x/src/lib.rs", src)]);
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_outside_the_graph() {
+        let src = "\
+// dcst-hot
+fn hot() { helper(); }
+fn helper() {}
+#[cfg(test)]
+mod tests {
+    fn helper() { panic!(\"test-only twin\") }
+    #[test]
+    fn t() { super::hot(); }
+}
+";
+        let ws = Workspace::from_sources(&[("crates/x/src/lib.rs", src)]);
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn graph_is_crate_local() {
+        let hot = "// dcst-hot\nfn hot() { other_crate_fn(); }\n";
+        let other = "fn other_crate_fn() { panic!(\"different crate\") }\n";
+        let ws = Workspace::from_sources(&[
+            ("crates/a/src/lib.rs", hot),
+            ("crates/b/src/lib.rs", other),
+        ]);
+        assert!(check(&ws).is_empty());
+    }
+}

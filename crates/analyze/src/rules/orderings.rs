@@ -1,0 +1,481 @@
+//! Atomic-ordering conformance: every atomic operation and fence in the
+//! scheduler (`crates/runtime`) and the vendored lock-free deque
+//! (`vendor/crossbeam-deque`) must match a checked-in manifest entry in
+//! `specs/orderings.toml`, with a one-line justification. A new atomic
+//! site, a changed ordering, or a removed site all fail the build until
+//! the manifest is updated — DESIGN.md's fence-pairing argument, kept
+//! honest mechanically.
+//!
+//! A *site* is identified by `(file, enclosing fn, atomic field path,
+//! operation, ordering list)`. Identical sites in the same fn are grouped
+//! and covered by one entry's `count`. Sites in `#[cfg(test)]` items and
+//! files under `tests/` are out of scope; `#[cfg(dcst_model_check)]`
+//! expression-level sites (the seeded model-checker mutations) are in
+//! scope and classified like any other.
+
+use super::{allowed, Violation};
+use crate::lexer::TokKind;
+use crate::manifest::Site;
+use crate::parser::ParsedFile;
+use crate::workspace::Workspace;
+use std::collections::BTreeMap;
+
+pub const RULE: &str = "orderings";
+pub const MANIFEST_PATH: &str = "specs/orderings.toml";
+
+/// Path prefixes whose atomic sites the manifest must cover.
+pub const SCOPE: &[&str] = &["crates/runtime/src/", "vendor/crossbeam-deque/src/"];
+
+const OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One atomic site found in the source.
+#[derive(Debug, Clone)]
+pub struct FoundSite {
+    pub file: String,
+    pub func: String,
+    pub atomic: String,
+    pub op: String,
+    pub order: String,
+    pub line: u32,
+}
+
+impl FoundSite {
+    fn key(&self) -> (String, String, String, String, String) {
+        (
+            self.file.clone(),
+            self.func.clone(),
+            self.atomic.clone(),
+            self.op.clone(),
+            self.order.clone(),
+        )
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "`{}.{}({})` in `{}`",
+            self.atomic, self.op, self.order, self.func
+        )
+    }
+}
+
+/// Every in-scope atomic/fence site in the workspace, suppressed lines
+/// excluded.
+pub fn find_sites(ws: &Workspace) -> Vec<FoundSite> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !SCOPE.iter().any(|p| file.rel.starts_with(p)) || file.is_test_file() {
+            continue;
+        }
+        scan_file(&file.rel, &file.parsed, &mut out);
+    }
+    out
+}
+
+fn scan_file(rel: &str, pf: &ParsedFile, out: &mut Vec<FoundSite>) {
+    let n = pf.sig.len();
+    for i in 0..n {
+        // Method form: `<path>.op(… Ordering::X …)`.
+        if pf.text(i) == "."
+            && i + 2 < n
+            && pf.kind(i + 1) == TokKind::Ident
+            && OPS.contains(&pf.text(i + 1))
+            && pf.text(i + 2) == "("
+        {
+            let close = pf.brackets.get(&(i + 2)).copied().unwrap_or(n - 1);
+            let order = orderings_in(pf, i + 3, close);
+            if order.is_empty() {
+                continue; // `.swap()` on a slice etc. — not an atomic op
+            }
+            push_site(rel, pf, i, pf.text(i + 1), &order, atomic_path(pf, i), out);
+        }
+        // Fence form: `fence(Ordering::X)` (free or path-qualified call).
+        if pf.kind(i) == TokKind::Ident
+            && pf.text(i) == "fence"
+            && i + 1 < n
+            && pf.text(i + 1) == "("
+            && (i == 0 || (pf.text(i - 1) != "." && pf.text(i - 1) != "fn"))
+        {
+            let close = pf.brackets.get(&(i + 1)).copied().unwrap_or(n - 1);
+            let order = orderings_in(pf, i + 2, close);
+            if order.is_empty() {
+                continue;
+            }
+            push_site(rel, pf, i, "fence", &order, "-".to_string(), out);
+        }
+    }
+}
+
+fn push_site(
+    rel: &str,
+    pf: &ParsedFile,
+    pos: usize,
+    op: &str,
+    order: &str,
+    atomic: String,
+    out: &mut Vec<FoundSite>,
+) {
+    let in_test = pf.enclosing_fn(pos).is_some_and(|f| pf.fn_in_test(f));
+    if in_test {
+        return;
+    }
+    let line = pf.line(pos);
+    if allowed(&pf.raw_lines, RULE, line) {
+        return;
+    }
+    let func = pf
+        .enclosing_fn(pos)
+        .map(|f| match &f.owner {
+            Some(o) => format!("{o}::{}", f.name),
+            None => f.name.clone(),
+        })
+        .unwrap_or_else(|| "-".to_string());
+    out.push(FoundSite {
+        file: rel.to_string(),
+        func,
+        atomic,
+        op: op.to_string(),
+        order: order.to_string(),
+        line,
+    });
+}
+
+/// Comma-joined ordering idents appearing as `Ordering::X` inside the
+/// argument range `[a, b)`, in source order (two for compare_exchange).
+fn orderings_in(pf: &ParsedFile, a: usize, b: usize) -> String {
+    let mut found = Vec::new();
+    let mut i = a;
+    while i + 3 < pf.sig.len() && i + 3 <= b {
+        if pf.text(i) == "Ordering"
+            && pf.text(i + 1) == ":"
+            && pf.text(i + 2) == ":"
+            && ORDERINGS.contains(&pf.text(i + 3))
+        {
+            found.push(pf.text(i + 3).to_string());
+            i += 4;
+        } else {
+            i += 1;
+        }
+    }
+    found.join(",")
+}
+
+/// The trailing field path before the `.` at `dot`: up to the last two
+/// `.`-joined identifier segments, with a leading `self` dropped —
+/// `self.inner.top.load(…)` → `inner.top`, `cancelled.store(…)` →
+/// `cancelled`. Non-ident receivers (call results) yield `-`.
+fn atomic_path(pf: &ParsedFile, dot: usize) -> String {
+    let mut segs: Vec<String> = Vec::new();
+    let mut i = dot;
+    while i >= 1 && pf.kind(i - 1) == TokKind::Ident {
+        segs.push(pf.text(i - 1).to_string());
+        if i >= 2 && pf.text(i - 2) == "." {
+            i -= 2;
+        } else {
+            break;
+        }
+    }
+    segs.reverse();
+    if segs.first().map(String::as_str) == Some("self") {
+        segs.remove(0);
+    }
+    if segs.is_empty() {
+        return "-".to_string();
+    }
+    let keep = segs.len().saturating_sub(2);
+    segs[keep..].join(".")
+}
+
+/// Check the found sites against the manifest.
+pub fn check(ws: &Workspace, manifest: &[Site]) -> Vec<Violation> {
+    let found = find_sites(ws);
+    let mut groups: BTreeMap<(String, String, String, String, String), Vec<u32>> = BTreeMap::new();
+    for s in &found {
+        groups.entry(s.key()).or_default().push(s.line);
+    }
+    let mut out = Vec::new();
+
+    // Manifest self-checks: duplicates and empty/placeholder whys.
+    let mut entry_by_key: BTreeMap<_, &Site> = BTreeMap::new();
+    for site in manifest {
+        let why = site.why.trim();
+        if why.len() < 8 || why.starts_with("TODO") || why.starts_with("FIXME") {
+            out.push(Violation {
+                file: MANIFEST_PATH.to_string(),
+                line: site.line,
+                rule: RULE,
+                message: format!(
+                    "entry for {} `{}.{}({})` needs a real one-line justification \
+                     in `why` (got `{why}`)",
+                    site.func, site.atomic, site.op, site.order
+                ),
+            });
+        }
+        if entry_by_key.insert(site.key(), site).is_some() {
+            out.push(Violation {
+                file: MANIFEST_PATH.to_string(),
+                line: site.line,
+                rule: RULE,
+                message: format!(
+                    "duplicate manifest entry for {} `{}.{}({})`",
+                    site.func, site.atomic, site.op, site.order
+                ),
+            });
+        }
+    }
+
+    // Source → manifest: every group classified, with matching count.
+    for (key, lines) in &groups {
+        let first = found.iter().find(|s| &s.key() == key).expect("grouped");
+        match entry_by_key.get(key) {
+            None => out.push(Violation {
+                file: first.file.clone(),
+                line: lines[0],
+                rule: RULE,
+                message: format!(
+                    "unclassified atomic site {} ({} site(s): line(s) {}); add a \
+                     [[site]] entry to {MANIFEST_PATH} with a `why` justification \
+                     (or regenerate a skeleton with `cargo run -p xtask -- analyze \
+                     --emit-orderings`)",
+                    first.describe(),
+                    lines.len(),
+                    fmt_lines(lines),
+                ),
+            }),
+            Some(entry) if entry.count != lines.len() => out.push(Violation {
+                file: first.file.clone(),
+                line: lines[0],
+                rule: RULE,
+                message: format!(
+                    "manifest count {} does not match the {} site(s) found for {} \
+                     (line(s) {}); update `count` in {MANIFEST_PATH}:{}",
+                    entry.count,
+                    lines.len(),
+                    first.describe(),
+                    fmt_lines(lines),
+                    entry.line,
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+
+    // Manifest → source: no stale entries.
+    for site in manifest {
+        if !groups.contains_key(&site.key()) {
+            out.push(Violation {
+                file: MANIFEST_PATH.to_string(),
+                line: site.line,
+                rule: RULE,
+                message: format!(
+                    "stale entry: no atomic site {} `{}.{}({})` found in {}",
+                    site.func, site.atomic, site.op, site.order, site.file
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn fmt_lines(lines: &[u32]) -> String {
+    lines
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Render a manifest skeleton covering every found site, grouped, with
+/// empty `why` fields to fill in. Used by `analyze --emit-orderings`.
+pub fn emit_skeleton(ws: &Workspace) -> String {
+    let found = find_sites(ws);
+    let mut groups: BTreeMap<(String, String, String, String, String), Vec<u32>> = BTreeMap::new();
+    for s in &found {
+        groups.entry(s.key()).or_default().push(s.line);
+    }
+    let mut out = String::new();
+    for ((file, func, atomic, op, order), lines) in &groups {
+        out.push_str(&format!(
+            "# line(s) {}\n[[site]]\nfile = \"{file}\"\nfn = \"{func}\"\natomic = \
+             \"{atomic}\"\nop = \"{op}\"\norder = \"{order}\"\n",
+            fmt_lines(lines)
+        ));
+        if lines.len() > 1 {
+            out.push_str(&format!("count = {}\n", lines.len()));
+        }
+        out.push_str("why = \"\"\n\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest;
+
+    const POOLISH: &str = r#"
+use crate::dcst_sync::{AtomicUsize, Ordering, fence};
+struct Pool { outstanding: AtomicUsize }
+impl Pool {
+    fn wait(&self) {
+        while self.outstanding.load(Ordering::Acquire) != 0 {}
+        fence(Ordering::SeqCst);
+    }
+    fn bump(&self) {
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+    }
+}
+#[cfg(test)]
+mod tests {
+    fn t() { X.load(Ordering::SeqCst); }
+}
+"#;
+
+    fn ws() -> Workspace {
+        Workspace::from_sources(&[("crates/runtime/src/pool.rs", POOLISH)])
+    }
+
+    #[test]
+    fn finds_and_groups_sites_excluding_tests() {
+        let sites = find_sites(&ws());
+        let mut keys: Vec<String> = sites
+            .iter()
+            .map(|s| format!("{}:{}.{}({})", s.func, s.atomic, s.op, s.order))
+            .collect();
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![
+                "Pool::bump:outstanding.fetch_add(AcqRel)",
+                "Pool::bump:outstanding.fetch_add(AcqRel)",
+                "Pool::wait:-.fence(SeqCst)",
+                "Pool::wait:outstanding.load(Acquire)",
+            ]
+        );
+    }
+
+    #[test]
+    fn mutation_unclassified_site_is_reported_with_file_and_line() {
+        // Seeded violation: a manifest that misses the fetch_add group.
+        let m = manifest::parse(
+            r#"
+[[site]]
+file = "crates/runtime/src/pool.rs"
+fn = "Pool::wait"
+atomic = "outstanding"
+op = "load"
+order = "Acquire"
+why = "pairs with the AcqRel decrement in bump"
+[[site]]
+file = "crates/runtime/src/pool.rs"
+fn = "Pool::wait"
+atomic = "-"
+op = "fence"
+order = "SeqCst"
+why = "orders the empty-check against remote steals"
+"#,
+        )
+        .unwrap();
+        let vs = check(&ws(), &m);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "orderings");
+        assert_eq!(vs[0].file, "crates/runtime/src/pool.rs");
+        assert_eq!(vs[0].line, 10);
+        assert!(vs[0].message.contains("unclassified"), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn count_mismatch_stale_entry_and_empty_why_are_reported() {
+        let m = manifest::parse(
+            r#"
+[[site]]
+file = "crates/runtime/src/pool.rs"
+fn = "Pool::wait"
+atomic = "outstanding"
+op = "load"
+order = "Acquire"
+why = "pairs with the AcqRel decrement in bump"
+[[site]]
+file = "crates/runtime/src/pool.rs"
+fn = "Pool::wait"
+atomic = "-"
+op = "fence"
+order = "SeqCst"
+why = "TODO"
+[[site]]
+file = "crates/runtime/src/pool.rs"
+fn = "Pool::bump"
+atomic = "outstanding"
+op = "fetch_add"
+order = "AcqRel"
+count = 1
+why = "publishes the increment before the task becomes stealable"
+[[site]]
+file = "crates/runtime/src/pool.rs"
+fn = "Pool::gone"
+atomic = "x"
+op = "store"
+order = "Release"
+why = "this site no longer exists in the source"
+"#,
+        )
+        .unwrap();
+        let vs = check(&ws(), &m);
+        let rules: Vec<&str> = vs.iter().map(|v| v.rule).collect();
+        assert!(rules.iter().all(|r| *r == "orderings"));
+        assert_eq!(vs.len(), 3, "{vs:?}");
+        assert!(vs.iter().any(|v| v.message.contains("justification")));
+        assert!(vs
+            .iter()
+            .any(|v| v.message.contains("count 1 does not match the 2")));
+        assert!(vs.iter().any(|v| v.message.contains("stale entry")));
+    }
+
+    #[test]
+    fn skeleton_round_trips_through_the_manifest_parser() {
+        let skel = emit_skeleton(&ws()).replace("why = \"\"", "why = \"filled in later on\"");
+        let sites = manifest::parse(&skel).unwrap();
+        assert_eq!(sites.len(), 3);
+        assert!(check(&ws(), &sites).is_empty());
+    }
+
+    #[test]
+    fn suppressed_sites_are_skipped() {
+        let src = "\
+fn f(x: &std::sync::atomic::AtomicU32) {
+    // xtask-lint: allow(orderings) — exercised only by the bench harness
+    x.store(1, Ordering::Relaxed);
+}
+";
+        let ws = Workspace::from_sources(&[("crates/runtime/src/extra.rs", src)]);
+        assert!(find_sites(&ws).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        let src = "fn f(x: &A) { x.store(1, Ordering::Relaxed); }";
+        let ws = Workspace::from_sources(&[
+            ("crates/matrix/src/pool.rs", src),
+            ("vendor/crossbeam-deque/tests/steal.rs", src),
+        ]);
+        assert!(find_sites(&ws).is_empty());
+    }
+}

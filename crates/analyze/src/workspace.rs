@@ -1,0 +1,88 @@
+//! Workspace loading: walk the tree once, lex/parse every `.rs` file
+//! once, and hand the shared representation to all rules.
+
+use crate::parser::ParsedFile;
+use std::path::{Path, PathBuf};
+
+/// One parsed source file, addressed by its workspace-relative path.
+pub struct SourceFile {
+    /// Relative path with forward slashes (`crates/runtime/src/pool.rs`).
+    pub rel: String,
+    pub parsed: ParsedFile,
+}
+
+impl SourceFile {
+    pub fn from_source(rel: &str, src: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.to_string(),
+            parsed: ParsedFile::new(src),
+        }
+    }
+
+    /// Files under a `tests/` directory (integration tests, fixtures).
+    pub fn is_test_file(&self) -> bool {
+        self.rel.split('/').any(|seg| seg == "tests")
+    }
+}
+
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Parse every `.rs` file under `root`, skipping `target/`, dot-dirs,
+    /// and `fixtures/` directories (which hold deliberately-violating
+    /// inputs for the analyzer's own tests).
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let mut paths = Vec::new();
+        collect_rs_files(root, &mut paths);
+        paths.sort();
+        let mut files = Vec::with_capacity(paths.len());
+        for path in paths {
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(SourceFile::from_source(&rel, &src));
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    /// In-memory workspace for tests.
+    pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            root: PathBuf::new(),
+            files: sources
+                .iter()
+                .map(|(rel, src)| SourceFile::from_source(rel, src))
+                .collect(),
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}

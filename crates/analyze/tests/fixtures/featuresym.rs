@@ -1,0 +1,33 @@
+//! Golden fixture for the `feature-sym` rule: the two-`mod imp` idiom with
+//! one function missing from the fallback variant and one signature drift.
+
+#[cfg(feature = "simd")]
+mod imp {
+    pub fn sweep(xs: &mut [f64], shift: f64) -> f64 {
+        xs.iter_mut().for_each(|x| *x -= shift);
+        shift
+    }
+    pub fn probe(xs: &[f64]) -> usize { //~ ERROR feature-sym: missing
+        xs.len()
+    }
+    pub fn drift(xs: &[f64]) -> f64 { //~ ERROR feature-sym: differs
+        xs[0]
+    }
+}
+
+#[cfg(not(feature = "simd"))]
+mod imp {
+    pub fn sweep(xs: &mut [f64], shift: f64) -> f64 {
+        let mut last = shift;
+        for x in xs {
+            *x -= shift;
+            last = *x;
+        }
+        last
+    }
+    pub fn drift(xs: &[f64]) -> f32 {
+        xs[0] as f32
+    }
+}
+
+pub use imp::sweep;

@@ -1,0 +1,32 @@
+//! Golden fixture for the `footprint` rule: a spawn body that takes a
+//! mutable share-view while its task chain declares only reads, next to a
+//! correctly-declared sibling and an ignored thread spawn.
+
+pub fn bad(rt: &Rt, d: Share<f64>) {
+    rt.task("Scale")
+        .read(key_z(0))
+        .spawn(move || {
+            let zs = unsafe { d.range_mut(0..8) }; //~ ERROR footprint: write-class
+            zs[0] = 1.0;
+        });
+}
+
+pub fn good(rt: &Rt, d: Share<f64>) {
+    rt.task("STEDC")
+        .read(key_z(0))
+        .write(key_d(0))
+        .spawn_try(move || {
+            let db = unsafe { d.range_mut(0..8) };
+            db[0] = 1.0;
+        });
+}
+
+pub fn not_a_taskflow(d: Share<f64>) {
+    std::thread::Builder::new()
+        .name("io".into())
+        .spawn(move || {
+            let xs = unsafe { d.range_mut(0..8) };
+            xs[0] = 1.0;
+        })
+        .unwrap();
+}

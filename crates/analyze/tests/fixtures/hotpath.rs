@@ -1,0 +1,34 @@
+//! Golden fixture for the `hot-path` rule: one direct violation, one
+//! transitive one, one unjustified allow, and clean code that must NOT be
+//! reported. Expected findings are the `//~ ERROR` lines.
+
+// dcst-hot
+pub fn kernel(xs: &[f64]) -> f64 {
+    let first = xs.first().unwrap(); //~ ERROR hot-path: `.unwrap()`
+    helper(xs) + first
+}
+
+fn helper(xs: &[f64]) -> f64 {
+    let buf = vec![0.0; xs.len()]; //~ ERROR hot-path: `vec!`
+    // xtask-lint: allow(hot-path)
+    let boxed = Box::new(xs.len()); //~ ERROR hot-path: needs a justification
+    buf.len() as f64 + *boxed as f64
+}
+
+// dcst-hot
+pub fn justified(xs: &[f64]) -> f64 {
+    // xtask-lint: allow(hot-path) — cold fallback, measured irrelevant
+    xs.iter().copied().fold(f64::NAN, f64::max).max(format!("{}", xs.len()).len() as f64)
+}
+
+pub fn cold() -> String {
+    format!("allocation off the hot path is fine: {}", vec![1].len())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        super::kernel(&[1.0]).to_string().push_str(&format!("{}", 1));
+    }
+}

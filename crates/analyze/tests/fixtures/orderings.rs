@@ -1,0 +1,11 @@
+//! Golden fixture for the `orderings` rule: an atomic site in scope that
+//! the (empty) manifest does not classify. Mounted by the golden harness
+//! at `crates/runtime/src/` so it falls inside the rule's scope.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn spin_until_stopped(stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) { //~ ERROR orderings: unclassified
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the lossless lexer and the stripper built on it.
+//!
+//! Inputs are "token soup": random sequences of fragments drawn from a pool
+//! of adversarial Rust syntax — raw strings with varying hash depth, nested
+//! block comments, escaped quotes, lifetimes, unicode identifiers — plus
+//! deliberately unterminated literals and char-boundary truncation, the two
+//! classes of input that broke the old regex stripper.
+
+use dcst_analyze::lexer::{lex, strip_source, TokKind};
+use dcst_analyze::parser::ParsedFile;
+use proptest::prelude::*;
+
+/// Fragment pool. Order matters only for reproducibility; every entry must
+/// keep the *tiling* invariant (the lexer consumes every byte), including
+/// the unterminated ones at the tail.
+const FRAGMENTS: &[&str] = &[
+    "fn f(x: &str) -> usize { x.len() }\n",
+    "let s = \"str with // no comment \\\" end\";\n",
+    "let r = r#\"raw \"quoted\" \\ not an escape\"#;\n",
+    "let r2 = r##\"deeper \"# inside\"##;\n",
+    "/* outer /* nested */ still comment */\n",
+    "// line comment with \"quote\n",
+    "/// doc: `unwrap()` in prose\n",
+    "let c = 'a'; let nl = '\\n'; let q = '\\'';\n",
+    "struct S<'a> { x: &'a str }\n",
+    "static X: u8 = 0;\n",
+    "let λ = \"λ✓\"; // unicode\n",
+    "#[cfg(feature = \"simd\")]\n",
+    "let n = 0x1f + 1_000.5e-3;\n",
+    "q :: r . m ( ) ;\n",
+    "}\n",
+    "{\n",
+    "'\\",     // truncated char escape (regression: old stripper panicked)
+    "\"abc",   // unterminated string
+    "r#\"abc", // unterminated raw string
+    "/* abc",  // unterminated block comment
+];
+
+const TERMINATED: usize = 16; // FRAGMENTS[TERMINATED..] are unterminated
+
+fn soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..FRAGMENTS.len(), 0..12)
+        .prop_map(|picks| picks.into_iter().map(|i| FRAGMENTS[i]).collect())
+}
+
+/// Soup drawn only from self-contained fragments (balanced quotes and
+/// comments, each ending in a newline) — leaves the lexer in a neutral
+/// state, so a literal appended afterwards is lexed on its own terms.
+fn terminated_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..TERMINATED, 0..12)
+        .prop_map(|picks| picks.into_iter().map(|i| FRAGMENTS[i]).collect())
+}
+
+/// Truncate to at most `cut` bytes, backing off to a char boundary.
+fn truncate_at(src: &str, mut cut: usize) -> &str {
+    cut = cut.min(src.len());
+    while !src.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    &src[..cut]
+}
+
+proptest! {
+    /// Tokens tile the source exactly: contiguous spans, first at 0, last
+    /// ending at `len`, and the concatenation reproduces the input.
+    #[test]
+    fn tokens_tile_the_source(src in soup()) {
+        let toks = lex(&src);
+        let mut pos = 0usize;
+        for t in &toks {
+            prop_assert_eq!(t.start, pos, "gap before token at {}", t.start);
+            prop_assert!(t.end >= t.start);
+            pos = t.end;
+        }
+        prop_assert_eq!(pos, src.len());
+        let rejoined: String = toks.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(rejoined, src);
+    }
+
+    /// Token line numbers are 1-based and equal one plus the number of
+    /// newlines before the token's start byte.
+    #[test]
+    fn line_numbers_match_newline_count(src in soup()) {
+        for t in lex(&src) {
+            let expect = 1 + src[..t.start].bytes().filter(|&b| b == b'\n').count() as u32;
+            prop_assert_eq!(t.line, expect, "token at byte {}", t.start);
+        }
+    }
+
+    /// The stripper preserves line structure (`src.lines()` count) and maps
+    /// every character to itself or to a space — never shifting columns.
+    #[test]
+    fn strip_preserves_line_geometry(src in soup()) {
+        let stripped = strip_source(&src);
+        prop_assert_eq!(stripped.len(), src.lines().count());
+        for (orig, strip) in src.lines().zip(&stripped) {
+            prop_assert_eq!(orig.chars().count(), strip.chars().count());
+            for (o, s) in orig.chars().zip(strip.chars()) {
+                prop_assert!(s == o || s == ' ', "char {o:?} became {s:?}");
+            }
+        }
+    }
+
+    /// Nothing panics on truncated input — lexing, stripping, or full
+    /// item-level parsing — and the tiling invariant still holds.
+    #[test]
+    fn truncation_never_panics(src in soup(), cut in 0usize..512) {
+        let cut_src = truncate_at(&src, cut);
+        let toks = lex(cut_src);
+        prop_assert_eq!(toks.iter().map(|t| t.end - t.start).sum::<usize>(), cut_src.len());
+        let _ = strip_source(cut_src);
+        let _ = ParsedFile::new(cut_src);
+    }
+
+    /// Comment and literal *interiors* are opaque: after stripping, the
+    /// sentinel string planted inside them never survives.
+    #[test]
+    fn opaque_interiors_are_blanked(pre in terminated_soup(), post in soup(), wrap in 0usize..4) {
+        let planted = match wrap {
+            0 => "let x = \"ZZSENTINELZZ\";\n".to_string(),
+            1 => "let x = r#\"ZZSENTINELZZ\"#;\n".to_string(),
+            2 => "/* ZZSENTINELZZ */\n".to_string(),
+            _ => "// ZZSENTINELZZ\n".to_string(),
+        };
+        let src = format!("{pre}{planted}{post}");
+        let survives = strip_source(&src).iter().any(|l| l.contains("ZZSENTINELZZ"));
+        prop_assert!(!survives, "sentinel leaked through the stripper");
+    }
+}
+
+/// Deterministic spot-check: every fragment in the pool lexes to at least
+/// one token and classifies its head sensibly (no `Punct` explosion for
+/// raw strings, comments stay comments).
+#[test]
+fn fragment_pool_classifies() {
+    for frag in FRAGMENTS {
+        let toks = lex(frag);
+        assert!(!toks.is_empty(), "{frag:?} lexed to nothing");
+    }
+    assert_eq!(lex("r##\"x\"# y\"##")[0].kind, TokKind::RawStr);
+    assert_eq!(lex("/* /* */ */")[0].kind, TokKind::BlockComment);
+    assert_eq!(lex("'a'")[0].kind, TokKind::Char);
+    assert_eq!(lex("'static")[0].kind, TokKind::Lifetime);
+}

@@ -267,6 +267,7 @@ const PAR_THRESHOLD_FLOPS: usize = 1 << 20;
 /// schedule. `num_threads` bounds the tile overdecomposition; the pool
 /// itself is sized once from the machine.
 #[allow(clippy::too_many_arguments)]
+// dcst-hot
 pub fn gemm_par(
     num_threads: usize,
     m: usize,

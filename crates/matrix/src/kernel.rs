@@ -42,6 +42,7 @@ fn round_up(x: usize, a: usize) -> usize {
 /// Pack `A[0..mc, pc..pc+kc]` (column-major, ld `lda`) into `MR_P`-tall row
 /// panels: panel `i` holds rows `i*MR_P..` stored as `kc` consecutive
 /// groups of `MR_P` values, zero-padded on the bottom edge.
+// dcst-hot
 fn pack_a<const MR_P: usize>(mc: usize, kc: usize, a: &[f64], lda: usize, dst: &mut [f64]) {
     debug_assert!(dst.len() >= round_up(mc, MR_P) * kc);
     let mut offset = 0;
@@ -69,6 +70,7 @@ fn pack_a<const MR_P: usize>(mc: usize, kc: usize, a: &[f64], lda: usize, dst: &
 /// Pack `B[0..kc, 0..nc]` (column-major, ld `ldb`) into `NR`-wide column
 /// panels: panel `j` holds columns `j*NR..` stored as `kc` consecutive
 /// groups of `NR` values, zero-padded on the right edge.
+// dcst-hot
 fn pack_b(kc: usize, nc: usize, b: &[f64], ldb: usize, dst: &mut [f64]) {
     debug_assert!(dst.len() >= kc * round_up(nc, NR));
     let mut offset = 0;
@@ -99,6 +101,7 @@ fn pack_b(kc: usize, nc: usize, b: &[f64], ldb: usize, dst: &mut [f64]) {
 /// `c` must be valid for reads and writes at `c[i + j*ldc]` for all
 /// `i < mr`, `j < nr`.
 #[inline(always)]
+// dcst-hot
 unsafe fn microkernel_body<const MR_P: usize>(
     kc: usize,
     alpha: f64,
@@ -141,6 +144,7 @@ unsafe fn microkernel_body<const MR_P: usize>(
 /// Micro-kernel entry point type: one monomorphization per panel height.
 type MicroFn = unsafe fn(usize, f64, &[f64], &[f64], *mut f64, usize, usize, usize);
 
+// dcst-hot
 unsafe fn microkernel_generic<const MR_P: usize>(
     kc: usize,
     alpha: f64,
@@ -159,6 +163,7 @@ unsafe fn microkernel_generic<const MR_P: usize>(
 /// the dispatcher below picks the widest ISA the running CPU reports.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
+// dcst-hot
 unsafe fn microkernel_avx2<const MR_P: usize>(
     kc: usize,
     alpha: f64,
@@ -174,6 +179,7 @@ unsafe fn microkernel_avx2<const MR_P: usize>(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,fma")]
+// dcst-hot
 unsafe fn microkernel_avx512<const MR_P: usize>(
     kc: usize,
     alpha: f64,
@@ -189,6 +195,7 @@ unsafe fn microkernel_avx512<const MR_P: usize>(
 
 /// Pick the widest micro-kernel the CPU supports, through the shared
 /// workspace dispatcher (one detection, one `DCST_FORCE_SCALAR` knob).
+// dcst-hot
 fn select_microkernel<const MR_P: usize>() -> MicroFn {
     #[cfg(target_arch = "x86_64")]
     {
@@ -208,6 +215,7 @@ fn select_microkernel<const MR_P: usize>() -> MicroFn {
 ///
 /// # Safety
 /// `c` must cover the `mc x nc` block with leading dimension `ldc`.
+// dcst-hot
 unsafe fn macro_kernel<const MR_P: usize>(
     mc: usize,
     nc: usize,
@@ -238,6 +246,7 @@ unsafe fn macro_kernel<const MR_P: usize>(
 ///
 /// # Safety
 /// `c` must cover the block with leading dimension `ldc`.
+// dcst-hot
 unsafe fn scale_c(m: usize, n: usize, beta: f64, c: *mut f64, ldc: usize) {
     if beta == 1.0 {
         return;
@@ -260,6 +269,7 @@ unsafe fn scale_c(m: usize, n: usize, beta: f64, c: *mut f64, ldc: usize) {
 /// # Safety
 /// `c` must cover the `m x n` block with leading dimension `ldc`; beta must
 /// already have been applied.
+// dcst-hot
 unsafe fn gemm_smallk_raw(
     m: usize,
     n: usize,
@@ -295,6 +305,7 @@ const SMALL_K: usize = 8;
 /// `c` must be valid for reads/writes at `c[i + j*ldc]` for `i < m`,
 /// `j < n`, and no other thread may access those elements concurrently.
 /// `a` and `b` must cover `m x k` (ld `lda`) and `k x n` (ld `ldb`).
+// dcst-hot
 pub(crate) unsafe fn gemm_packed_raw(
     m: usize,
     n: usize,
@@ -332,6 +343,7 @@ pub(crate) unsafe fn gemm_packed_raw(
 ///
 /// # Safety
 /// As for [`gemm_packed_raw`]; beta must already have been applied.
+// dcst-hot
 unsafe fn gemm_blocked<const MR_P: usize>(
     m: usize,
     n: usize,

@@ -36,6 +36,9 @@ fn index_of(name: &str) -> usize {
     NAMES
         .iter()
         .position(|n| *n == name)
+        // The analyzer reaches this only through a name collision on `get`,
+        // and a typo'd counter name is a programming error worth a loud panic.
+        // xtask-lint: allow(hot-path) — cold diagnostics lookup
         .unwrap_or_else(|| panic!("unknown metrics counter '{name}'"))
 }
 

@@ -81,6 +81,9 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 fn pool() -> &'static PoolShared {
     static POOL: OnceLock<&'static PoolShared> = OnceLock::new();
     POOL.get_or_init(|| {
+        // One-time pool construction inside OnceLock::get_or_init; never
+        // re-entered on the steady-state path.
+        // xtask-lint: allow(hot-path) — init-once pool allocation
         let shared: &'static PoolShared = Box::leak(Box::new(PoolShared {
             queue: Mutex::new(VecDeque::new()),
             work_cv: Condvar::new(),
@@ -92,8 +95,11 @@ fn pool() -> &'static PoolShared {
             .max(1);
         for w in 0..workers {
             std::thread::Builder::new()
+                // xtask-lint: allow(hot-path) — one-time pool-spawn naming
                 .name(format!("dcst-gemm-{w}"))
                 .spawn(move || worker_loop(shared))
+                // Failing to spawn the pool at first use is unrecoverable.
+                // xtask-lint: allow(hot-path) — deliberate startup panic
                 .expect("spawn gemm pool worker");
         }
         shared
@@ -164,6 +170,8 @@ pub(crate) fn run_tiles(tiles: usize, f: &(dyn Fn(usize) + Sync)) {
     }
     drop(done);
     if job.panicked.load(Ordering::Relaxed) {
+        // Only reached after a worker already panicked.
+        // xtask-lint: allow(hot-path) — deliberate re-raise of a tile panic
         panic!("gemm_par tile panicked on a pool worker");
     }
 }

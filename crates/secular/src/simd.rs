@@ -57,6 +57,7 @@ pub(crate) struct SweepSums {
 
 /// Scalar oracle: fill `delta[i] = dk[i] − μ` and accumulate all four
 /// sums with the seed's exact operation order (`t = z²/δ`, `t′ = t/δ`).
+// dcst-hot
 pub(crate) fn secular_sweep_scalar(
     dk: &[f64],
     mu: f64,
@@ -83,6 +84,7 @@ pub(crate) fn secular_sweep_scalar(
 
 /// Scalar oracle for the bracket-side probe: fill
 /// `delta[i] = (d[i] − dj) − mid` and return `Σ zᵢ²/δᵢ`.
+// dcst-hot
 pub(crate) fn secular_probe_scalar(
     d: &[f64],
     dj: f64,
@@ -102,6 +104,7 @@ pub(crate) fn secular_probe_scalar(
 /// Scalar oracle for one Gu–Eisenstat column:
 /// `out[i] *= col[i] / (dlamda[i] − dlamda[j])` for `i ≠ j`,
 /// `out[j] *= col[j]`.
+// dcst-hot
 pub(crate) fn local_w_col_scalar(dlamda: &[f64], col: &[f64], j: usize, out: &mut [f64]) {
     let dj = dlamda[j];
     for i in 0..out.len() {
@@ -115,6 +118,7 @@ pub(crate) fn local_w_col_scalar(dlamda: &[f64], col: &[f64], j: usize, out: &mu
 
 /// Scalar oracle for one assembly column: `tmp[i] = zhat[i] / col[i]`,
 /// returning `Σ tmpᵢ²`.
+// dcst-hot
 pub(crate) fn assemble_col_scalar(zhat: &[f64], col: &[f64], tmp: &mut [f64]) -> f64 {
     let mut nrm2 = 0.0;
     for i in 0..zhat.len() {
@@ -126,6 +130,7 @@ pub(crate) fn assemble_col_scalar(zhat: &[f64], col: &[f64], tmp: &mut [f64]) ->
 }
 
 /// Scalar oracle for the deflation scans: `max |xᵢ|` (0 for empty input).
+// dcst-hot
 pub fn max_abs_scalar(x: &[f64]) -> f64 {
     x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
 }
@@ -154,6 +159,7 @@ mod avx2 {
     /// # Safety
     /// Requires AVX2+FMA; `lo ≤ hi ≤ len` of all three slices.
     #[target_feature(enable = "avx2,fma")]
+    // dcst-hot
     unsafe fn sweep_segment(
         dk: &[f64],
         z: &[f64],
@@ -197,6 +203,7 @@ mod avx2 {
     /// # Safety
     /// Requires AVX2+FMA; `split ≤ k` and all slices have length `k`.
     #[target_feature(enable = "avx2,fma")]
+    // dcst-hot
     pub(super) unsafe fn secular_sweep(
         dk: &[f64],
         mu: f64,
@@ -218,6 +225,7 @@ mod avx2 {
     /// # Safety
     /// Requires AVX2+FMA; all slices have equal length.
     #[target_feature(enable = "avx2,fma")]
+    // dcst-hot
     pub(super) unsafe fn secular_probe(
         d: &[f64],
         dj: f64,
@@ -254,6 +262,7 @@ mod avx2 {
     /// # Safety
     /// Requires AVX2+FMA; `lo ≤ hi ≤ len` of all slices.
     #[target_feature(enable = "avx2,fma")]
+    // dcst-hot
     unsafe fn local_w_segment(
         dlamda: &[f64],
         col: &[f64],
@@ -281,6 +290,7 @@ mod avx2 {
     /// # Safety
     /// Requires AVX2+FMA; all slices have equal length `k` and `j < k`.
     #[target_feature(enable = "avx2,fma")]
+    // dcst-hot
     pub(super) unsafe fn local_w_col(dlamda: &[f64], col: &[f64], j: usize, out: &mut [f64]) {
         let k = out.len();
         let dj = dlamda[j];
@@ -292,6 +302,7 @@ mod avx2 {
     /// # Safety
     /// Requires AVX2+FMA; all slices have equal length.
     #[target_feature(enable = "avx2,fma")]
+    // dcst-hot
     pub(super) unsafe fn assemble_col(zhat: &[f64], col: &[f64], tmp: &mut [f64]) -> f64 {
         let k = zhat.len();
         let mut vn = _mm256_setzero_pd();
@@ -317,6 +328,7 @@ mod avx2 {
     /// # Safety
     /// Requires AVX2.
     #[target_feature(enable = "avx2")]
+    // dcst-hot
     pub(super) unsafe fn max_abs(x: &[f64]) -> f64 {
         let sign = _mm256_set1_pd(-0.0);
         let mut vm = _mm256_setzero_pd();
@@ -343,6 +355,7 @@ mod avx2 {
 /// four sums. `scalar` forces the oracle body (the dispatched entry points
 /// pass `!use_simd()`).
 #[inline]
+// dcst-hot
 pub(crate) fn secular_sweep(
     scalar: bool,
     dk: &[f64],
@@ -362,6 +375,7 @@ pub(crate) fn secular_sweep(
 
 /// Bracket-side probe: fill `delta[i] = (d[i] − dj) − mid`, return `Σ z²/δ`.
 #[inline]
+// dcst-hot
 pub(crate) fn secular_probe(
     scalar: bool,
     d: &[f64],
@@ -382,6 +396,7 @@ pub(crate) fn secular_probe(
 /// One Gu–Eisenstat column product (element-wise; SIMD is bit-identical
 /// to the scalar oracle).
 #[inline]
+// dcst-hot
 pub(crate) fn local_w_col(scalar: bool, dlamda: &[f64], col: &[f64], j: usize, out: &mut [f64]) {
     #[cfg(target_arch = "x86_64")]
     if !scalar {
@@ -395,6 +410,7 @@ pub(crate) fn local_w_col(scalar: bool, dlamda: &[f64], col: &[f64], j: usize, o
 
 /// One assembly column: `tmp[i] = zhat[i]/col[i]`, returns `Σ tmp²`.
 #[inline]
+// dcst-hot
 pub(crate) fn assemble_col(scalar: bool, zhat: &[f64], col: &[f64], tmp: &mut [f64]) -> f64 {
     #[cfg(target_arch = "x86_64")]
     if !scalar {
@@ -408,6 +424,7 @@ pub(crate) fn assemble_col(scalar: bool, zhat: &[f64], col: &[f64], tmp: &mut [f
 /// `max |xᵢ|` over a slice (0 for empty input), dispatched. Used by the
 /// deflation tolerance scans; max is order-independent, so both paths
 /// return identical values.
+// dcst-hot
 pub fn max_abs(x: &[f64]) -> f64 {
     #[cfg(target_arch = "x86_64")]
     if use_simd() {

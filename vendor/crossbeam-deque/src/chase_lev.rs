@@ -53,6 +53,8 @@ impl<T> Buffer<T> {
         // exposes uninitialized-but-valid MaybeUninit slots.
         unsafe { slots.set_len(cap) };
         let ptr = Box::into_raw(slots.into_boxed_slice()) as *mut MaybeUninit<T>;
+        // Reached from `push` only on capacity doubling.
+        // xtask-lint: allow(hot-path) — amortized O(1) cold growth path
         Box::into_raw(Box::new(Buffer { ptr, cap }))
     }
 
@@ -258,6 +260,7 @@ impl<T> Worker<T> {
 
     /// Pushes an item onto the bottom end. Wait-free for the owner apart
     /// from occasional (amortized O(1)) buffer growth.
+    // dcst-hot
     pub fn push(&self, value: T) {
         let b = self.inner.bottom.load(Ordering::Relaxed);
         let t = self.inner.top.load(Ordering::Acquire);
@@ -278,6 +281,7 @@ impl<T> Worker<T> {
     }
 
     /// Pops an item: the newest for LIFO workers, the oldest for FIFO.
+    // dcst-hot
     pub fn pop(&self) -> Option<T> {
         match self.flavor {
             Flavor::Lifo => self.pop_lifo(),
@@ -285,6 +289,7 @@ impl<T> Worker<T> {
         }
     }
 
+    // dcst-hot
     fn pop_lifo(&self) -> Option<T> {
         let b = self.inner.bottom.load(Ordering::Relaxed).wrapping_sub(1);
         self.inner.bottom.store(b, Ordering::Relaxed);
@@ -344,6 +349,7 @@ impl<T> Worker<T> {
         }
     }
 
+    // dcst-hot
     fn pop_fifo(&self) -> Option<T> {
         // FIFO pop takes from the top end, i.e. the owner competes like a
         // thief against real thieves. Retry on CAS contention: each retry
@@ -393,6 +399,7 @@ impl<T> Stealer<T> {
     }
 
     /// Attempts to steal the oldest item.
+    // dcst-hot
     pub fn steal(&self) -> Steal<T> {
         steal_from(&self.inner)
     }
@@ -405,6 +412,7 @@ impl<T> std::fmt::Debug for Stealer<T> {
 }
 
 /// The steal protocol, shared by `Stealer::steal` and FIFO `Worker::pop`.
+// dcst-hot
 fn steal_from<T>(inner: &Inner<T>) -> Steal<T> {
     let t = inner.top.load(Ordering::Acquire);
     // Order the `top` read before the `bottom` read: pairs with the fence

@@ -163,6 +163,7 @@ impl<T> Injector<T> {
 
     /// Pushes an item onto the tail. Lock-free: the only wait is the
     /// bounded spin for a racing producer's block install.
+    // dcst-hot
     pub fn push(&self, value: T) {
         let mut tail = self.tail.index.load(Ordering::Acquire);
         let mut block = self.tail.block.load(Ordering::Acquire);
@@ -230,6 +231,7 @@ impl<T> Injector<T> {
     }
 
     /// Attempts to steal the item at the head.
+    // dcst-hot
     pub fn steal(&self) -> Steal<T> {
         let mut head = self.head.index.load(Ordering::Acquire);
         let mut block = self.head.block.load(Ordering::Acquire);
@@ -304,6 +306,7 @@ impl<T> Injector<T> {
 
     /// Steals one item and moves up to half the remaining queue (capped at
     /// `MAX_BATCH`) into `dest`'s local deque.
+    // dcst-hot
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
         let first = match self.steal() {
             Steal::Success(v) => v,

@@ -4,6 +4,10 @@
 //! [`crate::Injector`] (FIFO/LIFO local queue, front-stealing, batched
 //! injector steals), but every operation takes a lock. Not used by the
 //! runtime.
+//!
+//! Lock poisoning is tolerated (`PoisonError::into_inner`): the queues hold
+//! plain task payloads with no invariant spanning the critical section, and
+//! a bench thread that panicked mid-push must not wedge its peers.
 
 use crate::Steal;
 use std::collections::VecDeque;
@@ -32,11 +36,17 @@ impl<T> Worker<T> {
     }
 
     pub fn push(&self, value: T) {
-        self.queue.lock().unwrap().push_back(value);
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push_back(value);
     }
 
     pub fn pop(&self) -> Option<T> {
-        let mut q = self.queue.lock().unwrap();
+        let mut q = self
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if self.lifo {
             q.pop_back()
         } else {
@@ -45,7 +55,10 @@ impl<T> Worker<T> {
     }
 
     pub fn is_empty(&self) -> bool {
-        self.queue.lock().unwrap().is_empty()
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .is_empty()
     }
 
     pub fn stealer(&self) -> Stealer<T> {
@@ -70,14 +83,22 @@ impl<T> Clone for Stealer<T> {
 
 impl<T> Stealer<T> {
     pub fn steal(&self) -> Steal<T> {
-        match self.queue.lock().unwrap().pop_front() {
+        match self
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop_front()
+        {
             Some(v) => Steal::Success(v),
             None => Steal::Empty,
         }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.queue.lock().unwrap().is_empty()
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .is_empty()
     }
 }
 
@@ -100,15 +121,26 @@ impl<T> Injector<T> {
     }
 
     pub fn push(&self, value: T) {
-        self.queue.lock().unwrap().push_back(value);
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push_back(value);
     }
 
     pub fn is_empty(&self) -> bool {
-        self.queue.lock().unwrap().is_empty()
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .is_empty()
     }
 
     pub fn steal(&self) -> Steal<T> {
-        match self.queue.lock().unwrap().pop_front() {
+        match self
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop_front()
+        {
             Some(v) => Steal::Success(v),
             None => Steal::Empty,
         }
@@ -117,14 +149,20 @@ impl<T> Injector<T> {
     /// Pop one task and move a batch of follow-ons to `dest` (half the
     /// queue, capped like crossbeam's batch limit).
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
-        let mut q = self.queue.lock().unwrap();
+        let mut q = self
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let first = match q.pop_front() {
             Some(v) => v,
             None => return Steal::Empty,
         };
         let batch = (q.len() / 2).min(16);
         if batch > 0 {
-            let mut d = dest.queue.lock().unwrap();
+            let mut d = dest
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             for _ in 0..batch {
                 match q.pop_front() {
                     Some(v) => d.push_back(v),
