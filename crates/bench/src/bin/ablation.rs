@@ -10,7 +10,7 @@
 //! ```
 
 use dcst_bench::{fmt_s, Args, Table};
-use dcst_core::{DcOptions, TaskFlowDc, TridiagEigensolver};
+use dcst_core::{DcOptions, SolveMode, TaskFlowDc, TridiagEigensolver};
 use dcst_tridiag::gen::MatrixType;
 use std::time::Instant;
 
@@ -40,6 +40,7 @@ fn main() {
                 threads,
                 extra_workspace: true,
                 use_gatherv: true,
+                mode: SolveMode::Full,
             },
         );
         tb.row(vec![nb.to_string(), fmt_s(time)]);
@@ -58,6 +59,7 @@ fn main() {
                 threads,
                 extra_workspace: true,
                 use_gatherv: true,
+                mode: SolveMode::Full,
             },
         );
         tb.row(vec![mp.to_string(), leaves.to_string(), fmt_s(time)]);
@@ -75,6 +77,7 @@ fn main() {
                 threads,
                 extra_workspace: extra,
                 use_gatherv: true,
+                mode: SolveMode::Full,
             },
         );
         tb.row(vec![extra.to_string(), fmt_s(time)]);
@@ -92,6 +95,7 @@ fn main() {
                 threads,
                 extra_workspace: true,
                 use_gatherv: gatherv,
+                mode: SolveMode::Full,
             },
         );
         tb.row(vec![label.to_string(), fmt_s(time)]);
@@ -105,6 +109,7 @@ fn main() {
         threads,
         extra_workspace: true,
         use_gatherv: true,
+        mode: SolveMode::Full,
     })
     .solve(&t)
     .unwrap();
@@ -114,6 +119,7 @@ fn main() {
         threads,
         extra_workspace: false,
         use_gatherv: true,
+        mode: SolveMode::Full,
     })
     .solve(&t)
     .unwrap();

@@ -11,7 +11,7 @@
 //! ```
 
 use dcst_bench::Args;
-use dcst_core::{DcOptions, TaskFlowDc};
+use dcst_core::{DcOptions, SolveMode, TaskFlowDc};
 use dcst_tridiag::gen::MatrixType;
 
 fn main() {
@@ -27,6 +27,7 @@ fn main() {
         threads: 2,
         extra_workspace: true,
         use_gatherv: true,
+        mode: SolveMode::Full,
     });
     let (_, dag) = solver.solve_with_dag(&t).expect("solve failed");
 

@@ -26,7 +26,7 @@
 //! ```
 
 use dcst_bench::{fmt_s, Args};
-use dcst_core::{DcOptions, TaskFlowDc};
+use dcst_core::{DcOptions, SolveMode, TaskFlowDc};
 use dcst_tridiag::gen::MatrixType;
 
 fn main() {
@@ -45,6 +45,7 @@ fn main() {
                 threads,
                 extra_workspace: true,
                 use_gatherv: true,
+                mode: SolveMode::Full,
             },
         ),
         (
@@ -55,6 +56,7 @@ fn main() {
                 threads,
                 extra_workspace: true,
                 use_gatherv: true,
+                mode: SolveMode::Full,
             },
         ),
         (
@@ -65,6 +67,7 @@ fn main() {
                 threads,
                 extra_workspace: true,
                 use_gatherv: true,
+                mode: SolveMode::Full,
             },
         ),
     ];

@@ -1,0 +1,289 @@
+//! Solve-mode benchmark: values-only memory high-water vs the full solve,
+//! and subset solve time as a function of the requested eigenvector count
+//! (ISSUE 9's acceptance gates).
+//!
+//! The binary installs a counting global allocator (current bytes +
+//! high-water, tracked across all threads), so the values-only claim —
+//! boundary-row propagation replaces the three n×n workspace buffers with
+//! O(n) state — is measured, not asserted. The subset sweep times the
+//! task-flow driver at k ∈ {n/16, n/8, n/4, n/2, n} requested columns;
+//! k = n/16 crosses the MRRR-fallback threshold (`16·k ≤ n`), so the curve
+//! also exercises the Θ(n·k) route.
+//!
+//! ```text
+//! cargo run --release -p dcst-bench --bin modes -- \
+//!     --sizes 1000,2000,4000 --subset-n 2000 --out BENCH_modes.json \
+//!     --gate-mem-pct 25 --gate-subset-pct 40
+//! ```
+//!
+//! With the gate flags set, a violated bound exits non-zero (the CI job
+//! runs exactly that invocation).
+
+use dcst_bench::{fmt_s, Args, Table};
+use dcst_core::{DcOptions, SolveMode, TaskFlowDc, TridiagEigensolver};
+use dcst_tridiag::gen::MatrixType;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::time::Instant;
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// Counting wrapper around the system allocator: live bytes and the
+/// high-water mark, across every thread. Relaxed is enough — the counters
+/// are monotonic bookkeeping, never synchronization.
+struct CountingAlloc;
+
+fn bump(sz: usize) {
+    let now = CURRENT.fetch_add(sz, Relaxed) + sz;
+    PEAK.fetch_max(now, Relaxed);
+}
+
+// SAFETY: every method delegates verbatim to `System` and only adds
+// atomic counter bookkeeping; layout/pointer contracts are untouched.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            bump(layout.size());
+        }
+        p
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            bump(layout.size());
+        }
+        p
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        CURRENT.fetch_sub(layout.size(), Relaxed);
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                bump(new_size - layout.size());
+            } else {
+                CURRENT.fetch_sub(layout.size() - new_size, Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Peak allocation (bytes above the pre-call level) across `f`.
+fn measure_peak<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let base = CURRENT.load(Relaxed);
+    PEAK.store(base, Relaxed);
+    let r = f();
+    (PEAK.load(Relaxed).saturating_sub(base), r)
+}
+
+fn solver(threads: usize, mode: SolveMode) -> TaskFlowDc {
+    TaskFlowDc::new(DcOptions {
+        threads,
+        mode,
+        ..DcOptions::default()
+    })
+}
+
+fn mb(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+struct MemRow {
+    n: usize,
+    peak_full: usize,
+    peak_vals: usize,
+    ratio: f64,
+    t_full: f64,
+    t_vals: f64,
+}
+
+fn series(rows: &[MemRow], f: impl Fn(&MemRow) -> String) -> String {
+    rows.iter().map(f).collect::<Vec<_>>().join(", ")
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let sizes = args.sizes_or(&[1000, 2000, 4000]);
+    let subset_n = args.usize_or("--subset-n", 2000);
+    let threads = args.usize_or("--threads", dcst_bench::max_threads());
+    let gate_mem_pct = args
+        .value("--gate-mem-pct")
+        .map(|v| v.parse::<f64>().expect("--gate-mem-pct wants a percentage"));
+    let gate_subset_pct = args.value("--gate-subset-pct").map(|v| {
+        v.parse::<f64>()
+            .expect("--gate-subset-pct wants a percentage")
+    });
+
+    // ---- values-only vs full: allocation high-water + value agreement.
+    let mut mem_table = Table::new(&[
+        "n",
+        "full peak",
+        "values-only peak",
+        "ratio",
+        "t_full",
+        "t_values",
+    ]);
+    let mut mem_rows: Vec<MemRow> = Vec::new();
+    for &n in &sizes {
+        let t = MatrixType::Type4.generate(n, 77);
+        let start = Instant::now();
+        let (peak_full, full) = measure_peak(|| solver(threads, SolveMode::Full).solve(&t));
+        let t_full = start.elapsed().as_secs_f64();
+        let full = full.expect("full solve");
+        let start = Instant::now();
+        let (peak_vals, vals) = measure_peak(|| solver(threads, SolveMode::ValuesOnly).solve(&t));
+        let t_vals = start.elapsed().as_secs_f64();
+        let vals = vals.expect("values-only solve");
+        // Correctness rides along: values must agree within 50·n·ε·‖T‖.
+        let tol = 50.0 * n as f64 * f64::EPSILON * t.max_norm().max(1.0);
+        for (i, (a, b)) in vals.values.iter().zip(&full.values).enumerate() {
+            assert!(
+                (a - b).abs() <= tol,
+                "n={n} value {i}: {a} vs {b} (tol {tol})"
+            );
+        }
+        let ratio = peak_vals as f64 / peak_full as f64;
+        mem_table.row(vec![
+            n.to_string(),
+            format!("{:.1} MiB", mb(peak_full)),
+            format!("{:.1} MiB", mb(peak_vals)),
+            format!("{:.1}%", 100.0 * ratio),
+            fmt_s(t_full),
+            fmt_s(t_vals),
+        ]);
+        mem_rows.push(MemRow {
+            n,
+            peak_full,
+            peak_vals,
+            ratio,
+            t_full,
+            t_vals,
+        });
+    }
+    println!("values-only vs full (type 4, {threads} threads):\n");
+    mem_table.print();
+
+    // ---- subset: time vs requested eigenvector count k.
+    let n = subset_n;
+    let t = MatrixType::Type4.generate(n, 77);
+    let mut sub_table = Table::new(&["k (vectors)", "t_subset", "vs k=n"]);
+    let fracs = [16usize, 8, 4, 2, 1];
+    let mut sub_rows: Vec<(usize, f64)> = Vec::new();
+    for &den in &fracs {
+        let k = (n / den).max(1);
+        let start = Instant::now();
+        let eig = solver(threads, SolveMode::Subset { il: 0, iu: k - 1 })
+            .solve(&t)
+            .expect("subset solve");
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(eig.values.len(), k);
+        assert_eq!(eig.vectors.cols(), k);
+        sub_rows.push((k, secs));
+    }
+    let t_full_k = sub_rows.last().expect("k sweep nonempty").1;
+    for &(k, secs) in &sub_rows {
+        sub_table.row(vec![
+            format!("{k} ({:.1}%)", 100.0 * k as f64 / n as f64),
+            fmt_s(secs),
+            format!("{:.1}%", 100.0 * secs / t_full_k),
+        ]);
+    }
+    println!("\nsubset solve time vs k (type 4, n = {n}, {threads} threads):\n");
+    sub_table.print();
+
+    // ---- JSON artifact.
+    if let Some(path) = args.value("--out") {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"threads\": {threads},\n"));
+        s.push_str(&format!(
+            "  \"sizes\": [{}],\n",
+            series(&mem_rows, |r| r.n.to_string())
+        ));
+        s.push_str(&format!(
+            "  \"full_peak_bytes\": [{}],\n",
+            series(&mem_rows, |r| r.peak_full.to_string())
+        ));
+        s.push_str(&format!(
+            "  \"values_only_peak_bytes\": [{}],\n",
+            series(&mem_rows, |r| r.peak_vals.to_string())
+        ));
+        s.push_str(&format!(
+            "  \"peak_ratio\": [{}],\n",
+            series(&mem_rows, |r| format!("{:.4}", r.ratio))
+        ));
+        s.push_str(&format!(
+            "  \"full_seconds\": [{}],\n",
+            series(&mem_rows, |r| format!("{:.4}", r.t_full))
+        ));
+        s.push_str(&format!(
+            "  \"values_only_seconds\": [{}],\n",
+            series(&mem_rows, |r| format!("{:.4}", r.t_vals))
+        ));
+        s.push_str(&format!("  \"subset_n\": {n},\n"));
+        s.push_str(&format!(
+            "  \"subset_k\": [{}],\n",
+            sub_rows
+                .iter()
+                .map(|r| r.0.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str(&format!(
+            "  \"subset_seconds\": [{}]\n",
+            sub_rows
+                .iter()
+                .map(|r| format!("{:.4}", r.1))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str("}\n");
+        std::fs::write(path, s).expect("write --out");
+        println!("\nwrote {path}");
+    }
+
+    // ---- gates.
+    let mut failed = false;
+    if let Some(pct) = gate_mem_pct {
+        // Judged at the largest size, where the O(n) vs O(n²) separation
+        // is widest and allocator noise smallest.
+        let MemRow { n, ratio, .. } = *mem_rows.last().expect("size sweep nonempty");
+        if 100.0 * ratio >= pct {
+            eprintln!(
+                "GATE FAIL: values-only peak at n = {n} is {:.1}% of full (gate < {pct}%)",
+                100.0 * ratio
+            );
+            failed = true;
+        } else {
+            println!(
+                "gate ok: values-only peak at n = {n} is {:.1}% of full (< {pct}%)",
+                100.0 * ratio
+            );
+        }
+    }
+    if let Some(pct) = gate_subset_pct {
+        let (k_min, t_min) = sub_rows[0];
+        let share = 100.0 * t_min / t_full_k;
+        if share >= pct {
+            eprintln!(
+                "GATE FAIL: subset time at k = {k_min} is {share:.1}% of k = {n} (gate < {pct}%)"
+            );
+            failed = true;
+        } else {
+            println!("gate ok: subset time at k = {k_min} is {share:.1}% of k = {n} (< {pct}%)");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -17,7 +17,9 @@
 //! ```
 
 use dcst_bench::{fmt_s, Args, Table};
-use dcst_core::{merge_cost_model, DcOptions, MetricsRecorder, PartitionTree, TaskFlowDc};
+use dcst_core::{
+    merge_cost_model, DcOptions, MetricsRecorder, PartitionTree, SolveMode, TaskFlowDc,
+};
 use dcst_matrix::{set_update_policy, UpdatePolicy};
 use dcst_runtime::{jsonv, Trace};
 use dcst_tridiag::gen::MatrixType;
@@ -134,6 +136,7 @@ fn traced_merge_s(t: &dcst_tridiag::SymTridiag) -> (f64, f64, [u64; 4]) {
         threads: 1,
         extra_workspace: true,
         use_gatherv: true,
+        mode: SolveMode::Full,
     });
     let rec = MetricsRecorder::start();
     let (_, stats, trace) = solver.solve_traced(t).expect("crossover solve failed");
@@ -320,6 +323,7 @@ fn main() {
         threads,
         extra_workspace: true,
         use_gatherv: true,
+        mode: SolveMode::Full,
     });
     let (_, stats, trace) = solver.solve_traced(&t).expect("solve failed");
 

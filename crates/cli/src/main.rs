@@ -4,20 +4,24 @@
 //! dcst generate --type 4 --n 1000 --seed 7 --out t.txt
 //! dcst info     --in t.txt
 //! dcst solve    --in t.txt [--solver taskflow|seq|forkjoin|levelpar|mrrr|qr]
-//!               [--subset il:iu] [--threads k] [--check] [--metrics]
+//!               [--values-only] [--subset il:iu] [--threads k] [--check]
+//!               [--metrics]
 //! dcst trace    --type 4 --n 1000 --svg trace.svg [--json trace.json]
 //!               [--chrome trace.json]
 //! ```
 //!
-//! With `DCST_TRACE=out.json` in the environment, `solve --solver taskflow`
-//! additionally records the run and writes a Chrome trace-event file
-//! (loadable in `chrome://tracing` / Perfetto).
+//! `--values-only` computes eigenvalues without accumulating eigenvectors;
+//! `--subset il:iu` computes all eigenvalues but only the eigenvectors with
+//! (0-based, ascending) indices `il..=iu`. Both are accepted by every
+//! solver. With `DCST_TRACE=out.json` in the environment, `solve --solver
+//! taskflow` additionally records the run and writes a Chrome trace-event
+//! file (loadable in `chrome://tracing` / Perfetto).
 
 use dcst_core::{
     DcError, DcOptions, DcStats, ForkJoinDc, LevelParallelDc, MetricsRecorder, SequentialDc,
-    TaskFlowDc,
+    SolveMode, TaskFlowDc,
 };
-use dcst_mrrr::{MrrrError, MrrrOptions, MrrrSolver};
+use dcst_mrrr::{bisect_range, MrrrError, MrrrOptions, MrrrSolver};
 use dcst_qriter::QrError;
 use dcst_runtime::{RuntimeMetrics, Trace};
 use dcst_tridiag::gen::MatrixType;
@@ -42,11 +46,44 @@ impl Args {
     fn flag(&self, name: &str) -> bool {
         self.raw.iter().any(|a| a == name)
     }
-    fn usize_or(&self, name: &str, default: usize) -> usize {
-        self.value(name)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    /// The flag's value as a usize, `default` when absent. A flag that is
+    /// present but missing or unparsable is a usage error naming the flag
+    /// — silently substituting the default would mask typos like
+    /// `--n 10O0`.
+    fn usize_flag(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.value(name) {
+            None => {
+                if self.flag(name) {
+                    Err(format!("{name} needs a value"))
+                } else {
+                    Ok(default)
+                }
+            }
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{name} wants a non-negative integer, got '{v}'")),
+        }
     }
+}
+
+/// `il:iu` → a validated 0-based inclusive index range for a matrix of
+/// order `n`. Rejects (instead of defaulting) anything unparsable.
+fn parse_subset(spec: &str, n: usize) -> Result<(usize, usize), String> {
+    let (a, b) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("--subset wants il:iu, got '{spec}'"))?;
+    let il: usize = a
+        .parse()
+        .map_err(|_| format!("--subset wants integer il:iu, got '{spec}'"))?;
+    let iu: usize = b
+        .parse()
+        .map_err(|_| format!("--subset wants integer il:iu, got '{spec}'"))?;
+    if il > iu || iu >= n {
+        return Err(format!(
+            "--subset {il}:{iu} out of range for a matrix of order {n} (need il <= iu < n, 0-based)"
+        ));
+    }
+    Ok((il, iu))
 }
 
 fn usage() -> ExitCode {
@@ -54,18 +91,20 @@ fn usage() -> ExitCode {
         "usage:\n  dcst generate --type K --n N [--seed S] [--out FILE]\n  \
          dcst info --in FILE\n  \
          dcst solve --in FILE [--solver taskflow|seq|forkjoin|levelpar|mrrr|qr] \
-         [--subset il:iu] [--threads K] [--check] [--metrics]\n  \
+         [--values-only] [--subset il:iu] [--threads K] [--check] [--metrics]\n  \
          dcst trace [--type K] [--n N] [--svg FILE] [--json FILE] [--chrome FILE]\n\
          env: DCST_TRACE=FILE with 'solve --solver taskflow' writes a Chrome trace-event file"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
 }
 
-// Exit codes: 0 = success, 1 = input error (unreadable/unparsable file or a
-// matrix with NaN/Inf entries), 2 = usage error, 3 = numerical failure (a
-// solver gave up on a well-formed input). Scripts driving the benchmark
-// suite rely on 1-vs-3 to tell bad data from convergence problems.
+// Exit codes: 0 = success, 1 = input error (unreadable/unparsable file, a
+// matrix with NaN/Inf entries, or an unwritable output path), 2 = usage
+// error (bad flags, out-of-range subset), 3 = numerical failure (a solver
+// gave up on a well-formed input). Scripts driving the benchmark suite
+// rely on 1-vs-3 to tell bad data from convergence problems.
 const EXIT_INPUT: u8 = 1;
+const EXIT_USAGE: u8 = 2;
 const EXIT_NUMERICAL: u8 = 3;
 
 fn fail<E: std::fmt::Display>(e: E, code: u8) -> ExitCode {
@@ -76,6 +115,8 @@ fn fail<E: std::fmt::Display>(e: E, code: u8) -> ExitCode {
 fn dc_code(e: &DcError) -> u8 {
     match e {
         DcError::NonFinite | DcError::Leaf(QrError::NonFinite) => EXIT_INPUT,
+        DcError::InvalidRange { .. } => EXIT_USAGE,
+        DcError::Subset(inner) => mrrr_code(inner),
         _ => EXIT_NUMERICAL,
     }
 }
@@ -90,6 +131,7 @@ fn qr_code(e: &QrError) -> u8 {
 fn mrrr_code(e: &MrrrError) -> u8 {
     match e {
         MrrrError::NonFinite => EXIT_INPUT,
+        MrrrError::InvalidRange { .. } => EXIT_USAGE,
         MrrrError::ClusterFailure { .. } => EXIT_NUMERICAL,
     }
 }
@@ -100,6 +142,15 @@ fn load(args: &Args) -> Result<SymTridiag, String> {
     read_tridiag(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
+/// Write a generated artifact (trace SVG/JSON, Chrome events); an
+/// unwritable path is an input-class error, never a panic.
+fn write_artifact(path: &str, contents: String, what: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, contents)
+        .map_err(|e| fail(format!("cannot write {path}: {e}"), EXIT_INPUT))?;
+    eprintln!("{what} -> {path}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
@@ -107,39 +158,50 @@ fn main() -> ExitCode {
     }
     let cmd = argv.remove(0);
     let args = Args { raw: argv };
-    let threads = args.usize_or(
+    let threads = match args.usize_flag(
         "--threads",
         std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1),
-    );
+    ) {
+        Ok(v) => v,
+        Err(e) => return fail(e, EXIT_USAGE),
+    };
 
     match cmd.as_str() {
         "generate" => {
-            let ty = match MatrixType::from_index(args.usize_or("--type", 4)) {
-                Some(t) => t,
-                None => {
-                    eprintln!("--type must be 1..=15");
-                    return ExitCode::from(2);
-                }
+            let ty_idx = match args.usize_flag("--type", 4) {
+                Ok(v) => v,
+                Err(e) => return fail(e, EXIT_USAGE),
             };
-            let n = args.usize_or("--n", 1000);
-            let seed = args.usize_or("--seed", 1) as u64;
+            let ty = match MatrixType::from_index(ty_idx) {
+                Some(t) => t,
+                None => return fail("--type must be 1..=15", EXIT_USAGE),
+            };
+            let n = match args.usize_flag("--n", 1000) {
+                Ok(v) => v,
+                Err(e) => return fail(e, EXIT_USAGE),
+            };
+            let seed = match args.usize_flag("--seed", 1) {
+                Ok(v) => v as u64,
+                Err(e) => return fail(e, EXIT_USAGE),
+            };
             let t = ty.generate(n, seed);
             match args.value("--out") {
                 Some(path) => {
                     let f = match std::fs::File::create(path) {
                         Ok(f) => f,
-                        Err(e) => {
-                            eprintln!("cannot create {path}: {e}");
-                            return ExitCode::FAILURE;
-                        }
+                        Err(e) => return fail(format!("cannot create {path}: {e}"), EXIT_INPUT),
                     };
-                    write_tridiag(std::io::BufWriter::new(f), &t).expect("write failed");
+                    if let Err(e) = write_tridiag(std::io::BufWriter::new(f), &t) {
+                        return fail(format!("cannot write {path}: {e}"), EXIT_INPUT);
+                    }
                     eprintln!("wrote type-{} matrix (n = {n}) to {path}", ty.index());
                 }
                 None => {
-                    write_tridiag(std::io::stdout().lock(), &t).expect("write failed");
+                    if let Err(e) = write_tridiag(std::io::stdout().lock(), &t) {
+                        return fail(format!("cannot write to stdout: {e}"), EXIT_INPUT);
+                    }
                 }
             }
             ExitCode::SUCCESS
@@ -170,8 +232,29 @@ fn main() -> ExitCode {
                 Err(e) => return fail(e, EXIT_INPUT),
             };
             let solver_name = args.value("--solver").unwrap_or("taskflow");
+            let values_only = args.flag("--values-only");
+            // Every solver validates --subset against the matrix order
+            // before any numerical work, so malformed ranges exit 2
+            // uniformly.
+            let subset = match args.value("--subset") {
+                Some(spec) => match parse_subset(spec, t.n()) {
+                    Ok(r) => Some(r),
+                    Err(e) => return fail(e, EXIT_USAGE),
+                },
+                None => None,
+            };
+            let mode = match (values_only, subset) {
+                (true, Some(_)) => {
+                    // Values restricted to the subset: no vectors at all.
+                    SolveMode::ValuesOnly
+                }
+                (true, None) => SolveMode::ValuesOnly,
+                (false, Some((il, iu))) => SolveMode::Subset { il, iu },
+                (false, None) => SolveMode::Full,
+            };
             let opts = DcOptions {
                 threads,
+                mode,
                 ..DcOptions::default()
             };
             let trace_path = std::env::var("DCST_TRACE").ok();
@@ -182,102 +265,137 @@ fn main() -> ExitCode {
             let mut dc_stats: Option<DcStats> = None;
             let mut observed: Option<(Trace, RuntimeMetrics)> = None;
             let start = Instant::now();
-            let (values, vectors) =
-                match solver_name {
-                    "mrrr" => {
-                        let solver = MrrrSolver::new(MrrrOptions {
-                            threads,
-                            ..Default::default()
-                        });
-                        if let Some(spec) = args.value("--subset") {
-                            let (il, iu) = match spec.split_once(':') {
-                                Some((a, b)) => (a.parse().unwrap_or(0), b.parse().unwrap_or(0)),
-                                None => {
-                                    eprintln!("--subset wants il:iu");
-                                    return ExitCode::from(2);
-                                }
-                            };
-                            match solver.solve_range(&t, il, iu) {
-                                Ok(r) => r,
-                                Err(e) => return fail(&e, mrrr_code(&e)),
-                            }
-                        } else {
-                            match solver.solve(&t) {
-                                Ok(r) => r,
-                                Err(e) => return fail(&e, mrrr_code(&e)),
-                            }
+            let (values, vectors) = match solver_name {
+                "mrrr" => {
+                    let solver = MrrrSolver::new(MrrrOptions {
+                        threads,
+                        ..Default::default()
+                    });
+                    let result = match (values_only, subset) {
+                        (true, range) => {
+                            // Bisection gives the Θ(n·k) values-only
+                            // path directly.
+                            let (il, iu) = range.unwrap_or((0, t.n().saturating_sub(1)));
+                            bisect_range(&t, il..iu + 1, threads)
+                                .map(|vals| (vals, dcst_matrix::Matrix::zeros(t.n(), 0)))
                         }
+                        (false, Some((il, iu))) => solver.solve_range_exact(&t, il, iu),
+                        (false, None) => solver.solve(&t),
+                    };
+                    match result {
+                        Ok(r) => r,
+                        Err(e) => return fail(&e, mrrr_code(&e)),
                     }
-                    "qr" => match dcst_qriter::steqr(&t) {
+                }
+                "qr" => {
+                    let result = if values_only {
+                        dcst_qriter::eigenvalues(&t)
+                            .map(|vals| (vals, dcst_matrix::Matrix::zeros(t.n(), 0)))
+                    } else {
+                        dcst_qriter::steqr(&t).map(|(vals, vecs)| match subset {
+                            // QR has no subset shortcut; slice the full
+                            // factorization to the requested columns.
+                            Some((il, iu)) => {
+                                let n = t.n();
+                                let k = iu - il + 1;
+                                let mut sub = vec![0.0f64; n * k];
+                                for (c, p) in (il..=iu).enumerate() {
+                                    sub[c * n..(c + 1) * n].copy_from_slice(vecs.col(p));
+                                }
+                                (
+                                    vals[il..=iu].to_vec(),
+                                    dcst_matrix::Matrix::from_vec(n, k, sub),
+                                )
+                            }
+                            None => (vals, vecs),
+                        })
+                    };
+                    let (vals, vecs) = match result {
                         Ok(r) => r,
                         Err(e) => return fail(&e, qr_code(&e)),
-                    },
-                    name => {
-                        // The D&C variants all expose solve_with_stats, so the
-                        // deflation statistics behind --metrics come for free;
-                        // the task-flow driver can additionally record the run
-                        // (trace + scheduler counters) for DCST_TRACE.
-                        let result =
-                            match name {
-                                "taskflow" => {
-                                    let solver = TaskFlowDc::new(opts);
-                                    if trace_path.is_some() || recorder.is_some() {
-                                        solver.solve_observed(&t).map(|(eig, stats, trace, rm)| {
-                                            dc_stats = Some(stats);
-                                            observed = Some((trace, rm));
-                                            eig
-                                        })
-                                    } else {
-                                        solver.solve_with_stats(&t).map(|(eig, stats)| {
-                                            dc_stats = Some(stats);
-                                            eig
-                                        })
-                                    }
+                    };
+                    // --values-only --subset: slice the values.
+                    match (values_only, subset) {
+                        (true, Some((il, iu))) => (vals[il..=iu].to_vec(), vecs),
+                        _ => (vals, vecs),
+                    }
+                }
+                name => {
+                    // The D&C variants all expose solve_with_stats, so the
+                    // deflation statistics behind --metrics come for free;
+                    // the task-flow driver can additionally record the run
+                    // (trace + scheduler counters) for DCST_TRACE.
+                    let result =
+                        match name {
+                            "taskflow" => {
+                                let solver = TaskFlowDc::new(opts);
+                                if trace_path.is_some() || recorder.is_some() {
+                                    solver.solve_observed(&t).map(|(eig, stats, trace, rm)| {
+                                        dc_stats = Some(stats);
+                                        observed = Some((trace, rm));
+                                        eig
+                                    })
+                                } else {
+                                    solver.solve_with_stats(&t).map(|(eig, stats)| {
+                                        dc_stats = Some(stats);
+                                        eig
+                                    })
                                 }
-                                "seq" => SequentialDc::new(DcOptions { threads: 1, ..opts })
+                            }
+                            "seq" => SequentialDc::new(DcOptions { threads: 1, ..opts })
+                                .solve_with_stats(&t)
+                                .map(|(eig, stats)| {
+                                    dc_stats = Some(stats);
+                                    eig
+                                }),
+                            "forkjoin" => {
+                                ForkJoinDc::new(opts)
                                     .solve_with_stats(&t)
                                     .map(|(eig, stats)| {
                                         dc_stats = Some(stats);
                                         eig
-                                    }),
-                                "forkjoin" => ForkJoinDc::new(opts).solve_with_stats(&t).map(
-                                    |(eig, stats)| {
-                                        dc_stats = Some(stats);
-                                        eig
-                                    },
-                                ),
-                                "levelpar" => LevelParallelDc::new(opts).solve_with_stats(&t).map(
-                                    |(eig, stats)| {
-                                        dc_stats = Some(stats);
-                                        eig
-                                    },
-                                ),
-                                other => {
-                                    eprintln!("unknown solver '{other}'");
-                                    return ExitCode::from(2);
-                                }
-                            };
-                        let eig = match result {
-                            Ok(eig) => eig,
-                            Err(e) => return fail(&e, dc_code(&e)),
+                                    })
+                            }
+                            "levelpar" => LevelParallelDc::new(opts).solve_with_stats(&t).map(
+                                |(eig, stats)| {
+                                    dc_stats = Some(stats);
+                                    eig
+                                },
+                            ),
+                            other => return fail(format!("unknown solver '{other}'"), EXIT_USAGE),
                         };
-                        (eig.values, eig.vectors)
+                    let eig = match result {
+                        Ok(eig) => eig,
+                        Err(e) => return fail(&e, dc_code(&e)),
+                    };
+                    // --values-only --subset: the D&C values path returns
+                    // the full spectrum; slice to the request.
+                    match (values_only, subset) {
+                        (true, Some((il, iu))) => (eig.values[il..=iu].to_vec(), eig.vectors),
+                        _ => (eig.values, eig.vectors),
                     }
-                };
+                }
+            };
             let secs = start.elapsed().as_secs_f64();
             eprintln!(
-                "{solver_name}: {} eigenpairs in {:.3}s ({threads} threads)",
+                "{solver_name}: {} eigenvalue(s), {} vector column(s) in {:.3}s ({threads} threads)",
                 values.len(),
+                vectors.cols(),
                 secs
             );
             if let Some((trace, rm)) = &observed {
                 if let Some(path) = trace_path.as_deref() {
                     // Scheduler counters ride along as per-lane metadata so
                     // the trace viewer shows the contention story too.
-                    std::fs::write(path, trace.to_chrome_json_with_metrics(Some(rm)))
-                        .expect("write chrome trace");
+                    if let Err(code) = write_artifact(
+                        path,
+                        trace.to_chrome_json_with_metrics(Some(rm)),
+                        "chrome trace",
+                    ) {
+                        return code;
+                    }
                     eprintln!(
-                        "chrome trace -> {path} ({} records, {} edges)",
+                        "  ({} records, {} edges)",
                         trace.records.len(),
                         trace.edges.len()
                     );
@@ -300,7 +418,13 @@ fn main() -> ExitCode {
                     None => eprintln!("note: --metrics has no statistics for '{solver_name}'"),
                 }
             }
-            if args.flag("--check") && vectors.cols() == values.len() && vectors.cols() == t.n() {
+            // Residual/orthogonality checks hold for any n×k slice of the
+            // eigenbasis (k = cols), not only the full square factorization.
+            if args.flag("--check")
+                && vectors.cols() == values.len()
+                && vectors.rows() == t.n()
+                && vectors.cols() > 0
+            {
                 let orth = dcst_matrix::orthogonality_error(&vectors);
                 let res = dcst_matrix::residual_error(
                     t.n(),
@@ -319,9 +443,18 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "trace" => {
-            let ty =
-                MatrixType::from_index(args.usize_or("--type", 4)).unwrap_or(MatrixType::Type4);
-            let n = args.usize_or("--n", 1000);
+            let ty_idx = match args.usize_flag("--type", 4) {
+                Ok(v) => v,
+                Err(e) => return fail(e, EXIT_USAGE),
+            };
+            let ty = match MatrixType::from_index(ty_idx) {
+                Some(t) => t,
+                None => return fail("--type must be 1..=15", EXIT_USAGE),
+            };
+            let n = match args.usize_flag("--n", 1000) {
+                Ok(v) => v,
+                Err(e) => return fail(e, EXIT_USAGE),
+            };
             let t = ty.generate(n, 1);
             let solver = TaskFlowDc::new(DcOptions {
                 threads,
@@ -339,16 +472,19 @@ fn main() -> ExitCode {
                 100.0 * stats.overall_deflation()
             );
             if let Some(path) = args.value("--svg") {
-                std::fs::write(path, trace.to_svg(1200, 24)).expect("write svg");
-                eprintln!("svg timeline -> {path}");
+                if let Err(code) = write_artifact(path, trace.to_svg(1200, 24), "svg timeline") {
+                    return code;
+                }
             }
             if let Some(path) = args.value("--json") {
-                std::fs::write(path, trace.to_json()).expect("write json");
-                eprintln!("json trace   -> {path}");
+                if let Err(code) = write_artifact(path, trace.to_json(), "json trace") {
+                    return code;
+                }
             }
             if let Some(path) = args.value("--chrome") {
-                std::fs::write(path, trace.to_chrome_json()).expect("write chrome trace");
-                eprintln!("chrome trace -> {path}");
+                if let Err(code) = write_artifact(path, trace.to_chrome_json(), "chrome trace") {
+                    return code;
+                }
             }
             if args.value("--svg").is_none()
                 && args.value("--json").is_none()

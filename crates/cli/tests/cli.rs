@@ -450,3 +450,259 @@ fn bad_usage_fails_cleanly() {
         .unwrap();
     assert_eq!(out.status.code(), Some(1), "empty input rejected");
 }
+
+/// Malformed or out-of-range `--subset` specs are usage errors (exit 2)
+/// for every solver — never a silent `(0,0)` default, never a panic.
+#[test]
+fn bad_subset_specs_exit_2_for_every_solver() {
+    let path = tempfile("badsubset.txt");
+    dcst()
+        .args([
+            "generate",
+            "--type",
+            "4",
+            "--n",
+            "32",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    for solver in ["taskflow", "seq", "forkjoin", "levelpar", "mrrr", "qr"] {
+        for spec in ["foo:bar", "5", "3:2", "0:32", "40:50", ":", "1:x", "-1:4"] {
+            let out = dcst()
+                .args([
+                    "solve",
+                    "--in",
+                    path.to_str().unwrap(),
+                    "--solver",
+                    solver,
+                    "--subset",
+                    spec,
+                ])
+                .output()
+                .unwrap();
+            let err = String::from_utf8_lossy(&out.stderr);
+            assert_eq!(
+                out.status.code(),
+                Some(2),
+                "{solver} --subset {spec}: {err}"
+            );
+            assert!(err.contains("--subset"), "{solver} {spec}: {err}");
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Present-but-unparsable numeric flags exit 2 and name the flag, on every
+/// subcommand that accepts them.
+#[test]
+fn unparsable_numeric_flags_exit_2_naming_the_flag() {
+    let path = tempfile("badflags.txt");
+    dcst()
+        .args([
+            "generate",
+            "--type",
+            "4",
+            "--n",
+            "24",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    let cases: Vec<(Vec<&str>, &str)> = vec![
+        (vec!["generate", "--n", "10O0"], "--n"),
+        (vec!["generate", "--type", "four"], "--type"),
+        (vec!["generate", "--n", "64", "--seed", "x"], "--seed"),
+        (
+            vec!["solve", "--in", path.to_str().unwrap(), "--threads", "two"],
+            "--threads",
+        ),
+        (vec!["trace", "--n", "1e3"], "--n"),
+        (vec!["trace", "--type", "nan"], "--type"),
+    ];
+    for (argv, flag) in cases {
+        let out = dcst().args(&argv).output().unwrap();
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "{argv:?}: {err}");
+        assert!(err.contains(flag), "{argv:?} names {flag}: {err}");
+    }
+    // A trailing valueless flag is also a usage error.
+    let out = dcst()
+        .args(["solve", "--in", path.to_str().unwrap(), "--threads"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// An unwritable `DCST_TRACE` path is an I/O error (exit 1 with a message),
+/// not a panic — the solve itself succeeded, the report must say why the
+/// artifact did not.
+#[test]
+fn unwritable_trace_destination_exits_1() {
+    let path = tempfile("tracefail.txt");
+    dcst()
+        .args([
+            "generate",
+            "--type",
+            "4",
+            "--n",
+            "64",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    let out = dcst()
+        .env("DCST_TRACE", "/nonexistent-dir/trace.json")
+        .args([
+            "solve",
+            "--in",
+            path.to_str().unwrap(),
+            "--solver",
+            "taskflow",
+        ])
+        .output()
+        .unwrap();
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{err}");
+    assert!(err.contains("cannot write"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+
+    // Same for the trace subcommand's artifact flags.
+    for flag in ["--svg", "--json", "--chrome"] {
+        let out = dcst()
+            .args(["trace", "--n", "96", flag, "/nonexistent-dir/out"])
+            .output()
+            .unwrap();
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(1), "{flag}: {err}");
+        assert!(err.contains("cannot write"), "{flag}: {err}");
+        assert!(!err.contains("panicked"), "{flag}: {err}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `--values-only` agrees with the full solve on every solver and reports
+/// zero vector columns.
+#[test]
+fn values_only_agrees_across_solvers() {
+    let path = tempfile("valsonly.txt");
+    dcst()
+        .args([
+            "generate",
+            "--type",
+            "6",
+            "--n",
+            "48",
+            "--seed",
+            "9",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    let full = dcst()
+        .args(["solve", "--in", path.to_str().unwrap(), "--solver", "seq"])
+        .output()
+        .unwrap();
+    let oracle: Vec<f64> = String::from_utf8_lossy(&full.stdout)
+        .lines()
+        .map(|l| l.parse().unwrap())
+        .collect();
+    for solver in ["taskflow", "seq", "forkjoin", "levelpar", "mrrr", "qr"] {
+        let out = dcst()
+            .args([
+                "solve",
+                "--in",
+                path.to_str().unwrap(),
+                "--solver",
+                solver,
+                "--values-only",
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{solver}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("0 vector column(s)"), "{solver}: {err}");
+        let vals: Vec<f64> = String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .map(|l| l.parse().unwrap())
+            .collect();
+        assert_eq!(vals.len(), oracle.len(), "{solver}");
+        for (a, b) in vals.iter().zip(&oracle) {
+            assert!((a - b).abs() < 1e-9, "{solver}: {a} vs {b}");
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `--subset il:iu` returns exactly iu−il+1 values (the oracle's slice)
+/// and as many vector columns, on every solver; `--check` passes on the
+/// n×k slice.
+#[test]
+fn subset_agrees_across_solvers() {
+    let path = tempfile("subsetall.txt");
+    dcst()
+        .args([
+            "generate",
+            "--type",
+            "4",
+            "--n",
+            "48",
+            "--seed",
+            "5",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    let full = dcst()
+        .args(["solve", "--in", path.to_str().unwrap(), "--solver", "seq"])
+        .output()
+        .unwrap();
+    let oracle: Vec<f64> = String::from_utf8_lossy(&full.stdout)
+        .lines()
+        .map(|l| l.parse().unwrap())
+        .collect();
+    // A wide range (D&C pruned root) and a narrow one (MRRR fallback).
+    for (il, iu) in [(8usize, 39usize), (20, 23)] {
+        for solver in ["taskflow", "seq", "forkjoin", "levelpar", "mrrr", "qr"] {
+            let out = dcst()
+                .args([
+                    "solve",
+                    "--in",
+                    path.to_str().unwrap(),
+                    "--solver",
+                    solver,
+                    "--subset",
+                    &format!("{il}:{iu}"),
+                    "--check",
+                ])
+                .output()
+                .unwrap();
+            let err = String::from_utf8_lossy(&out.stderr);
+            assert!(out.status.success(), "{solver} {il}:{iu}: {err}");
+            assert!(
+                err.contains(&format!("{} vector column(s)", iu - il + 1)),
+                "{solver} {il}:{iu}: {err}"
+            );
+            assert!(err.contains("residual"), "{solver} {il}:{iu}: {err}");
+            let vals: Vec<f64> = String::from_utf8_lossy(&out.stdout)
+                .lines()
+                .map(|l| l.parse().unwrap())
+                .collect();
+            assert_eq!(vals.len(), iu - il + 1, "{solver} {il}:{iu}");
+            for (a, b) in vals.iter().zip(&oracle[il..=iu]) {
+                assert!((a - b).abs() < 1e-9, "{solver} {il}:{iu}: {a} vs {b}");
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -35,6 +35,7 @@ mod seq;
 mod structured;
 mod taskflow;
 mod tree;
+mod values;
 
 pub use merge::MergeStat;
 pub use metrics::{MetricsRecorder, SolverMetrics};
@@ -44,6 +45,7 @@ pub use taskflow::TaskFlowDc;
 pub use tree::{PartitionTree, TreeNode};
 
 use dcst_matrix::Matrix;
+use dcst_mrrr::MrrrError;
 use dcst_qriter::QrError;
 use dcst_runtime::RuntimeError;
 use dcst_secular::SecularError;
@@ -56,6 +58,37 @@ pub struct Eigen {
     pub values: Vec<f64>,
     pub vectors: Matrix,
 }
+
+/// What part of the eigen-decomposition a solve computes.
+///
+/// * [`Full`](SolveMode::Full) — values and the complete n×n eigenvector
+///   matrix (the default; unchanged behaviour).
+/// * [`ValuesOnly`](SolveMode::ValuesOnly) — eigenvalues only. Instead of
+///   accumulating n×n eigenvector matrices the D&C drivers propagate two
+///   O(n) boundary rows per node (first and last row of the node's
+///   eigenvector matrix — exactly what the parent merge's z-vector needs),
+///   cutting internal state from O(n²) to O(n)-class. `Eigen::vectors`
+///   comes back as an `n × 0` matrix.
+/// * [`Subset`](SolveMode::Subset) — all eigenvalues plus eigenvectors for
+///   the ascending (0-based, inclusive) index range `il..=iu` only: the
+///   root merge's assembly/GEMM/back-transform are pruned to those k
+///   columns, and when `k ≪ n` the driver falls back to the MRRR crate's
+///   Θ(n·k) subset computation. `Eigen::values` then holds the k selected
+///   values and `Eigen::vectors` is n×k.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SolveMode {
+    #[default]
+    Full,
+    ValuesOnly,
+    Subset {
+        il: usize,
+        iu: usize,
+    },
+}
+
+/// A subset solve falls back to MRRR bisection when `16·k ≤ n`: below
+/// that, pruning only the root merge cannot beat Θ(n·k) bisection.
+pub(crate) const SUBSET_FALLBACK_RATIO: usize = 16;
 
 /// Tuning options shared by every D&C variant.
 #[derive(Clone, Copy, Debug)]
@@ -76,6 +109,9 @@ pub struct DcOptions {
     /// which serializes them — the fork/join behaviour the paper's runtime
     /// extension removes. Exposed for the ablation bench.
     pub use_gatherv: bool,
+    /// What to compute: full decomposition, eigenvalues only, or an
+    /// eigenvector subset. See [`SolveMode`].
+    pub mode: SolveMode,
 }
 
 impl Default for DcOptions {
@@ -88,6 +124,7 @@ impl Default for DcOptions {
                 .unwrap_or(1),
             extra_workspace: false,
             use_gatherv: true,
+            mode: SolveMode::Full,
         }
     }
 }
@@ -108,6 +145,11 @@ pub enum DcError {
     /// A task failed inside the runtime in a way the solver could not
     /// attribute to a numerical kernel (e.g. a panic).
     Task(RuntimeError),
+    /// A [`SolveMode::Subset`] index range is empty or out of bounds —
+    /// user input, reported rather than asserted.
+    InvalidRange { il: usize, iu: usize, n: usize },
+    /// The MRRR fallback for a small subset failed.
+    Subset(MrrrError),
 }
 
 impl std::fmt::Display for DcError {
@@ -121,6 +163,12 @@ impl std::fmt::Display for DcError {
                 "non-finite values mid-computation in '{stage}' at merge offset {off}"
             ),
             DcError::Task(e) => write!(f, "task failure: {e}"),
+            DcError::InvalidRange { il, iu, n } => write!(
+                f,
+                "eigenvalue index range {il}:{iu} invalid for matrix of order {n} \
+                 (need il <= iu < n, 0-based)"
+            ),
+            DcError::Subset(e) => write!(f, "subset fallback failed: {e}"),
         }
     }
 }
@@ -162,6 +210,42 @@ impl From<RuntimeError> for DcError {
             Err(e) => DcError::Task(e),
         }
     }
+}
+
+/// Validate a [`SolveMode::Subset`] range against the matrix order.
+pub(crate) fn validate_subset(il: usize, iu: usize, n: usize) -> Result<(), DcError> {
+    if il > iu || iu >= n {
+        return Err(DcError::InvalidRange { il, iu, n });
+    }
+    Ok(())
+}
+
+/// True when a subset solve should route to the MRRR fallback: pruning
+/// eigenvector work at the root merge only saves about half the vector
+/// flops, so once `16·k ≤ n` MRRR's Θ(n·k) subset path wins outright.
+pub(crate) fn subset_uses_fallback(il: usize, iu: usize, n: usize) -> bool {
+    let k = iu - il + 1;
+    SUBSET_FALLBACK_RATIO * k <= n
+}
+
+/// Solve the subset `il..=iu` via MRRR bisection + twisted factorizations
+/// (exact-count contract), packaging the result as an [`Eigen`].
+pub(crate) fn subset_fallback(
+    t: &SymTridiag,
+    il: usize,
+    iu: usize,
+    threads: usize,
+) -> Result<Eigen, DcError> {
+    let solver = dcst_mrrr::MrrrSolver::new(dcst_mrrr::MrrrOptions {
+        threads: threads.max(1),
+        ..Default::default()
+    });
+    let (values, vectors) = solver.solve_range_exact(t, il, iu).map_err(|e| match e {
+        MrrrError::NonFinite => DcError::NonFinite,
+        MrrrError::InvalidRange { il, iu, n } => DcError::InvalidRange { il, iu, n },
+        other => DcError::Subset(other),
+    })?;
+    Ok(Eigen { values, vectors })
 }
 
 /// Common interface over every tridiagonal eigensolver in the workspace.

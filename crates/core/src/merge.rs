@@ -122,7 +122,7 @@ pub(crate) fn apply_givens(v_block: &mut [f64], ld: usize, nm: usize, rots: &[Gi
 
 /// Row span (block-local) of a slot's stored data.
 #[inline]
-fn slot_rows(t: SlotType, nm: usize, n1: usize) -> (usize, usize) {
+pub(crate) fn slot_rows(t: SlotType, nm: usize, n1: usize) -> (usize, usize) {
     match t {
         SlotType::Top => (0, n1),
         SlotType::Bottom => (n1, nm),
@@ -364,6 +364,42 @@ pub(crate) fn copy_back_panel(
     }
 }
 
+/// Storage-slot spans selected by a subset of *sorted* positions: given
+/// the slots `idxq[il..=iu]`, return the secular span `[jlo, jhi)` and the
+/// deflated span `[dlo, dhi)` they occupy. Both are contiguous because the
+/// sorting permutation merges two ascending runs (secular eigenvalues in
+/// slots `0..k`, deflated ones in `k..nm`) — any window of sorted
+/// positions draws a prefix-free contiguous chunk from each run.
+pub(crate) fn subset_slot_spans(
+    slots: &[usize],
+    k: usize,
+    nm: usize,
+) -> (usize, usize, usize, usize) {
+    let (mut jlo, mut jhi) = (k, k);
+    let (mut dlo, mut dhi) = (nm, nm);
+    for &s in slots {
+        if s < k {
+            if jhi == jlo {
+                (jlo, jhi) = (s, s + 1);
+            } else {
+                jlo = jlo.min(s);
+                jhi = jhi.max(s + 1);
+            }
+        } else if dhi == dlo {
+            (dlo, dhi) = (s, s + 1);
+        } else {
+            dlo = dlo.min(s);
+            dhi = dhi.max(s + 1);
+        }
+    }
+    debug_assert_eq!(
+        (jhi - jlo) + (dhi - dlo),
+        slots.len(),
+        "subset slots must form two contiguous spans"
+    );
+    (jlo, jhi, dlo, dhi)
+}
+
 /// Finalize a merge: write the block's new diagonal (secular eigenvalues
 /// then deflated ones) and return the permutation sorting it ascending.
 pub(crate) fn finalize_d(defl: &Deflation, lam_sec: &[f64], d_block: &mut [f64]) -> Vec<usize> {
@@ -385,6 +421,11 @@ pub(crate) fn finalize_d(defl: &Deflation, lam_sec: &[f64], d_block: &mut [f64])
 /// * `beta`: the signed coupling `e[off + n1 − 1]`;
 /// * `idxq_l`, `idxq_r`: children's sorting permutations (local to each
 ///   child's range);
+/// * `subset`: `Some((il, iu))` at the *root* merge of a
+///   [`SolveMode::Subset`](crate::SolveMode::Subset) solve — eigenvector
+///   assembly, the update GEMMs, and the deflated copy-back are then
+///   pruned to the storage slots that land in sorted positions `il..=iu`
+///   (the diagonal is still fully merged, so all eigenvalues stay exact);
 /// * `scratch`: grow-once buffers reused across merges by the caller.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn merge_sequential(
@@ -399,6 +440,7 @@ pub(crate) fn merge_sequential(
     idxq_l: &[usize],
     idxq_r: &[usize],
     gemm_threads: usize,
+    subset: Option<(usize, usize)>,
     scratch: &mut MergeScratch,
 ) -> Result<(Vec<usize>, MergeStat), DcError> {
     debug_assert_eq!(d_block.len(), nm);
@@ -449,6 +491,40 @@ pub(crate) fn merge_sequential(
         solve_roots_panel(&defl, x, k, 0..k, lam).map_err(|e| e.with_offset(row_off))?;
         let partials = vec![local_w_panel(&defl, x, k, 0..k)];
         let zhat = reduce_w_panels(&defl, &partials);
+        if let Some((il, iu)) = subset {
+            // The merged diagonal — and hence the sorted order — is fully
+            // determined before any eigenvector work, so finalizing early
+            // reveals which storage slots the requested sorted positions
+            // occupy; only those columns get assembled and updated.
+            let idxq_out = finalize_d(&defl, lam, d_block);
+            let (jlo, jhi, dlo, dhi) = subset_slot_spans(&idxq_out[il..=iu], k, nm);
+            if jhi > jlo {
+                compute_vect_panel(&defl, &zhat, &mut x[jlo * k..], k, jlo..jhi);
+                update_vect_panel(
+                    &ws_panel[vb0..],
+                    &x[jlo * k..],
+                    k,
+                    &mut v_panel[jlo * ld..],
+                    ld,
+                    row_off,
+                    nm,
+                    n1,
+                    &defl,
+                    jlo..jhi,
+                    gemm_threads,
+                )?;
+            }
+            if dhi > dlo {
+                copy_back_panel(
+                    &ws_panel[vb0 + dlo * ld..],
+                    &mut v_panel[vb0 + dlo * ld..],
+                    ld,
+                    nm,
+                    dhi - dlo,
+                );
+            }
+            return Ok((idxq_out, MergeStat { n: nm, n1, k }));
+        }
         compute_vect_panel(&defl, &zhat, x, k, 0..k);
         // Auto-switch: rank-probe the secular matrix and take the
         // compressed multiply when it is strictly cheaper than the dense
@@ -473,6 +549,23 @@ pub(crate) fn merge_sequential(
                 gemm_threads,
             )?,
         }
+    }
+    if let Some((il, iu)) = subset {
+        // Fully deflated merge (k == 0) under a subset solve: the
+        // workspace already holds the final vectors, so copy back only the
+        // deflated span the requested positions select.
+        let idxq_out = finalize_d(&defl, lam, d_block);
+        let (_, _, dlo, dhi) = subset_slot_spans(&idxq_out[il..=iu], k, nm);
+        if dhi > dlo {
+            copy_back_panel(
+                &ws_panel[vb0 + dlo * ld..],
+                &mut v_panel[vb0 + dlo * ld..],
+                ld,
+                nm,
+                dhi - dlo,
+            );
+        }
+        return Ok((idxq_out, MergeStat { n: nm, n1, k }));
     }
     if k < nm {
         copy_back_panel(

@@ -5,7 +5,8 @@
 
 use crate::merge::{apply_final_sort, merge_sequential, MergeScratch, MergeStat};
 use crate::tree::PartitionTree;
-use crate::{DcError, DcOptions, DcStats, Eigen, TridiagEigensolver};
+use crate::values::{merge_values, solve_leaf_values, BoundaryRows};
+use crate::{DcError, DcOptions, DcStats, Eigen, SolveMode, TridiagEigensolver};
 use dcst_matrix::Matrix;
 use dcst_qriter::{steqr_mut, ZBlock};
 use dcst_tridiag::SymTridiag;
@@ -67,6 +68,28 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
             DcStats::default(),
         ));
     }
+
+    // Mode dispatch: values-only takes the boundary-row driver; a small
+    // enough subset routes to MRRR's Θ(n·k) path; otherwise a subset solve
+    // runs the normal sweep below with root-merge pruning.
+    let subset = match opts.mode {
+        SolveMode::Full => None,
+        SolveMode::ValuesOnly => return solve_values_common(t, opts, mode),
+        SolveMode::Subset { il, iu } => {
+            crate::validate_subset(il, iu, n)?;
+            if crate::subset_uses_fallback(il, iu, n) {
+                let threads = match mode {
+                    Mode::Sequential => 1,
+                    Mode::ForkJoin | Mode::LevelParallel => opts.threads.max(1),
+                };
+                return Ok((
+                    crate::subset_fallback(t, il, iu, threads)?,
+                    DcStats::default(),
+                ));
+            }
+            Some((il, iu))
+        }
+    };
 
     // Scale to unit max-norm (the paper's `Scale T` / `Scale back` tasks).
     let orgnrm = t.max_norm();
@@ -180,6 +203,7 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
                     &idxq_l,
                     &idxq_r,
                     gemm_threads,
+                    if m == tree.root { subset } else { None },
                     &mut scratch,
                 )?;
                 idxqs[m] = Some(idxq);
@@ -209,6 +233,7 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
                             let idxq_l = idxqs[lc].take().unwrap();
                             let idxq_r = idxqs[rc].take().unwrap();
                             let beta = betas[m];
+                            let node_subset = if m == tree.root { subset } else { None };
                             let results = &results;
                             let errs = &errs;
                             let scratch_pool = &scratch_pool;
@@ -227,6 +252,7 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
                                     &idxq_l,
                                     &idxq_r,
                                     per_merge_threads,
+                                    node_subset,
                                     &mut scratch,
                                 ) {
                                     Ok((idxq, stat)) => {
@@ -260,6 +286,26 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
 
     // --- final sort + scale back.
     let idxq_root = idxqs[tree.root].take().unwrap();
+    if let Some((il, iu)) = subset {
+        // No full column sort: gather just the k requested columns (and
+        // their values) straight out of physical order.
+        let ksub = iu - il + 1;
+        let rescale = if scale != 1.0 { orgnrm } else { 1.0 };
+        let mut values = Vec::with_capacity(ksub);
+        let mut vsub = vec![0.0f64; n * ksub];
+        for (c, p) in (il..=iu).enumerate() {
+            let src = idxq_root[p];
+            values.push(d[src] * rescale);
+            vsub[c * n..(c + 1) * n].copy_from_slice(&v[src * n..(src + 1) * n]);
+        }
+        return Ok((
+            Eigen {
+                values,
+                vectors: Matrix::from_vec(n, ksub, vsub),
+            },
+            stats,
+        ));
+    }
     apply_final_sort(&mut d, &mut v, &mut ws, n, &idxq_root, &mut scratch);
     if scale != 1.0 {
         for x in &mut d {
@@ -270,6 +316,211 @@ fn solve_common(t: &SymTridiag, opts: &DcOptions, mode: Mode) -> Result<(Eigen, 
         Eigen {
             values: d,
             vectors: Matrix::from_vec(n, n, v),
+        },
+        stats,
+    ))
+}
+
+/// Split `d` into per-node disjoint pieces for the nodes of one level
+/// (sorted by offset): `(off, nm, d_block)`. The d-only analogue of
+/// [`split_level`] for the values-only path, which has no V/workspace.
+fn split_d<'a>(
+    mut d: &'a mut [f64],
+    nodes: &[(usize, usize)],
+) -> Vec<(usize, usize, &'a mut [f64])> {
+    let mut out = Vec::with_capacity(nodes.len());
+    let mut cur = 0usize;
+    for &(off, nm) in nodes {
+        debug_assert!(off >= cur);
+        d = &mut std::mem::take(&mut d)[off - cur..];
+        let (dh, dt) = std::mem::take(&mut d).split_at_mut(nm);
+        d = dt;
+        out.push((off, nm, dh));
+        cur = off + nm;
+    }
+    out
+}
+
+/// The values-only driver shared by the three comparator shapes: same
+/// scaling, tears, and tree sweep as [`solve_common`], but leaves produce
+/// [`BoundaryRows`] instead of identity blocks and merges run
+/// [`merge_values`] — no n×n buffer is ever allocated.
+fn solve_values_common(
+    t: &SymTridiag,
+    opts: &DcOptions,
+    mode: Mode,
+) -> Result<(Eigen, DcStats), DcError> {
+    let n = t.n();
+    let orgnrm = t.max_norm();
+    let scale = if orgnrm > 0.0 { 1.0 / orgnrm } else { 1.0 };
+    let mut d: Vec<f64> = t.d.iter().map(|x| x * scale).collect();
+    let e: Vec<f64> = t.e.iter().map(|x| x * scale).collect();
+
+    let tree = PartitionTree::build(n, opts.min_part);
+    let mut betas = vec![0.0f64; tree.nodes.len()];
+    for &m in &tree.merges_postorder() {
+        let node = &tree.nodes[m];
+        let c = node.off + node.n1;
+        let beta = e[c - 1];
+        betas[m] = beta;
+        d[c - 1] -= beta.abs();
+        d[c] -= beta.abs();
+    }
+
+    let mut rows: Vec<Option<BoundaryRows>> = vec![None; tree.nodes.len()];
+    let mut idxqs: Vec<Option<Vec<usize>>> = vec![None; tree.nodes.len()];
+    let mut stats = DcStats::default();
+
+    // --- leaves.
+    let leaves = tree.leaves();
+    let leaf_geom: Vec<(usize, usize)> = leaves
+        .iter()
+        .map(|&l| (tree.nodes[l].off, tree.nodes[l].n))
+        .collect();
+    if mode == Mode::LevelParallel && leaves.len() > 1 {
+        let nt = opts.threads.max(1);
+        let pieces = split_d(&mut d, &leaf_geom);
+        let mut buckets: Vec<Vec<_>> = (0..nt).map(|_| Vec::new()).collect();
+        for (i, piece) in pieces.into_iter().enumerate() {
+            buckets[i % nt].push((leaves[i], piece));
+        }
+        let results: std::sync::Mutex<Vec<(usize, BoundaryRows)>> =
+            std::sync::Mutex::new(Vec::new());
+        let errs: std::sync::Mutex<Vec<(usize, DcError)>> = std::sync::Mutex::new(Vec::new());
+        let eref = &e;
+        std::thread::scope(|s| {
+            for bucket in buckets {
+                let results = &results;
+                let errs = &errs;
+                s.spawn(move || {
+                    for (l, (off, nm, dh)) in bucket {
+                        let eslice: Vec<f64> = eref[off..off + nm - 1].to_vec();
+                        match solve_leaf_values(dh, eslice, off) {
+                            Ok(br) => results.lock().unwrap().push((l, br)),
+                            Err(err) => {
+                                errs.lock().unwrap().push((off, err));
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // As in solve_common: round-robin buckets stop at their first
+        // failure, so the min-offset error is schedule-independent.
+        if let Some((_, err)) = errs
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .min_by_key(|(off, _)| *off)
+        {
+            return Err(err);
+        }
+        for (l, br) in results.into_inner().unwrap() {
+            rows[l] = Some(br);
+        }
+    } else {
+        for (&l, &(off, nm)) in leaves.iter().zip(&leaf_geom) {
+            let eslice: Vec<f64> = e[off..off + nm - 1].to_vec();
+            rows[l] = Some(solve_leaf_values(&mut d[off..off + nm], eslice, off)?);
+        }
+    }
+    for &l in &leaves {
+        idxqs[l] = Some((0..tree.nodes[l].n).collect());
+    }
+
+    // --- merges.
+    match mode {
+        Mode::Sequential | Mode::ForkJoin => {
+            for &m in &tree.merges_postorder() {
+                let node = &tree.nodes[m];
+                let (off, nm, n1) = (node.off, node.n, node.n1);
+                let (l, r) = node.children.unwrap();
+                let rows_l = rows[l].take().unwrap();
+                let rows_r = rows[r].take().unwrap();
+                let idxq_l = idxqs[l].take().unwrap();
+                let idxq_r = idxqs[r].take().unwrap();
+                let (idxq, br, stat) = merge_values(
+                    &mut d[off..off + nm],
+                    n1,
+                    betas[m],
+                    off,
+                    &rows_l,
+                    &rows_r,
+                    &idxq_l,
+                    &idxq_r,
+                    m != tree.root,
+                )?;
+                rows[m] = Some(br);
+                idxqs[m] = Some(idxq);
+                stats.merges.push(stat);
+            }
+        }
+        Mode::LevelParallel => {
+            for level in tree.merge_levels() {
+                let geom: Vec<(usize, usize)> = level
+                    .iter()
+                    .map(|&m| (tree.nodes[m].off, tree.nodes[m].n))
+                    .collect();
+                type MergeOut = (usize, Vec<usize>, BoundaryRows, MergeStat);
+                let results: std::sync::Mutex<Vec<MergeOut>> = std::sync::Mutex::new(Vec::new());
+                let errs: std::sync::Mutex<Vec<(usize, DcError)>> =
+                    std::sync::Mutex::new(Vec::new());
+                {
+                    let pieces = split_d(&mut d, &geom);
+                    std::thread::scope(|s| {
+                        for ((off, _nm, dh), &m) in pieces.into_iter().zip(&level) {
+                            let node = &tree.nodes[m];
+                            let n1 = node.n1;
+                            let (lc, rc) = node.children.unwrap();
+                            let rows_l = rows[lc].take().unwrap();
+                            let rows_r = rows[rc].take().unwrap();
+                            let idxq_l = idxqs[lc].take().unwrap();
+                            let idxq_r = idxqs[rc].take().unwrap();
+                            let beta = betas[m];
+                            let need_rows = m != tree.root;
+                            let results = &results;
+                            let errs = &errs;
+                            s.spawn(move || {
+                                match merge_values(
+                                    dh, n1, beta, off, &rows_l, &rows_r, &idxq_l, &idxq_r,
+                                    need_rows,
+                                ) {
+                                    Ok((idxq, br, stat)) => {
+                                        results.lock().unwrap().push((m, idxq, br, stat))
+                                    }
+                                    Err(err) => errs.lock().unwrap().push((off, err)),
+                                }
+                            });
+                        }
+                    });
+                }
+                if let Some((_, err)) = errs
+                    .into_inner()
+                    .unwrap()
+                    .into_iter()
+                    .min_by_key(|(off, _)| *off)
+                {
+                    return Err(err);
+                }
+                for (m, idxq, br, stat) in results.into_inner().unwrap() {
+                    idxqs[m] = Some(idxq);
+                    rows[m] = Some(br);
+                    stats.merges.push(stat);
+                }
+            }
+        }
+    }
+
+    // --- final sort + scale back (values only: a gather, not a column
+    // permutation).
+    let idxq_root = idxqs[tree.root].take().unwrap();
+    let rescale = if scale != 1.0 { orgnrm } else { 1.0 };
+    let values: Vec<f64> = idxq_root.iter().map(|&s| d[s] * rescale).collect();
+    Ok((
+        Eigen {
+            values,
+            vectors: Matrix::zeros(n, 0),
         },
         stats,
     ))
@@ -372,6 +623,7 @@ mod tests {
             threads,
             extra_workspace: false,
             use_gatherv: true,
+            mode: SolveMode::Full,
         }
     }
 

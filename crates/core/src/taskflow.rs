@@ -26,7 +26,11 @@ use crate::merge::{
     finalize_d, local_w_panel, permute_slots, solve_roots_panel, update_vect_panel, MergeStat,
 };
 use crate::tree::PartitionTree;
-use crate::{DcError, DcOptions, DcStats, Eigen, TridiagEigensolver};
+use crate::values::{
+    deflate_rows, row_update_panel, secular_rows_panel, solve_leaf_values, BoundaryRows,
+    RowDeflation,
+};
+use crate::{DcError, DcOptions, DcStats, Eigen, SolveMode, TridiagEigensolver};
 use dcst_matrix::Matrix;
 use dcst_qriter::{steqr_mut, ZBlock};
 use dcst_runtime::{DagRecorder, DataKey, Runtime, RuntimeMetrics, SharedData, TaskBuilder, Trace};
@@ -68,6 +72,12 @@ struct NodeCell {
     /// path (either the auto-switch chose it or `CompressW` hasn't run —
     /// the node-key epochs guarantee the latter never races `UpdateVect`).
     structured: Mutex<Option<Arc<crate::structured::StructuredUpdate>>>,
+    /// Subset pruning plan `(jlo, jhi, dlo, dhi)` for the root merge of a
+    /// `SolveMode::Subset` solve, published by `ReduceW` (which the
+    /// node-key epochs order before every phase-2 panel): the secular and
+    /// deflated storage-slot spans that land in the requested sorted
+    /// positions. `None` everywhere else.
+    subset_plan: Mutex<Option<(usize, usize, usize, usize)>>,
 }
 
 impl NodeCell {
@@ -91,6 +101,50 @@ impl NodeCell {
             .unwrap()
             .clone()
             .expect("idxq not yet computed")
+    }
+}
+
+/// Per-node state of the values-only graph ([`TaskFlowDc::solve_inner_values`]):
+/// the node's boundary rows take the place of the full path's eigenvector
+/// block, so the whole solve carries O(n) state per node.
+#[derive(Default)]
+struct ValueCell {
+    rd: Mutex<Option<Arc<RowDeflation>>>,
+    zhat: Mutex<Option<Arc<Vec<f64>>>>,
+    idxq: Mutex<Option<Arc<Vec<usize>>>>,
+    partials: Mutex<Vec<Option<Vec<f64>>>>,
+    rows: Mutex<Option<BoundaryRows>>,
+    stat: Mutex<Option<MergeStat>>,
+}
+
+impl ValueCell {
+    fn rd(&self) -> Arc<RowDeflation> {
+        self.rd
+            .lock()
+            .unwrap()
+            .clone()
+            .expect("deflation state not yet computed")
+    }
+    fn zhat(&self) -> Arc<Vec<f64>> {
+        self.zhat
+            .lock()
+            .unwrap()
+            .clone()
+            .expect("zhat not yet computed")
+    }
+    fn idxq(&self) -> Arc<Vec<usize>> {
+        self.idxq
+            .lock()
+            .unwrap()
+            .clone()
+            .expect("idxq not yet computed")
+    }
+    fn take_rows(&self) -> BoundaryRows {
+        self.rows
+            .lock()
+            .unwrap()
+            .take()
+            .expect("boundary rows not yet computed")
     }
 }
 
@@ -157,6 +211,23 @@ impl TaskFlowDc {
                 DcStats::default(),
             ));
         }
+        // Mode dispatch (as in the comparator drivers): values-only takes
+        // the boundary-row graph, a small subset routes to MRRR, and a
+        // large subset runs the graph below with root-merge pruning.
+        let subset = match self.opts.mode {
+            SolveMode::Full => None,
+            SolveMode::ValuesOnly => return self.solve_inner_values(t, rt),
+            SolveMode::Subset { il, iu } => {
+                crate::validate_subset(il, iu, n)?;
+                if crate::subset_uses_fallback(il, iu, n) {
+                    return Ok((
+                        crate::subset_fallback(t, il, iu, self.opts.threads)?,
+                        DcStats::default(),
+                    ));
+                }
+                Some((il, iu))
+            }
+        };
         let nb = self.opts.nb.max(1);
         let orgnrm = t.max_norm();
         let scale = if orgnrm > 0.0 { 1.0 / orgnrm } else { 1.0 };
@@ -266,6 +337,9 @@ impl TaskFlowDc {
             let beta = betas[m];
             let npanels = nm.div_ceil(nb);
             let block_end = move |cols: usize| (off + cols - 1) * n + off + nm;
+            // Root merge of a subset solve: ReduceW publishes the pruning
+            // plan and the phase-2 panels clamp their ranges to it.
+            let node_subset = if m == tree.root { subset } else { None };
 
             // ComputeDeflation: the only task reading the children's state.
             {
@@ -400,6 +474,10 @@ impl TaskFlowDc {
                         let db = unsafe { d.range_mut(off..off + nm) };
                         let ls = unsafe { lam.range(off..off + k) };
                         let idxq = finalize_d(&defl, ls, db);
+                        if let Some((il, iu)) = node_subset {
+                            *cells[m].subset_plan.lock().unwrap() =
+                                Some(crate::merge::subset_slot_spans(&idxq[il..=iu], k, nm));
+                        }
                         *cells[m].idxq.lock().unwrap() = Some(Arc::new(idxq));
                         *cells[m].stat.lock().unwrap() = Some(MergeStat { n: nm, n1, k });
                     });
@@ -420,8 +498,12 @@ impl TaskFlowDc {
                     task.spawn(move || {
                         let defl = cells[m].defl();
                         let k = defl.k;
-                        let c0 = s0.max(k);
-                        let c1 = s1.max(k);
+                        let mut c0 = s0.max(k);
+                        let mut c1 = s1.max(k);
+                        if let Some((_, _, dlo, dhi)) = *cells[m].subset_plan.lock().unwrap() {
+                            c0 = c0.max(dlo);
+                            c1 = c1.min(dhi);
+                        }
                         if c0 >= c1 {
                             return;
                         }
@@ -444,8 +526,12 @@ impl TaskFlowDc {
                         .spawn(move || {
                             let defl = cells[m].defl();
                             let k = defl.k;
-                            let j0 = s0.min(k);
-                            let j1 = s1.min(k);
+                            let mut j0 = s0.min(k);
+                            let mut j1 = s1.min(k);
+                            if let Some((jlo, jhi, _, _)) = *cells[m].subset_plan.lock().unwrap() {
+                                j0 = j0.max(jlo);
+                                j1 = j1.min(jhi);
+                            }
                             if j0 >= j1 {
                                 return;
                             }
@@ -474,6 +560,13 @@ impl TaskFlowDc {
                     .high_priority()
                     .read_write(key_node(m))
                     .spawn(move || {
+                        if node_subset.is_some() {
+                            // Subset-pruned root: the panels update only a
+                            // column slice, for which the dense GEMMs are
+                            // already minimal — rank-probing the full
+                            // secular matrix would cost more than it saves.
+                            return;
+                        }
                         let defl = cells[m].defl();
                         let k = defl.k;
                         if k == 0 {
@@ -524,8 +617,12 @@ impl TaskFlowDc {
                         .spawn_try(move || {
                             let defl = cells[m].defl();
                             let k = defl.k;
-                            let j0 = s0.min(k);
-                            let j1 = s1.min(k);
+                            let mut j0 = s0.min(k);
+                            let mut j1 = s1.min(k);
+                            if let Some((jlo, jhi, _, _)) = *cells[m].subset_plan.lock().unwrap() {
+                                j0 = j0.max(jlo);
+                                j1 = j1.min(jhi);
+                            }
                             if j0 >= j1 {
                                 return Ok(());
                             }
@@ -555,7 +652,9 @@ impl TaskFlowDc {
         // ---- final sort + scale back on the root.
         let root = tree.root;
         let nroot_panels = n.div_ceil(nb);
-        if !tree.nodes[root].is_leaf() {
+        // A subset solve gathers its k columns on the main thread after
+        // the graph drains — no full column sort.
+        if !tree.nodes[root].is_leaf() && subset.is_none() {
             {
                 let d = d.clone();
                 let cells = cells.clone();
@@ -643,10 +742,303 @@ impl TaskFlowDc {
                 stats.merges.push(stat);
             }
         }
+        if let Some((il, iu)) = subset {
+            // d is still in physical slot order (the sort tasks were
+            // skipped); gather the k requested values/columns directly.
+            let idxq = cells[root].idxq();
+            let ksub = iu - il + 1;
+            let mut vals = Vec::with_capacity(ksub);
+            let mut vsub = vec![0.0f64; n * ksub];
+            for (c, p) in (il..=iu).enumerate() {
+                let src = idxq[p];
+                vals.push(values[src]);
+                vsub[c * n..(c + 1) * n].copy_from_slice(&vectors[src * n..(src + 1) * n]);
+            }
+            return Ok((
+                Eigen {
+                    values: vals,
+                    vectors: Matrix::from_vec(n, ksub, vsub),
+                },
+                stats,
+            ));
+        }
         Ok((
             Eigen {
                 values,
                 vectors: Matrix::from_vec(n, n, vectors),
+            },
+            stats,
+        ))
+    }
+
+    /// The values-only task graph ([`SolveMode::ValuesOnly`]): the same
+    /// matrix-independent DAG discipline as the full solve, but built on
+    /// boundary-row propagation (`crate::values`), so the three n×n
+    /// V/WS/X buffers disappear entirely — per-node state is two O(n)
+    /// rows plus the deflation record. This is the memory reduction the
+    /// `BENCH_modes.json` high-water gate measures.
+    fn solve_inner_values(
+        &self,
+        t: &SymTridiag,
+        rt: &Runtime,
+    ) -> Result<(Eigen, DcStats), DcError> {
+        let n = t.n();
+        let nb = self.opts.nb.max(1);
+        let orgnrm = t.max_norm();
+        let scale = if orgnrm > 0.0 { 1.0 / orgnrm } else { 1.0 };
+
+        let tree = Arc::new(PartitionTree::build(n, self.opts.min_part));
+        let mut betas = vec![0.0f64; tree.nodes.len()];
+        for &m in &tree.merges_postorder() {
+            let node = &tree.nodes[m];
+            betas[m] = t.e[node.off + node.n1 - 1] * scale;
+        }
+        let cuts: Vec<usize> = tree.cuts();
+
+        let d = SharedData::new(t.d.clone());
+        let e = SharedData::new(t.e.clone());
+        let lam = SharedData::new(vec![0.0f64; n]);
+        let cells: Arc<Vec<ValueCell>> = Arc::new(
+            (0..tree.nodes.len())
+                .map(|_| ValueCell::default())
+                .collect(),
+        );
+
+        let key_node = |id: usize| DataKey::new(OBJ_NODE, id as u64);
+        let use_gatherv = self.opts.use_gatherv;
+        let key_x = |col: usize| DataKey::new(OBJ_X, col as u64);
+        let key_scale = DataKey::new(OBJ_SCALE, 0);
+
+        #[cfg(feature = "access-check")]
+        {
+            let node_keys: Vec<DataKey> = (0..tree.nodes.len()).map(key_node).collect();
+            let mut scale_and_nodes = vec![key_scale];
+            scale_and_nodes.extend_from_slice(&node_keys);
+            d.bind_keys(&scale_and_nodes);
+            e.bind_keys(&scale_and_nodes);
+            let mut cols_and_nodes: Vec<DataKey> = (0..n).map(key_x).collect();
+            cols_and_nodes.extend_from_slice(&node_keys);
+            lam.bind_keys(&cols_and_nodes);
+        }
+
+        // ---- Scale T + rank-one tears (identical to the full graph).
+        {
+            let (d, e) = (d.clone(), e.clone());
+            let cuts = cuts.clone();
+            rt.task("Scale")
+                .high_priority()
+                .write(key_scale)
+                .spawn(move || {
+                    // SAFETY: first task to touch d/e; leaves wait on the key.
+                    let ds = unsafe { d.slice_mut() };
+                    let es = unsafe { e.slice_mut() };
+                    if scale != 1.0 {
+                        ds.iter_mut().for_each(|v| *v *= scale);
+                        es.iter_mut().for_each(|v| *v *= scale);
+                    }
+                    for &c in &cuts {
+                        let b = es[c - 1].abs();
+                        ds[c - 1] -= b;
+                        ds[c] -= b;
+                    }
+                });
+        }
+
+        // ---- leaves: QR iteration accumulating only the 2×nm row block.
+        for &l in &tree.leaves() {
+            let node = &tree.nodes[l];
+            let (off, nm) = (node.off, node.n);
+            let (d, e) = (d.clone(), e.clone());
+            let cells = cells.clone();
+            rt.task("STEDC")
+                .high_priority()
+                .read(key_scale)
+                .write(key_node(l))
+                .spawn_try(move || -> Result<(), DcError> {
+                    // SAFETY: exclusive d block per leaf; the e block is
+                    // copied out under a shared read (no writer after
+                    // Scale).
+                    let db = unsafe { d.range_mut(off..off + nm) };
+                    let eb = unsafe { e.range(off..off + nm - 1) }.to_vec();
+                    let rows = solve_leaf_values(db, eb, off)?;
+                    *cells[l].rows.lock().unwrap() = Some(rows);
+                    *cells[l].idxq.lock().unwrap() = Some(Arc::new((0..nm).collect()));
+                    Ok(())
+                });
+        }
+
+        // ---- merges, bottom-up: deflation → pass-1 panels → ReduceW →
+        // pass-2 row-update panels.
+        for &m in &tree.merges_postorder() {
+            let node = &tree.nodes[m];
+            let (off, nm, n1) = (node.off, node.n, node.n1);
+            let (lc, rc) = node.children.unwrap();
+            let beta = betas[m];
+            let npanels = nm.div_ceil(nb);
+
+            // ComputeDeflation: consumes the children's boundary rows.
+            {
+                let d = d.clone();
+                let cells = cells.clone();
+                rt.task("ComputeDeflation")
+                    .high_priority()
+                    .read(key_node(lc))
+                    .read(key_node(rc))
+                    .read_write(key_node(m))
+                    .spawn_try(move || -> Result<(), DcError> {
+                        // SAFETY: epoch-exclusive access to the d block.
+                        let db = unsafe { d.range_mut(off..off + nm) };
+                        let rows_l = cells[lc].take_rows();
+                        let rows_r = cells[rc].take_rows();
+                        let idxq_l = cells[lc].idxq();
+                        let idxq_r = cells[rc].idxq();
+                        let rd =
+                            deflate_rows(db, n1, beta, off, &rows_l, &rows_r, &idxq_l, &idxq_r)?;
+                        // Deflated slots pass their row entries through
+                        // unchanged; the pass-2 panels overwrite j < k.
+                        *cells[m].rows.lock().unwrap() = Some(BoundaryRows {
+                            first: rd.w_first.clone(),
+                            last: rd.w_last.clone(),
+                        });
+                        *cells[m].partials.lock().unwrap() = vec![None; npanels];
+                        *cells[m].rd.lock().unwrap() = Some(Arc::new(rd));
+                        Ok(())
+                    });
+            }
+
+            // Pass-1 panels: secular roots + running local-W partial.
+            for p in 0..npanels {
+                let s0 = p * nb;
+                let s1 = ((p + 1) * nb).min(nm);
+                let lam = lam.clone();
+                let cells = cells.clone();
+                panel_task(rt, "LAED4", key_node(m), use_gatherv)
+                    .write(key_x(off + s0))
+                    .spawn_try(move || -> Result<(), DcError> {
+                        let rd = cells[m].rd();
+                        let k = rd.defl.k;
+                        let j0 = s0.min(k);
+                        let j1 = s1.min(k);
+                        if j0 >= j1 {
+                            return Ok(());
+                        }
+                        // SAFETY: exclusive lam range per panel.
+                        let lo = unsafe { lam.range_mut(off + j0..off + j1) };
+                        let part = secular_rows_panel(&rd.defl, j0..j1, lo, off)?;
+                        cells[m].partials.lock().unwrap()[p] = Some(part);
+                        Ok(())
+                    });
+            }
+
+            // ReduceW: join partials into ẑ, finalize the block diagonal.
+            {
+                let (d, lam) = (d.clone(), lam.clone());
+                let cells = cells.clone();
+                rt.task("ReduceW")
+                    .high_priority()
+                    .read_write(key_node(m))
+                    .spawn(move || {
+                        let rd = cells[m].rd();
+                        let k = rd.defl.k;
+                        if k > 0 {
+                            let parts: Vec<Vec<f64>> = cells[m]
+                                .partials
+                                .lock()
+                                .unwrap()
+                                .iter_mut()
+                                .filter_map(|p| p.take())
+                                .collect();
+                            let zhat = dcst_secular::reduce_w(&rd.defl.w, &parts);
+                            *cells[m].zhat.lock().unwrap() = Some(Arc::new(zhat));
+                        }
+                        // SAFETY: epoch-exclusive d block; lam read-only now.
+                        let db = unsafe { d.range_mut(off..off + nm) };
+                        let ls = unsafe { lam.range(off..off + k) };
+                        let idxq = finalize_d(&rd.defl, ls, db);
+                        *cells[m].idxq.lock().unwrap() = Some(Arc::new(idxq));
+                        *cells[m].stat.lock().unwrap() = Some(MergeStat { n: nm, n1, k });
+                    });
+            }
+
+            // Pass-2 panels: update the merged boundary rows. The root's
+            // rows have no reader, so its whole group is elided — a
+            // size-dependent (not matrix-dependent) asymmetry, like the
+            // panel counts themselves.
+            if m != tree.root {
+                for p in 0..npanels {
+                    let s0 = p * nb;
+                    let s1 = ((p + 1) * nb).min(nm);
+                    let cells = cells.clone();
+                    panel_task(rt, "RowUpdate", key_node(m), use_gatherv).spawn_try(
+                        move || -> Result<(), DcError> {
+                            let rd = cells[m].rd();
+                            let k = rd.defl.k;
+                            let j0 = s0.min(k);
+                            let j1 = s1.min(k);
+                            if j0 >= j1 {
+                                return Ok(());
+                            }
+                            let zhat = cells[m].zhat();
+                            // No shared-buffer borrows: the kernel re-solves
+                            // the secular roots from the node's own deflation
+                            // state (pass 2 of the two-pass scheme).
+                            let (f, l) = row_update_panel(&rd, &zhat, j0..j1, off)?;
+                            let mut rows = cells[m].rows.lock().unwrap();
+                            let rows = rows.as_mut().expect("rows initialized by deflation");
+                            rows.first[j0..j1].copy_from_slice(&f);
+                            rows.last[j0..j1].copy_from_slice(&l);
+                            Ok(())
+                        },
+                    );
+                }
+            }
+        }
+
+        // ---- final sort + scale back (values only: a gather on d).
+        let root = tree.root;
+        if !tree.nodes[root].is_leaf() {
+            let d = d.clone();
+            let cells = cells.clone();
+            rt.task("SortEigenvalues")
+                .high_priority()
+                .read_write(key_node(root))
+                .spawn(move || {
+                    let idxq = cells[root].idxq();
+                    // SAFETY: epoch-exclusive d.
+                    let ds = unsafe { d.slice_mut() };
+                    let tmp: Vec<f64> = idxq.iter().map(|&s| ds[s]).collect();
+                    ds.copy_from_slice(&tmp);
+                });
+        }
+        {
+            let d = d.clone();
+            rt.task("ScaleBack")
+                .high_priority()
+                .read_write(key_node(root))
+                .spawn(move || {
+                    if scale != 1.0 {
+                        // SAFETY: epoch-exclusive d.
+                        let ds = unsafe { d.slice_mut() };
+                        ds.iter_mut().for_each(|x| *x *= orgnrm);
+                    }
+                });
+        }
+
+        rt.wait()?;
+
+        let values = d
+            .try_unwrap()
+            .unwrap_or_else(|_| panic!("d buffer still shared after wait"));
+        let mut stats = DcStats::default();
+        for &m in &tree.merges_postorder() {
+            if let Some(stat) = cells[m].stat.lock().unwrap().take() {
+                stats.merges.push(stat);
+            }
+        }
+        Ok((
+            Eigen {
+                values,
+                vectors: Matrix::zeros(n, 0),
             },
             stats,
         ))
@@ -676,6 +1068,7 @@ mod tests {
             threads,
             extra_workspace: true,
             use_gatherv: true,
+            mode: SolveMode::Full,
         }
     }
 

@@ -1,0 +1,311 @@
+//! Eigenvalue-only D&C kernels (the [`SolveMode::ValuesOnly`] path).
+//!
+//! Cuppen's merge only consumes two *rows* of each child's eigenvector
+//! matrix: the left child's last row and the right child's first row form
+//! the rank-one vector `z` (Eq. (6) of the paper). When no eigenvectors
+//! are requested there is therefore no reason to accumulate n×n matrices —
+//! following Zhan–Zhang's state-reduced eigenvalue-only D&C, every node
+//! propagates just its own boundary rows ([`BoundaryRows`]: the first and
+//! last row of the node's eigenvector matrix, `O(n)` numbers), and each
+//! merge updates them from the secular eigenvectors it would otherwise
+//! have assembled into columns. Internal state drops from `O(n²)` to
+//! `O(n)` per node, which is what makes large values-only solves fit in
+//! cache-sized memory (the `BENCH_modes.json` high-water gate).
+//!
+//! The secular phase runs **twice** over each root: pass 1 solves the
+//! secular equation to get the eigenvalue and accumulate the running
+//! Gu–Eisenstat `local_w` partial (one k-length column buffer, reused);
+//! pass 2 re-solves (the iteration is deterministic, so the deltas are
+//! bitwise identical), assembles the slot-permuted normalized vector one
+//! column at a time, and dots it with the compressed boundary rows. Twice
+//! the LAED4 flops buys truly `O(n)` transient memory — and the root
+//! merge, whose output rows nobody reads, skips pass 2 entirely
+//! (`need_rows = false`).
+//!
+//! [`SolveMode::ValuesOnly`]: crate::SolveMode::ValuesOnly
+
+use crate::merge::{ensure_finite_merge_inputs, finalize_d, slot_rows, MergeStat};
+use crate::DcError;
+use dcst_qriter::{steqr_mut, ZBlock};
+use dcst_secular::{
+    assemble_vectors, deflate, local_w_products, reduce_w, solve_secular_root, Deflation,
+    DeflationInput,
+};
+
+/// The first and last row of a node's (never materialized) eigenvector
+/// matrix, indexed by the node's physical column order.
+#[derive(Clone, Debug)]
+pub(crate) struct BoundaryRows {
+    pub first: Vec<f64>,
+    pub last: Vec<f64>,
+}
+
+/// Leaf solve for the values-only path: QR iteration on the block, with
+/// rotations accumulated into a 2×nm row block instead of an identity
+/// matrix — rows 0 and nm−1 of the identity seed exactly the first/last
+/// rows of the leaf's eigenvector matrix.
+pub(crate) fn solve_leaf_values(
+    d: &mut [f64],
+    mut e: Vec<f64>,
+    off: usize,
+) -> Result<BoundaryRows, DcError> {
+    let nm = d.len();
+    let mut rows = vec![0.0f64; 2 * nm];
+    rows[0] = 1.0; // row 0 of the identity: e₀ᵀ
+    rows[(nm - 1) * 2 + 1] = 1.0; // row nm−1: e_{nm−1}ᵀ
+    let z = ZBlock {
+        buf: &mut rows,
+        ld: 2,
+        nrows: 2,
+    };
+    steqr_mut(d, &mut e, Some(z)).map_err(|err| DcError::Leaf(err.with_offset(off)))?;
+    let first = (0..nm).map(|j| rows[2 * j]).collect();
+    let last = (0..nm).map(|j| rows[2 * j + 1]).collect();
+    Ok(BoundaryRows { first, last })
+}
+
+/// Deflation state of a values-only merge plus the merged block's
+/// boundary rows compressed into storage-slot order (masked to each
+/// slot's row span).
+pub(crate) struct RowDeflation {
+    pub defl: Deflation,
+    /// First row of the merged block in slot order; zero for slots whose
+    /// span excludes row 0 (Bottom).
+    pub w_first: Vec<f64>,
+    /// Last row in slot order; zero for Top slots.
+    pub w_last: Vec<f64>,
+}
+
+/// The deflation phase of a values-only merge: build `z` from the
+/// children's boundary rows, deflate the block diagonal, and carry the
+/// merged boundary rows through the deflation rotations into slot order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn deflate_rows(
+    d_block: &mut [f64],
+    n1: usize,
+    beta: f64,
+    row_off: usize,
+    rows_l: &BoundaryRows,
+    rows_r: &BoundaryRows,
+    idxq_l: &[usize],
+    idxq_r: &[usize],
+) -> Result<RowDeflation, DcError> {
+    let nm = d_block.len();
+    let n2 = nm - n1;
+    debug_assert_eq!(rows_l.first.len(), n1);
+    debug_assert_eq!(rows_r.first.len(), n2);
+
+    // z = [left.last | right.first] / √2 — what build_z reads out of the
+    // full path's V panel.
+    let s2 = std::f64::consts::FRAC_1_SQRT_2;
+    let mut z = Vec::with_capacity(nm);
+    z.extend(rows_l.last.iter().map(|x| x * s2));
+    z.extend(rows_r.first.iter().map(|x| x * s2));
+    ensure_finite_merge_inputs(d_block, &z, row_off)?;
+
+    let mut idxq: Vec<usize> = Vec::with_capacity(nm);
+    idxq.extend_from_slice(idxq_l);
+    idxq.extend(idxq_r.iter().map(|&r| r + n1));
+    let defl = deflate(&DeflationInput {
+        d: d_block,
+        z: &z,
+        beta,
+        n1,
+        idxq: &idxq,
+    });
+
+    // The merged block's boundary rows over its physical (pre-permute)
+    // columns: its first row lives entirely in the left child (right-child
+    // columns are zero there), its last row in the right child.
+    let mut first_cat = vec![0.0f64; nm];
+    let mut last_cat = vec![0.0f64; nm];
+    first_cat[..n1].copy_from_slice(&rows_l.first);
+    last_cat[n1..].copy_from_slice(&rows_r.last);
+    // Deflation rotations: 2-element column pairs of each row.
+    for r in &defl.givens {
+        for row in [&mut first_cat, &mut last_cat] {
+            let (xv, yv) = (row[r.col_a], row[r.col_b]);
+            row[r.col_a] = r.c * xv + r.s * yv;
+            row[r.col_b] = -r.s * xv + r.c * yv;
+        }
+    }
+    // Permute to storage-slot order, masking entries outside a slot's row
+    // span: the full path's update GEMMs read Top slots only for the top
+    // rows and Bottom slots only for the bottom rows, so a Bottom slot
+    // contributes nothing to the first row (and Top nothing to the last).
+    let mut w_first = vec![0.0f64; nm];
+    let mut w_last = vec![0.0f64; nm];
+    for s in 0..nm {
+        let src = defl.perm[s];
+        let (r0, r1) = slot_rows(defl.slot_type[s], nm, n1);
+        if r0 == 0 {
+            w_first[s] = first_cat[src];
+        }
+        if r1 == nm {
+            w_last[s] = last_cat[src];
+        }
+    }
+    Ok(RowDeflation {
+        defl,
+        w_first,
+        w_last,
+    })
+}
+
+/// Pass 1 over secular roots `jrange`: eigenvalues into `lam_out` (one
+/// entry per root) and the panel's running Gu–Eisenstat local-W partial as
+/// the return value. One k-length delta column is reused across roots, so
+/// transient memory is O(k) regardless of panel width.
+pub(crate) fn secular_rows_panel(
+    defl: &Deflation,
+    jrange: std::ops::Range<usize>,
+    lam_out: &mut [f64],
+    row_off: usize,
+) -> Result<Vec<f64>, DcError> {
+    let k = defl.k;
+    let mut col = vec![0.0f64; k];
+    let mut partial = vec![1.0f64; k];
+    for j in jrange.clone() {
+        lam_out[j - jrange.start] =
+            solve_secular_root(j, &defl.dlamda, &defl.w, defl.rho, &mut col)
+                .map_err(|e| DcError::Secular(e.with_offset(row_off)))?;
+        let p = local_w_products(&defl.dlamda, &col, k, j, j..j + 1);
+        for (acc, f) in partial.iter_mut().zip(&p) {
+            *acc *= f;
+        }
+    }
+    Ok(partial)
+}
+
+/// Pass 2 over secular roots `jrange`: re-solve each root (the iteration
+/// is deterministic, so the deltas are bitwise identical to pass 1),
+/// assemble the slot-permuted normalized vector, and dot it with the
+/// compressed boundary rows — the 1×k row analogue of the full path's two
+/// structured GEMMs. Returns the new `(first, last)` row entries for the
+/// panel's columns.
+pub(crate) fn row_update_panel(
+    rd: &RowDeflation,
+    zhat: &[f64],
+    jrange: std::ops::Range<usize>,
+    row_off: usize,
+) -> Result<(Vec<f64>, Vec<f64>), DcError> {
+    let defl = &rd.defl;
+    let k = defl.k;
+    let mut col = vec![0.0f64; k];
+    let mut first = Vec::with_capacity(jrange.len());
+    let mut last = Vec::with_capacity(jrange.len());
+    for j in jrange {
+        solve_secular_root(j, &defl.dlamda, &defl.w, defl.rho, &mut col)
+            .map_err(|e| DcError::Secular(e.with_offset(row_off)))?;
+        assemble_vectors(zhat, &mut col, k, j, j..j + 1, &defl.sec_to_slot);
+        let mut fr = 0.0;
+        let mut lr = 0.0;
+        for (s, &x) in col.iter().enumerate() {
+            fr += rd.w_first[s] * x;
+            lr += rd.w_last[s] * x;
+        }
+        if !(fr.is_finite() && lr.is_finite()) {
+            return Err(DcError::Breakdown {
+                stage: "row-update",
+                off: row_off,
+            });
+        }
+        first.push(fr);
+        last.push(lr);
+    }
+    Ok((first, last))
+}
+
+/// One whole merge of the values-only path: deflation and the secular
+/// solve exactly as [`merge_sequential`](crate::merge::merge_sequential),
+/// but the eigenvector phase shrinks to a row update on the two boundary
+/// rows. `need_rows = false` (the root merge) skips the row update.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_values(
+    d_block: &mut [f64],
+    n1: usize,
+    beta: f64,
+    row_off: usize,
+    rows_l: &BoundaryRows,
+    rows_r: &BoundaryRows,
+    idxq_l: &[usize],
+    idxq_r: &[usize],
+    need_rows: bool,
+) -> Result<(Vec<usize>, BoundaryRows, MergeStat), DcError> {
+    let nm = d_block.len();
+    let rd = deflate_rows(d_block, n1, beta, row_off, rows_l, rows_r, idxq_l, idxq_r)?;
+    let k = rd.defl.k;
+
+    // Deflated columns (slots k..nm) pass through unchanged; secular
+    // columns j < k are overwritten below when the parent needs them.
+    let mut first_new = rd.w_first.clone();
+    let mut last_new = rd.w_last.clone();
+
+    let mut lam = vec![0.0f64; k];
+    if k > 0 {
+        let partial = secular_rows_panel(&rd.defl, 0..k, &mut lam, row_off)?;
+        let zhat = reduce_w(&rd.defl.w, &[partial]);
+        if need_rows {
+            let (f, l) = row_update_panel(&rd, &zhat, 0..k, row_off)?;
+            first_new[..k].copy_from_slice(&f);
+            last_new[..k].copy_from_slice(&l);
+        }
+    }
+
+    let idxq_out = finalize_d(&rd.defl, &lam, d_block);
+    Ok((
+        idxq_out,
+        BoundaryRows {
+            first: first_new,
+            last: last_new,
+        },
+        MergeStat { n: nm, n1, k },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcst_tridiag::SymTridiag;
+
+    /// Leaf boundary rows must equal the first/last rows of the full
+    /// leaf eigenvector matrix.
+    #[test]
+    fn leaf_rows_match_full_leaf() {
+        let n = 12;
+        let t = SymTridiag::toeplitz121(n);
+        // Full leaf solve.
+        let mut d_full = t.d.clone();
+        let mut e_full = t.e.clone();
+        let mut v = vec![0.0f64; n * n];
+        for j in 0..n {
+            v[j * n + j] = 1.0;
+        }
+        steqr_mut(
+            &mut d_full,
+            &mut e_full,
+            Some(ZBlock {
+                buf: &mut v,
+                ld: n,
+                nrows: n,
+            }),
+        )
+        .unwrap();
+        // Values-only leaf solve.
+        let mut d_rows = t.d.clone();
+        let rows = solve_leaf_values(&mut d_rows, t.e.clone(), 0).unwrap();
+        assert_eq!(d_rows, d_full);
+        for j in 0..n {
+            assert!((rows.first[j] - v[j * n]).abs() < 1e-14);
+            assert!((rows.last[j] - v[j * n + n - 1]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn single_row_leaf() {
+        let mut d = vec![3.0];
+        let rows = solve_leaf_values(&mut d, vec![], 0).unwrap();
+        assert_eq!(rows.first, vec![1.0]);
+        assert_eq!(rows.last, vec![1.0]);
+    }
+}

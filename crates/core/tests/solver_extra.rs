@@ -13,6 +13,7 @@ fn opts(min_part: usize, nb: usize, threads: usize) -> DcOptions {
         threads,
         extra_workspace: true,
         use_gatherv: true,
+        mode: SolveMode::Full,
     }
 }
 

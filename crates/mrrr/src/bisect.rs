@@ -2,26 +2,54 @@
 //! `LDLᵀ` representation (stationary qds counts, for relative accuracy).
 
 use crate::rrr::{sturm_count_ldl, Rrr};
-use dcst_tridiag::{sturm_count, SymTridiag};
+use crate::MrrrError;
+use dcst_tridiag::{sturm_counts_batch, SymTridiag};
 
 /// All eigenvalues of `t`, ascending, to absolute accuracy ~`ε‖T‖`, with
 /// index chunks distributed over `threads` scoped threads.
 pub fn bisect_all(t: &SymTridiag, threads: usize) -> Vec<f64> {
-    bisect_range(t, 0..t.n(), threads)
+    bisect_range_unchecked(t, 0..t.n(), threads)
 }
 
 /// The eigenvalues with (0-based, ascending) indices in `range` —
 /// Θ(n·|range|) work, the subset property the paper credits MRRR with.
-pub fn bisect_range(t: &SymTridiag, range: std::ops::Range<usize>, threads: usize) -> Vec<f64> {
-    let n = t.n();
-    assert!(range.end <= n, "eigenvalue index out of range");
+/// Returns [`MrrrError::InvalidRange`] when the range reaches past `n`.
+pub fn bisect_range(
+    t: &SymTridiag,
+    range: std::ops::Range<usize>,
+    threads: usize,
+) -> Result<Vec<f64>, MrrrError> {
+    if range.end > t.n() {
+        return Err(MrrrError::InvalidRange {
+            il: range.start,
+            iu: range.end.saturating_sub(1),
+            n: t.n(),
+        });
+    }
+    Ok(bisect_range_unchecked(t, range, threads))
+}
+
+/// [`bisect_range`] for in-crate callers whose range is already known to
+/// be within bounds.
+fn bisect_range_unchecked(
+    t: &SymTridiag,
+    range: std::ops::Range<usize>,
+    threads: usize,
+) -> Vec<f64> {
     let k = range.len();
     if k == 0 {
         return vec![];
     }
     let (gl, gu) = t.gershgorin_bounds();
-    let pad = 1e-3 * (gu - gl).abs().max(1.0) * f64::EPSILON + f64::MIN_POSITIVE;
-    let (gl, gu) = (gl - pad - 1e-6, gu + pad + 1e-6);
+    // Scale-relative bracket padding. The Gershgorin bounds already enclose
+    // the spectrum; the pad only has to absorb the rounding error of
+    // computing them, so a few ulps of the bound magnitudes suffice. (An
+    // earlier absolute `1e-6` widening swamped tiny-norm spectra: for a
+    // matrix scaled to ~1e-60 the bracket started ~1e54 times wider than
+    // every eigenvalue and no fixed iteration budget could close it.)
+    let scale = gl.abs().max(gu.abs()).max(f64::MIN_POSITIVE);
+    let pad = 4.0 * f64::EPSILON * scale + f64::MIN_POSITIVE;
+    let (gl, gu) = (gl - pad, gu + pad);
     let mut lam = vec![0.0f64; k];
     let nt = threads.max(1).min(k);
     let chunk = k.div_ceil(nt);
@@ -29,31 +57,58 @@ pub fn bisect_range(t: &SymTridiag, range: std::ops::Range<usize>, threads: usiz
     std::thread::scope(|s| {
         for (c, piece) in lam.chunks_mut(chunk).enumerate() {
             let k0 = k0base + c * chunk;
-            s.spawn(move || {
-                for (i, slot) in piece.iter_mut().enumerate() {
-                    *slot = bisect_one(t, k0 + i, gl, gu);
-                }
-            });
+            s.spawn(move || bisect_batch(t, k0, piece, gl, gu));
         }
     });
     lam
 }
 
-/// The `k`-th (0-based, ascending) eigenvalue of `t` by bisection.
-fn bisect_one(t: &SymTridiag, k: usize, mut lo: f64, mut hi: f64) -> f64 {
-    // Invariant: count(lo) <= k < count(hi).
-    for _ in 0..128 {
-        let mid = 0.5 * (lo + hi);
-        if mid <= lo || mid >= hi {
+/// Eigenvalues `k0..k0 + out.len()` of `t` by lockstep bisection: every
+/// sweep evaluates all still-active midpoints with one batched Sturm pass
+/// ([`sturm_counts_batch`]), whose per-row pivot divisions pipeline across
+/// lanes instead of serializing on division latency as one-at-a-time
+/// bisection does. Per-lane bracket updates and exits are exactly the
+/// scalar algorithm's, so the results match one-at-a-time bisection bit
+/// for bit.
+fn bisect_batch(t: &SymTridiag, k0: usize, out: &mut [f64], gl: f64, gu: f64) {
+    let m = out.len();
+    let mut lo = vec![gl; m];
+    let mut hi = vec![gu; m];
+    // Invariant per lane j: count(lo) <= k0+j < count(hi). Iterate until
+    // the bracket collapses — to relative width ~2ε, or to adjacent floats
+    // (midpoint degeneracy, which also bounds brackets straddling zero:
+    // they shrink into the denormals within ~2100 halvings). The cap is a
+    // safety net far above either exit, not a convergence criterion: a
+    // fixed small budget cannot close brackets that start many orders of
+    // magnitude wider than the eigenvalue.
+    let mut active: Vec<usize> = (0..m).collect();
+    let mut mids = Vec::with_capacity(m);
+    let mut counts = vec![0usize; m];
+    for _ in 0..4096 {
+        active.retain(|&j| {
+            if hi[j] - lo[j] <= 2.0 * f64::EPSILON * lo[j].abs().max(hi[j].abs()) {
+                return false;
+            }
+            let mid = 0.5 * (lo[j] + hi[j]);
+            mid > lo[j] && mid < hi[j]
+        });
+        if active.is_empty() {
             break;
         }
-        if sturm_count(t, mid) > k {
-            hi = mid;
-        } else {
-            lo = mid;
+        mids.clear();
+        mids.extend(active.iter().map(|&j| 0.5 * (lo[j] + hi[j])));
+        sturm_counts_batch(t, &mids, &mut counts);
+        for (a, &j) in active.iter().enumerate() {
+            if counts[a] > k0 + j {
+                hi[j] = mids[a];
+            } else {
+                lo[j] = mids[a];
+            }
         }
     }
-    0.5 * (lo + hi)
+    for j in 0..m {
+        out[j] = 0.5 * (lo[j] + hi[j]);
+    }
 }
 
 /// Refine the `k`-th eigenvalue of the representation `rep` (already known
@@ -116,6 +171,68 @@ mod tests {
         let a = bisect_all(&t, 1);
         let b = bisect_all(&t, 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_is_a_typed_error() {
+        let t = SymTridiag::toeplitz121(8);
+        let err = bisect_range(&t, 4..9, 1).unwrap_err();
+        assert_eq!(err, MrrrError::InvalidRange { il: 4, iu: 8, n: 8 });
+        // The full range and an empty range are both fine.
+        assert_eq!(bisect_range(&t, 0..8, 1).unwrap().len(), 8);
+        assert!(bisect_range(&t, 3..3, 1).unwrap().is_empty());
+    }
+
+    /// Relative accuracy on a tiny-norm spectrum (the 1e-60 DMPV regime):
+    /// the old absolute 1e-6 bracket padding left every eigenvalue with
+    /// relative error ~1e15 here.
+    #[test]
+    fn tiny_scale_keeps_relative_accuracy() {
+        let n = 24;
+        let base = SymTridiag::toeplitz121(n);
+        let t = SymTridiag::new(
+            base.d.iter().map(|x| x * 1e-60).collect(),
+            base.e.iter().map(|x| x * 1e-60).collect(),
+        );
+        let lam = bisect_all(&t, 2);
+        for (k, &l) in lam.iter().enumerate() {
+            let want = 1e-60
+                * (2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos());
+            assert!(
+                (l - want).abs() < 1e-12 * want.abs(),
+                "eig {k}: {l} vs {want} (rel {})",
+                ((l - want) / want).abs()
+            );
+        }
+    }
+
+    /// Huge-norm spectra must stay accurate too (scale symmetry).
+    #[test]
+    fn huge_scale_keeps_relative_accuracy() {
+        let n = 24;
+        let base = SymTridiag::toeplitz121(n);
+        let t = SymTridiag::new(
+            base.d.iter().map(|x| x * 1e150).collect(),
+            base.e.iter().map(|x| x * 1e150).collect(),
+        );
+        let lam = bisect_all(&t, 2);
+        for (k, &l) in lam.iter().enumerate() {
+            let want = 1e150
+                * (2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos());
+            assert!(
+                (l - want).abs() < 1e-12 * want.abs(),
+                "eig {k}: {l} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_matrix_converges() {
+        let t = SymTridiag::new(vec![0.0; 6], vec![0.0; 5]);
+        let lam = bisect_all(&t, 1);
+        for l in lam {
+            assert!(l.abs() < 1e-300, "{l}");
+        }
     }
 
     #[test]

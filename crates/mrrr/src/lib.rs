@@ -49,6 +49,13 @@ pub enum MrrrError {
         first: usize,
         last: usize,
     },
+    /// A requested eigenvalue index range is empty or out of bounds —
+    /// user input, so a recoverable error rather than an assertion.
+    InvalidRange {
+        il: usize,
+        iu: usize,
+        n: usize,
+    },
 }
 
 impl std::fmt::Display for MrrrError {
@@ -57,6 +64,13 @@ impl std::fmt::Display for MrrrError {
             MrrrError::NonFinite => write!(f, "matrix contains NaN or infinite entries"),
             MrrrError::ClusterFailure { first, last } => {
                 write!(f, "failed to resolve eigenvalue cluster {first}..={last}")
+            }
+            MrrrError::InvalidRange { il, iu, n } => {
+                write!(
+                    f,
+                    "eigenvalue index range {il}:{iu} invalid for matrix of order {n} \
+                     (need il <= iu < n, 0-based)"
+                )
             }
         }
     }
@@ -265,32 +279,96 @@ impl MrrrSolver {
         il: usize,
         iu: usize,
     ) -> Result<(Vec<f64>, Matrix), MrrrError> {
-        let n = t.n();
-        assert!(il <= iu && iu < n, "index range out of bounds");
+        if il > iu || iu >= t.n() {
+            return Err(MrrrError::InvalidRange { il, iu, n: t.n() });
+        }
         if t.has_non_finite() {
             return Err(MrrrError::NonFinite);
         }
+        let (lo, hi) = self.range_window(t, il, iu)?;
+        self.solve_window(t, lo, hi)
+    }
+
+    /// Eigenpairs with indices `il..=iu`, trimmed to *exactly*
+    /// `iu − il + 1` pairs. [`solve_range`](Self::solve_range) may include
+    /// whole multiplets around the boundary indices; this variant counts
+    /// how many extra eigenvalues the window admitted below `il` (one
+    /// Sturm count) and slices them off both ends. The D&C subset
+    /// fallback needs the exact-count contract.
+    pub fn solve_range_exact(
+        &self,
+        t: &SymTridiag,
+        il: usize,
+        iu: usize,
+    ) -> Result<(Vec<f64>, Matrix), MrrrError> {
+        if il > iu || iu >= t.n() {
+            return Err(MrrrError::InvalidRange { il, iu, n: t.n() });
+        }
+        if t.has_non_finite() {
+            return Err(MrrrError::NonFinite);
+        }
+        let (lo, hi) = self.range_window(t, il, iu)?;
+        let (vals, vecs) = self.solve_window(t, lo, hi)?;
+        let kreq = iu - il + 1;
+        if vals.len() < kreq {
+            return Err(MrrrError::ClusterFailure {
+                first: il,
+                last: iu,
+            });
+        }
+        // Eigenvalues strictly below the window have index < il, so the
+        // window's first pair sits `il - count(lo)` slots before λ_il.
+        let lead = il
+            .saturating_sub(dcst_tridiag::sturm_count(t, lo))
+            .min(vals.len() - kreq);
+        let values = vals[lead..lead + kreq].to_vec();
+        let n = t.n();
+        let mut v = vec![0.0f64; n * kreq];
+        for (c, col) in v.chunks_mut(n).enumerate() {
+            col.copy_from_slice(vecs.col(lead + c));
+        }
+        Ok((values, Matrix::from_vec(n, kreq, v)))
+    }
+
+    /// The half-open eigenvalue window `[lo, hi)` containing exactly the
+    /// spectrum's indices `il..=iu` (plus any boundary multiplets), with
+    /// cuts at the midpoints to the neighbouring eigenvalues.
+    fn range_window(&self, t: &SymTridiag, il: usize, iu: usize) -> Result<(f64, f64), MrrrError> {
+        let n = t.n();
         let (gl, gu) = t.gershgorin_bounds();
         let span = (gu - gl).max(1.0);
-        let lo = if il == 0 {
+        let mut lo = if il == 0 {
             gl - 1e-3 * span
         } else {
-            let below = bisect_range(t, il - 1..il + 1, 1);
+            let below = bisect_range(t, il - 1..il + 1, 1)?;
             0.5 * (below[0] + below[1])
         };
-        let hi = if iu + 1 == n {
+        // Boundary-multiplet safeguard: when λ_{il−1} and λ_il are
+        // numerically coincident the midpoint can land at-or-above λ_il
+        // and the window would miss it. Walk lo down until at most il
+        // eigenvalues lie strictly below it; the extra low eigenvalues a
+        // wider window admits are trimmed by the callers.
+        let mut step = 1e-3 * span;
+        while il > 0 && dcst_tridiag::sturm_count(t, lo) > il {
+            lo -= step;
+            step *= 2.0;
+        }
+        let mut hi = if iu + 1 == n {
             gu + 1e-3 * span
         } else {
-            let above = bisect_range(t, iu..iu + 2, 1);
-            let mid = 0.5 * (above[0] + above[1]);
-            // A half-open window needs hi strictly above λ_iu.
-            if mid > above[0] {
-                mid
-            } else {
-                above[0] + f64::MIN_POSITIVE
-            }
+            let above = bisect_range(t, iu..iu + 2, 1)?;
+            0.5 * (above[0] + above[1])
         };
-        self.solve_window(t, lo, hi)
+        // The half-open window needs hi strictly above λ_iu — note that
+        // an absolute nudge (`+ MIN_POSITIVE`) is a no-op for |hi| away
+        // from the denormal range, so verify with a Sturm count and walk
+        // hi up until at least iu+1 eigenvalues sit below it.
+        let mut step = 1e-3 * span;
+        while dcst_tridiag::sturm_count(t, hi) <= iu {
+            hi += step;
+            step *= 2.0;
+        }
+        Ok((lo, hi))
     }
 
     /// Solve one irreducible block.
@@ -329,7 +407,7 @@ impl MrrrSolver {
             }
         }
         if !have {
-            let lam_sel = bisect_range(t, range.clone(), self.opts.threads);
+            let lam_sel = bisect_range(t, range.clone(), self.opts.threads)?;
             lam[range.clone()].copy_from_slice(&lam_sel);
         }
 

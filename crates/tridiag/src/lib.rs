@@ -14,4 +14,4 @@ mod tridiag;
 
 pub use gen::MatrixType;
 pub use householder::{apply_q, dense_with_spectrum, tridiagonalize, HouseholderFactors};
-pub use tridiag::{sturm_count, SymTridiag};
+pub use tridiag::{sturm_count, sturm_counts_batch, SymTridiag};

@@ -121,6 +121,51 @@ pub fn sturm_count(t: &SymTridiag, x: f64) -> usize {
     count
 }
 
+/// [`sturm_count`] for a batch of shifts at once: `counts[j]` receives the
+/// number of eigenvalues strictly below `xs[j]`. Per-lane arithmetic is the
+/// identical expression sequence, so each lane's result is bit-for-bit the
+/// scalar `sturm_count(t, xs[j])` — but the row loop is outermost, so the
+/// per-row pivot divisions of different shifts are independent and pipeline
+/// (the scalar recurrence serializes on ~15-cycle division latency, which
+/// dominates bisection of many eigenvalues).
+pub fn sturm_counts_batch(t: &SymTridiag, xs: &[f64], counts: &mut [usize]) {
+    let m = xs.len();
+    assert!(counts.len() >= m);
+    counts[..m].fill(0);
+    if m == 0 {
+        return;
+    }
+    let n = t.n();
+    let mut q = vec![1.0f64; m];
+    for i in 0..n {
+        if i == 0 {
+            for j in 0..m {
+                let mut p = t.d[0] - xs[j];
+                if p.abs() < SAFE_MIN {
+                    p = -SAFE_MIN;
+                }
+                if p < 0.0 {
+                    counts[j] += 1;
+                }
+                q[j] = p;
+            }
+        } else {
+            let e2 = t.e[i - 1] * t.e[i - 1];
+            let di = t.d[i];
+            for j in 0..m {
+                let mut p = (di - xs[j]) - e2 / q[j];
+                if p.abs() < SAFE_MIN {
+                    p = -SAFE_MIN;
+                }
+                if p < 0.0 {
+                    counts[j] += 1;
+                }
+                q[j] = p;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,7 +24,8 @@ pub use dcst_tridiag as tridiag;
 /// The most common imports in one place.
 pub mod prelude {
     pub use dcst_core::{
-        DcOptions, Eigen, ForkJoinDc, LevelParallelDc, SequentialDc, TaskFlowDc, TridiagEigensolver,
+        DcOptions, Eigen, ForkJoinDc, LevelParallelDc, SequentialDc, SolveMode, TaskFlowDc,
+        TridiagEigensolver,
     };
     pub use dcst_matrix::{orthogonality_error, residual_error, Matrix};
     pub use dcst_mrrr::MrrrSolver;

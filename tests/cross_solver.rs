@@ -129,6 +129,7 @@ fn large_min_part_and_tiny_min_part_agree() {
         threads: 2,
         extra_workspace: true,
         use_gatherv: true,
+        mode: SolveMode::Full,
     })
     .solve(&t)
     .unwrap();
@@ -138,6 +139,7 @@ fn large_min_part_and_tiny_min_part_agree() {
         threads: 2,
         extra_workspace: true,
         use_gatherv: true,
+        mode: SolveMode::Full,
     })
     .solve(&t)
     .unwrap();

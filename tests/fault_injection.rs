@@ -23,6 +23,7 @@ fn opts() -> DcOptions {
         threads: 2,
         extra_workspace: false,
         use_gatherv: true,
+        mode: SolveMode::Full,
     }
 }
 
