@@ -8,6 +8,9 @@
 //!               [--metrics]
 //! dcst trace    --type 4 --n 1000 --svg trace.svg [--json trace.json]
 //!               [--chrome trace.json]
+//! dcst serve    [--addr 127.0.0.1:0] [--threads K] [--max-inflight M]
+//!               [--max-n N] [--trace-requests]
+//! dcst request  --addr HOST:PORT [--json '{"op":"ping"}']
 //! ```
 //!
 //! `--values-only` computes eigenvalues without accumulating eigenvectors;
@@ -16,6 +19,14 @@
 //! solver. With `DCST_TRACE=out.json` in the environment, `solve --solver
 //! taskflow` additionally records the run and writes a Chrome trace-event
 //! file (loadable in `chrome://tracing` / Perfetto).
+//!
+//! `serve` runs the eigensolver-as-a-service daemon (line-delimited JSON
+//! over TCP on one shared runtime; see `DESIGN.md` "Service layer") and
+//! prints `listening on ADDR` once the socket is bound. `request` is a
+//! one-shot client: it sends the `--json` line (or one line read from
+//! stdin) and prints the server's response verbatim, exiting 0 on
+//! success, 4 when the server shed the request as `busy`, and 3 on any
+//! other typed error.
 
 use dcst_core::{
     DcError, DcOptions, DcStats, ForkJoinDc, LevelParallelDc, MetricsRecorder, SequentialDc,
@@ -24,10 +35,11 @@ use dcst_core::{
 use dcst_mrrr::{bisect_range, MrrrError, MrrrOptions, MrrrSolver};
 use dcst_qriter::QrError;
 use dcst_runtime::{RuntimeMetrics, Trace};
+use dcst_serve::{Client, Server, ServerConfig};
 use dcst_tridiag::gen::MatrixType;
 use dcst_tridiag::io::{read_tridiag, write_tridiag};
 use dcst_tridiag::SymTridiag;
-use std::io::BufReader;
+use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -92,7 +104,9 @@ fn usage() -> ExitCode {
          dcst info --in FILE\n  \
          dcst solve --in FILE [--solver taskflow|seq|forkjoin|levelpar|mrrr|qr] \
          [--values-only] [--subset il:iu] [--threads K] [--check] [--metrics]\n  \
-         dcst trace [--type K] [--n N] [--svg FILE] [--json FILE] [--chrome FILE]\n\
+         dcst trace [--type K] [--n N] [--svg FILE] [--json FILE] [--chrome FILE]\n  \
+         dcst serve [--addr A] [--threads K] [--max-inflight M] [--max-n N] [--trace-requests]\n  \
+         dcst request --addr HOST:PORT [--json LINE]\n\
          env: DCST_TRACE=FILE with 'solve --solver taskflow' writes a Chrome trace-event file"
     );
     ExitCode::from(EXIT_USAGE)
@@ -102,10 +116,13 @@ fn usage() -> ExitCode {
 // matrix with NaN/Inf entries, or an unwritable output path), 2 = usage
 // error (bad flags, out-of-range subset), 3 = numerical failure (a solver
 // gave up on a well-formed input). Scripts driving the benchmark suite
-// rely on 1-vs-3 to tell bad data from convergence problems.
+// rely on 1-vs-3 to tell bad data from convergence problems. `request`
+// adds 4 = the daemon shed the request with a typed `busy` error, so load
+// drivers can retry on 4 and give up on 3.
 const EXIT_INPUT: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_NUMERICAL: u8 = 3;
+const EXIT_BUSY: u8 = 4;
 
 fn fail<E: std::fmt::Display>(e: E, code: u8) -> ExitCode {
     eprintln!("error: {e}");
@@ -493,6 +510,85 @@ fn main() -> ExitCode {
                 println!("{}", trace.ascii_timeline(100));
             }
             ExitCode::SUCCESS
+        }
+        "serve" => {
+            let max_inflight = match args.usize_flag("--max-inflight", 8) {
+                Ok(v) => v,
+                Err(e) => return fail(e, EXIT_USAGE),
+            };
+            let max_n = match args.usize_flag("--max-n", 8192) {
+                Ok(v) => v,
+                Err(e) => return fail(e, EXIT_USAGE),
+            };
+            let cfg = ServerConfig {
+                addr: args.value("--addr").unwrap_or("127.0.0.1:0").to_string(),
+                threads,
+                max_inflight,
+                max_n,
+                trace_requests: args.flag("--trace-requests"),
+                ..ServerConfig::default()
+            };
+            let server = match Server::start(cfg) {
+                Ok(s) => s,
+                Err(e) => return fail(format!("cannot bind: {e}"), EXIT_INPUT),
+            };
+            // Parseable readiness line on stdout (scripts wait for it);
+            // stdout is block-buffered when piped, so flush explicitly.
+            println!("listening on {}", server.addr());
+            let _ = std::io::stdout().flush();
+            // Blocks until a client sends the `shutdown` verb.
+            server.join();
+            ExitCode::SUCCESS
+        }
+        "request" => {
+            let Some(addr) = args.value("--addr") else {
+                return fail("missing --addr HOST:PORT", EXIT_USAGE);
+            };
+            let line = match args.value("--json") {
+                Some(l) => l.to_string(),
+                None => {
+                    let mut buf = String::new();
+                    if let Err(e) = std::io::stdin().lock().read_line(&mut buf) {
+                        return fail(format!("cannot read stdin: {e}"), EXIT_INPUT);
+                    }
+                    buf.trim().to_string()
+                }
+            };
+            let mut client = match Client::connect(addr) {
+                Ok(c) => c,
+                Err(e) => return fail(format!("cannot connect to {addr}: {e}"), EXIT_INPUT),
+            };
+            if let Err(e) = client.send(&line) {
+                return fail(format!("cannot send request: {e}"), EXIT_INPUT);
+            }
+            let raw = match client.recv_raw() {
+                Ok(Some(r)) => r,
+                Ok(None) => return fail("server closed the connection", EXIT_INPUT),
+                Err(e) => return fail(format!("cannot read response: {e}"), EXIT_INPUT),
+            };
+            println!("{raw}");
+            // Exit code mirrors the typed error taxonomy: scripts retry
+            // on busy (4) and treat anything else as final.
+            match dcst_runtime::jsonv::parse(&raw) {
+                Ok(doc) => {
+                    let ok = matches!(doc.get("ok"), Some(dcst_runtime::jsonv::Json::Bool(true)));
+                    if ok {
+                        ExitCode::SUCCESS
+                    } else {
+                        let code = doc
+                            .get("error")
+                            .and_then(|e| e.get("code"))
+                            .and_then(|c| c.as_str())
+                            .unwrap_or("internal");
+                        ExitCode::from(if code == "busy" {
+                            EXIT_BUSY
+                        } else {
+                            EXIT_NUMERICAL
+                        })
+                    }
+                }
+                Err(e) => fail(format!("malformed response: {e}"), EXIT_INPUT),
+            }
         }
         _ => usage(),
     }

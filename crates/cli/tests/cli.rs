@@ -706,3 +706,59 @@ fn subset_agrees_across_solvers() {
     }
     let _ = std::fs::remove_file(&path);
 }
+
+/// The daemon lifecycle through the binary alone: `serve` prints its
+/// readiness line, `request` exercises ping/solve/typed-error exit
+/// codes, and the `shutdown` verb terminates the process.
+#[test]
+fn serve_and_request_round_trip() {
+    use std::io::{BufRead, BufReader};
+
+    let mut server = dcst()
+        .args(["serve", "--threads", "2", "--max-inflight", "4"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn dcst serve");
+    let mut ready = String::new();
+    BufReader::new(server.stdout.take().unwrap())
+        .read_line(&mut ready)
+        .unwrap();
+    let addr = ready
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("bad readiness line: {ready:?}"))
+        .to_string();
+
+    let request = |json: &str| {
+        dcst()
+            .args(["request", "--addr", &addr, "--json", json])
+            .output()
+            .expect("run dcst request")
+    };
+
+    let out = request(r#"{"op":"ping","id":1}"#);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"pong\":true"));
+
+    let out = request(r#"{"op":"solve","id":2,"matrix":{"type":4,"n":48,"seed":3},"check":true}"#);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let body = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        body.contains("\"ok\":true") && body.contains("\"values\":["),
+        "{body}"
+    );
+
+    // A typed (non-busy) protocol error exits 3.
+    let out = request(r#"{"op":"frobnicate"}"#);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("unknown-op"));
+
+    let out = request(r#"{"op":"shutdown"}"#);
+    assert!(out.status.success());
+    let status = server.wait().expect("serve exits after shutdown verb");
+    assert!(status.success());
+}

@@ -41,7 +41,7 @@ pub use merge::MergeStat;
 pub use metrics::{MetricsRecorder, SolverMetrics};
 pub use opcount::{merge_cost_model, solve_cost_model, MergeCosts};
 pub use seq::{ForkJoinDc, LevelParallelDc, SequentialDc};
-pub use taskflow::TaskFlowDc;
+pub use taskflow::{PendingSolve, TaskFlowDc};
 pub use tree::{PartitionTree, TreeNode};
 
 use dcst_matrix::Matrix;
@@ -150,6 +150,9 @@ pub enum DcError {
     InvalidRange { il: usize, iu: usize, n: usize },
     /// The MRRR fallback for a small subset failed.
     Subset(MrrrError),
+    /// The solve was cancelled before it completed (a pending solve's
+    /// [`taskflow::PendingSolve`] scope was cancelled mid-flight).
+    Cancelled,
 }
 
 impl std::fmt::Display for DcError {
@@ -169,6 +172,7 @@ impl std::fmt::Display for DcError {
                  (need il <= iu < n, 0-based)"
             ),
             DcError::Subset(e) => write!(f, "subset fallback failed: {e}"),
+            DcError::Cancelled => write!(f, "solve cancelled"),
         }
     }
 }
@@ -205,6 +209,9 @@ impl From<RuntimeError> for DcError {
         // task-flow driver) surfaces as that error, exactly as the
         // sequential drivers would report it; anything else — a panic or a
         // foreign error type — stays wrapped with the task name attached.
+        if e.is_cancelled() {
+            return DcError::Cancelled;
+        }
         match e.downcast::<DcError>() {
             Ok((_task, err)) => err,
             Err(e) => DcError::Task(e),

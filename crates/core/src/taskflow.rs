@@ -33,28 +33,59 @@ use crate::values::{
 use crate::{DcError, DcOptions, DcStats, Eigen, SolveMode, TridiagEigensolver};
 use dcst_matrix::Matrix;
 use dcst_qriter::{steqr_mut, ZBlock};
-use dcst_runtime::{DagRecorder, DataKey, Runtime, RuntimeMetrics, SharedData, TaskBuilder, Trace};
+use dcst_runtime::{
+    CancelHandle, DagRecorder, DataKey, Runtime, RuntimeMetrics, Scope, SharedData, TaskBuilder,
+    Trace,
+};
 use dcst_secular::Deflation;
 use dcst_tridiag::SymTridiag;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 const OBJ_NODE: u64 = 1;
 const OBJ_X: u64 = 2;
 const OBJ_SCALE: u64 = 3;
 
+/// The dependency tracker's key namespace is global to a [`Runtime`], so
+/// concurrent submissions onto a *shared* runtime (the service path) must
+/// not reuse object ids. Each submission claims a fresh 38-bit block of
+/// the 40-bit object-id space from a process-global counter and derives
+/// its three object ids from it; the first submission of a process gets
+/// the historic `OBJ_NODE`/`OBJ_X`/`OBJ_SCALE` ids.
+#[derive(Clone, Copy)]
+struct KeySpace {
+    node: u64,
+    x: u64,
+    scale: u64,
+}
+
+static KEY_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl KeySpace {
+    fn fresh() -> Self {
+        let seq = KEY_SEQ.fetch_add(1, Ordering::Relaxed);
+        let base = (seq & ((1u64 << 38) - 1)) << 2;
+        KeySpace {
+            node: base | OBJ_NODE,
+            x: base | OBJ_X,
+            scale: base | OBJ_SCALE,
+        }
+    }
+}
+
 /// Start a panel task: GATHERV on the node key (the paper's commuting
 /// qualifier) normally, or a serializing INOUT in the ablation mode
 /// without the runtime extension.
 fn panel_task<'rt>(
-    rt: &'rt Runtime,
+    scope: &Scope<'rt>,
     name: &'static str,
     node: DataKey,
     use_gatherv: bool,
 ) -> TaskBuilder<'rt> {
     if use_gatherv {
-        rt.task(name).gatherv(node)
+        scope.task(name).gatherv(node)
     } else {
-        rt.task(name).read_write(node)
+        scope.task(name).read_write(node)
     }
 }
 
@@ -104,7 +135,7 @@ impl NodeCell {
     }
 }
 
-/// Per-node state of the values-only graph ([`TaskFlowDc::solve_inner_values`]):
+/// Per-node state of the values-only graph ([`TaskFlowDc::submit_values`]):
 /// the node's boundary rows take the place of the full path's eigenvector
 /// block, so the whole solve carries O(n) state per node.
 #[derive(Default)]
@@ -148,6 +179,172 @@ impl ValueCell {
     }
 }
 
+/// A solve whose task graph has been submitted to a (possibly shared)
+/// [`Runtime`] but not yet waited on.
+///
+/// This is the submit/collect split behind the `dcst serve` daemon: the
+/// graph lives in its own runtime [`Scope`], so many requests can be in
+/// flight on one worker pool at once, each independently cancellable
+/// ([`PendingSolve::cancel_handle`]) and each failing without poisoning
+/// its neighbours. [`PendingSolve::wait`] blocks until this submission's
+/// tasks drain, then assembles the result exactly as the one-shot
+/// [`TaskFlowDc::solve_with_stats`] path does.
+pub struct PendingSolve<'rt> {
+    scope: Scope<'rt>,
+    kind: PendingKind,
+}
+
+enum PendingKind {
+    /// `n == 0`: nothing was submitted.
+    Empty,
+    /// The full eigenvector graph (also used, pruned, for large subsets).
+    Full(FullPending),
+    /// The values-only boundary-row graph.
+    Values(ValuesPending),
+    /// Small-subset MRRR fallback, run as a single task so it occupies one
+    /// worker slot and stays cancellable before it starts.
+    Fallback(Arc<Mutex<Option<Result<Eigen, DcError>>>>),
+}
+
+/// Collect-phase state of a full (eigenvector) submission: the handles the
+/// master must keep to unwrap results after the scope drains. Worker-side
+/// clones are released when the scope's finished tasks are garbage
+/// collected by `wait`, so `try_unwrap` succeeds.
+struct FullPending {
+    n: usize,
+    subset: Option<(usize, usize)>,
+    tree: Arc<PartitionTree>,
+    cells: Arc<Vec<NodeCell>>,
+    d: SharedData<f64>,
+    v: SharedData<f64>,
+}
+
+/// Collect-phase state of a values-only submission.
+struct ValuesPending {
+    n: usize,
+    tree: Arc<PartitionTree>,
+    cells: Arc<Vec<ValueCell>>,
+    d: SharedData<f64>,
+}
+
+impl<'rt> PendingSolve<'rt> {
+    /// The scope this submission's tasks run in.
+    pub fn scope(&self) -> &Scope<'rt> {
+        &self.scope
+    }
+
+    /// A detached handle that cancels this solve from any thread: queued
+    /// tasks are skipped and [`PendingSolve::wait`] reports
+    /// [`DcError::Cancelled`] (unless a real failure already won the
+    /// scope's first-failure slot).
+    pub fn cancel_handle(&self) -> CancelHandle {
+        self.scope.cancel_handle()
+    }
+
+    /// Cancel this solve in place.
+    pub fn cancel(&self) {
+        self.scope.cancel();
+    }
+
+    /// Block until the submission drains, then collect the result.
+    pub fn wait(self) -> Result<(Eigen, DcStats), DcError> {
+        self.scope.wait()?;
+        match self.kind {
+            PendingKind::Empty => Ok((
+                Eigen {
+                    values: vec![],
+                    vectors: Matrix::zeros(0, 0),
+                },
+                DcStats::default(),
+            )),
+            PendingKind::Full(st) => st.collect(),
+            PendingKind::Values(st) => st.collect(),
+            PendingKind::Fallback(slot) => {
+                let res = slot
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("fallback task ran to completion");
+                res.map(|eig| (eig, DcStats::default()))
+            }
+        }
+    }
+}
+
+impl FullPending {
+    fn collect(self) -> Result<(Eigen, DcStats), DcError> {
+        let FullPending {
+            n,
+            subset,
+            tree,
+            cells,
+            d,
+            v,
+        } = self;
+        let values = d
+            .try_unwrap()
+            .unwrap_or_else(|_| panic!("d buffer still shared after wait"));
+        let vectors = v
+            .try_unwrap()
+            .unwrap_or_else(|_| panic!("v buffer still shared after wait"));
+        let mut stats = DcStats::default();
+        for &m in &tree.merges_postorder() {
+            if let Some(stat) = cells[m].stat.lock().unwrap().take() {
+                stats.merges.push(stat);
+            }
+        }
+        if let Some((il, iu)) = subset {
+            // d is still in physical slot order (the sort tasks were
+            // skipped); gather the k requested values/columns directly.
+            let idxq = cells[tree.root].idxq();
+            let ksub = iu - il + 1;
+            let mut vals = Vec::with_capacity(ksub);
+            let mut vsub = vec![0.0f64; n * ksub];
+            for (c, p) in (il..=iu).enumerate() {
+                let src = idxq[p];
+                vals.push(values[src]);
+                vsub[c * n..(c + 1) * n].copy_from_slice(&vectors[src * n..(src + 1) * n]);
+            }
+            return Ok((
+                Eigen {
+                    values: vals,
+                    vectors: Matrix::from_vec(n, ksub, vsub),
+                },
+                stats,
+            ));
+        }
+        Ok((
+            Eigen {
+                values,
+                vectors: Matrix::from_vec(n, n, vectors),
+            },
+            stats,
+        ))
+    }
+}
+
+impl ValuesPending {
+    fn collect(self) -> Result<(Eigen, DcStats), DcError> {
+        let ValuesPending { n, tree, cells, d } = self;
+        let values = d
+            .try_unwrap()
+            .unwrap_or_else(|_| panic!("d buffer still shared after wait"));
+        let mut stats = DcStats::default();
+        for &m in &tree.merges_postorder() {
+            if let Some(stat) = cells[m].stat.lock().unwrap().take() {
+                stats.merges.push(stat);
+            }
+        }
+        Ok((
+            Eigen {
+                values,
+                vectors: Matrix::zeros(n, 0),
+            },
+            stats,
+        ))
+    }
+}
+
 /// The task-flow Divide & Conquer eigensolver (the paper's contribution).
 pub struct TaskFlowDc {
     opts: DcOptions,
@@ -161,14 +358,15 @@ impl TaskFlowDc {
     /// Solve and return per-merge statistics.
     pub fn solve_with_stats(&self, t: &SymTridiag) -> Result<(Eigen, DcStats), DcError> {
         let rt = Runtime::new(self.opts.threads);
-        self.solve_inner(t, &rt)
+        let pending = self.submit(t, &rt)?;
+        pending.wait()
     }
 
     /// Solve while recording an execution trace (Figures 3 and 4).
     pub fn solve_traced(&self, t: &SymTridiag) -> Result<(Eigen, DcStats, Trace), DcError> {
         let rt = Runtime::new(self.opts.threads);
         rt.enable_tracing();
-        let (eig, stats) = self.solve_inner(t, &rt)?;
+        let (eig, stats) = self.submit(t, &rt)?.wait()?;
         Ok((eig, stats, rt.take_trace()))
     }
 
@@ -183,7 +381,7 @@ impl TaskFlowDc {
     ) -> Result<(Eigen, DcStats, Trace, RuntimeMetrics), DcError> {
         let rt = Runtime::new(self.opts.threads);
         rt.enable_tracing();
-        let (eig, stats) = self.solve_inner(t, &rt)?;
+        let (eig, stats) = self.submit(t, &rt)?.wait()?;
         let trace = rt.take_trace();
         let metrics = rt.runtime_metrics();
         Ok((eig, stats, trace, metrics))
@@ -193,41 +391,116 @@ impl TaskFlowDc {
     pub fn solve_with_dag(&self, t: &SymTridiag) -> Result<(Eigen, DagRecorder), DcError> {
         let rt = Runtime::new(self.opts.threads);
         rt.enable_dag_recording();
-        let (eig, _) = self.solve_inner(t, &rt)?;
+        let (eig, _) = self.submit(t, &rt)?.wait()?;
         Ok((eig, rt.take_dag().expect("dag recording was enabled")))
     }
 
-    fn solve_inner(&self, t: &SymTridiag, rt: &Runtime) -> Result<(Eigen, DcStats), DcError> {
+    /// Submit this solve's task graph onto `rt` without waiting: the
+    /// daemon path. The graph runs in its own [`Scope`], so any number of
+    /// submissions can coexist on one runtime; each is independently
+    /// cancellable and collects its own failure.
+    pub fn submit<'rt>(
+        &self,
+        t: &SymTridiag,
+        rt: &'rt Runtime,
+    ) -> Result<PendingSolve<'rt>, DcError> {
+        self.submit_scoped(t, rt.scope())
+    }
+
+    /// [`TaskFlowDc::submit`], but every task of the graph rides the
+    /// pool's high-priority injector lane — the service's priority class.
+    pub fn submit_priority<'rt>(
+        &self,
+        t: &SymTridiag,
+        rt: &'rt Runtime,
+    ) -> Result<PendingSolve<'rt>, DcError> {
+        self.submit_scoped(t, rt.priority_scope())
+    }
+
+    /// Fused batch solve: submit every problem's graph before waiting on
+    /// any of them, so panel tasks from different problems interleave in
+    /// the shared pool's ready queue and the per-problem GEMM/LAED4
+    /// panels fill worker idle gaps left by their neighbours' spines.
+    pub fn solve_batch(&self, ts: &[SymTridiag]) -> Vec<Result<(Eigen, DcStats), DcError>> {
+        let rt = Runtime::new(self.opts.threads);
+        self.solve_batch_on(ts, &rt)
+    }
+
+    /// [`TaskFlowDc::solve_batch`] on a caller-provided (shared) runtime.
+    pub fn solve_batch_on(
+        &self,
+        ts: &[SymTridiag],
+        rt: &Runtime,
+    ) -> Vec<Result<(Eigen, DcStats), DcError>> {
+        let pending: Vec<Result<PendingSolve<'_>, DcError>> =
+            ts.iter().map(|t| self.submit(t, rt)).collect();
+        pending.into_iter().map(|p| p?.wait()).collect()
+    }
+
+    fn submit_scoped<'rt>(
+        &self,
+        t: &SymTridiag,
+        scope: Scope<'rt>,
+    ) -> Result<PendingSolve<'rt>, DcError> {
         let n = t.n();
         if t.has_non_finite() {
             return Err(DcError::NonFinite);
         }
         if n == 0 {
-            return Ok((
-                Eigen {
-                    values: vec![],
-                    vectors: Matrix::zeros(0, 0),
-                },
-                DcStats::default(),
-            ));
+            return Ok(PendingSolve {
+                scope,
+                kind: PendingKind::Empty,
+            });
         }
         // Mode dispatch (as in the comparator drivers): values-only takes
         // the boundary-row graph, a small subset routes to MRRR, and a
         // large subset runs the graph below with root-merge pruning.
         let subset = match self.opts.mode {
             SolveMode::Full => None,
-            SolveMode::ValuesOnly => return self.solve_inner_values(t, rt),
+            SolveMode::ValuesOnly => {
+                let st = self.submit_values(t, &scope, KeySpace::fresh());
+                return Ok(PendingSolve {
+                    scope,
+                    kind: PendingKind::Values(st),
+                });
+            }
             SolveMode::Subset { il, iu } => {
                 crate::validate_subset(il, iu, n)?;
                 if crate::subset_uses_fallback(il, iu, n) {
-                    return Ok((
-                        crate::subset_fallback(t, il, iu, self.opts.threads)?,
-                        DcStats::default(),
-                    ));
+                    // One worker-slot task keeps the MRRR fallback inside
+                    // the scope discipline (cancellable before it starts,
+                    // counted by admission control) — MRRR brings its own
+                    // internal parallelism.
+                    let slot = Arc::new(Mutex::new(None));
+                    let out = slot.clone();
+                    let t = t.clone();
+                    let threads = self.opts.threads;
+                    scope.task("SubsetFallback").spawn(move || {
+                        *out.lock().unwrap() = Some(crate::subset_fallback(&t, il, iu, threads));
+                    });
+                    return Ok(PendingSolve {
+                        scope,
+                        kind: PendingKind::Fallback(slot),
+                    });
                 }
                 Some((il, iu))
             }
         };
+        let st = self.submit_full(t, &scope, KeySpace::fresh(), subset);
+        Ok(PendingSolve {
+            scope,
+            kind: PendingKind::Full(st),
+        })
+    }
+
+    fn submit_full(
+        &self,
+        t: &SymTridiag,
+        scope: &Scope<'_>,
+        ks: KeySpace,
+        subset: Option<(usize, usize)>,
+    ) -> FullPending {
+        let n = t.n();
         let nb = self.opts.nb.max(1);
         let orgnrm = t.max_norm();
         let scale = if orgnrm > 0.0 { 1.0 / orgnrm } else { 1.0 };
@@ -250,10 +523,10 @@ impl TaskFlowDc {
         let cells: Arc<Vec<NodeCell>> =
             Arc::new((0..tree.nodes.len()).map(|_| NodeCell::default()).collect());
 
-        let key_node = |id: usize| DataKey::new(OBJ_NODE, id as u64);
+        let key_node = move |id: usize| DataKey::new(ks.node, id as u64);
         let use_gatherv = self.opts.use_gatherv;
-        let key_x = |col: usize| DataKey::new(OBJ_X, col as u64);
-        let key_scale = DataKey::new(OBJ_SCALE, 0);
+        let key_x = move |col: usize| DataKey::new(ks.x, col as u64);
+        let key_scale = DataKey::new(ks.scale, 0);
 
         // Bind each buffer to the keys tasks declare when touching it, so
         // the `access-check` shadow tracker can validate every borrow in
@@ -278,7 +551,8 @@ impl TaskFlowDc {
         {
             let (d, e) = (d.clone(), e.clone());
             let cuts = cuts.clone();
-            rt.task("Scale")
+            scope
+                .task("Scale")
                 .high_priority()
                 .write(key_scale)
                 .spawn(move || {
@@ -303,7 +577,8 @@ impl TaskFlowDc {
             let (off, nm) = (node.off, node.n);
             let (d, e, v) = (d.clone(), e.clone(), v.clone());
             let cells = cells.clone();
-            rt.task("STEDC")
+            scope
+                .task("STEDC")
                 .high_priority()
                 .read(key_scale)
                 .write(key_node(l))
@@ -348,7 +623,8 @@ impl TaskFlowDc {
                 // The merge spine (deflation → … → ReduceW) gates every
                 // panel task of this node and of all ancestors: schedule it
                 // through the runtime's priority lane.
-                rt.task("ComputeDeflation")
+                scope
+                    .task("ComputeDeflation")
                     .high_priority()
                     .read(key_node(lc))
                     .read(key_node(rc))
@@ -385,7 +661,7 @@ impl TaskFlowDc {
                 {
                     let (v, ws) = (v.clone(), ws.clone());
                     let cells = cells.clone();
-                    let mut task = panel_task(rt, "PermuteV", key_node(m), use_gatherv);
+                    let mut task = panel_task(scope, "PermuteV", key_node(m), use_gatherv);
                     if !self.opts.extra_workspace {
                         // Without extra workspace the paper serializes the
                         // permute with the panel's LAED4 (shared staging).
@@ -406,7 +682,7 @@ impl TaskFlowDc {
                 {
                     let (x, lam) = (x.clone(), lam.clone());
                     let cells = cells.clone();
-                    panel_task(rt, "LAED4", key_node(m), use_gatherv)
+                    panel_task(scope, "LAED4", key_node(m), use_gatherv)
                         .write(key_x(off + s0))
                         .spawn_try(move || {
                             let defl = cells[m].defl();
@@ -429,7 +705,7 @@ impl TaskFlowDc {
                 {
                     let x = x.clone();
                     let cells = cells.clone();
-                    panel_task(rt, "ComputeLocalW", key_node(m), use_gatherv)
+                    panel_task(scope, "ComputeLocalW", key_node(m), use_gatherv)
                         .read(key_x(off + s0))
                         .spawn(move || {
                             let defl = cells[m].defl();
@@ -453,7 +729,8 @@ impl TaskFlowDc {
             {
                 let (d, lam) = (d.clone(), lam.clone());
                 let cells = cells.clone();
-                rt.task("ReduceW")
+                scope
+                    .task("ReduceW")
                     .high_priority()
                     .read_write(key_node(m))
                     .spawn(move || {
@@ -491,7 +768,7 @@ impl TaskFlowDc {
                 {
                     let (v, ws) = (v.clone(), ws.clone());
                     let cells = cells.clone();
-                    let mut task = panel_task(rt, "CopyBackDeflated", key_node(m), use_gatherv);
+                    let mut task = panel_task(scope, "CopyBackDeflated", key_node(m), use_gatherv);
                     if !self.opts.extra_workspace {
                         task = task.write(key_x(off + s0));
                     }
@@ -521,7 +798,7 @@ impl TaskFlowDc {
                 {
                     let x = x.clone();
                     let cells = cells.clone();
-                    panel_task(rt, "ComputeVect", key_node(m), use_gatherv)
+                    panel_task(scope, "ComputeVect", key_node(m), use_gatherv)
                         .read_write(key_x(off + s0))
                         .spawn(move || {
                             let defl = cells[m].defl();
@@ -556,7 +833,8 @@ impl TaskFlowDc {
             {
                 let (ws, x) = (ws.clone(), x.clone());
                 let cells = cells.clone();
-                rt.task("CompressW")
+                scope
+                    .task("CompressW")
                     .high_priority()
                     .read_write(key_node(m))
                     .spawn(move || {
@@ -589,7 +867,7 @@ impl TaskFlowDc {
             // is their whole footprint.
             for p in 0..npanels {
                 let cells = cells.clone();
-                panel_task(rt, "StructBasis", key_node(m), use_gatherv).spawn(move || {
+                panel_task(scope, "StructBasis", key_node(m), use_gatherv).spawn(move || {
                     let su = cells[m].structured.lock().unwrap().clone();
                     if let Some(su) = su {
                         su.compute_basis_chunk(p, npanels, 1);
@@ -598,7 +876,8 @@ impl TaskFlowDc {
             }
             // StructJoin: epoch barrier so every basis product is in place
             // before the first UpdateVect reads them.
-            rt.task("StructJoin")
+            scope
+                .task("StructJoin")
                 .high_priority()
                 .read_write(key_node(m))
                 .spawn(|| {});
@@ -612,7 +891,7 @@ impl TaskFlowDc {
                 {
                     let (v, ws, x) = (v.clone(), ws.clone(), x.clone());
                     let cells = cells.clone();
-                    panel_task(rt, "UpdateVect", key_node(m), use_gatherv)
+                    panel_task(scope, "UpdateVect", key_node(m), use_gatherv)
                         .read(key_x(off + s0))
                         .spawn_try(move || {
                             let defl = cells[m].defl();
@@ -658,7 +937,8 @@ impl TaskFlowDc {
             {
                 let d = d.clone();
                 let cells = cells.clone();
-                rt.task("SortEigenvalues")
+                scope
+                    .task("SortEigenvalues")
                     .high_priority()
                     .read_write(key_node(root))
                     .spawn(move || {
@@ -674,7 +954,7 @@ impl TaskFlowDc {
                 let r1 = ((p + 1) * nb).min(n);
                 let (v, ws) = (v.clone(), ws.clone());
                 let cells = cells.clone();
-                panel_task(rt, "SortCopy", key_node(root), use_gatherv).spawn(move || {
+                panel_task(scope, "SortCopy", key_node(root), use_gatherv).spawn(move || {
                     let idxq = cells[root].idxq();
                     // SAFETY: v fully read-shared; ws target columns
                     // exclusive per panel.
@@ -695,7 +975,8 @@ impl TaskFlowDc {
                     }
                 });
             }
-            rt.task("SortBarrier")
+            scope
+                .task("SortBarrier")
                 .high_priority()
                 .read_write(key_node(root))
                 .spawn(|| {});
@@ -703,7 +984,7 @@ impl TaskFlowDc {
                 let r0 = p * nb;
                 let r1 = ((p + 1) * nb).min(n);
                 let (v, ws) = (v.clone(), ws.clone());
-                panel_task(rt, "SortCopyBack", key_node(root), use_gatherv).spawn(move || {
+                panel_task(scope, "SortCopyBack", key_node(root), use_gatherv).spawn(move || {
                     // SAFETY: ws read-shared, v target columns exclusive.
                     let wsrc = unsafe { ws.range(r0 * n..r1 * n) };
                     let vt = unsafe { v.range_mut(r0 * n..r1 * n) };
@@ -713,7 +994,8 @@ impl TaskFlowDc {
         }
         {
             let d = d.clone();
-            rt.task("ScaleBack")
+            scope
+                .task("ScaleBack")
                 .high_priority()
                 .read_write(key_node(root))
                 .spawn(move || {
@@ -725,50 +1007,17 @@ impl TaskFlowDc {
                 });
         }
 
-        rt.wait()?;
-
-        // Collect results.
-        let values = d
-            .try_unwrap()
-            .unwrap_or_else(|_| panic!("d buffer still shared after wait"));
-        drop(ws);
-        drop(x);
-        let vectors = v
-            .try_unwrap()
-            .unwrap_or_else(|_| panic!("v buffer still shared after wait"));
-        let mut stats = DcStats::default();
-        for &m in &tree.merges_postorder() {
-            if let Some(stat) = cells[m].stat.lock().unwrap().take() {
-                stats.merges.push(stat);
-            }
+        // Submission done: the master drops its e/ws/x/lam handles here;
+        // the workers' clones die with their tasks' GC at wait, so the
+        // collect phase can unwrap d and v.
+        FullPending {
+            n,
+            subset,
+            tree,
+            cells,
+            d,
+            v,
         }
-        if let Some((il, iu)) = subset {
-            // d is still in physical slot order (the sort tasks were
-            // skipped); gather the k requested values/columns directly.
-            let idxq = cells[root].idxq();
-            let ksub = iu - il + 1;
-            let mut vals = Vec::with_capacity(ksub);
-            let mut vsub = vec![0.0f64; n * ksub];
-            for (c, p) in (il..=iu).enumerate() {
-                let src = idxq[p];
-                vals.push(values[src]);
-                vsub[c * n..(c + 1) * n].copy_from_slice(&vectors[src * n..(src + 1) * n]);
-            }
-            return Ok((
-                Eigen {
-                    values: vals,
-                    vectors: Matrix::from_vec(n, ksub, vsub),
-                },
-                stats,
-            ));
-        }
-        Ok((
-            Eigen {
-                values,
-                vectors: Matrix::from_vec(n, n, vectors),
-            },
-            stats,
-        ))
     }
 
     /// The values-only task graph ([`SolveMode::ValuesOnly`]): the same
@@ -777,11 +1026,7 @@ impl TaskFlowDc {
     /// V/WS/X buffers disappear entirely — per-node state is two O(n)
     /// rows plus the deflation record. This is the memory reduction the
     /// `BENCH_modes.json` high-water gate measures.
-    fn solve_inner_values(
-        &self,
-        t: &SymTridiag,
-        rt: &Runtime,
-    ) -> Result<(Eigen, DcStats), DcError> {
+    fn submit_values(&self, t: &SymTridiag, scope: &Scope<'_>, ks: KeySpace) -> ValuesPending {
         let n = t.n();
         let nb = self.opts.nb.max(1);
         let orgnrm = t.max_norm();
@@ -804,10 +1049,10 @@ impl TaskFlowDc {
                 .collect(),
         );
 
-        let key_node = |id: usize| DataKey::new(OBJ_NODE, id as u64);
+        let key_node = move |id: usize| DataKey::new(ks.node, id as u64);
         let use_gatherv = self.opts.use_gatherv;
-        let key_x = |col: usize| DataKey::new(OBJ_X, col as u64);
-        let key_scale = DataKey::new(OBJ_SCALE, 0);
+        let key_x = move |col: usize| DataKey::new(ks.x, col as u64);
+        let key_scale = DataKey::new(ks.scale, 0);
 
         #[cfg(feature = "access-check")]
         {
@@ -825,7 +1070,8 @@ impl TaskFlowDc {
         {
             let (d, e) = (d.clone(), e.clone());
             let cuts = cuts.clone();
-            rt.task("Scale")
+            scope
+                .task("Scale")
                 .high_priority()
                 .write(key_scale)
                 .spawn(move || {
@@ -850,7 +1096,8 @@ impl TaskFlowDc {
             let (off, nm) = (node.off, node.n);
             let (d, e) = (d.clone(), e.clone());
             let cells = cells.clone();
-            rt.task("STEDC")
+            scope
+                .task("STEDC")
                 .high_priority()
                 .read(key_scale)
                 .write(key_node(l))
@@ -880,7 +1127,8 @@ impl TaskFlowDc {
             {
                 let d = d.clone();
                 let cells = cells.clone();
-                rt.task("ComputeDeflation")
+                scope
+                    .task("ComputeDeflation")
                     .high_priority()
                     .read(key_node(lc))
                     .read(key_node(rc))
@@ -912,7 +1160,7 @@ impl TaskFlowDc {
                 let s1 = ((p + 1) * nb).min(nm);
                 let lam = lam.clone();
                 let cells = cells.clone();
-                panel_task(rt, "LAED4", key_node(m), use_gatherv)
+                panel_task(scope, "LAED4", key_node(m), use_gatherv)
                     .write(key_x(off + s0))
                     .spawn_try(move || -> Result<(), DcError> {
                         let rd = cells[m].rd();
@@ -934,7 +1182,8 @@ impl TaskFlowDc {
             {
                 let (d, lam) = (d.clone(), lam.clone());
                 let cells = cells.clone();
-                rt.task("ReduceW")
+                scope
+                    .task("ReduceW")
                     .high_priority()
                     .read_write(key_node(m))
                     .spawn(move || {
@@ -969,7 +1218,7 @@ impl TaskFlowDc {
                     let s0 = p * nb;
                     let s1 = ((p + 1) * nb).min(nm);
                     let cells = cells.clone();
-                    panel_task(rt, "RowUpdate", key_node(m), use_gatherv).spawn_try(
+                    panel_task(scope, "RowUpdate", key_node(m), use_gatherv).spawn_try(
                         move || -> Result<(), DcError> {
                             let rd = cells[m].rd();
                             let k = rd.defl.k;
@@ -999,7 +1248,8 @@ impl TaskFlowDc {
         if !tree.nodes[root].is_leaf() {
             let d = d.clone();
             let cells = cells.clone();
-            rt.task("SortEigenvalues")
+            scope
+                .task("SortEigenvalues")
                 .high_priority()
                 .read_write(key_node(root))
                 .spawn(move || {
@@ -1012,7 +1262,8 @@ impl TaskFlowDc {
         }
         {
             let d = d.clone();
-            rt.task("ScaleBack")
+            scope
+                .task("ScaleBack")
                 .high_priority()
                 .read_write(key_node(root))
                 .spawn(move || {
@@ -1024,24 +1275,7 @@ impl TaskFlowDc {
                 });
         }
 
-        rt.wait()?;
-
-        let values = d
-            .try_unwrap()
-            .unwrap_or_else(|_| panic!("d buffer still shared after wait"));
-        let mut stats = DcStats::default();
-        for &m in &tree.merges_postorder() {
-            if let Some(stat) = cells[m].stat.lock().unwrap().take() {
-                stats.merges.push(stat);
-            }
-        }
-        Ok((
-            Eigen {
-                values,
-                vectors: Matrix::zeros(n, 0),
-            },
-            stats,
-        ))
+        ValuesPending { n, tree, cells, d }
     }
 }
 
@@ -1201,5 +1435,76 @@ mod tests {
         for (x, y) in a.values.iter().zip(&b.values) {
             assert!((x - y).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn pending_submissions_share_one_runtime() {
+        let rt = Runtime::new(2);
+        let solver = TaskFlowDc::new(opts(16, 8, 2));
+        let t1 = MatrixType::Type4.generate(80, 3);
+        let t2 = MatrixType::Type2.generate(96, 5);
+        let p1 = solver.submit(&t1, &rt).unwrap();
+        let p2 = solver.submit_priority(&t2, &rt).unwrap();
+        let (e2, _) = p2.wait().unwrap();
+        let (e1, _) = p1.wait().unwrap();
+        check(&t1, &e1, 1e-12);
+        check(&t2, &e2, 1e-12);
+    }
+
+    #[test]
+    fn cancelled_pending_reports_cancelled() {
+        // One worker, blocked by a decoy task in the default scope: the
+        // solve's tasks cannot start, so cancel() must skip all of them.
+        let rt = Runtime::new(1);
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        rt.task("decoy").spawn(move || {
+            rx.recv().unwrap();
+        });
+        let solver = TaskFlowDc::new(opts(16, 8, 1));
+        let t = MatrixType::Type4.generate(64, 9);
+        let pending = solver.submit(&t, &rt).unwrap();
+        let handle = pending.cancel_handle();
+        handle.cancel();
+        tx.send(()).unwrap();
+        match pending.wait() {
+            Err(DcError::Cancelled) => {}
+            other => panic!("expected DcError::Cancelled, got {:?}", other.map(|_| ())),
+        }
+        rt.wait().unwrap();
+    }
+
+    #[test]
+    fn batch_values_are_bit_identical_to_solo() {
+        let solver = TaskFlowDc::new(opts(12, 8, 2));
+        let ts: Vec<SymTridiag> = (0..4)
+            .map(|i| MatrixType::Type4.generate(48 + 8 * i, 3 + i as u64))
+            .collect();
+        let batch = solver.solve_batch(&ts);
+        for (t, res) in ts.iter().zip(batch) {
+            let (eig, _) = res.unwrap();
+            let solo = solver.solve(t).unwrap();
+            for (a, b) in solo.values.iter().zip(&eig.values) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+            }
+            check(t, &eig, 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_poisoned_submission_leaves_neighbours_intact() {
+        let rt = Runtime::new(2);
+        let solver = TaskFlowDc::new(opts(16, 8, 2));
+        let good = MatrixType::Type4.generate(80, 11);
+        let mut bad = MatrixType::Type4.generate(80, 12);
+        bad.d[40] = f64::NAN;
+        let pg = solver.submit(&good, &rt).unwrap();
+        // NaN input is rejected at validation (before submission)...
+        assert!(matches!(
+            solver.submit(&bad, &rt).map(|_| ()),
+            Err(DcError::NonFinite)
+        ));
+        // ...and the concurrent good submission is unaffected.
+        let (eig, _) = pg.wait().unwrap();
+        check(&good, &eig, 1e-12);
     }
 }

@@ -52,6 +52,9 @@ mod trace;
 pub use dag::DagRecorder;
 pub use deps::{Access, AccessMode, DataKey};
 pub use metrics::{RuntimeMetrics, WorkerMetrics};
-pub use pool::{set_task_trace_name, BoxError, FailureKind, Runtime, RuntimeError, TaskBuilder};
+pub use pool::{
+    set_task_trace_name, BoxError, CancelHandle, FailureKind, Runtime, RuntimeError, Scope,
+    TaskBuilder,
+};
 pub use share::SharedData;
 pub use trace::{KernelStat, TaskRecord, Trace, WorkerTimeline};

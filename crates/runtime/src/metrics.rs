@@ -236,6 +236,12 @@ mod imp {
             self.depth.fetch_sub(1, Ordering::Relaxed);
         }
 
+        /// Current ready-queue depth gauge (tasks ready but not started) —
+        /// the load signal a server's admission control keys off.
+        pub fn depth(&self) -> u64 {
+            self.depth.load(Ordering::Relaxed)
+        }
+
         /// Copy every counter into a plain-data snapshot.
         pub fn snapshot(&self) -> RuntimeMetrics {
             RuntimeMetrics {
@@ -298,6 +304,10 @@ mod imp {
 
         #[inline(always)]
         pub fn depth_dec(&self) {}
+
+        pub fn depth(&self) -> u64 {
+            0
+        }
 
         pub fn snapshot(&self) -> RuntimeMetrics {
             RuntimeMetrics {

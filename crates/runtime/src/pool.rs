@@ -22,7 +22,7 @@ use crate::dcst_sync::{spawn_worker, Condvar, Mutex, WorkerHandle};
 use crate::deps::{Access, AccessMode, DataKey, DepTracker};
 use crate::metrics::{PoolCounters, RuntimeMetrics};
 use crate::trace::{TaskRecord, Trace};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
@@ -51,21 +51,25 @@ pub fn set_task_trace_name(name: &'static str) {
 
 type TaskFn = Box<dyn FnOnce() -> Result<(), BoxError> + Send + 'static>;
 
-/// How a task failed: a caught panic, or a typed error returned from a
-/// [`TaskBuilder::spawn_try`] body.
+/// How a task failed: a caught panic, a typed error returned from a
+/// [`TaskBuilder::spawn_try`] body, or an explicit [`Scope::cancel`].
 #[derive(Debug)]
 pub enum FailureKind {
     /// The task body panicked; the payload is rendered as text.
     Panicked(String),
     /// The task body returned a typed error.
     Failed(BoxError),
+    /// The scope was cancelled before its tasks completed.
+    Cancelled,
 }
 
-/// Error returned by [`Runtime::wait`]: the first task failure (typed
-/// error or panic) of the waited phase, with the losing task's name.
+/// Error returned by [`Runtime::wait`] / [`Scope::wait`]: the first task
+/// failure (typed error, panic, or cancellation) of the waited phase, with
+/// the losing task's name.
 #[derive(Debug)]
 pub struct RuntimeError {
-    /// Name of the first task that failed.
+    /// Name of the first task that failed (`"<scope>"` for an explicit
+    /// [`Scope::cancel`], which is not attributable to any one task).
     pub task: String,
     /// What happened inside that task.
     pub kind: FailureKind,
@@ -77,12 +81,18 @@ impl RuntimeError {
         match &self.kind {
             FailureKind::Panicked(m) => m.clone(),
             FailureKind::Failed(e) => e.to_string(),
+            FailureKind::Cancelled => "cancelled".to_string(),
         }
     }
 
     /// True when the task panicked (as opposed to returning a typed error).
     pub fn is_panic(&self) -> bool {
         matches!(self.kind, FailureKind::Panicked(_))
+    }
+
+    /// True when the scope was cancelled rather than failing on its own.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self.kind, FailureKind::Cancelled)
     }
 
     /// Recover the typed error a `spawn_try` body returned, together with
@@ -113,6 +123,7 @@ impl std::fmt::Display for RuntimeError {
         match &self.kind {
             FailureKind::Panicked(m) => write!(f, "task '{}' panicked: {m}", self.task),
             FailureKind::Failed(e) => write!(f, "task '{}' failed: {e}", self.task),
+            FailureKind::Cancelled => write!(f, "'{}' cancelled", self.task),
         }
     }
 }
@@ -121,7 +132,7 @@ impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match &self.kind {
             FailureKind::Failed(e) => Some(&**e),
-            FailureKind::Panicked(_) => None,
+            FailureKind::Panicked(_) | FailureKind::Cancelled => None,
         }
     }
 }
@@ -141,10 +152,72 @@ struct Node {
     high: bool,
     pending: AtomicUsize,
     body: Mutex<NodeBody>,
+    /// The submission scope this task belongs to: its failure/cancellation
+    /// domain and completion counter.
+    scope: Arc<ScopeState>,
     /// Declared accesses, kept past submission so the executing worker can
     /// install the shadow tracker's task context.
     #[cfg(feature = "access-check")]
     accesses: Vec<Access>,
+}
+
+/// Per-scope failure/cancellation domain. Every task belongs to exactly
+/// one scope ([`Runtime::task`] uses the runtime's default scope,
+/// [`Scope::task`] an explicit one); a failure or cancel latches *only* its
+/// own scope, so concurrent submissions — e.g. independent solve requests
+/// multiplexed over one pool — can never abort or mis-attribute each
+/// other's tasks.
+struct ScopeState {
+    id: usize,
+    /// Tasks of this scope submitted but not yet finished.
+    outstanding: AtomicUsize,
+    /// First task failure (typed error or panic) of the scope's current
+    /// phase, or the cancellation marker.
+    failure: Mutex<Option<RuntimeError>>,
+    /// Latched by the scope's first failure or an explicit cancel; bodies
+    /// of this scope's not-yet-started tasks are skipped while set.
+    /// Cleared by `wait()` so the scope is reusable.
+    cancelled: AtomicBool,
+    /// Route every task of this scope through the priority injector lane
+    /// (a whole-request priority class, on top of per-task
+    /// [`TaskBuilder::high_priority`]).
+    boost: bool,
+}
+
+impl ScopeState {
+    fn new(id: usize, boost: bool) -> Self {
+        ScopeState {
+            id,
+            outstanding: AtomicUsize::new(0),
+            failure: Mutex::new(None),
+            cancelled: AtomicBool::new(false),
+            boost,
+        }
+    }
+
+    /// Record the first failure of the scope's phase and latch its
+    /// cancellation. The latch is raised *before* the failing task's
+    /// successors are released (the caller runs the release loop after
+    /// `execute`'s body section), so a successor made ready by a failing
+    /// task never runs its body.
+    fn record_failure(&self, task: &str, kind: FailureKind) {
+        let mut slot = self.failure.lock();
+        if slot.is_none() {
+            *slot = Some(RuntimeError {
+                task: task.to_string(),
+                kind,
+            });
+        }
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Latch cancellation: queued-but-unstarted bodies of this scope are
+    /// skipped, and `wait` reports [`FailureKind::Cancelled`] unless a real
+    /// failure latched first (first entry wins, so cancelling an
+    /// already-failed scope preserves the failure's attribution).
+    fn cancel(&self) {
+        self.record_failure("<scope>", FailureKind::Cancelled);
+    }
 }
 
 struct Shared {
@@ -164,16 +237,19 @@ struct Shared {
     tracing: AtomicBool,
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
+    /// One lock/condvar pair serves every waiter: `Runtime::wait`,
+    /// `Scope::wait`, and the drop-time global drain all sleep on `done_cv`
+    /// and re-check their own counter. Scope completions are rare (one per
+    /// request), so the shared notify_all costs nothing measurable and
+    /// avoids a dynamically growing set of condvars.
     done_lock: Mutex<()>,
     done_cv: Condvar,
-    /// First task failure (typed error or panic) of the current phase.
-    failure: Mutex<Option<RuntimeError>>,
-    /// Latched by the first failure; bodies of not-yet-started tasks are
-    /// skipped while set. Cleared by `wait()` so the runtime is reusable.
-    cancelled: AtomicBool,
-    trace: Mutex<Vec<TaskRecord>>,
-    /// Dependency edges observed at submission while tracing is enabled.
-    trace_edges: Mutex<Vec<(usize, usize)>>,
+    /// Trace records tagged with the executing task's scope id, so
+    /// `take_scope_trace` can split one shared pool's trace per request.
+    trace: Mutex<Vec<(TaskRecord, usize)>>,
+    /// Dependency edges observed at submission while tracing is enabled,
+    /// tagged with the successor's scope id.
+    trace_edges: Mutex<Vec<(usize, usize, usize)>>,
     /// Per-worker scheduler counters (no-op unless the `metrics` feature
     /// is on; see `crate::metrics` for the exact counter semantics).
     metrics: PoolCounters,
@@ -198,21 +274,6 @@ impl Shared {
         }
     }
 
-    /// Record the first failure of the phase and latch cancellation. The
-    /// latch is raised *before* this task's successors are released (the
-    /// caller runs the release loop after `execute`'s body section), so a
-    /// successor made ready by a failing task never runs its body.
-    fn record_failure(&self, node: &Node, kind: FailureKind) {
-        let mut slot = self.failure.lock();
-        if slot.is_none() {
-            *slot = Some(RuntimeError {
-                task: node.name.to_string(),
-                kind,
-            });
-        }
-        self.cancelled.store(true, Ordering::SeqCst);
-    }
-
     fn execute(&self, node: Arc<Node>, worker_id: usize) {
         // Counted unconditionally — cancelled skips included — so the
         // executed counter always matches an enabled trace's record count.
@@ -220,10 +281,11 @@ impl Shared {
         self.metrics.executed(worker_id);
         let closure = node.body.lock().closure.take();
         let start = self.epoch.elapsed();
-        // After a failure latches, drop remaining bodies without running
-        // them; the successor bookkeeping below still runs so `outstanding`
-        // reaches zero and `Runtime::wait` terminates.
-        let skip = self.cancelled.load(Ordering::SeqCst);
+        // After the task's own scope latches (failure or explicit cancel),
+        // drop remaining bodies of THAT scope without running them; other
+        // scopes' tasks are untouched. The successor bookkeeping below
+        // still runs so the counters reach zero and the waits terminate.
+        let skip = node.scope.cancelled.load(Ordering::SeqCst);
         if let Some(f) = closure {
             if skip {
                 drop(f);
@@ -239,14 +301,17 @@ impl Shared {
                 crate::check::clear_task_ctx();
                 match result {
                     Ok(Ok(())) => {}
-                    Ok(Err(err)) => self.record_failure(&node, FailureKind::Failed(err)),
+                    Ok(Err(err)) => node
+                        .scope
+                        .record_failure(node.name, FailureKind::Failed(err)),
                     Err(payload) => {
                         let message = payload
                             .downcast_ref::<&str>()
                             .map(|s| s.to_string())
                             .or_else(|| payload.downcast_ref::<String>().cloned())
                             .unwrap_or_else(|| "non-string panic payload".into());
-                        self.record_failure(&node, FailureKind::Panicked(message));
+                        node.scope
+                            .record_failure(node.name, FailureKind::Panicked(message));
                     }
                 }
             }
@@ -256,13 +321,16 @@ impl Shared {
         let renamed = TRACE_NAME_OVERRIDE.with(|c| c.take());
         if self.tracing.load(Ordering::Relaxed) {
             let end = self.epoch.elapsed();
-            self.trace.lock().push(TaskRecord {
-                id: node.id,
-                name: renamed.unwrap_or(node.name),
-                worker: worker_id,
-                start_us: start.as_micros() as u64,
-                end_us: end.as_micros() as u64,
-            });
+            self.trace.lock().push((
+                TaskRecord {
+                    id: node.id,
+                    name: renamed.unwrap_or(node.name),
+                    worker: worker_id,
+                    start_us: start.as_micros() as u64,
+                    end_us: end.as_micros() as u64,
+                },
+                node.scope.id,
+            ));
         }
         // Release successors.
         let successors = {
@@ -275,7 +343,12 @@ impl Shared {
                 self.push_ready(s);
             }
         }
-        if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Scope counter first, global counter second: when the global count
+        // hits zero every scope count already has, so the drop-time drain
+        // can never observe a stale non-zero scope.
+        let scope_done = node.scope.outstanding.fetch_sub(1, Ordering::AcqRel) == 1;
+        let all_done = self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1;
+        if scope_done || all_done {
             let _g = self.done_lock.lock();
             self.done_cv.notify_all();
         }
@@ -386,8 +459,13 @@ fn worker_loop(shared: Arc<Shared>, local: WorkerDeque<Arc<Node>>, worker_id: us
 struct SubmitState {
     tracker: DepTracker,
     next_id: usize,
+    next_scope_id: usize,
     /// Unfinished (or not yet GC'd) nodes by id, for edge wiring.
     nodes: HashMap<usize, Arc<Node>>,
+    /// Data keys each live scope's tasks have declared, so a scope's wait
+    /// can retire its keys from the dependency tracker — without this the
+    /// tracker grows without bound over a daemon's lifetime.
+    scope_keys: HashMap<usize, HashSet<DataKey>>,
     dag: Option<DagRecorder>,
 }
 
@@ -396,6 +474,9 @@ pub struct Runtime {
     shared: Arc<Shared>,
     threads: Vec<WorkerHandle>,
     submit: Mutex<SubmitState>,
+    /// Failure/cancellation domain of tasks submitted via [`Runtime::task`]
+    /// (the single-caller API predating [`Runtime::scope`]).
+    default_scope: Arc<ScopeState>,
     num_threads: usize,
     /// Model-check only: reintroduce the pre-sentinel successor-wiring
     /// race so the model checker can demonstrate it catches the bug.
@@ -425,8 +506,6 @@ impl Runtime {
             idle_cv: Condvar::new(),
             done_lock: Mutex::new(()),
             done_cv: Condvar::new(),
-            failure: Mutex::new(None),
-            cancelled: AtomicBool::new(false),
             trace: Mutex::new(Vec::new()),
             trace_edges: Mutex::new(Vec::new()),
             metrics: PoolCounters::new(num_threads),
@@ -446,9 +525,12 @@ impl Runtime {
             submit: Mutex::new(SubmitState {
                 tracker: DepTracker::default(),
                 next_id: 0,
+                next_scope_id: 1,
                 nodes: HashMap::new(),
+                scope_keys: HashMap::new(),
                 dag: None,
             }),
+            default_scope: Arc::new(ScopeState::new(0, false)),
             num_threads,
             #[cfg(dcst_model_check)]
             buggy_wiring: false,
@@ -471,13 +553,45 @@ impl Runtime {
         self.num_threads
     }
 
-    /// Begin building a task named `name` (names label traces and DAG dumps).
+    /// Begin building a task named `name` (names label traces and DAG
+    /// dumps) in the runtime's default scope.
     pub fn task(&self, name: &'static str) -> TaskBuilder<'_> {
         TaskBuilder {
             rt: self,
+            scope: self.default_scope.clone(),
             name,
             accesses: Vec::new(),
             high: false,
+        }
+    }
+
+    /// Open a fresh submission scope: an isolated failure/cancellation
+    /// domain over the shared pool. Tasks submitted through the scope
+    /// ([`Scope::task`]) run on the same workers as everything else, but a
+    /// failure (or [`Scope::cancel`]) latches only this scope — concurrent
+    /// scopes keep running — and [`Scope::wait`] observes only this scope's
+    /// completion and first failure.
+    pub fn scope(&self) -> Scope<'_> {
+        self.new_scope(false)
+    }
+
+    /// [`scope`](Self::scope), but every task submitted through it enters
+    /// the priority injector lane: the whole-request priority class a
+    /// server maps high-priority requests onto.
+    pub fn priority_scope(&self) -> Scope<'_> {
+        self.new_scope(true)
+    }
+
+    fn new_scope(&self, boost: bool) -> Scope<'_> {
+        let id = {
+            let mut st = self.submit.lock();
+            let id = st.next_scope_id;
+            st.next_scope_id += 1;
+            id
+        };
+        Scope {
+            rt: self,
+            state: Arc::new(ScopeState::new(id, boost)),
         }
     }
 
@@ -489,12 +603,60 @@ impl Runtime {
         self.shared.tracing.store(true, Ordering::Relaxed);
     }
 
-    /// Stop tracing and return the records and edges collected so far.
+    /// Stop tracing and return the records and edges collected so far
+    /// (all scopes).
     pub fn take_trace(&self) -> Trace {
         self.shared.tracing.store(false, Ordering::Relaxed);
         Trace {
-            records: std::mem::take(&mut *self.shared.trace.lock()),
-            edges: std::mem::take(&mut *self.shared.trace_edges.lock()),
+            records: std::mem::take(&mut *self.shared.trace.lock())
+                .into_iter()
+                .map(|(r, _)| r)
+                .collect(),
+            edges: std::mem::take(&mut *self.shared.trace_edges.lock())
+                .into_iter()
+                .map(|(from, to, _)| (from, to))
+                .collect(),
+            num_workers: self.num_threads,
+        }
+    }
+
+    /// Drain the trace records and edges belonging to one scope, leaving
+    /// other scopes' records in place and tracing ENABLED — the
+    /// per-request trace path of a long-lived server, where one shared
+    /// pool interleaves many requests and each response carries only its
+    /// own timeline. Call after the scope's `wait` so the records are
+    /// complete.
+    pub fn take_scope_trace(&self, scope: &Scope<'_>) -> Trace {
+        let sid = scope.state.id;
+        let mut records = Vec::new();
+        {
+            let mut all = self.shared.trace.lock();
+            let mut keep = Vec::with_capacity(all.len());
+            for (r, s) in all.drain(..) {
+                if s == sid {
+                    records.push(r);
+                } else {
+                    keep.push((r, s));
+                }
+            }
+            *all = keep;
+        }
+        let mut edges = Vec::new();
+        {
+            let mut all = self.shared.trace_edges.lock();
+            let mut keep = Vec::with_capacity(all.len());
+            for (from, to, s) in all.drain(..) {
+                if s == sid {
+                    edges.push((from, to));
+                } else {
+                    keep.push((from, to, s));
+                }
+            }
+            *all = keep;
+        }
+        Trace {
+            records,
+            edges,
             num_workers: self.num_threads,
         }
     }
@@ -520,6 +682,14 @@ impl Runtime {
         snap
     }
 
+    /// Current ready-queue depth: tasks released to the injectors or local
+    /// deques but not yet started. Always 0 without the `metrics` feature.
+    /// A server's admission control reads this gauge to shed load when the
+    /// pool's backlog saturates.
+    pub fn ready_queue_depth(&self) -> u64 {
+        self.shared.metrics.depth()
+    }
+
     /// Start recording the task DAG (names + dependency edges).
     pub fn enable_dag_recording(&self) {
         self.submit.lock().dag = Some(DagRecorder::default());
@@ -530,7 +700,17 @@ impl Runtime {
         self.submit.lock().dag.take()
     }
 
-    fn submit_task(&self, name: &'static str, accesses: Vec<Access>, high: bool, f: TaskFn) {
+    fn submit_task(
+        &self,
+        scope: &Arc<ScopeState>,
+        name: &'static str,
+        accesses: Vec<Access>,
+        high: bool,
+        f: TaskFn,
+    ) {
+        // A scope-wide priority class boosts every one of its tasks into
+        // the priority lane, on top of per-task high_priority.
+        let high = high || scope.boost;
         // Under the submission lock: allocate the id, infer dependencies,
         // and resolve predecessor ids to live nodes. The per-predecessor
         // edge wiring (which takes each predecessor's body lock and can
@@ -540,12 +720,18 @@ impl Runtime {
         let id = st.next_id;
         st.next_id += 1;
         let deps = st.tracker.submit(id, &accesses);
+        if !accesses.is_empty() {
+            st.scope_keys
+                .entry(scope.id)
+                .or_default()
+                .extend(accesses.iter().map(|a| a.key));
+        }
         if let Some(dag) = st.dag.as_mut() {
             dag.record(id, name, &deps);
         }
         if !deps.is_empty() && self.shared.tracing.load(Ordering::Relaxed) {
             let mut edges = self.shared.trace_edges.lock();
-            edges.extend(deps.iter().map(|&d| (d, id)));
+            edges.extend(deps.iter().map(|&d| (d, id, scope.id)));
         }
         // The +1 sentinel keeps the task from firing while edges are wired.
         let node = Arc::new(Node {
@@ -558,9 +744,11 @@ impl Runtime {
                 successors: Vec::new(),
                 finished: false,
             }),
+            scope: scope.clone(),
             #[cfg(feature = "access-check")]
             accesses,
         });
+        scope.outstanding.fetch_add(1, Ordering::AcqRel);
         self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
         let preds: Vec<Arc<Node>> = deps
             .iter()
@@ -600,36 +788,60 @@ impl Runtime {
         }
     }
 
-    /// Block until every submitted task has finished or been skipped.
-    /// Returns the first task failure of the phase — a typed error from a
+    /// Block until every task of the *default scope* (those submitted via
+    /// [`Runtime::task`]) has finished or been skipped. Returns the first
+    /// task failure of the phase — a typed error from a
     /// [`TaskBuilder::spawn_try`] body or a caught panic — then clears the
     /// failure slot and the cancellation latch so the runtime is reusable.
+    /// Explicit [`Scope`]s are waited independently via [`Scope::wait`].
     pub fn wait(&self) -> Result<(), RuntimeError> {
+        let scope = self.default_scope.clone();
+        self.wait_scope(&scope)
+    }
+
+    fn wait_scope(&self, scope: &Arc<ScopeState>) -> Result<(), RuntimeError> {
         let mut guard = self.shared.done_lock.lock();
-        // The finishing worker notifies `done_cv` under `done_lock` when
-        // `outstanding` reaches zero, and this re-check holds the same
-        // lock, so the wakeup cannot be missed; the timeout is a safety
-        // backstop, not a polling interval.
-        while self.shared.outstanding.load(Ordering::Acquire) != 0 {
+        // The finishing worker notifies `done_cv` under `done_lock` when a
+        // scope's (or the global) outstanding count reaches zero, and this
+        // re-check holds the same lock, so the wakeup cannot be missed; the
+        // timeout is a safety backstop, not a polling interval.
+        while scope.outstanding.load(Ordering::Acquire) != 0 {
             self.shared
                 .done_cv
                 .wait_for(&mut guard, std::time::Duration::from_secs(1));
         }
         drop(guard);
-        // Completed nodes are no longer needed for edge wiring.
-        self.submit
-            .lock()
-            .nodes
-            .retain(|_, n| !n.body.lock().finished);
-        let failure = self.shared.failure.lock().take();
+        self.gc_after_wait(scope.id);
+        let failure = scope.failure.lock().take();
         // Reset the latch only after the slot is drained: every task of the
         // failed phase has finished (outstanding hit zero), so nothing can
         // re-latch between these two lines for the *old* phase.
-        self.shared.cancelled.store(false, Ordering::SeqCst);
+        scope.cancelled.store(false, Ordering::SeqCst);
         match failure {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    /// Post-wait bookkeeping GC: completed nodes are no longer needed for
+    /// edge wiring, and the waited scope's data keys are retired from the
+    /// dependency tracker unless a still-live task (necessarily of another
+    /// scope — this scope is quiescent) references them. Keeps both maps
+    /// bounded by the *in-flight* working set over a daemon's lifetime.
+    fn gc_after_wait(&self, scope_id: usize) {
+        let mut st = self.submit.lock();
+        st.nodes.retain(|_, n| !n.body.lock().finished);
+        if let Some(keys) = st.scope_keys.remove(&scope_id) {
+            let SubmitState { tracker, nodes, .. } = &mut *st;
+            tracker.forget_keys(&keys, |id| nodes.contains_key(&id));
+        }
+    }
+
+    /// Number of data keys the dependency tracker currently retains — an
+    /// observability probe for tests that bound bookkeeping growth across
+    /// many scopes (a long-lived server must not accumulate key state).
+    pub fn tracked_keys(&self) -> usize {
+        self.submit.lock().tracker.len()
     }
 }
 
@@ -638,6 +850,17 @@ impl Drop for Runtime {
         // A forgotten `wait()` must never make a failure vanish silently.
         if let Err(err) = self.wait() {
             eprintln!("dcst-runtime: runtime dropped with unobserved task failure: {err}");
+        }
+        // Scoped tasks can still be in flight (a `Scope` dropped without
+        // waiting); drain the GLOBAL count before stopping the workers so
+        // no task body is abandoned in a queue.
+        {
+            let mut guard = self.shared.done_lock.lock();
+            while self.shared.outstanding.load(Ordering::Acquire) != 0 {
+                self.shared
+                    .done_cv
+                    .wait_for(&mut guard, std::time::Duration::from_secs(1));
+            }
         }
         self.shared.stop.store(true, Ordering::Release);
         {
@@ -650,9 +873,119 @@ impl Drop for Runtime {
     }
 }
 
+/// An isolated failure/cancellation domain over the shared pool, opened by
+/// [`Runtime::scope`] / [`Runtime::priority_scope`].
+///
+/// A long-lived runtime multiplexing independent submissions (the serve
+/// daemon's concurrent solve requests) gives each its own scope: tasks of
+/// every scope interleave freely on the same workers, but a typed failure,
+/// panic, or [`cancel`](Scope::cancel) latches only the owning scope —
+/// its queued bodies are skipped, its [`wait`](Scope::wait) reports the
+/// first failure, and every other scope is untouched. After a successful
+/// `wait` the scope is reusable for another phase.
+///
+/// Scopes should not share [`DataKey`]s: dependency inference spans scopes
+/// (keys are global), which would order one request's tasks behind
+/// another's and defeat the isolation the scope provides. Derive keys from
+/// a per-scope object-id base instead.
+pub struct Scope<'rt> {
+    rt: &'rt Runtime,
+    state: Arc<ScopeState>,
+}
+
+impl<'rt> Scope<'rt> {
+    /// Begin building a task in this scope.
+    pub fn task(&self, name: &'static str) -> TaskBuilder<'rt> {
+        TaskBuilder {
+            rt: self.rt,
+            scope: self.state.clone(),
+            name,
+            accesses: Vec::new(),
+            high: false,
+        }
+    }
+
+    /// Block until every task of this scope has finished or been skipped,
+    /// returning the scope's first failure (typed error, panic, or
+    /// [`Cancelled`](FailureKind::Cancelled)), then reset the scope for
+    /// reuse. Only this scope's tasks are observed.
+    pub fn wait(&self) -> Result<(), RuntimeError> {
+        self.rt.wait_scope(&self.state)
+    }
+
+    /// Latch this scope's cancellation: bodies of its not-yet-started
+    /// tasks are skipped (already-running bodies complete), and `wait`
+    /// reports [`FailureKind::Cancelled`] unless a real failure latched
+    /// first. Idempotent; other scopes are unaffected.
+    pub fn cancel(&self) {
+        self.state.cancel();
+    }
+
+    /// An owner-independent handle that can cancel this scope from another
+    /// thread (e.g. a server's control connection while an executor thread
+    /// owns the `Scope` and blocks in [`wait`](Scope::wait)).
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle {
+            state: self.state.clone(),
+        }
+    }
+
+    /// True once a failure or cancel has latched this scope's current phase.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Scope id (unique per runtime; tags this scope's trace records).
+    pub fn id(&self) -> usize {
+        self.state.id
+    }
+
+    /// The runtime this scope submits into.
+    pub fn runtime(&self) -> &'rt Runtime {
+        self.rt
+    }
+}
+
+impl Drop for Scope<'_> {
+    fn drop(&mut self) {
+        // Non-blocking: if the scope is already quiescent, retire its
+        // bookkeeping and report a failure nobody waited for (deliberate
+        // cancellation is not noise-worthy). In-flight tasks stay owned by
+        // the pool and are drained by `Runtime::drop`'s global drain.
+        if self.state.outstanding.load(Ordering::Acquire) == 0 {
+            self.rt.gc_after_wait(self.state.id);
+            if let Some(err) = self.state.failure.lock().take() {
+                if !err.is_cancelled() {
+                    eprintln!("dcst-runtime: scope dropped with unobserved task failure: {err}");
+                }
+            }
+        }
+    }
+}
+
+/// Cancels a [`Scope`] from outside its owning thread; see
+/// [`Scope::cancel_handle`]. Clones share the same scope.
+#[derive(Clone)]
+pub struct CancelHandle {
+    state: Arc<ScopeState>,
+}
+
+impl CancelHandle {
+    /// Latch the scope's cancellation (same semantics as [`Scope::cancel`]).
+    pub fn cancel(&self) {
+        self.state.cancel();
+    }
+
+    /// True once a failure or cancel has latched the scope.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.cancelled.load(Ordering::SeqCst)
+    }
+}
+
 /// Builder for one task: declare accesses, then [`spawn`](Self::spawn).
 pub struct TaskBuilder<'rt> {
     rt: &'rt Runtime,
+    scope: Arc<ScopeState>,
     name: &'static str,
     accesses: Vec<Access>,
     high: bool,
@@ -705,6 +1038,7 @@ impl TaskBuilder<'_> {
     /// Submit the task. It runs as soon as its dependencies are satisfied.
     pub fn spawn(self, f: impl FnOnce() + Send + 'static) {
         self.rt.submit_task(
+            &self.scope,
             self.name,
             self.accesses,
             self.high,
@@ -715,15 +1049,16 @@ impl TaskBuilder<'_> {
         );
     }
 
-    /// Submit a fallible task. An `Err` return is recorded as the phase's
-    /// failure (first one wins), latches runtime-wide cancellation so
-    /// not-yet-started bodies are skipped, and is surfaced — typed — by
-    /// [`Runtime::wait`] with this task's name attached.
+    /// Submit a fallible task. An `Err` return is recorded as the owning
+    /// scope's failure (first one wins), latches that scope's cancellation
+    /// so its not-yet-started bodies are skipped, and is surfaced — typed —
+    /// by the scope's wait with this task's name attached.
     pub fn spawn_try<E>(self, f: impl FnOnce() -> Result<(), E> + Send + 'static)
     where
         E: std::error::Error + Send + Sync + 'static,
     {
         self.rt.submit_task(
+            &self.scope,
             self.name,
             self.accesses,
             self.high,

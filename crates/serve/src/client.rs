@@ -1,0 +1,81 @@
+//! A minimal blocking client for the daemon's line-delimited JSON
+//! protocol — enough for the CLI's `dcst request` one-shot mode and the
+//! concurrency test harness; real clients can speak the protocol with
+//! nothing but a TCP socket.
+
+use dcst_runtime::jsonv::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a [`crate::Server`]. Requests are written as JSON
+/// lines; [`Client::recv`] reads whatever response completes next (the
+/// daemon interleaves responses in completion order, tagged by `id`).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        // Request/response over small lines: Nagle only adds stalls.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Send one request line (the newline is appended here). The line and
+    /// newline go out in a single write so Nagle never strands the
+    /// terminator behind an unacknowledged segment.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        self.writer.write_all(buf.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Read the next non-empty response line verbatim. `Ok(None)` means
+    /// the server closed the connection.
+    pub fn recv_raw(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                return Ok(Some(trimmed.to_string()));
+            }
+        }
+    }
+
+    /// Read the next response line and parse it. `Ok(None)` means the
+    /// server closed the connection.
+    pub fn recv(&mut self) -> std::io::Result<Option<Json>> {
+        match self.recv_raw()? {
+            None => Ok(None),
+            Some(line) => jsonv::parse(&line).map(Some).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed response from server: {e}"),
+                )
+            }),
+        }
+    }
+
+    /// Send one request and block for the next response. Only safe when
+    /// this connection has at most one request outstanding; pipelined
+    /// callers must match `id` tags themselves via [`Client::recv`].
+    pub fn call(&mut self, line: &str) -> std::io::Result<Json> {
+        self.send(line)?;
+        self.recv()?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+}

@@ -1,0 +1,461 @@
+//! Wire protocol: request parsing and response serialization.
+//!
+//! One JSON object per line in each direction. Requests are parsed with
+//! the runtime's `jsonv` recursive-descent parser; responses are written
+//! with the hand-rolled serializers below (Rust's shortest-round-trip
+//! `{}` float formatting, so eigenvalues survive the wire bit-exactly).
+//!
+//! Request grammar (members beyond these are ignored):
+//!
+//! ```text
+//! {"op":"solve","id":ID,"matrix":M, "mode":MODE?, "priority":"high"?,
+//!  "vectors":bool?, "check":bool?, "trace":bool?}
+//! {"op":"batch","id":ID,"problems":[{"matrix":M,"mode":MODE?}, ...],
+//!  "priority":"high"?, "check":bool?}
+//! {"op":"cancel","id":ID}
+//! {"op":"metrics"}   {"op":"ping"}   {"op":"shutdown"}
+//!
+//! M    = {"type":K,"n":N,"seed":S?}        (generated test matrix)
+//!      | {"d":[...],"e":[...]}             (inline tridiagonal)
+//! MODE = "full" (default) | "values" | {"subset":[il,iu]}
+//! ```
+//!
+//! Responses: `{"id":ID,"ok":true, ...}` on success, or
+//! `{"id":ID,"ok":false,"error":{"code":C,"message":S}}` with `C` one of
+//! `parse`, `bad-request`, `unknown-op`, `oversized`, `busy`,
+//! `cancelled`, `nonfinite`, `invalid-range`, `numerical`, `internal`.
+
+use dcst_core::{DcError, SolveMode};
+use dcst_runtime::jsonv::{self, Json};
+use dcst_tridiag::gen::MatrixType;
+use dcst_tridiag::SymTridiag;
+
+/// Typed protocol error: a machine-readable code plus a human message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    pub code: &'static str,
+    pub message: String,
+}
+
+impl WireError {
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    pub fn bad(message: impl Into<String>) -> Self {
+        WireError::new("bad-request", message)
+    }
+}
+
+/// Map a solver error onto the wire's error-code vocabulary.
+pub fn dc_error_code(e: &DcError) -> &'static str {
+    match e {
+        DcError::NonFinite => "nonfinite",
+        DcError::InvalidRange { .. } => "invalid-range",
+        DcError::Cancelled => "cancelled",
+        _ => "numerical",
+    }
+}
+
+/// One problem of a solve or batch request.
+#[derive(Clone, Debug)]
+pub struct Problem {
+    pub matrix: MatrixSpec,
+    pub mode: SolveMode,
+}
+
+/// The matrix payload: a generator reference or inline data.
+#[derive(Clone, Debug)]
+pub enum MatrixSpec {
+    Generated { ty: usize, n: usize, seed: u64 },
+    Inline { d: Vec<f64>, e: Vec<f64> },
+}
+
+impl MatrixSpec {
+    /// The matrix order, known before materialization — the oversized
+    /// admission guard must reject without allocating O(n²).
+    pub fn n(&self) -> usize {
+        match self {
+            MatrixSpec::Generated { n, .. } => *n,
+            MatrixSpec::Inline { d, .. } => d.len(),
+        }
+    }
+
+    /// Materialize the tridiagonal matrix.
+    pub fn build(&self) -> Result<SymTridiag, WireError> {
+        match self {
+            MatrixSpec::Generated { ty, n, seed } => {
+                let ty = MatrixType::from_index(*ty)
+                    .ok_or_else(|| WireError::bad("matrix type must be 1..=15"))?;
+                Ok(ty.generate(*n, *seed))
+            }
+            MatrixSpec::Inline { d, e } => {
+                if d.is_empty() {
+                    return Err(WireError::bad("inline matrix needs a non-empty \"d\""));
+                }
+                if e.len() + 1 != d.len() {
+                    return Err(WireError::bad(format!(
+                        "inline matrix needs len(e) == len(d) - 1, got {} and {}",
+                        e.len(),
+                        d.len()
+                    )));
+                }
+                Ok(SymTridiag {
+                    d: d.clone(),
+                    e: e.clone(),
+                })
+            }
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug)]
+pub enum Request {
+    Solve {
+        id: u64,
+        problem: Problem,
+        priority: bool,
+        vectors: bool,
+        check: bool,
+        trace: bool,
+    },
+    Batch {
+        id: u64,
+        problems: Vec<Problem>,
+        priority: bool,
+        check: bool,
+    },
+    Cancel {
+        id: u64,
+    },
+    Metrics,
+    Ping,
+    Shutdown,
+}
+
+fn as_bool(v: Option<&Json>, what: &str) -> Result<bool, WireError> {
+    match v {
+        None => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(WireError::bad(format!("\"{what}\" must be a boolean"))),
+    }
+}
+
+fn as_u64(v: &Json, what: &str) -> Result<u64, WireError> {
+    match v.as_num() {
+        Some(x) if x >= 0.0 && x.fract() == 0.0 && x <= (1u64 << 53) as f64 => Ok(x as u64),
+        _ => Err(WireError::bad(format!(
+            "\"{what}\" must be a non-negative integer"
+        ))),
+    }
+}
+
+fn f64_array(v: &Json, what: &str) -> Result<Vec<f64>, WireError> {
+    let items = v
+        .as_arr()
+        .ok_or_else(|| WireError::bad(format!("\"{what}\" must be an array of numbers")))?;
+    items
+        .iter()
+        .map(|x| {
+            x.as_num()
+                .ok_or_else(|| WireError::bad(format!("\"{what}\" must contain only numbers")))
+        })
+        .collect()
+}
+
+fn parse_matrix(v: &Json) -> Result<MatrixSpec, WireError> {
+    if let Some(d) = v.get("d") {
+        let e = v
+            .get("e")
+            .ok_or_else(|| WireError::bad("inline matrix needs both \"d\" and \"e\""))?;
+        return Ok(MatrixSpec::Inline {
+            d: f64_array(d, "d")?,
+            e: f64_array(e, "e")?,
+        });
+    }
+    let ty = v
+        .get("type")
+        .ok_or_else(|| WireError::bad("\"matrix\" needs \"type\"/\"n\" or \"d\"/\"e\""))?;
+    let n = v
+        .get("n")
+        .ok_or_else(|| WireError::bad("generated matrix needs \"n\""))?;
+    let seed = match v.get("seed") {
+        Some(s) => as_u64(s, "seed")?,
+        None => 1,
+    };
+    Ok(MatrixSpec::Generated {
+        ty: as_u64(ty, "type")? as usize,
+        n: as_u64(n, "n")? as usize,
+        seed,
+    })
+}
+
+fn parse_mode(v: Option<&Json>) -> Result<SolveMode, WireError> {
+    match v {
+        None => Ok(SolveMode::Full),
+        Some(Json::Str(s)) => match s.as_str() {
+            "full" => Ok(SolveMode::Full),
+            "values" => Ok(SolveMode::ValuesOnly),
+            other => Err(WireError::bad(format!(
+                "unknown mode '{other}' (want \"full\", \"values\", or {{\"subset\":[il,iu]}})"
+            ))),
+        },
+        Some(obj) => {
+            let range = obj
+                .get("subset")
+                .and_then(|r| r.as_arr())
+                .ok_or_else(|| WireError::bad("mode object needs \"subset\":[il,iu]"))?;
+            if range.len() != 2 {
+                return Err(WireError::bad("\"subset\" wants exactly [il,iu]"));
+            }
+            let il = as_u64(&range[0], "subset il")? as usize;
+            let iu = as_u64(&range[1], "subset iu")? as usize;
+            Ok(SolveMode::Subset { il, iu })
+        }
+    }
+}
+
+fn parse_priority(v: Option<&Json>) -> Result<bool, WireError> {
+    match v {
+        None => Ok(false),
+        Some(Json::Str(s)) => match s.as_str() {
+            "high" => Ok(true),
+            "normal" => Ok(false),
+            other => Err(WireError::bad(format!(
+                "unknown priority '{other}' (want \"normal\" or \"high\")"
+            ))),
+        },
+        Some(_) => Err(WireError::bad("\"priority\" must be a string")),
+    }
+}
+
+fn parse_problem(v: &Json) -> Result<Problem, WireError> {
+    let matrix = parse_matrix(
+        v.get("matrix")
+            .ok_or_else(|| WireError::bad("request needs \"matrix\""))?,
+    )?;
+    Ok(Problem {
+        matrix,
+        mode: parse_mode(v.get("mode"))?,
+    })
+}
+
+/// Parse one request line. The returned id (when the line carried one)
+/// lets the caller tag even error responses for malformed requests.
+pub fn parse_request(line: &str) -> (Option<u64>, Result<Request, WireError>) {
+    let doc = match jsonv::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => return (None, Err(WireError::new("parse", e.to_string()))),
+    };
+    let id = doc.get("id").and_then(|v| as_u64(v, "id").ok());
+    let req = parse_request_doc(&doc);
+    (id, req)
+}
+
+fn parse_request_doc(doc: &Json) -> Result<Request, WireError> {
+    let op = doc
+        .get("op")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| WireError::bad("request needs a string \"op\""))?;
+    let need_id = || -> Result<u64, WireError> {
+        as_u64(
+            doc.get("id")
+                .ok_or_else(|| WireError::bad(format!("\"{op}\" needs an \"id\"")))?,
+            "id",
+        )
+    };
+    match op {
+        "solve" => Ok(Request::Solve {
+            id: need_id()?,
+            problem: parse_problem(doc)?,
+            priority: parse_priority(doc.get("priority"))?,
+            vectors: as_bool(doc.get("vectors"), "vectors")?,
+            check: as_bool(doc.get("check"), "check")?,
+            trace: as_bool(doc.get("trace"), "trace")?,
+        }),
+        "batch" => {
+            let id = need_id()?;
+            let problems = doc
+                .get("problems")
+                .and_then(|v| v.as_arr())
+                .ok_or_else(|| WireError::bad("\"batch\" needs a \"problems\" array"))?;
+            if problems.is_empty() {
+                return Err(WireError::bad("\"problems\" must not be empty"));
+            }
+            Ok(Request::Batch {
+                id,
+                problems: problems
+                    .iter()
+                    .map(parse_problem)
+                    .collect::<Result<_, _>>()?,
+                priority: parse_priority(doc.get("priority"))?,
+                check: as_bool(doc.get("check"), "check")?,
+            })
+        }
+        "cancel" => Ok(Request::Cancel { id: need_id()? }),
+        "metrics" => Ok(Request::Metrics),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(WireError::new(
+            "unknown-op",
+            format!("unknown op '{other}'"),
+        )),
+    }
+}
+
+// ---- response serialization ----
+
+/// Escape a string for a JSON string literal (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite float as JSON (shortest round-trip form); non-finite → null,
+/// which the error paths never produce but defense-in-depth demands.
+pub fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// `[x, y, ...]` for a float slice.
+pub fn num_arr(xs: &[f64]) -> String {
+    let mut out = String::with_capacity(xs.len() * 8 + 2);
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&num(*x));
+    }
+    out.push(']');
+    out
+}
+
+/// The standard failure envelope.
+pub fn error_response(id: Option<u64>, err: &WireError) -> String {
+    let id_part = match id {
+        Some(id) => format!("\"id\":{id},"),
+        None => String::new(),
+    };
+    format!(
+        "{{{id_part}\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
+        err.code,
+        escape(&err.message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_solve_request_variants() {
+        let (id, req) = parse_request(
+            r#"{"op":"solve","id":7,"matrix":{"type":4,"n":64,"seed":3},"mode":"values","priority":"high","check":true}"#,
+        );
+        assert_eq!(id, Some(7));
+        match req.unwrap() {
+            Request::Solve {
+                id,
+                problem,
+                priority,
+                vectors,
+                check,
+                trace,
+            } => {
+                assert_eq!(id, 7);
+                assert_eq!(problem.mode, SolveMode::ValuesOnly);
+                assert_eq!(problem.matrix.n(), 64);
+                assert!(priority && check && !vectors && !trace);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        let (_, req) = parse_request(
+            r#"{"op":"solve","id":1,"matrix":{"d":[2,2,2],"e":[1,1]},"mode":{"subset":[0,1]}}"#,
+        );
+        match req.unwrap() {
+            Request::Solve { problem, .. } => {
+                assert_eq!(problem.mode, SolveMode::Subset { il: 0, iu: 1 });
+                let t = problem.matrix.build().unwrap();
+                assert_eq!(t.n(), 3);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_requests() {
+        for (line, code) in [
+            ("{not json", "parse"),
+            (r#"{"op":"frobnicate"}"#, "unknown-op"),
+            (r#"{"op":"solve","matrix":{"type":4,"n":8}}"#, "bad-request"),
+            (r#"{"op":"solve","id":1}"#, "bad-request"),
+            (
+                r#"{"op":"solve","id":1,"matrix":{"type":4,"n":8},"mode":"sideways"}"#,
+                "bad-request",
+            ),
+            (r#"{"op":"cancel"}"#, "bad-request"),
+            (r#"{"op":"batch","id":2,"problems":[]}"#, "bad-request"),
+        ] {
+            let (_, req) = parse_request(line);
+            let err = req.expect_err(line);
+            assert_eq!(err.code, code, "{line}");
+        }
+        // Inline length mismatch is a build-time error, not parse-time.
+        let (_, req) = parse_request(r#"{"op":"solve","id":1,"matrix":{"d":[1,2],"e":[1,1,1]}}"#);
+        match req.unwrap() {
+            Request::Solve { problem, .. } => {
+                assert_eq!(
+                    problem.matrix.build().expect_err("mismatch").code,
+                    "bad-request"
+                );
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_floats_round_trip_through_jsonv() {
+        let xs = [
+            1.0 / 3.0,
+            -2.2250738585072014e-308,
+            6.02214076e23,
+            -0.0,
+            f64::MIN_POSITIVE,
+        ];
+        let doc = jsonv::parse(&num_arr(&xs)).unwrap();
+        for (a, b) in xs.iter().zip(doc.as_arr().unwrap()) {
+            assert_eq!(a.to_bits(), b.as_num().unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn error_envelope_is_parseable() {
+        let line = error_response(Some(3), &WireError::new("busy", "7 in flight \"now\""));
+        let doc = jsonv::parse(&line).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            doc.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("busy")
+        );
+    }
+}

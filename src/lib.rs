@@ -18,6 +18,7 @@ pub use dcst_mrrr as mrrr;
 pub use dcst_qriter as qriter;
 pub use dcst_runtime as runtime;
 pub use dcst_secular as secular;
+pub use dcst_serve as serve;
 pub use dcst_svd as svd;
 pub use dcst_tridiag as tridiag;
 

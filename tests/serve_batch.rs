@@ -1,0 +1,179 @@
+//! Batching oracle: the daemon's fused `batch` verb must be numerically
+//! indistinguishable from solving each problem alone.
+//!
+//! The protocol serializes floats through `jsonv` bit-exactly (a
+//! dcst-serve unit test pins that), so the oracle can demand *bit*
+//! equality of eigenvalue arrays — not approximate agreement — between
+//! a fused batch of k random problems and k solo solves, across both
+//! priority classes (normal and high ride different injector lanes, so
+//! this also pins scheduling-independence of the results). Eigenvector
+//! quality rides along via the server-side `check` gates.
+
+use dcst::prelude::*;
+use dcst::runtime::jsonv::Json;
+use dcst::serve::{Client, Server, ServerConfig};
+use proptest::prelude::*;
+
+/// One random problem of the oracle's universe.
+#[derive(Clone, Debug)]
+struct Prob {
+    ty: usize,
+    n: usize,
+    seed: u64,
+    values_only: bool,
+}
+
+fn arb_prob() -> impl Strategy<Value = Prob> {
+    (1usize..=5, 8usize..96, 1u64..1000, 0u64..2).prop_map(|(ty, n, seed, vo)| Prob {
+        ty,
+        n,
+        seed,
+        values_only: vo == 1,
+    })
+}
+
+fn problem_json(p: &Prob) -> String {
+    let mode = if p.values_only { "values" } else { "full" };
+    format!(
+        r#"{{"matrix":{{"type":{},"n":{},"seed":{}}},"mode":"{mode}"}}"#,
+        p.ty, p.n, p.seed
+    )
+}
+
+fn value_bits(result: &Json) -> Vec<u64> {
+    result
+        .get("values")
+        .expect("values")
+        .as_arr()
+        .expect("array")
+        .iter()
+        .map(|v| v.as_num().expect("number").to_bits())
+        .collect()
+}
+
+fn assert_gates(result: &Json, p: &Prob) {
+    if p.values_only {
+        return;
+    }
+    let gate = 50.0 * p.n as f64 * f64::EPSILON;
+    let orth = result.get("orth").expect("orth").as_num().unwrap();
+    let res = result.get("residual").expect("residual").as_num().unwrap();
+    assert!(
+        orth < gate && res < gate,
+        "gates failed for {p:?}: orth {orth} res {res}"
+    );
+}
+
+fn solo_results(cl: &mut Client, probs: &[Prob], priority: &str) -> Vec<Json> {
+    probs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mode = if p.values_only { "values" } else { "full" };
+            let line = format!(
+                r#"{{"op":"solve","id":{},"matrix":{{"type":{},"n":{},"seed":{}}},"mode":"{mode}","priority":"{priority}","check":true}}"#,
+                100 + i,
+                p.ty,
+                p.n,
+                p.seed
+            );
+            let doc = cl.call(&line).unwrap();
+            assert_eq!(
+                doc.get("ok").and_then(|o| match o {
+                    Json::Bool(b) => Some(*b),
+                    _ => None,
+                }),
+                Some(true),
+                "solo solve failed: {doc:?}"
+            );
+            doc
+        })
+        .collect()
+}
+
+fn batch_results(cl: &mut Client, probs: &[Prob], priority: &str) -> Vec<Json> {
+    let problems: Vec<String> = probs.iter().map(problem_json).collect();
+    let line = format!(
+        r#"{{"op":"batch","id":1,"problems":[{}],"priority":"{priority}","check":true}}"#,
+        problems.join(",")
+    );
+    let doc = cl.call(&line).unwrap();
+    let results = doc
+        .get("results")
+        .expect("results")
+        .as_arr()
+        .expect("array")
+        .to_vec();
+    assert_eq!(results.len(), probs.len());
+    for r in &results {
+        assert!(
+            matches!(r.get("ok"), Some(Json::Bool(true))),
+            "batch item failed: {r:?}"
+        );
+    }
+    results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Fused batches of random problems return bit-identical eigenvalues
+    /// and gate-passing eigenvectors vs solo solves, in every
+    /// priority-class ordering (solo-normal, solo-high, batch-normal,
+    /// batch-high).
+    #[test]
+    fn fused_batch_is_bit_identical_to_solo(probs in proptest::collection::vec(arb_prob(), 1..4)) {
+        let server = Server::start(ServerConfig {
+            threads: 2,
+            max_inflight: 8,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut cl = Client::connect(server.addr()).unwrap();
+        let solo = solo_results(&mut cl, &probs, "normal");
+        let oracle: Vec<Vec<u64>> = solo.iter().map(value_bits).collect();
+        for (doc, p) in solo.iter().zip(&probs) {
+            assert_gates(doc, p);
+        }
+        for priority in ["normal", "high"] {
+            let batch = batch_results(&mut cl, &probs, priority);
+            for ((r, bits), p) in batch.iter().zip(&oracle).zip(&probs) {
+                prop_assert_eq!(&value_bits(r), bits, "batch[{}] diverged from solo", priority);
+                assert_gates(r, p);
+            }
+        }
+        let solo_high = solo_results(&mut cl, &probs, "high");
+        for (doc, bits) in solo_high.iter().zip(&oracle) {
+            prop_assert_eq!(&value_bits(doc), bits, "high-priority solo diverged");
+        }
+    }
+}
+
+/// Pin the protocol results to the in-process library solver: the values
+/// crossing the wire are the very f64s `TaskFlowDc` produced.
+#[test]
+fn server_values_are_bitwise_the_library_values() {
+    let opts = DcOptions {
+        min_part: 16,
+        nb: 32,
+        threads: 2,
+        extra_workspace: false,
+        use_gatherv: true,
+        mode: SolveMode::Full,
+    };
+    let server = Server::start(ServerConfig {
+        threads: 2,
+        opts,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let t = MatrixType::from_index(4).unwrap().generate(80, 42);
+    let eig = TaskFlowDc::new(opts).solve(&t).unwrap();
+    let mut cl = Client::connect(server.addr()).unwrap();
+    let doc = cl
+        .call(r#"{"op":"solve","id":1,"matrix":{"type":4,"n":80,"seed":42}}"#)
+        .unwrap();
+    let wire = value_bits(&doc);
+    let lib: Vec<u64> = eig.values.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(wire, lib);
+}

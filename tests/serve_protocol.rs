@@ -1,0 +1,219 @@
+//! Concurrency harness for the `dcst serve` daemon (in-process).
+//!
+//! Drives a real TCP [`Server`] with concurrent clients issuing a mix of
+//! solves, cancels, malformed requests, and oversized payloads, and
+//! asserts the service-layer contracts: every error is typed, a shed or
+//! cancelled request never poisons its neighbours, admission capacity is
+//! returned when a request is cancelled, and the in-flight gauge drains
+//! to zero. Also built (and green) under `--features "failpoints
+//! access-check"` — the shadow tracker validates every task's declared
+//! accesses while the harness hammers the shared runtime.
+
+use dcst::runtime::jsonv::Json;
+use dcst::serve::{Client, Server, ServerConfig};
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn server(threads: usize, max_inflight: usize) -> Server {
+    Server::start(ServerConfig {
+        threads,
+        max_inflight,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+fn obj_bool(doc: &Json, key: &str) -> Option<bool> {
+    match doc.get(key) {
+        Some(Json::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+fn error_code(doc: &Json) -> Option<String> {
+    doc.get("error")?.get("code")?.as_str().map(str::to_string)
+}
+
+fn req_id(doc: &Json) -> Option<u64> {
+    doc.get("id")?.as_num().map(|x| x as u64)
+}
+
+fn solve_line(id: u64, ty: usize, n: usize, seed: u64, extra: &str) -> String {
+    format!(r#"{{"op":"solve","id":{id},"matrix":{{"type":{ty},"n":{n},"seed":{seed}}}{extra}}}"#)
+}
+
+/// Six clients hammer one daemon with a mixed workload; every response
+/// must be well-formed, correctly tagged, and (for solves) gate-passing.
+#[test]
+fn concurrent_clients_mixed_workload() {
+    let server = server(2, 16);
+    let addr = server.addr();
+    let workers: Vec<_> = (0..6)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut cl = Client::connect(addr).unwrap();
+                // Ping.
+                let doc = cl.call(r#"{"op":"ping","id":1}"#).unwrap();
+                assert_eq!(obj_bool(&doc, "pong"), Some(true));
+                // A full solve with the server-side gate check.
+                let n = 32 + 8 * c;
+                let doc = cl
+                    .call(&solve_line(
+                        2,
+                        1 + (c % 5),
+                        n,
+                        c as u64 + 1,
+                        r#","check":true"#,
+                    ))
+                    .unwrap();
+                assert_eq!(obj_bool(&doc, "ok"), Some(true), "client {c}: {doc:?}");
+                assert_eq!(doc.get("values").unwrap().as_arr().unwrap().len(), n);
+                let orth = doc.get("orth").unwrap().as_num().unwrap();
+                let res = doc.get("residual").unwrap().as_num().unwrap();
+                let gate = 50.0 * n as f64 * f64::EPSILON;
+                assert!(
+                    orth < gate && res < gate,
+                    "client {c}: orth {orth} res {res}"
+                );
+                // Typed error for a malformed request, connection intact.
+                let doc = cl.call(r#"{"op":"solve","id":3}"#).unwrap();
+                assert_eq!(error_code(&doc).as_deref(), Some("bad-request"));
+                // Values-only and subset modes.
+                let doc = cl
+                    .call(&solve_line(4, 4, 48, 9, r#","mode":"values""#))
+                    .unwrap();
+                assert_eq!(obj_bool(&doc, "ok"), Some(true));
+                let doc = cl
+                    .call(&solve_line(
+                        5,
+                        4,
+                        48,
+                        9,
+                        r#","mode":{"subset":[3,7]},"check":true"#,
+                    ))
+                    .unwrap();
+                assert_eq!(obj_bool(&doc, "ok"), Some(true));
+                assert_eq!(doc.get("k").unwrap().as_num().unwrap() as usize, 5);
+                // High priority rides the injector lane end to end.
+                let doc = cl
+                    .call(&solve_line(6, 2, 40, 3, r#","priority":"high""#))
+                    .unwrap();
+                assert_eq!(obj_bool(&doc, "ok"), Some(true));
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    // The in-flight gauge drains to zero once every client is done.
+    let mut cl = Client::connect(addr).unwrap();
+    let doc = cl.call(r#"{"op":"metrics"}"#).unwrap();
+    let m = doc.get("metrics").unwrap();
+    assert_eq!(m.get("inflight").unwrap().as_num().unwrap(), 0.0);
+    assert!(m.get("completed").unwrap().as_num().unwrap() >= 6.0 * 4.0);
+}
+
+/// Oversized request lines and oversized matrices are both shed with a
+/// typed error, and the connection stays line-synchronized afterwards.
+#[test]
+fn oversized_inputs_are_typed_and_resynced() {
+    let server = Server::start(ServerConfig {
+        threads: 1,
+        max_line: 4096,
+        max_n: 64,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut cl = Client::connect(server.addr()).unwrap();
+    // A line over the cap: typed `oversized`, then the stream recovers.
+    let giant = format!(r#"{{"op":"solve","id":1,"pad":"{}"}}"#, "x".repeat(8192));
+    let doc = cl.call(&giant).unwrap();
+    assert_eq!(error_code(&doc).as_deref(), Some("oversized"));
+    // A matrix over the server's order limit: shed before any allocation.
+    let doc = cl.call(&solve_line(2, 4, 4096, 1, "")).unwrap();
+    assert_eq!(error_code(&doc).as_deref(), Some("oversized"));
+    // The connection still solves fine.
+    let doc = cl.call(&solve_line(3, 4, 32, 1, "")).unwrap();
+    assert_eq!(obj_bool(&doc, "ok"), Some(true));
+}
+
+/// The admission-control story, pipelined on one connection so the
+/// ordering is deterministic: request A fills the only slot, B is shed
+/// with typed `busy`, cancelling A frees the slot, and C is admitted.
+#[test]
+fn cancellation_frees_admission_capacity() {
+    let server = server(2, 1);
+    let addr = server.addr();
+    let mut cl = Client::connect(addr).unwrap();
+    // A: big enough that it is still mid-flight when the cancel lands.
+    cl.send(&solve_line(10, 4, 700, 1, "")).unwrap();
+    // B: same connection, so the reader admits A first — B must shed.
+    cl.send(&solve_line(11, 4, 16, 1, "")).unwrap();
+    let doc = cl.recv().unwrap().expect("busy response");
+    assert_eq!(req_id(&doc), Some(11));
+    assert_eq!(error_code(&doc).as_deref(), Some("busy"));
+    // Cancel A; its response must be a typed `cancelled` error (the
+    // solve is far too large to have finished already).
+    let doc = cl.call(r#"{"op":"cancel","id":10}"#).unwrap();
+    assert_eq!(obj_bool(&doc, "cancelled"), Some(true));
+    let doc = cl.recv().unwrap().expect("A's response");
+    assert_eq!(req_id(&doc), Some(10));
+    assert_eq!(error_code(&doc).as_deref(), Some("cancelled"));
+    // Capacity is back: C is admitted and completes.
+    let doc = cl
+        .call(&solve_line(12, 4, 48, 1, r#","check":true"#))
+        .unwrap();
+    assert_eq!(req_id(&doc), Some(12));
+    assert_eq!(obj_bool(&doc, "ok"), Some(true), "{doc:?}");
+    // And the daemon counted the shed + cancel.
+    let doc = cl.call(r#"{"op":"metrics"}"#).unwrap();
+    let m = doc.get("metrics").unwrap();
+    assert!(m.get("shed").unwrap().as_num().unwrap() >= 1.0);
+    assert!(m.get("cancelled").unwrap().as_num().unwrap() >= 1.0);
+    assert_eq!(m.get("inflight").unwrap().as_num().unwrap(), 0.0);
+}
+
+/// A duplicate in-flight id on one connection is rejected (responses
+/// would be indistinguishable), and cancel on an unknown id reports
+/// `cancelled: false` instead of an error.
+#[test]
+fn duplicate_and_unknown_ids() {
+    let server = server(2, 8);
+    let mut cl = Client::connect(server.addr()).unwrap();
+    cl.send(&solve_line(7, 4, 600, 1, "")).unwrap();
+    let doc = cl.call(&solve_line(7, 4, 16, 1, "")).unwrap();
+    assert_eq!(error_code(&doc).as_deref(), Some("bad-request"));
+    let doc = cl.call(r#"{"op":"cancel","id":99}"#).unwrap();
+    assert_eq!(obj_bool(&doc, "cancelled"), Some(false));
+    let doc = cl.call(r#"{"op":"cancel","id":7}"#).unwrap();
+    assert_eq!(obj_bool(&doc, "cancelled"), Some(true));
+    // Drain request 7's (cancelled or completed) response.
+    let doc = cl.recv().unwrap().expect("7's response");
+    assert_eq!(req_id(&doc), Some(7));
+}
+
+/// A client that vanishes mid-solve must not leak its admission slot:
+/// the disconnect sweep cancels its jobs and capacity returns.
+#[test]
+fn disconnect_releases_capacity() {
+    let server = server(2, 1);
+    let addr = server.addr();
+    {
+        let mut cl = Client::connect(addr).unwrap();
+        cl.send(&solve_line(1, 4, 700, 1, "")).unwrap();
+        // Drop the connection with the solve still in flight.
+    }
+    // A fresh client gets the slot back (poll briefly: the disconnect
+    // sweep races the cancel latch draining the abandoned graph).
+    let mut cl = Client::connect(addr).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let doc = cl.call(&solve_line(2, 4, 24, 1, "")).unwrap();
+        if obj_bool(&doc, "ok") == Some(true) {
+            break;
+        }
+        assert_eq!(error_code(&doc).as_deref(), Some("busy"));
+        assert!(Instant::now() < deadline, "slot never came back");
+        thread::sleep(Duration::from_millis(50));
+    }
+}
